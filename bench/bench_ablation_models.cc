@@ -1,0 +1,107 @@
+// Surrogate-model family study (§2.2): with only tens of training
+// samples, traditional tree ensembles (boosted trees, random forests)
+// out-predict more flexible models — the reason every tuner here uses a
+// boosted-tree surrogate. Compares GBT, random forest, and k-NN fitted
+// on n random LV pool samples (log targets for all), reporting MdAPE
+// over the pool and top-5 recall, as n grows.
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "bench/common.h"
+#include "core/csv.h"
+#include "core/stats.h"
+#include "core/table.h"
+#include "ml/gbt.h"
+#include "ml/knn.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+
+namespace {
+
+using namespace ceal;
+
+struct Scores {
+  double mdape = 0.0;
+  double recall5 = 0.0;
+};
+
+Scores fit_and_score(ml::Regressor& model, const ml::Dataset& train,
+                     const ml::Dataset& pool,
+                     std::span<const double> measured, Rng& rng) {
+  model.fit(train, rng);
+  std::vector<double> predictions(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    predictions[i] = std::exp(model.predict(pool.row(i)));
+  }
+  return Scores{mdape_percent(measured, predictions),
+                ml::recall_score_percent(5, predictions, measured)};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Surrogate family study: BT vs RF vs k-NN at small sample counts",
+      "§2.2 model-choice rationale");
+  const auto& env = bench::Env::instance();
+  const std::size_t lv = env.index_of("LV");
+  const auto& wl = env.workload(lv);
+  const auto& pool = env.pool(lv);
+  const auto& space = wl.workflow.joint_space();
+  const auto& measured = pool.exec_s;
+
+  // Full pool as a feature matrix (log-target convention).
+  ml::Dataset pool_data(space.dimension());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    pool_data.add(space.features(pool.configs[i]), std::log(measured[i]));
+  }
+
+  Table table({"samples", "GBT MdAPE", "RF MdAPE", "kNN MdAPE",
+               "GBT recall@5", "RF recall@5", "kNN recall@5"});
+  CsvWriter csv("ablation_models.csv",
+                {"samples", "model", "mdape_pct", "recall5_pct"});
+  const std::size_t reps = std::max<std::size_t>(
+      5, bench::Env::replications() / 4);
+
+  for (const std::size_t n : {25, 50, 100, 200, 400}) {
+    double sums[3][2] = {};
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      Rng rng(1000 + rep);
+      const auto picks = rng.sample_without_replacement(pool.size(), n);
+      const ml::Dataset train = pool_data.subset(picks);
+
+      ml::GradientBoostedTrees gbt(
+          ml::GradientBoostedTrees::surrogate_defaults());
+      ml::RandomForest rf;
+      ml::KnnRegressor knn;
+      ml::Regressor* models[3] = {&gbt, &rf, &knn};
+      for (int m = 0; m < 3; ++m) {
+        const Scores s =
+            fit_and_score(*models[m], train, pool_data, measured, rng);
+        sums[m][0] += s.mdape;
+        sums[m][1] += s.recall5;
+      }
+    }
+    const double inv = 1.0 / static_cast<double>(reps);
+    table.add_row({std::to_string(n), bench::fmt(sums[0][0] * inv, 1),
+                   bench::fmt(sums[1][0] * inv, 1),
+                   bench::fmt(sums[2][0] * inv, 1),
+                   bench::fmt(sums[0][1] * inv, 0),
+                   bench::fmt(sums[1][1] * inv, 0),
+                   bench::fmt(sums[2][1] * inv, 0)});
+    const char* names[3] = {"GBT", "RF", "kNN"};
+    for (int m = 0; m < 3; ++m) {
+      csv.add_row({std::to_string(n), names[m],
+                   bench::fmt(sums[m][0] * inv, 2),
+                   bench::fmt(sums[m][1] * inv, 2)});
+    }
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n" << table;
+  std::cout << "\nExpected shape: tree ensembles dominate k-NN at every "
+               "budget; GBT leads or ties RF — consistent\nwith §2.2's "
+               "rationale for boosted-tree surrogates under tight sample "
+               "budgets.\n";
+  return 0;
+}

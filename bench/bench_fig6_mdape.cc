@@ -1,0 +1,62 @@
+// Fig. 6: prediction accuracy (MdAPE) of the final surrogate models of
+// RS, GEIST, AL, and CEAL, over the top 2% of test configurations and
+// over all of them. Cells follow the paper: LV computer time @ 50
+// samples, HS execution time @ 100, GP computer time @ 25.
+#include <iostream>
+
+#include "bench/common.h"
+#include "core/csv.h"
+#include "core/table.h"
+
+int main() {
+  using namespace ceal;
+  using tuner::Objective;
+  bench::banner("Prediction accuracy of auto-tuned models (MdAPE)",
+                "Fig. 6");
+  const auto& env = bench::Env::instance();
+
+  struct Cell {
+    const char* wf;
+    Objective obj;
+    std::size_t budget;
+  };
+  const Cell cells[] = {
+      {"LV", Objective::kComputerTime, 50},
+      {"HS", Objective::kExecTime, 100},
+      {"GP", Objective::kComputerTime, 25},
+  };
+  const char* algos[] = {"RS", "GEIST", "AL", "CEAL"};
+
+  Table table({"cell", "test set", "RS", "GEIST", "AL", "CEAL"});
+  CsvWriter csv("fig6_mdape.csv",
+                {"workflow", "objective", "samples", "algorithm",
+                 "mdape_top2_pct", "mdape_all_pct"});
+  for (const auto& cell : cells) {
+    const std::size_t w = env.index_of(cell.wf);
+    std::vector<std::string> top_row, all_row;
+    for (const char* algo : algos) {
+      const auto s = bench::run_cell(env, algo, w, cell.obj, cell.budget,
+                                     /*history=*/false);
+      top_row.push_back(bench::fmt(s.mean_mdape_top2, 1));
+      all_row.push_back(bench::fmt(s.mean_mdape_all, 1));
+      csv.add_row({cell.wf, tuner::objective_name(cell.obj),
+                   std::to_string(cell.budget), algo,
+                   bench::fmt(s.mean_mdape_top2, 2),
+                   bench::fmt(s.mean_mdape_all, 2)});
+      std::cout << "." << std::flush;
+    }
+    const std::string name = std::string(cell.wf) + " " +
+                             tuner::objective_name(cell.obj) + " (" +
+                             std::to_string(cell.budget) + ")";
+    table.add_row({name, "Top 2%", top_row[0], top_row[1], top_row[2],
+                   top_row[3]});
+    table.add_row({"", "All", all_row[0], all_row[1], all_row[2],
+                   all_row[3]});
+  }
+  std::cout << "\n\n" << table;
+  std::cout << "\nPaper shape: CEAL's MdAPE on the top 2% is far below the "
+               "others', while on all configurations it is\ncomparable or "
+               "slightly higher — the budget goes into accuracy where the "
+               "searcher needs it (§7.4.2).\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Micro-benchmarks of the ML substrate (google-benchmark): tree and
+// ensemble training/prediction at surrogate-realistic sizes.
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "ml/gbt.h"
+#include "ml/knn.h"
+#include "ml/random_forest.h"
+
+namespace {
+
+using namespace ceal;
+
+ml::Dataset synth(std::size_t n, std::size_t d, Rng& rng) {
+  ml::Dataset data(d);
+  std::vector<double> x(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    double y = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      x[j] = rng.uniform(0.0, 100.0);
+      y += (j + 1) * x[j];
+    }
+    data.add(x, y + rng.normal(0.0, 5.0));
+  }
+  return data;
+}
+
+void BM_GbtFit(benchmark::State& state) {
+  Rng rng(1);
+  const auto data = synth(static_cast<std::size_t>(state.range(0)), 7, rng);
+  for (auto _ : state) {
+    ml::GradientBoostedTrees model(
+        ml::GradientBoostedTrees::surrogate_defaults());
+    Rng fit_rng(2);
+    model.fit(data, fit_rng);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GbtFit)->Arg(25)->Arg(50)->Arg(100)->Arg(500);
+
+void BM_GbtPredict(benchmark::State& state) {
+  Rng rng(3);
+  const auto data = synth(100, 7, rng);
+  ml::GradientBoostedTrees model(
+      ml::GradientBoostedTrees::surrogate_defaults());
+  model.fit(data, rng);
+  const std::vector<double> x(7, 50.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(x));
+  }
+}
+BENCHMARK(BM_GbtPredict);
+
+void BM_GbtPredictPool(benchmark::State& state) {
+  // The per-iteration cost of scoring a 2000-entry sample pool.
+  Rng rng(4);
+  const auto train = synth(50, 7, rng);
+  const auto pool = synth(2000, 7, rng);
+  ml::GradientBoostedTrees model(
+      ml::GradientBoostedTrees::surrogate_defaults());
+  model.fit(train, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_all(pool));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_GbtPredictPool);
+
+void BM_RandomForestFit(benchmark::State& state) {
+  Rng rng(5);
+  const auto data = synth(static_cast<std::size_t>(state.range(0)), 7, rng);
+  for (auto _ : state) {
+    ml::RandomForest model;
+    Rng fit_rng(6);
+    model.fit(data, fit_rng);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_RandomForestFit)->Arg(50)->Arg(200);
+
+void BM_KnnPredict(benchmark::State& state) {
+  Rng rng(7);
+  const auto data = synth(static_cast<std::size_t>(state.range(0)), 7, rng);
+  ml::KnnRegressor model;
+  model.fit(data, rng);
+  const std::vector<double> x(7, 50.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(x));
+  }
+}
+BENCHMARK(BM_KnnPredict)->Arg(500)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

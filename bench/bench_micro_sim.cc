@@ -1,0 +1,79 @@
+// Micro-benchmarks of the simulator and tuning substrate
+// (google-benchmark): coupled-run evaluation, pool construction, and
+// low-fidelity scoring throughput.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/rng.h"
+#include "sim/workloads.h"
+#include "tuner/low_fidelity.h"
+#include "tuner/measured_pool.h"
+
+namespace {
+
+using namespace ceal;
+
+void BM_WorkflowExpected(benchmark::State& state) {
+  const auto wl = sim::make_lv();
+  Rng rng(1);
+  const auto c = wl.workflow.joint_space().random_valid(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wl.workflow.expected(c));
+  }
+}
+BENCHMARK(BM_WorkflowExpected);
+
+void BM_WorkflowNoisyRun(benchmark::State& state) {
+  const auto wl = sim::make_gp();  // four components, three edges
+  Rng rng(2);
+  const auto c = wl.workflow.joint_space().random_valid(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wl.workflow.run(c, rng));
+  }
+}
+BENCHMARK(BM_WorkflowNoisyRun);
+
+void BM_RandomValidConfig(benchmark::State& state) {
+  const auto wl = sim::make_hs();  // tightest joint constraint
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wl.workflow.joint_space().random_valid(rng));
+  }
+}
+BENCHMARK(BM_RandomValidConfig);
+
+void BM_MeasurePool(benchmark::State& state) {
+  const auto wl = sim::make_lv();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tuner::measure_pool(
+        wl.workflow, static_cast<std::size_t>(state.range(0)), 7));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MeasurePool)->Arg(200)->Arg(2000);
+
+void BM_LowFidelityScorePool(benchmark::State& state) {
+  const auto wl = sim::make_lv();
+  const auto pool = tuner::measure_pool(wl.workflow, 2000, 7);
+  const auto comps = tuner::measure_components(wl.workflow, 500, 8);
+  std::vector<std::vector<std::size_t>> all(comps.size());
+  for (std::size_t j = 0; j < comps.size(); ++j) {
+    all[j].resize(comps[j].size());
+    for (std::size_t i = 0; i < comps[j].size(); ++i) all[j][i] = i;
+  }
+  Rng rng(9);
+  auto cm = std::make_shared<const tuner::ComponentModelSet>(
+      wl.workflow, tuner::Objective::kExecTime, comps, all, rng);
+  const tuner::LowFidelityModel lf(wl.workflow, tuner::Objective::kExecTime,
+                                   cm);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lf.score_many(pool.configs));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_LowFidelityScorePool);
+
+}  // namespace
+
+BENCHMARK_MAIN();

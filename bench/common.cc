@@ -1,0 +1,116 @@
+#include "bench/common.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/error.h"
+#include "core/table.h"
+#include "tuner/active_learning.h"
+#include "tuner/alph.h"
+#include "tuner/ceal.h"
+#include "tuner/random_search.h"
+
+namespace ceal::bench {
+
+Env::Env() {
+  workloads_ = sim::make_all_workloads();
+  pools_.reserve(workloads_.size());
+  components_.reserve(workloads_.size());
+  graphs_.reserve(workloads_.size());
+  for (const auto& wl : workloads_) {
+    pools_.push_back(
+        tuner::measure_pool(wl.workflow, kPoolSize, kPoolSeed));
+    components_.push_back(tuner::measure_components(
+        wl.workflow, kComponentSamples, kComponentSeed));
+    graphs_.push_back(std::make_shared<const tuner::PoolGraph>(
+        wl.workflow.joint_space(), pools_.back().configs,
+        /*k_neighbors=*/10));
+  }
+}
+
+const Env& Env::instance() {
+  static Env env;
+  return env;
+}
+
+const sim::Workload& Env::workload(std::size_t i) const {
+  CEAL_EXPECT(i < workloads_.size());
+  return workloads_[i];
+}
+
+const tuner::MeasuredPool& Env::pool(std::size_t i) const {
+  CEAL_EXPECT(i < pools_.size());
+  return pools_[i];
+}
+
+const std::vector<tuner::ComponentSamples>& Env::components(
+    std::size_t i) const {
+  CEAL_EXPECT(i < components_.size());
+  return components_[i];
+}
+
+std::shared_ptr<const tuner::PoolGraph> Env::graph(std::size_t i) const {
+  CEAL_EXPECT(i < graphs_.size());
+  return graphs_[i];
+}
+
+std::size_t Env::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < workloads_.size(); ++i) {
+    if (workloads_[i].workflow.name() == name) return i;
+  }
+  throw PreconditionError("unknown workload " + name);
+}
+
+tuner::TuningProblem Env::problem(std::size_t i, tuner::Objective objective,
+                                  bool history) const {
+  return tuner::TuningProblem{&workload(i), objective, &pool(i),
+                              &components(i), history};
+}
+
+std::size_t Env::replications() {
+  if (const char* env = std::getenv("CEAL_REPS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  return 40;
+}
+
+std::unique_ptr<tuner::AutoTuner> make_algorithm(const std::string& name,
+                                                 const Env& env,
+                                                 std::size_t w) {
+  if (name == "RS") return std::make_unique<tuner::RandomSearch>();
+  if (name == "AL") return std::make_unique<tuner::ActiveLearning>();
+  if (name == "GEIST") {
+    tuner::GeistParams params;
+    params.graph = env.graph(w);
+    return std::make_unique<tuner::Geist>(params);
+  }
+  if (name == "ALpH") return std::make_unique<tuner::Alph>();
+  if (name == "CEAL") return std::make_unique<tuner::Ceal>();
+  throw PreconditionError("unknown algorithm " + name);
+}
+
+tuner::EvalSummary run_cell(const Env& env, const std::string& name,
+                            std::size_t w, tuner::Objective objective,
+                            std::size_t budget, bool history) {
+  const auto algo = make_algorithm(name, env, w);
+  const auto prob = env.problem(w, objective, history);
+  return tuner::evaluate(prob, *algo, budget, Env::replications(),
+                         kEvalSeed);
+}
+
+std::string fmt(double v, int precision) {
+  if (std::isinf(v)) return "inf";
+  return Table::num(v, precision);
+}
+
+void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==============================================\n"
+            << title << "\n"
+            << "(reproduces " << paper_ref << "; " << Env::replications()
+            << " replications per point, CEAL_REPS overrides)\n"
+            << "==============================================\n";
+}
+
+}  // namespace ceal::bench

@@ -1,0 +1,52 @@
+// LV case study: compare the four no-history auto-tuners (RS, GEIST, AL,
+// CEAL) on the LAMMPS->Voro++ workflow for both objectives — a miniature
+// of the paper's Fig. 5 evaluation, using the public evaluation harness.
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "core/table.h"
+#include "sim/workloads.h"
+#include "tuner/active_learning.h"
+#include "tuner/ceal.h"
+#include "tuner/evaluation.h"
+#include "tuner/geist.h"
+#include "tuner/random_search.h"
+
+int main() {
+  using namespace ceal;
+  using tuner::Objective;
+
+  sim::Workload lv = sim::make_lv();
+  const auto pool = tuner::measure_pool(lv.workflow, 2000, 1);
+  const auto comps = tuner::measure_components(lv.workflow, 500, 2);
+
+  std::vector<std::unique_ptr<tuner::AutoTuner>> algorithms;
+  algorithms.push_back(std::make_unique<tuner::RandomSearch>());
+  algorithms.push_back(std::make_unique<tuner::Geist>());
+  algorithms.push_back(std::make_unique<tuner::ActiveLearning>());
+  algorithms.push_back(std::make_unique<tuner::Ceal>());
+
+  Table table({"objective", "samples", "algorithm", "normalized perf",
+               "top-1 recall", "least uses"});
+  for (const auto obj : {Objective::kExecTime, Objective::kComputerTime}) {
+    const std::size_t budget = obj == Objective::kExecTime ? 50 : 25;
+    tuner::TuningProblem problem{&lv, obj, &pool, &comps,
+                                 /*components_are_history=*/false};
+    for (const auto& algo : algorithms) {
+      const auto s = tuner::evaluate(problem, *algo, budget,
+                                     /*replications=*/20, /*seed=*/7);
+      table.add_row({tuner::objective_name(obj), std::to_string(budget),
+                     s.algorithm, Table::num(s.mean_norm_perf),
+                     Table::num(s.mean_recall[0], 0) + "%",
+                     std::isinf(s.least_uses)
+                         ? "inf"
+                         : Table::num(s.least_uses, 0)});
+      std::cout << "." << std::flush;
+    }
+  }
+  std::cout << "\n(normalized perf: actual time of the recommendation over "
+               "the pool optimum; 20 replications)\n\n"
+            << table;
+  return 0;
+}

@@ -1,0 +1,115 @@
+// A real LV-shaped in-situ pipeline: the MD-lite particle simulation
+// streams each step's positions through the bounded staging channel to a
+// concurrently running Voronoi-lite analyser — the same
+// producer/consumer structure as the paper's LAMMPS -> Voro++ workflow,
+// executed with actual kernels in this process.
+//
+// The demo shows the coupling effect the paper's simulator models: when
+// the analyser is made slower than the producer (larger search radius),
+// back-pressure throttles the simulation, and the coupled wall-clock
+// tracks the *slower* side — max-coupling in the flesh (Eqn. 1).
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "apps/md_lite.h"
+#include "apps/stream.h"
+#include "apps/voronoi_lite.h"
+#include "core/table.h"
+
+namespace {
+
+using namespace ceal;
+
+struct CoupledResult {
+  double wall_s = 0.0;
+  double producer_blocked_s = 0.0;
+  double consumer_blocked_s = 0.0;
+  double mean_cell_volume = 0.0;
+  std::size_t frames = 0;
+};
+
+CoupledResult run_coupled(std::size_t particles, std::size_t steps,
+                          double search_radius, std::size_t sim_threads,
+                          std::size_t ana_threads) {
+  apps::MdParams md;
+  md.n_particles = particles;
+  md.steps = steps;
+  md.box = 64.0;
+  md.dt = 0.002;
+  md.temperature = 0.5;
+
+  apps::VoronoiParams voro;
+  voro.box = md.box;
+  voro.search_radius = search_radius;
+
+  ThreadPool sim_pool(sim_threads);
+  ThreadPool ana_pool(ana_threads);
+  apps::Stream stream(/*capacity=*/2);
+
+  CoupledResult result;
+  std::thread analyser([&] {
+    apps::VoronoiLite analysis(voro, ana_pool);
+    double volume_sum = 0.0;
+    std::size_t frames = 0;
+    while (auto frame = stream.pop()) {
+      // Rebuild the positions from the streamed frame.
+      std::vector<apps::Vec2> pos(frame->data.size() / 2);
+      for (std::size_t i = 0; i < pos.size(); ++i) {
+        pos[i] = {frame->data[2 * i], frame->data[2 * i + 1]};
+      }
+      volume_sum += analysis.analyze(pos).mean_cell_volume;
+      ++frames;
+    }
+    result.mean_cell_volume =
+        frames > 0 ? volume_sum / static_cast<double>(frames) : 0.0;
+    result.frames = frames;
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  apps::MdLite sim(md, sim_pool);
+  sim.run([&](std::size_t step, std::span<const apps::Vec2> pos) {
+    apps::Frame frame;
+    frame.step = step;
+    frame.data.reserve(pos.size() * 2);
+    for (const auto& p : pos) {
+      frame.data.push_back(p.x);
+      frame.data.push_back(p.y);
+    }
+    stream.push(std::move(frame));
+  });
+  stream.close();
+  analyser.join();
+  result.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.producer_blocked_s = stream.producer_blocked_seconds();
+  result.consumer_blocked_s = stream.consumer_blocked_seconds();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Real in-situ LV analogue: MdLite -> Stream -> VoronoiLite\n"
+               "(coupled wall-clock follows the slower side — Eqn. 1 in "
+               "the flesh)\n\n";
+  Table table({"particles", "steps", "search radius", "wall (s)",
+               "producer blocked (s)", "consumer blocked (s)",
+               "mean cell vol"});
+  for (const double radius : {2.0, 4.0, 8.0}) {
+    const auto r = run_coupled(1024, 25, radius, 1, 1);
+    table.add_row({"1024", "25", Table::num(radius, 1),
+                   Table::num(r.wall_s, 4),
+                   Table::num(r.producer_blocked_s, 4),
+                   Table::num(r.consumer_blocked_s, 4),
+                   Table::num(r.mean_cell_volume, 2)});
+  }
+  std::cout << table;
+  std::cout << "\nLarger analysis radii slow the consumer; the producer's "
+               "blocked time grows with it, which is\nexactly the "
+               "synchronisation coupling the auto-tuner's simulator "
+               "models (and the reason component\nmodels built from solo "
+               "runs under-predict coupled behaviour).\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Mini Gray-Scott: 2D reaction-diffusion (two species U, V) — the stand-in
+// for the paper's Gray-Scott simulation (the producer of the GP workflow).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/thread_pool.h"
+
+namespace ceal::apps {
+
+struct GrayScottParams {
+  std::size_t n = 128;      ///< square grid edge (periodic boundary)
+  std::size_t steps = 100;  ///< time steps
+  double du = 0.16;         ///< diffusion rate of U
+  double dv = 0.08;         ///< diffusion rate of V
+  double feed = 0.060;      ///< feed rate F
+  double kill = 0.062;      ///< kill rate k
+  double dt = 1.0;
+};
+
+struct GrayScottResult {
+  double elapsed_seconds = 0.0;
+  double u_sum = 0.0;
+  double v_sum = 0.0;
+  std::size_t steps_run = 0;
+};
+
+class GrayScott2D {
+ public:
+  /// In-situ hook handing out the V field (row-major n*n) each step.
+  using StepObserver =
+      std::function<void(std::size_t step, std::span<const double> v_field)>;
+
+  GrayScott2D(GrayScottParams params, ceal::ThreadPool& pool);
+
+  GrayScottResult run(const StepObserver& observer = {});
+
+  std::span<const double> u() const { return u_; }
+  std::span<const double> v() const { return v_; }
+
+ private:
+  void step_once();
+
+  GrayScottParams params_;
+  ceal::ThreadPool& pool_;
+  std::vector<double> u_, v_, un_, vn_;
+};
+
+}  // namespace ceal::apps

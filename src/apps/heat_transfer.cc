@@ -1,0 +1,70 @@
+#include "apps/heat_transfer.h"
+
+#include <chrono>
+
+#include "core/error.h"
+
+namespace ceal::apps {
+
+HeatTransfer2D::HeatTransfer2D(HeatParams params, ceal::ThreadPool& pool)
+    : params_(params), pool_(pool) {
+  CEAL_EXPECT(params_.nx >= 2 && params_.ny >= 2);
+  CEAL_EXPECT(params_.alpha > 0.0 && params_.alpha <= 0.25);
+  const std::size_t padded = (params_.nx + 2) * (params_.ny + 2);
+  cur_.assign(padded, 0.0);
+  next_.assign(padded, 0.0);
+  interior_.assign(params_.nx * params_.ny, 0.0);
+  // Dirichlet hot top edge on both buffers.
+  for (std::size_t i = 0; i < params_.nx + 2; ++i) {
+    cur_[i] = params_.hot_boundary;
+    next_[i] = params_.hot_boundary;
+  }
+}
+
+void HeatTransfer2D::step_once() {
+  const std::size_t nx = params_.nx;
+  const std::size_t stride = nx + 2;
+  const double a = params_.alpha;
+  pool_.parallel_for(1, params_.ny + 1, [&](std::size_t row) {
+    const double* up = cur_.data() + (row - 1) * stride;
+    const double* mid = cur_.data() + row * stride;
+    const double* down = cur_.data() + (row + 1) * stride;
+    double* out = next_.data() + row * stride;
+    for (std::size_t col = 1; col <= nx; ++col) {
+      out[col] = mid[col] + a * (up[col] + down[col] + mid[col - 1] +
+                                 mid[col + 1] - 4.0 * mid[col]);
+    }
+  });
+  cur_.swap(next_);
+}
+
+HeatResult HeatTransfer2D::run(const StepObserver& observer) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t nx = params_.nx;
+  const std::size_t stride = nx + 2;
+
+  for (std::size_t step = 0; step < params_.steps; ++step) {
+    step_once();
+    if (observer) {
+      for (std::size_t row = 0; row < params_.ny; ++row) {
+        const double* src = cur_.data() + (row + 1) * stride + 1;
+        std::copy(src, src + nx, interior_.data() + row * nx);
+      }
+      observer(step, interior_);
+    }
+  }
+
+  HeatResult result;
+  result.steps_run = params_.steps;
+  for (std::size_t row = 1; row <= params_.ny; ++row) {
+    for (std::size_t col = 1; col <= nx; ++col) {
+      result.checksum += cur_[row * stride + col];
+    }
+  }
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace ceal::apps

@@ -1,0 +1,56 @@
+// Mini Heat Transfer: explicit 5-point Jacobi iteration of the 2D heat
+// equation — the stand-in for the paper's Heat Transfer mini-app (the
+// simulation side of the HS workflow).
+//
+// The kernel does real floating-point work, parallelised over row bands
+// with the shared ThreadPool, and exposes the simulation state after every
+// step so an in-situ consumer (e.g. apps::StageWriter) can stream it.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/thread_pool.h"
+
+namespace ceal::apps {
+
+struct HeatParams {
+  std::size_t nx = 256;        ///< interior grid width
+  std::size_t ny = 256;        ///< interior grid height
+  std::size_t steps = 50;      ///< Jacobi iterations
+  double alpha = 0.2;          ///< diffusion number (stability: <= 0.25)
+  double hot_boundary = 100.0; ///< Dirichlet value on the top edge
+};
+
+struct HeatResult {
+  double elapsed_seconds = 0.0;
+  double checksum = 0.0;       ///< sum of interior cells after the run
+  std::size_t steps_run = 0;
+};
+
+class HeatTransfer2D {
+ public:
+  /// Called after each step with the current interior field (row-major,
+  /// nx*ny) — the in-situ hook.
+  using StepObserver =
+      std::function<void(std::size_t step, std::span<const double> field)>;
+
+  HeatTransfer2D(HeatParams params, ceal::ThreadPool& pool);
+
+  /// Runs all steps; `observer` may be empty.
+  HeatResult run(const StepObserver& observer = {});
+
+  /// Current interior field (valid after run()).
+  std::span<const double> field() const { return cur_; }
+
+ private:
+  void step_once();
+
+  HeatParams params_;
+  ceal::ThreadPool& pool_;
+  std::vector<double> cur_, next_;  // padded (nx+2)*(ny+2) grids
+  std::vector<double> interior_;    // scratch copy handed to observers
+};
+
+}  // namespace ceal::apps

@@ -1,0 +1,175 @@
+#include "apps/md_lite.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace ceal::apps {
+
+namespace {
+
+double wrap(double v, double box) {
+  v = std::fmod(v, box);
+  return v < 0.0 ? v + box : v;
+}
+
+double min_image(double d, double box) {
+  if (d > 0.5 * box) return d - box;
+  if (d < -0.5 * box) return d + box;
+  return d;
+}
+
+}  // namespace
+
+MdLite::MdLite(MdParams params, ceal::ThreadPool& pool)
+    : params_(params), pool_(pool) {
+  CEAL_EXPECT(params_.n_particles >= 2);
+  CEAL_EXPECT(params_.cutoff > 0.0);
+  CEAL_EXPECT(params_.box > 2.0 * params_.cutoff);
+  CEAL_EXPECT(params_.dt > 0.0);
+
+  cells_per_side_ = std::max<std::size_t>(
+      3, static_cast<std::size_t>(params_.box / params_.cutoff));
+  cell_size_ = params_.box / static_cast<double>(cells_per_side_);
+  cells_.resize(cells_per_side_ * cells_per_side_);
+
+  // Lattice initial placement with thermal velocities; a lattice avoids
+  // overlapping particles that would blow up the LJ force.
+  ceal::Rng rng(params_.seed);
+  const auto per_side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(params_.n_particles))));
+  const double spacing = params_.box / static_cast<double>(per_side);
+  pos_.resize(params_.n_particles);
+  vel_.resize(params_.n_particles);
+  force_.assign(params_.n_particles, Vec2{});
+  for (std::size_t i = 0; i < params_.n_particles; ++i) {
+    const std::size_t gx = i % per_side;
+    const std::size_t gy = i / per_side;
+    pos_[i] = {(static_cast<double>(gx) + 0.5) * spacing,
+               (static_cast<double>(gy) + 0.5) * spacing};
+    vel_[i] = {rng.normal(0.0, params_.temperature),
+               rng.normal(0.0, params_.temperature)};
+  }
+}
+
+void MdLite::build_cells() {
+  for (auto& cell : cells_) cell.clear();
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    const auto cx = static_cast<std::size_t>(pos_[i].x / cell_size_) %
+                    cells_per_side_;
+    const auto cy = static_cast<std::size_t>(pos_[i].y / cell_size_) %
+                    cells_per_side_;
+    cells_[cy * cells_per_side_ + cx].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+}
+
+void MdLite::compute_forces() {
+  const double rc2 = params_.cutoff * params_.cutoff;
+  const double box = params_.box;
+  const std::size_t side = cells_per_side_;
+
+  pool_.parallel_for(0, pos_.size(), [&](std::size_t i) {
+    force_[i] = Vec2{};
+    const auto cx =
+        static_cast<std::ptrdiff_t>(pos_[i].x / cell_size_) %
+        static_cast<std::ptrdiff_t>(side);
+    const auto cy =
+        static_cast<std::ptrdiff_t>(pos_[i].y / cell_size_) %
+        static_cast<std::ptrdiff_t>(side);
+    for (std::ptrdiff_t dy = -1; dy <= 1; ++dy) {
+      for (std::ptrdiff_t dx = -1; dx <= 1; ++dx) {
+        const auto nx = static_cast<std::size_t>(
+            (cx + dx + static_cast<std::ptrdiff_t>(side)) %
+            static_cast<std::ptrdiff_t>(side));
+        const auto ny = static_cast<std::size_t>(
+            (cy + dy + static_cast<std::ptrdiff_t>(side)) %
+            static_cast<std::ptrdiff_t>(side));
+        for (const std::uint32_t j : cells_[ny * side + nx]) {
+          if (j == i) continue;
+          const double rx = min_image(pos_[i].x - pos_[j].x, box);
+          const double ry = min_image(pos_[i].y - pos_[j].y, box);
+          const double r2 = rx * rx + ry * ry;
+          if (r2 >= rc2 || r2 <= 1e-12) continue;
+          const double inv2 = 1.0 / r2;
+          const double inv6 = inv2 * inv2 * inv2;
+          // dV/dr over r for LJ with epsilon = sigma = 1.
+          const double fr = 24.0 * inv6 * (2.0 * inv6 - 1.0) * inv2;
+          force_[i].x += fr * rx;
+          force_[i].y += fr * ry;
+        }
+      }
+    }
+  });
+}
+
+double MdLite::pair_potential_sum() const {
+  const double rc2 = params_.cutoff * params_.cutoff;
+  const double box = params_.box;
+  double pe = 0.0;
+  const std::size_t side = cells_per_side_;
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    const auto cx = static_cast<std::size_t>(pos_[i].x / cell_size_) % side;
+    const auto cy = static_cast<std::size_t>(pos_[i].y / cell_size_) % side;
+    for (std::ptrdiff_t dy = -1; dy <= 1; ++dy) {
+      for (std::ptrdiff_t dx = -1; dx <= 1; ++dx) {
+        const auto nx = static_cast<std::size_t>(
+            (static_cast<std::ptrdiff_t>(cx) + dx +
+             static_cast<std::ptrdiff_t>(side)) %
+            static_cast<std::ptrdiff_t>(side));
+        const auto ny = static_cast<std::size_t>(
+            (static_cast<std::ptrdiff_t>(cy) + dy +
+             static_cast<std::ptrdiff_t>(side)) %
+            static_cast<std::ptrdiff_t>(side));
+        for (const std::uint32_t j : cells_[ny * side + nx]) {
+          if (j <= i) continue;  // each pair once
+          const double rx = min_image(pos_[i].x - pos_[j].x, box);
+          const double ry = min_image(pos_[i].y - pos_[j].y, box);
+          const double r2 = rx * rx + ry * ry;
+          if (r2 >= rc2 || r2 <= 1e-12) continue;
+          const double inv6 = 1.0 / (r2 * r2 * r2);
+          pe += 4.0 * inv6 * (inv6 - 1.0);
+        }
+      }
+    }
+  }
+  return pe;
+}
+
+MdResult MdLite::run(const StepObserver& observer) {
+  const auto start = std::chrono::steady_clock::now();
+  const double dt = params_.dt;
+  build_cells();
+  compute_forces();
+
+  for (std::size_t step = 0; step < params_.steps; ++step) {
+    // Velocity Verlet: half kick, drift, rebuild, force, half kick.
+    for (std::size_t i = 0; i < pos_.size(); ++i) {
+      vel_[i].x += 0.5 * dt * force_[i].x;
+      vel_[i].y += 0.5 * dt * force_[i].y;
+      pos_[i].x = wrap(pos_[i].x + dt * vel_[i].x, params_.box);
+      pos_[i].y = wrap(pos_[i].y + dt * vel_[i].y, params_.box);
+    }
+    build_cells();
+    compute_forces();
+    for (std::size_t i = 0; i < pos_.size(); ++i) {
+      vel_[i].x += 0.5 * dt * force_[i].x;
+      vel_[i].y += 0.5 * dt * force_[i].y;
+    }
+    if (observer) observer(step, pos_);
+  }
+
+  MdResult result;
+  result.steps_run = params_.steps;
+  for (const auto& v : vel_) {
+    result.kinetic_energy += 0.5 * (v.x * v.x + v.y * v.y);
+  }
+  result.potential_energy = pair_potential_sum();
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace ceal::apps

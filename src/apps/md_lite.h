@@ -1,0 +1,64 @@
+// MD-lite: a cell-list molecular-dynamics kernel (truncated Lennard-Jones,
+// velocity Verlet, periodic box) — the stand-in for LAMMPS in the LV
+// workflow. Small but structurally faithful: neighbour search via cell
+// lists, force computation, integration, and an in-situ hook exposing
+// particle positions each step for a downstream tesselator.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/thread_pool.h"
+
+namespace ceal::apps {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct MdParams {
+  std::size_t n_particles = 1024;
+  std::size_t steps = 20;
+  double box = 64.0;       ///< periodic box edge
+  double cutoff = 2.5;     ///< LJ cutoff radius
+  double dt = 0.005;
+  double temperature = 1.0;  ///< initial velocity scale
+  std::uint64_t seed = 42;
+};
+
+struct MdResult {
+  double elapsed_seconds = 0.0;
+  double kinetic_energy = 0.0;
+  double potential_energy = 0.0;
+  std::size_t steps_run = 0;
+};
+
+class MdLite {
+ public:
+  /// In-situ hook: positions after each step.
+  using StepObserver =
+      std::function<void(std::size_t step, std::span<const Vec2> positions)>;
+
+  MdLite(MdParams params, ceal::ThreadPool& pool);
+
+  MdResult run(const StepObserver& observer = {});
+
+  std::span<const Vec2> positions() const { return pos_; }
+
+ private:
+  void build_cells();
+  void compute_forces();
+  double pair_potential_sum() const;
+
+  MdParams params_;
+  ceal::ThreadPool& pool_;
+  std::size_t cells_per_side_;
+  double cell_size_;
+  std::vector<Vec2> pos_, vel_, force_;
+  std::vector<std::vector<std::uint32_t>> cells_;
+};
+
+}  // namespace ceal::apps

@@ -1,0 +1,62 @@
+#include "apps/pdf_calc.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace ceal::apps {
+
+PdfCalc::PdfCalc(PdfParams params, ceal::ThreadPool& pool)
+    : params_(params), pool_(pool) {
+  CEAL_EXPECT(params_.bins >= 2);
+}
+
+PdfResult PdfCalc::compute(std::span<const double> field) {
+  CEAL_EXPECT(field.size() >= 2);
+  const auto start = std::chrono::steady_clock::now();
+
+  PdfResult result;
+  const auto [lo_it, hi_it] = std::minmax_element(field.begin(), field.end());
+  result.lo = *lo_it;
+  result.hi = *hi_it;
+  const double span = result.hi - result.lo;
+  const double width =
+      (span > 0.0 ? span : 1.0) / static_cast<double>(params_.bins);
+
+  // Per-chunk local histograms merged at the end (no shared-counter
+  // contention).
+  const std::size_t chunks = pool_.thread_count() + 1;
+  std::vector<std::vector<std::size_t>> partial(
+      chunks, std::vector<std::size_t>(params_.bins, 0));
+  const std::size_t chunk_len = (field.size() + chunks - 1) / chunks;
+  pool_.parallel_for(0, chunks, [&](std::size_t c) {
+    const std::size_t begin = c * chunk_len;
+    const std::size_t end = std::min(field.size(), begin + chunk_len);
+    auto& hist = partial[c];
+    for (std::size_t i = begin; i < end; ++i) {
+      auto bin = static_cast<std::size_t>((field[i] - result.lo) / width);
+      bin = std::min(bin, params_.bins - 1);
+      ++hist[bin];
+    }
+  });
+
+  result.counts.assign(params_.bins, 0);
+  for (const auto& hist : partial) {
+    for (std::size_t b = 0; b < params_.bins; ++b)
+      result.counts[b] += hist[b];
+  }
+  result.density.resize(params_.bins);
+  const double norm = 1.0 / (static_cast<double>(field.size()) * width);
+  for (std::size_t b = 0; b < params_.bins; ++b) {
+    result.density[b] = static_cast<double>(result.counts[b]) * norm;
+  }
+
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace ceal::apps

@@ -1,0 +1,37 @@
+// PDF calculator: turns a scalar field into an empirical probability
+// density function — the stand-in for the paper's PDF-calc analysis in the
+// GP workflow.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/thread_pool.h"
+
+namespace ceal::apps {
+
+struct PdfParams {
+  std::size_t bins = 64;
+};
+
+struct PdfResult {
+  double elapsed_seconds = 0.0;
+  double lo = 0.0;                  ///< left edge of the first bin
+  double hi = 0.0;                  ///< right edge of the last bin
+  std::vector<double> density;      ///< normalised: sum(density)*width == 1
+  std::vector<std::size_t> counts;  ///< raw per-bin counts
+};
+
+class PdfCalc {
+ public:
+  PdfCalc(PdfParams params, ceal::ThreadPool& pool);
+
+  /// Histograms `field` between its min and max. Requires >= 2 values.
+  PdfResult compute(std::span<const double> field);
+
+ private:
+  PdfParams params_;
+  ceal::ThreadPool& pool_;
+};
+
+}  // namespace ceal::apps

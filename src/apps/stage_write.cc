@@ -1,0 +1,45 @@
+#include "apps/stage_write.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/error.h"
+
+namespace ceal::apps {
+
+StageWriter::StageWriter(StageWriteParams params, Sink sink)
+    : capacity_(params.buffer_mb * 1024 * 1024), sink_(std::move(sink)) {
+  CEAL_EXPECT(params.buffer_mb >= 1);
+  CEAL_EXPECT_MSG(static_cast<bool>(sink_), "StageWriter needs a sink");
+  buffer_.reserve(capacity_);
+}
+
+void StageWriter::write(std::span<const std::byte> block) {
+  stats_.bytes_in += block.size();
+  std::size_t offset = 0;
+  while (offset < block.size()) {
+    const std::size_t room = capacity_ - buffer_.size();
+    const std::size_t take = std::min(room, block.size() - offset);
+    buffer_.insert(buffer_.end(), block.begin() + offset,
+                   block.begin() + offset + take);
+    offset += take;
+    if (buffer_.size() == capacity_) flush();
+  }
+}
+
+void StageWriter::write_doubles(std::span<const double> values) {
+  write(std::as_bytes(values));
+}
+
+void StageWriter::finish() {
+  if (!buffer_.empty()) flush();
+}
+
+void StageWriter::flush() {
+  sink_(buffer_);
+  stats_.bytes_flushed += buffer_.size();
+  ++stats_.flush_count;
+  buffer_.clear();
+}
+
+}  // namespace ceal::apps

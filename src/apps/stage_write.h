@@ -1,0 +1,54 @@
+// StageWriter: buffered output staging — the stand-in for the paper's
+// Stage Write application (the consumer of the HS workflow). Accepts data
+// blocks, accumulates them in a fixed-size buffer, and flushes whole
+// buffers to a sink. The buffer size (MB) is one of the tunables in
+// Table 1, so the class mirrors that knob exactly.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace ceal::apps {
+
+struct StageWriteParams {
+  std::size_t buffer_mb = 4;  ///< staging buffer capacity in MiB
+};
+
+struct StageWriteStats {
+  std::size_t bytes_in = 0;
+  std::size_t bytes_flushed = 0;
+  std::size_t flush_count = 0;
+};
+
+class StageWriter {
+ public:
+  /// Sink consuming each flushed buffer (e.g. a file writer or /dev/null
+  /// accumulator). Must not be empty.
+  using Sink = std::function<void(std::span<const std::byte> buffer)>;
+
+  StageWriter(StageWriteParams params, Sink sink);
+
+  /// Stages a block, flushing as many full buffers as needed.
+  void write(std::span<const std::byte> block);
+
+  /// Convenience for double fields (the usual simulation payload).
+  void write_doubles(std::span<const double> values);
+
+  /// Flushes any partial buffer.
+  void finish();
+
+  const StageWriteStats& stats() const { return stats_; }
+  std::size_t buffer_capacity_bytes() const { return capacity_; }
+
+ private:
+  void flush();
+
+  std::size_t capacity_;
+  Sink sink_;
+  std::vector<std::byte> buffer_;
+  StageWriteStats stats_;
+};
+
+}  // namespace ceal::apps

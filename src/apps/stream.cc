@@ -1,0 +1,88 @@
+#include "apps/stream.h"
+
+#include <chrono>
+
+#include "core/error.h"
+
+namespace ceal::apps {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+Stream::Stream(std::size_t capacity) : capacity_(capacity) {
+  CEAL_EXPECT(capacity >= 1);
+}
+
+bool Stream::push(Frame frame) {
+  std::unique_lock lock(mutex_);
+  if (frames_.size() >= capacity_ && !closed_) {
+    const auto t0 = Clock::now();
+    not_full_.wait(lock,
+                   [this] { return frames_.size() < capacity_ || closed_; });
+    producer_blocked_ += seconds_since(t0);
+  }
+  if (closed_) return false;
+  frames_.push_back(std::move(frame));
+  ++pushed_;
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<Frame> Stream::pop() {
+  std::unique_lock lock(mutex_);
+  if (frames_.empty() && !closed_) {
+    const auto t0 = Clock::now();
+    not_empty_.wait(lock, [this] { return !frames_.empty() || closed_; });
+    consumer_blocked_ += seconds_since(t0);
+  }
+  if (frames_.empty()) return std::nullopt;  // closed and drained
+  Frame frame = std::move(frames_.front());
+  frames_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return frame;
+}
+
+void Stream::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool Stream::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+std::size_t Stream::size() const {
+  std::lock_guard lock(mutex_);
+  return frames_.size();
+}
+
+std::size_t Stream::frames_pushed() const {
+  std::lock_guard lock(mutex_);
+  return pushed_;
+}
+
+double Stream::producer_blocked_seconds() const {
+  std::lock_guard lock(mutex_);
+  return producer_blocked_;
+}
+
+double Stream::consumer_blocked_seconds() const {
+  std::lock_guard lock(mutex_);
+  return consumer_blocked_;
+}
+
+}  // namespace ceal::apps

@@ -1,0 +1,64 @@
+// Bounded in-memory data stream — a miniature ADIOS-style staging channel
+// used to couple a producer mini-app to a consumer mini-app running
+// concurrently (the "in-situ" data path of Fig. 2b).
+//
+// A fixed capacity models the staging area: a producer that outruns its
+// consumer blocks, exactly the back-pressure that couples component
+// performance in a real in-situ workflow.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace ceal::apps {
+
+/// One timestep's payload.
+struct Frame {
+  std::size_t step = 0;
+  std::vector<double> data;
+};
+
+class Stream {
+ public:
+  /// `capacity` = number of frames the staging area holds. Must be >= 1.
+  explicit Stream(std::size_t capacity);
+
+  /// Blocks while the stream is full. Returns false if the stream was
+  /// closed (frame dropped).
+  bool push(Frame frame);
+
+  /// Blocks until a frame is available or the stream is closed and
+  /// drained; nullopt signals end-of-stream.
+  std::optional<Frame> pop();
+
+  /// Producer signals completion; pending frames remain poppable.
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+
+  /// Total frames that passed through (for tests / stats).
+  std::size_t frames_pushed() const;
+
+  /// Cumulative time producers spent blocked on a full stream, seconds.
+  double producer_blocked_seconds() const;
+  /// Cumulative time consumers spent blocked on an empty stream, seconds.
+  double consumer_blocked_seconds() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Frame> frames_;
+  bool closed_ = false;
+  std::size_t pushed_ = 0;
+  double producer_blocked_ = 0.0;
+  double consumer_blocked_ = 0.0;
+};
+
+}  // namespace ceal::apps

@@ -1,0 +1,111 @@
+#include "apps/voronoi_lite.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "core/error.h"
+
+namespace ceal::apps {
+
+VoronoiLite::VoronoiLite(VoronoiParams params, ceal::ThreadPool& pool)
+    : params_(params), pool_(pool) {
+  CEAL_EXPECT(params_.box > 0.0);
+  CEAL_EXPECT(params_.search_radius > 0.0);
+  CEAL_EXPECT(params_.histogram_bins >= 2);
+}
+
+VoronoiResult VoronoiLite::analyze(std::span<const Vec2> positions) {
+  CEAL_EXPECT(positions.size() >= 2);
+  const auto start = std::chrono::steady_clock::now();
+
+  const double box = params_.box;
+  const std::size_t side = std::max<std::size_t>(
+      3, static_cast<std::size_t>(box / params_.search_radius));
+  const double cell = box / static_cast<double>(side);
+
+  std::vector<std::vector<std::uint32_t>> grid(side * side);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const auto cx = static_cast<std::size_t>(positions[i].x / cell) % side;
+    const auto cy = static_cast<std::size_t>(positions[i].y / cell) % side;
+    grid[cy * side + cx].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  const auto min_image = [box](double d) {
+    if (d > 0.5 * box) return d - box;
+    if (d < -0.5 * box) return d + box;
+    return d;
+  };
+
+  std::vector<double> nn_dist(positions.size());
+  std::vector<std::size_t> local_count(positions.size());
+  pool_.parallel_for(0, positions.size(), [&](std::size_t i) {
+    const auto cx = static_cast<std::ptrdiff_t>(positions[i].x / cell) %
+                    static_cast<std::ptrdiff_t>(side);
+    const auto cy = static_cast<std::ptrdiff_t>(positions[i].y / cell) %
+                    static_cast<std::ptrdiff_t>(side);
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t count = 0;
+    const double r2max = params_.search_radius * params_.search_radius;
+    for (std::ptrdiff_t dy = -1; dy <= 1; ++dy) {
+      for (std::ptrdiff_t dx = -1; dx <= 1; ++dx) {
+        const auto nx = static_cast<std::size_t>(
+            (cx + dx + static_cast<std::ptrdiff_t>(side)) %
+            static_cast<std::ptrdiff_t>(side));
+        const auto ny = static_cast<std::size_t>(
+            (cy + dy + static_cast<std::ptrdiff_t>(side)) %
+            static_cast<std::ptrdiff_t>(side));
+        for (const std::uint32_t j : grid[ny * side + nx]) {
+          if (j == i) continue;
+          const double rx = min_image(positions[i].x - positions[j].x);
+          const double ry = min_image(positions[i].y - positions[j].y);
+          const double r2 = rx * rx + ry * ry;
+          if (r2 < r2max) ++count;
+          best = std::min(best, r2);
+        }
+      }
+    }
+    nn_dist[i] = std::isfinite(best) ? std::sqrt(best)
+                                     : params_.search_radius;
+    local_count[i] = count;
+  });
+
+  VoronoiResult result;
+  result.histogram.assign(params_.histogram_bins, 0);
+
+  // Approximate Voronoi cell area: share of the local neighbourhood area
+  // per particle (density inverse), clamped to the box average.
+  const double avg_area =
+      box * box / static_cast<double>(positions.size());
+  const double nbhd_area = std::numbers::pi * params_.search_radius *
+                           params_.search_radius;
+  double nn_sum = 0.0, vol_sum = 0.0;
+  std::vector<double> volume(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    nn_sum += nn_dist[i];
+    const double v = local_count[i] > 0
+                         ? nbhd_area / static_cast<double>(local_count[i] + 1)
+                         : avg_area;
+    volume[i] = v;
+    vol_sum += v;
+  }
+  result.mean_nn_distance = nn_sum / static_cast<double>(positions.size());
+  result.mean_cell_volume = vol_sum / static_cast<double>(positions.size());
+
+  const double vmax = 2.0 * result.mean_cell_volume + 1e-12;
+  for (const double v : volume) {
+    auto bin = static_cast<std::size_t>(
+        std::min(1.0 - 1e-9, v / vmax) *
+        static_cast<double>(params_.histogram_bins));
+    ++result.histogram[bin];
+  }
+
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace ceal::apps

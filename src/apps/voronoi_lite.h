@@ -1,0 +1,42 @@
+// Voronoi-lite: per-particle local-structure analysis — the stand-in for
+// Voro++ in the LV workflow. For each particle it finds, via cell lists,
+// the nearest-neighbour distance and an approximate Voronoi cell volume
+// (box area divided among particles weighted by local density), then
+// aggregates a histogram of cell volumes. This mirrors the data-analysis
+// role Voro++ plays downstream of LAMMPS.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "apps/md_lite.h"
+#include "core/thread_pool.h"
+
+namespace ceal::apps {
+
+struct VoronoiParams {
+  double box = 64.0;        ///< periodic box edge (matches the producer)
+  double search_radius = 4.0;
+  std::size_t histogram_bins = 32;
+};
+
+struct VoronoiResult {
+  double elapsed_seconds = 0.0;
+  double mean_nn_distance = 0.0;       ///< mean nearest-neighbour distance
+  double mean_cell_volume = 0.0;       ///< mean approximate cell area
+  std::vector<std::size_t> histogram;  ///< cell-volume histogram
+};
+
+class VoronoiLite {
+ public:
+  VoronoiLite(VoronoiParams params, ceal::ThreadPool& pool);
+
+  /// Analyses one frame of particle positions.
+  VoronoiResult analyze(std::span<const Vec2> positions);
+
+ private:
+  VoronoiParams params_;
+  ceal::ThreadPool& pool_;
+};
+
+}  // namespace ceal::apps

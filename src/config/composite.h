@@ -1,0 +1,66 @@
+// Composition of per-component configuration spaces into one workflow
+// space (paper §2.3: "all parameters from all components must be
+// considered together").
+//
+// The joint space concatenates each component's parameters (renamed
+// "component.param"), enforces every component-level constraint on its
+// slice, and optionally enforces a workflow-level constraint (e.g. the
+// total node demand must fit the 32-node allocation).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "config/config_space.h"
+
+namespace ceal::config {
+
+class CompositeSpace {
+ public:
+  struct Component {
+    std::string name;
+    ConfigSpace space;
+  };
+
+  /// Predicate over the *joint* configuration.
+  using JointConstraint = ConfigSpace::Constraint;
+
+  /// `components` must be non-empty.
+  CompositeSpace(std::vector<Component> components,
+                 JointConstraint workflow_constraint = {});
+
+  /// The flattened space all tuners operate on. Its validity test already
+  /// includes component and workflow constraints.
+  const ConfigSpace& joint() const { return *joint_; }
+
+  std::size_t component_count() const { return components_->size(); }
+  const std::string& component_name(std::size_t j) const;
+  const ConfigSpace& component_space(std::size_t j) const;
+
+  /// Half-open [begin, end) positions of component j inside a joint
+  /// configuration.
+  std::pair<std::size_t, std::size_t> slice_range(std::size_t j) const;
+
+  /// Extracts component j's sub-configuration ("c_j" in the paper).
+  Configuration slice(const Configuration& joint_config, std::size_t j) const;
+
+  /// Concatenates one configuration per component into a joint one.
+  Configuration join(const std::vector<Configuration>& parts) const;
+
+ private:
+  struct Stored {
+    std::string name;
+    ConfigSpace space;
+    std::size_t begin;
+    std::size_t end;
+  };
+
+  // Shared with the joint constraint closure, so CompositeSpace objects
+  // stay movable without dangling captures.
+  std::shared_ptr<const std::vector<Stored>> components_;
+  std::shared_ptr<const ConfigSpace> joint_;
+};
+
+}  // namespace ceal::config

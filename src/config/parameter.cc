@@ -1,0 +1,44 @@
+#include "config/parameter.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace ceal::config {
+
+Parameter::Parameter(std::string name, std::vector<int> values)
+    : name_(std::move(name)), values_(std::move(values)) {
+  CEAL_EXPECT_MSG(!name_.empty(), "parameter needs a name");
+  CEAL_EXPECT_MSG(!values_.empty(), "parameter needs at least one value");
+  CEAL_EXPECT_MSG(std::adjacent_find(values_.begin(), values_.end(),
+                                     [](int a, int b) { return a >= b; }) ==
+                      values_.end(),
+                  "parameter values must be strictly increasing");
+}
+
+Parameter Parameter::range(std::string name, int lo, int hi, int step) {
+  CEAL_EXPECT(step > 0);
+  CEAL_EXPECT(lo <= hi);
+  std::vector<int> values;
+  values.reserve(static_cast<std::size_t>((hi - lo) / step) + 1);
+  for (int v = lo; v <= hi; v += step) values.push_back(v);
+  return Parameter(std::move(name), std::move(values));
+}
+
+int Parameter::value(std::size_t idx) const {
+  CEAL_EXPECT(idx < values_.size());
+  return values_[idx];
+}
+
+std::size_t Parameter::index_of(int value) const {
+  const auto it = std::lower_bound(values_.begin(), values_.end(), value);
+  CEAL_EXPECT_MSG(it != values_.end() && *it == value,
+                  "value not in parameter domain: " + name_);
+  return static_cast<std::size_t>(it - values_.begin());
+}
+
+bool Parameter::contains(int value) const {
+  return std::binary_search(values_.begin(), values_.end(), value);
+}
+
+}  // namespace ceal::config

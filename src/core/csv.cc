@@ -1,0 +1,43 @@
+#include "core/csv.h"
+
+#include <stdexcept>
+
+#include "core/error.h"
+
+namespace ceal {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  CEAL_EXPECT(!header.empty());
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  write_row(header);
+  rows_ = 0;  // header does not count as a data row
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  CEAL_EXPECT_MSG(cells.size() == columns_, "CSV row width mismatch");
+  write_row(cells);
+  ++rows_;
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace ceal

@@ -1,0 +1,31 @@
+// Minimal RFC-4180-ish CSV writer so bench binaries can dump machine-
+// readable series next to their human-readable tables.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ceal {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row immediately.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one data row; must match the header width.
+  void add_row(const std::vector<std::string>& cells);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+  void write_row(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace ceal

@@ -1,0 +1,72 @@
+// Error-handling helpers shared across the CEAL library.
+//
+// We follow the C++ Core Guidelines: exceptions signal violated
+// preconditions or invariants; the macros below give call sites a compact
+// way to state their contracts without losing the failing expression text.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ceal {
+
+/// Exception thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Exception thrown when an internal invariant fails (a library bug).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+}  // namespace ceal
+
+/// Validate a caller-supplied argument; throws ceal::PreconditionError.
+#define CEAL_EXPECT(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::ceal::detail::throw_precondition(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Like CEAL_EXPECT but with an explanatory message.
+#define CEAL_EXPECT_MSG(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::ceal::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Validate an internal invariant; throws ceal::InvariantError.
+#define CEAL_ENSURE(expr)                                               \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::ceal::detail::throw_invariant(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define CEAL_ENSURE_MSG(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::ceal::detail::throw_invariant(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,50 @@
+// Small statistics toolkit used by the evaluation harness and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ceal {
+
+/// Arithmetic mean. Requires a non-empty range.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator). Requires size >= 2.
+double variance(std::span<const double> xs);
+
+/// Sample standard deviation. Requires size >= 2.
+double stddev(std::span<const double> xs);
+
+/// Median (average of middle two for even sizes). Requires non-empty.
+double median(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0,1]. Requires non-empty.
+double quantile(std::span<const double> xs, double q);
+
+/// Absolute percentage error |y - yhat| / |y| of one prediction.
+/// Requires y != 0.
+double absolute_percentage_error(double y, double yhat);
+
+/// Median absolute percentage error over paired actual/predicted values,
+/// in percent (paper §7.4.2). Requires equal non-empty sizes, no zero actuals.
+double mdape_percent(std::span<const double> actual,
+                     std::span<const double> predicted);
+
+/// Root mean squared error. Requires equal non-empty sizes.
+double rmse(std::span<const double> actual, std::span<const double> predicted);
+
+/// Indices that would sort `xs` ascending (stable).
+std::vector<std::size_t> argsort(std::span<const double> xs);
+
+/// Ranks (0-based, ties broken by index) of each element when sorted
+/// ascending: rank[i] = position of xs[i] in the sorted order.
+std::vector<std::size_t> ranks(std::span<const double> xs);
+
+/// Spearman rank correlation between two equally sized samples (>= 2).
+double spearman(std::span<const double> a, std::span<const double> b);
+
+/// Pearson correlation between two equally sized samples (>= 2).
+double pearson(std::span<const double> a, std::span<const double> b);
+
+}  // namespace ceal

@@ -1,0 +1,68 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace ceal {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  CEAL_EXPECT(begin <= end);
+  const std::size_t n = end - begin;
+  if (n == 0) return;
+  const std::size_t chunks = std::min(n, thread_count() + 1);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  // The calling thread takes the first chunk itself so a one-worker pool
+  // still overlaps producer and consumer work.
+  for (std::size_t c = 1; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    futures.push_back(submit([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }));
+  }
+  const std::size_t first_hi = std::min(end, begin + chunk);
+  for (std::size_t i = begin; i < first_hi; ++i) fn(i);
+
+  for (auto& f : futures) f.get();  // rethrows the first failure
+}
+
+}  // namespace ceal

@@ -1,0 +1,69 @@
+// Fixed-size thread pool with a blocking work queue plus a chunked
+// parallel_for helper.
+//
+// The mini-app kernels (src/apps) and the replication loops of the
+// evaluation harness use this to exploit whatever cores the host offers;
+// with a single hardware thread everything degrades gracefully to serial
+// execution without code changes.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ceal {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers after draining the queue.
+  ~ThreadPool();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a task; the returned future observes its completion and
+  /// propagates exceptions.
+  template <typename F>
+  std::future<std::invoke_result_t<F>> submit(F&& fn) {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool is shutting down");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [begin, end) across the pool, blocking until all
+  /// iterations finish. Work is split into contiguous chunks, one per
+  /// worker (plus the calling thread participates). Exceptions from any
+  /// iteration are rethrown (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace ceal

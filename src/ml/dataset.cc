@@ -1,0 +1,46 @@
+#include "ml/dataset.h"
+
+#include "core/error.h"
+
+namespace ceal::ml {
+
+Dataset::Dataset(std::size_t n_features) : n_features_(n_features) {
+  CEAL_EXPECT(n_features > 0);
+}
+
+void Dataset::add(std::span<const double> features, double target) {
+  CEAL_EXPECT(features.size() == n_features_);
+  x_.insert(x_.end(), features.begin(), features.end());
+  targets_.push_back(target);
+}
+
+std::span<const double> Dataset::row(std::size_t i) const {
+  CEAL_EXPECT(i < size());
+  return {x_.data() + i * n_features_, n_features_};
+}
+
+double Dataset::target(std::size_t i) const {
+  CEAL_EXPECT(i < size());
+  return targets_[i];
+}
+
+double Dataset::feature(std::size_t i, std::size_t j) const {
+  CEAL_EXPECT(i < size());
+  CEAL_EXPECT(j < n_features_);
+  return x_[i * n_features_ + j];
+}
+
+void Dataset::append(const Dataset& other) {
+  CEAL_EXPECT(other.n_features_ == n_features_);
+  x_.insert(x_.end(), other.x_.begin(), other.x_.end());
+  targets_.insert(targets_.end(), other.targets_.begin(),
+                  other.targets_.end());
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(n_features_);
+  for (const std::size_t i : indices) out.add(row(i), target(i));
+  return out;
+}
+
+}  // namespace ceal::ml

@@ -1,0 +1,43 @@
+// Row-major tabular dataset: feature rows plus one regression target each.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ceal::ml {
+
+class Dataset {
+ public:
+  /// Empty dataset for rows of `n_features` features. n_features > 0.
+  explicit Dataset(std::size_t n_features);
+
+  std::size_t n_features() const { return n_features_; }
+  std::size_t size() const { return targets_.size(); }
+  bool empty() const { return targets_.empty(); }
+
+  /// Appends one example. `features.size()` must equal n_features().
+  void add(std::span<const double> features, double target);
+
+  /// Feature row i as a span (valid until the next mutation).
+  std::span<const double> row(std::size_t i) const;
+
+  double target(std::size_t i) const;
+  std::span<const double> targets() const { return targets_; }
+
+  /// Feature j of row i.
+  double feature(std::size_t i, std::size_t j) const;
+
+  /// Appends all examples from `other` (same width).
+  void append(const Dataset& other);
+
+  /// New dataset with the rows at `indices` (duplicates allowed).
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+ private:
+  std::size_t n_features_;
+  std::vector<double> x_;        // row-major, size() * n_features_
+  std::vector<double> targets_;  // one per row
+};
+
+}  // namespace ceal::ml

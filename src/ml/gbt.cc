@@ -1,0 +1,96 @@
+#include "ml/gbt.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "core/stats.h"
+
+namespace ceal::ml {
+
+GradientBoostedTrees::GradientBoostedTrees(GbtParams params)
+    : params_(params) {
+  CEAL_EXPECT(params_.n_rounds >= 1);
+  CEAL_EXPECT(params_.learning_rate > 0.0 && params_.learning_rate <= 1.0);
+  CEAL_EXPECT(params_.subsample > 0.0 && params_.subsample <= 1.0);
+}
+
+GbtParams GradientBoostedTrees::surrogate_defaults() {
+  GbtParams p;
+  p.n_rounds = 150;
+  p.learning_rate = 0.10;
+  p.subsample = 1.0;
+  p.tree.max_depth = 5;
+  // Tiny sample budgets (tens of runs) often contain a single extreme
+  // outlier; leaves must be allowed to isolate it or its residual bleeds
+  // into the predictions of good configurations.
+  p.tree.min_samples_leaf = 1;
+  p.tree.min_child_weight = 0.25;
+  p.tree.lambda = 1.0;
+  p.tree.colsample = 1.0;
+  return p;
+}
+
+void GradientBoostedTrees::fit(const Dataset& data, ceal::Rng& rng) {
+  CEAL_EXPECT_MSG(!data.empty(), "cannot fit on an empty dataset");
+  trees_.clear();
+  base_score_ = ceal::mean(data.targets());
+
+  const std::size_t n = data.size();
+  std::vector<double> pred(n, base_score_);
+  std::vector<double> grad(n), hess(n, 1.0);
+
+  const auto rows_per_round = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(params_.subsample * static_cast<double>(n))));
+
+  trees_.reserve(params_.n_rounds);
+  for (std::size_t round = 0; round < params_.n_rounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) grad[i] = pred[i] - data.target(i);
+
+    std::vector<std::size_t> rows;
+    if (rows_per_round == n) {
+      rows.resize(n);
+      for (std::size_t i = 0; i < n; ++i) rows[i] = i;
+    } else {
+      rows = rng.sample_without_replacement(n, rows_per_round);
+    }
+
+    RegressionTree tree(params_.tree);
+    tree.fit_gradients(data, rows, grad, hess, rng);
+    for (std::size_t i = 0; i < n; ++i) {
+      pred[i] += params_.learning_rate * tree.predict(data.row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+}
+
+const std::vector<RegressionTree>& GradientBoostedTrees::trees() const {
+  CEAL_EXPECT_MSG(fitted_, "trees() before fit()");
+  return trees_;
+}
+
+GradientBoostedTrees GradientBoostedTrees::from_parts(
+    GbtParams params, double base_score,
+    std::vector<RegressionTree> trees) {
+  CEAL_EXPECT_MSG(!trees.empty(), "model needs at least one tree");
+  for (const auto& tree : trees) {
+    CEAL_EXPECT_MSG(tree.is_fitted(), "all member trees must be fitted");
+  }
+  GradientBoostedTrees model(params);
+  model.base_score_ = base_score;
+  model.trees_ = std::move(trees);
+  model.fitted_ = true;
+  return model;
+}
+
+double GradientBoostedTrees::predict(std::span<const double> features) const {
+  CEAL_EXPECT_MSG(fitted_, "predict() before fit()");
+  double out = base_score_;
+  for (const auto& tree : trees_) {
+    out += params_.learning_rate * tree.predict(features);
+  }
+  return out;
+}
+
+}  // namespace ceal::ml

@@ -1,0 +1,51 @@
+// Gradient-boosted regression trees with squared-error loss — a
+// from-scratch stand-in for xgboost.XGBRegressor, which the paper uses as
+// the surrogate model in every auto-tuning algorithm (§7.3).
+#pragma once
+
+#include <vector>
+
+#include "ml/model.h"
+#include "ml/tree.h"
+
+namespace ceal::ml {
+
+struct GbtParams {
+  std::size_t n_rounds = 100;
+  double learning_rate = 0.1;
+  /// Fraction of rows sampled per round (0 < subsample <= 1).
+  double subsample = 1.0;
+  TreeParams tree;
+};
+
+class GradientBoostedTrees final : public Regressor {
+ public:
+  explicit GradientBoostedTrees(GbtParams params = {});
+
+  /// Surrogate-friendly defaults for the paper's tiny sample budgets
+  /// (tens of samples): shallow trees, strong shrinkage.
+  static GbtParams surrogate_defaults();
+
+  void fit(const Dataset& data, ceal::Rng& rng) override;
+  double predict(std::span<const double> features) const override;
+  bool is_fitted() const override { return fitted_; }
+
+  std::size_t tree_count() const { return trees_.size(); }
+  double base_score() const { return base_score_; }
+  const GbtParams& params() const { return params_; }
+  /// Trained member trees (for ml::save_gbt). Requires is_fitted().
+  const std::vector<RegressionTree>& trees() const;
+
+  /// Reassembles a fitted model from persisted parts (ml::load_gbt).
+  static GradientBoostedTrees from_parts(GbtParams params,
+                                         double base_score,
+                                         std::vector<RegressionTree> trees);
+
+ private:
+  GbtParams params_;
+  double base_score_ = 0.0;
+  std::vector<RegressionTree> trees_;
+  bool fitted_ = false;
+};
+
+}  // namespace ceal::ml

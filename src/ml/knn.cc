@@ -1,0 +1,71 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/error.h"
+
+namespace ceal::ml {
+
+KnnRegressor::KnnRegressor(KnnParams params) : params_(params) {
+  CEAL_EXPECT(params_.k >= 1);
+}
+
+void KnnRegressor::fit(const Dataset& data, ceal::Rng& /*rng*/) {
+  CEAL_EXPECT_MSG(!data.empty(), "cannot fit on an empty dataset");
+  train_ = data;
+  const std::size_t d = data.n_features();
+  lo_.assign(d, std::numeric_limits<double>::infinity());
+  hi_.assign(d, -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      lo_[j] = std::min(lo_[j], data.feature(i, j));
+      hi_[j] = std::max(hi_[j], data.feature(i, j));
+    }
+  }
+  fitted_ = true;
+}
+
+double KnnRegressor::distance(std::span<const double> a,
+                              std::span<const double> b) const {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    const double span = hi_[j] - lo_[j];
+    const double scale = span > 0.0 ? span : 1.0;
+    const double d = (a[j] - b[j]) / scale;
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double KnnRegressor::predict(std::span<const double> features) const {
+  CEAL_EXPECT_MSG(fitted_, "predict() before fit()");
+  CEAL_EXPECT(features.size() == train_.n_features());
+
+  const std::size_t n = train_.size();
+  const std::size_t k = std::min(params_.k, n);
+  std::vector<std::pair<double, std::size_t>> dist(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dist[i] = {distance(features, train_.row(i)), i};
+  }
+  std::partial_sort(dist.begin(),
+                    dist.begin() + static_cast<std::ptrdiff_t>(k),
+                    dist.end());
+
+  if (!params_.distance_weighted) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < k; ++i) sum += train_.target(dist[i].second);
+    return sum / static_cast<double>(k);
+  }
+  // Inverse-distance weights; an exact match dominates via the epsilon.
+  double wsum = 0.0, vsum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double w = 1.0 / (dist[i].first + 1e-9);
+    wsum += w;
+    vsum += w * train_.target(dist[i].second);
+  }
+  return vsum / wsum;
+}
+
+}  // namespace ceal::ml

@@ -1,0 +1,38 @@
+// k-nearest-neighbour regressor over min-max-normalised features.
+//
+// Used by the GEIST baseline's parameter-graph neighbourhoods and offered
+// as the KNN ensemble ingredient discussed in related work (§8.2).
+#pragma once
+
+#include <vector>
+
+#include "ml/model.h"
+
+namespace ceal::ml {
+
+struct KnnParams {
+  std::size_t k = 5;
+  /// true: inverse-distance weighting; false: plain average.
+  bool distance_weighted = true;
+};
+
+class KnnRegressor final : public Regressor {
+ public:
+  explicit KnnRegressor(KnnParams params = {});
+
+  const KnnParams& params() const { return params_; }
+
+  void fit(const Dataset& data, ceal::Rng& rng) override;
+  double predict(std::span<const double> features) const override;
+  bool is_fitted() const override { return fitted_; }
+
+ private:
+  double distance(std::span<const double> a, std::span<const double> b) const;
+
+  KnnParams params_;
+  Dataset train_{1};
+  std::vector<double> lo_, hi_;  // per-feature normalisation bounds
+  bool fitted_ = false;
+};
+
+}  // namespace ceal::ml

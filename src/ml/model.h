@@ -1,0 +1,35 @@
+// Common interface for the regression models used as surrogates.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/rng.h"
+#include "ml/dataset.h"
+
+namespace ceal::ml {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Fits the model from scratch on `data`. Any previous fit is discarded.
+  /// `rng` drives stochastic elements (subsampling, bagging).
+  virtual void fit(const Dataset& data, ceal::Rng& rng) = 0;
+
+  /// Predicts one example. Requires a prior successful fit().
+  virtual double predict(std::span<const double> features) const = 0;
+
+  /// True once fit() has completed.
+  virtual bool is_fitted() const = 0;
+
+  /// Predictions for every row of `data`.
+  std::vector<double> predict_all(const Dataset& data) const {
+    std::vector<double> out(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) out[i] = predict(data.row(i));
+    return out;
+  }
+};
+
+}  // namespace ceal::ml

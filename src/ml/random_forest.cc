@@ -1,0 +1,47 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace ceal::ml {
+
+RandomForest::RandomForest(RandomForestParams params) : params_(params) {
+  CEAL_EXPECT(params_.n_trees >= 1);
+  CEAL_EXPECT(params_.bootstrap_fraction > 0.0 &&
+              params_.bootstrap_fraction <= 1.0);
+}
+
+void RandomForest::fit(const Dataset& data, ceal::Rng& rng) {
+  CEAL_EXPECT_MSG(!data.empty(), "cannot fit on an empty dataset");
+  trees_.clear();
+  trees_.reserve(params_.n_trees);
+
+  const std::size_t n = data.size();
+  // Fitting a gradient tree with g = -y, h = 1, lambda = 0 yields leaves
+  // equal to the mean target, i.e. a plain CART regression tree.
+  std::vector<double> grad(n), hess(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) grad[i] = -data.target(i);
+
+  const auto rows_per_tree = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             params_.bootstrap_fraction * static_cast<double>(n))));
+
+  for (std::size_t t = 0; t < params_.n_trees; ++t) {
+    std::vector<std::size_t> rows(rows_per_tree);
+    for (auto& r : rows) r = rng.uniform_u64(n);  // with replacement
+    RegressionTree tree(params_.tree);
+    tree.fit_gradients(data, rows, grad, hess, rng);
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+}
+
+double RandomForest::predict(std::span<const double> features) const {
+  CEAL_EXPECT_MSG(fitted_, "predict() before fit()");
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.predict(features);
+  return sum / static_cast<double>(trees_.size());
+}
+
+}  // namespace ceal::ml

@@ -1,0 +1,42 @@
+// Random forest regressor: bagged CART trees with per-tree feature
+// subsampling. Mentioned by the paper (§2.2) as a traditional model that
+// beats neural networks at tiny sample counts; we offer it as an
+// alternative surrogate for ablations.
+#pragma once
+
+#include <vector>
+
+#include "ml/model.h"
+#include "ml/tree.h"
+
+namespace ceal::ml {
+
+struct RandomForestParams {
+  std::size_t n_trees = 100;
+  /// Rows drawn (with replacement) per tree as a fraction of n.
+  double bootstrap_fraction = 1.0;
+  TreeParams tree = {.max_depth = 12,
+                     .min_samples_leaf = 1,
+                     .min_child_weight = 0.0,
+                     .lambda = 0.0,
+                     .gamma = 0.0,
+                     .colsample = 0.7};
+};
+
+class RandomForest final : public Regressor {
+ public:
+  explicit RandomForest(RandomForestParams params = {});
+
+  void fit(const Dataset& data, ceal::Rng& rng) override;
+  double predict(std::span<const double> features) const override;
+  bool is_fitted() const override { return fitted_; }
+
+  std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  RandomForestParams params_;
+  std::vector<RegressionTree> trees_;
+  bool fitted_ = false;
+};
+
+}  // namespace ceal::ml

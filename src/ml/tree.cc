@@ -1,0 +1,247 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace ceal::ml {
+
+namespace {
+
+double leaf_weight(double g_sum, double h_sum, double lambda) {
+  return -g_sum / (h_sum + lambda);
+}
+
+double score(double g_sum, double h_sum, double lambda) {
+  return g_sum * g_sum / (h_sum + lambda);
+}
+
+}  // namespace
+
+RegressionTree::RegressionTree(TreeParams params) : params_(params) {
+  CEAL_EXPECT(params_.max_depth >= 1);
+  CEAL_EXPECT(params_.min_samples_leaf >= 1);
+  CEAL_EXPECT(params_.lambda >= 0.0);
+  CEAL_EXPECT(params_.gamma >= 0.0);
+  CEAL_EXPECT(params_.colsample > 0.0 && params_.colsample <= 1.0);
+}
+
+void RegressionTree::fit_gradients(const Dataset& data,
+                                   std::span<const std::size_t> row_indices,
+                                   std::span<const double> gradients,
+                                   std::span<const double> hessians,
+                                   ceal::Rng& rng) {
+  CEAL_EXPECT(!row_indices.empty());
+  CEAL_EXPECT(gradients.size() == data.size());
+  CEAL_EXPECT(hessians.size() == data.size());
+  nodes_.clear();
+
+  // Column subsampling: one feature pool per tree.
+  const std::size_t d = data.n_features();
+  std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(params_.colsample *
+                                               static_cast<double>(d))));
+  keep = std::min(keep, d);
+  std::vector<std::size_t> feature_pool;
+  if (keep == d) {
+    feature_pool.resize(d);
+    for (std::size_t j = 0; j < d; ++j) feature_pool[j] = j;
+  } else {
+    feature_pool = rng.sample_without_replacement(d, keep);
+  }
+
+  std::vector<std::size_t> rows(row_indices.begin(), row_indices.end());
+  build(data, rows, gradients, hessians, feature_pool, 0);
+  CEAL_ENSURE(!nodes_.empty());
+}
+
+std::int32_t RegressionTree::build(const Dataset& data,
+                                   std::vector<std::size_t>& rows,
+                                   std::span<const double> g,
+                                   std::span<const double> h,
+                                   std::span<const std::size_t> feature_pool,
+                                   std::size_t depth) {
+  double g_sum = 0.0, h_sum = 0.0;
+  for (const std::size_t r : rows) {
+    g_sum += g[r];
+    h_sum += h[r];
+  }
+
+  const auto make_leaf = [&]() -> std::int32_t {
+    Node leaf;
+    leaf.weight = leaf_weight(g_sum, h_sum, params_.lambda);
+    nodes_.push_back(leaf);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  if (depth >= params_.max_depth ||
+      rows.size() < 2 * params_.min_samples_leaf) {
+    return make_leaf();
+  }
+
+  const Split split = best_split(data, rows, g, h, feature_pool);
+  if (!split.found) return make_leaf();
+
+  // Partition rows in place.
+  std::vector<std::size_t> left_rows, right_rows;
+  left_rows.reserve(rows.size());
+  right_rows.reserve(rows.size());
+  for (const std::size_t r : rows) {
+    if (data.feature(r, split.feature) <= split.threshold) {
+      left_rows.push_back(r);
+    } else {
+      right_rows.push_back(r);
+    }
+  }
+  CEAL_ENSURE(!left_rows.empty() && !right_rows.empty());
+  rows.clear();
+  rows.shrink_to_fit();
+
+  // Reserve this node's slot before children are appended.
+  nodes_.emplace_back();
+  const auto self = static_cast<std::int32_t>(nodes_.size() - 1);
+  const std::int32_t left =
+      build(data, left_rows, g, h, feature_pool, depth + 1);
+  const std::int32_t right =
+      build(data, right_rows, g, h, feature_pool, depth + 1);
+  nodes_[static_cast<std::size_t>(self)].feature = split.feature;
+  nodes_[static_cast<std::size_t>(self)].threshold = split.threshold;
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+RegressionTree::Split RegressionTree::best_split(
+    const Dataset& data, std::span<const std::size_t> rows,
+    std::span<const double> g, std::span<const double> h,
+    std::span<const std::size_t> feature_pool) const {
+  double g_total = 0.0, h_total = 0.0;
+  for (const std::size_t r : rows) {
+    g_total += g[r];
+    h_total += h[r];
+  }
+  const double parent_score = score(g_total, h_total, params_.lambda);
+
+  Split best;
+  std::vector<std::size_t> order(rows.begin(), rows.end());
+  for (const std::size_t j : feature_pool) {
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return data.feature(a, j) < data.feature(b, j);
+              });
+    double g_left = 0.0, h_left = 0.0;
+    for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+      const std::size_t r = order[k];
+      g_left += g[r];
+      h_left += h[r];
+      const double v = data.feature(r, j);
+      const double v_next = data.feature(order[k + 1], j);
+      if (v == v_next) continue;  // cannot split between equal values
+      const std::size_t n_left = k + 1;
+      const std::size_t n_right = order.size() - n_left;
+      if (n_left < params_.min_samples_leaf ||
+          n_right < params_.min_samples_leaf) {
+        continue;
+      }
+      const double h_right = h_total - h_left;
+      if (h_left < params_.min_child_weight ||
+          h_right < params_.min_child_weight) {
+        continue;
+      }
+      const double g_right = g_total - g_left;
+      const double gain = 0.5 * (score(g_left, h_left, params_.lambda) +
+                                 score(g_right, h_right, params_.lambda) -
+                                 parent_score) -
+                          params_.gamma;
+      if (gain > best.gain + 1e-12 || (!best.found && gain > 0.0)) {
+        best.found = true;
+        best.feature = j;
+        best.threshold = 0.5 * (v + v_next);
+        best.gain = gain;
+      }
+    }
+  }
+  return best;
+}
+
+double RegressionTree::predict(std::span<const double> features) const {
+  CEAL_EXPECT_MSG(is_fitted(), "predict() before fit()");
+  std::size_t node = 0;
+  // The root is nodes_[0] only when the tree has an internal root; when the
+  // whole tree is a single leaf, nodes_ has exactly one element.
+  for (;;) {
+    const Node& n = nodes_[node];
+    if (n.left < 0) return n.weight;
+    CEAL_EXPECT(n.feature < features.size());
+    node = static_cast<std::size_t>(
+        features[n.feature] <= n.threshold ? n.left : n.right);
+  }
+}
+
+std::size_t RegressionTree::leaf_count() const {
+  std::size_t leaves = 0;
+  for (const Node& n : nodes_)
+    if (n.left < 0) ++leaves;
+  return leaves;
+}
+
+std::size_t RegressionTree::depth_of(std::int32_t node) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.left < 0) return 1;
+  return 1 + std::max(depth_of(n.left), depth_of(n.right));
+}
+
+std::size_t RegressionTree::depth() const {
+  CEAL_EXPECT(is_fitted());
+  return depth_of(0);
+}
+
+std::vector<TreeNodeData> RegressionTree::export_nodes() const {
+  CEAL_EXPECT(is_fitted());
+  std::vector<TreeNodeData> out;
+  out.reserve(nodes_.size());
+  for (const Node& n : nodes_) {
+    out.push_back(TreeNodeData{n.feature, n.threshold, n.left, n.right,
+                               n.weight});
+  }
+  return out;
+}
+
+RegressionTree RegressionTree::import_nodes(
+    const std::vector<TreeNodeData>& nodes, TreeParams params) {
+  CEAL_EXPECT_MSG(!nodes.empty(), "tree needs at least one node");
+  const auto n = static_cast<std::int32_t>(nodes.size());
+  std::vector<int> referenced(nodes.size(), 0);
+  for (const TreeNodeData& d : nodes) {
+    const bool leaf = d.left < 0;
+    CEAL_EXPECT_MSG(leaf == (d.right < 0),
+                    "node must have both children or neither");
+    if (!leaf) {
+      CEAL_EXPECT_MSG(d.left < n && d.right < n && d.left != d.right,
+                      "child index out of range");
+      ++referenced[static_cast<std::size_t>(d.left)];
+      ++referenced[static_cast<std::size_t>(d.right)];
+    }
+  }
+  CEAL_EXPECT_MSG(referenced[0] == 0, "node 0 must be the root");
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    CEAL_EXPECT_MSG(referenced[i] == 1,
+                    "every non-root node needs exactly one parent");
+  }
+
+  RegressionTree tree(params);
+  tree.nodes_.reserve(nodes.size());
+  for (const TreeNodeData& d : nodes) {
+    Node node;
+    node.feature = d.feature;
+    node.threshold = d.threshold;
+    node.left = d.left;
+    node.right = d.right;
+    node.weight = d.weight;
+    tree.nodes_.push_back(node);
+  }
+  return tree;
+}
+
+}  // namespace ceal::ml

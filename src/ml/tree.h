@@ -1,0 +1,103 @@
+// Regression tree grown by exact greedy split search on second-order
+// gradient statistics, following the XGBoost formulation (Chen & Guestrin,
+// KDD'16), which the paper uses via xgboost.XGBRegressor.
+//
+// For squared-error boosting the caller supplies per-example gradients
+// g_i = prediction_i - y_i and hessians h_i = 1; the optimal leaf weight
+// is w* = -G/(H+lambda) and the split gain is
+//   1/2 [G_L^2/(H_L+lambda) + G_R^2/(H_R+lambda) - G^2/(H+lambda)] - gamma.
+// Fitting with g_i = -y_i, h_i = 1, lambda = 0 recovers a plain CART
+// regression tree (leaves = mean target), which RandomForest exploits.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/rng.h"
+#include "ml/dataset.h"
+
+namespace ceal::ml {
+
+struct TreeParams {
+  std::size_t max_depth = 6;
+  /// Minimum number of examples in each child of a split.
+  std::size_t min_samples_leaf = 1;
+  /// Minimum summed hessian in each child (XGBoost min_child_weight).
+  double min_child_weight = 1.0;
+  /// L2 regularisation on leaf weights.
+  double lambda = 1.0;
+  /// Minimum gain required to split (XGBoost gamma).
+  double gamma = 0.0;
+  /// Fraction of features considered at each tree (0 < colsample <= 1).
+  double colsample = 1.0;
+};
+
+/// Flattened node for persistence: leaves have left == right == -1 and
+/// carry `weight`; internal nodes carry feature/threshold/children.
+struct TreeNodeData {
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+  double weight = 0.0;
+};
+
+class RegressionTree {
+ public:
+  explicit RegressionTree(TreeParams params = {});
+
+  /// Grows the tree on the rows of `data` listed in `row_indices`, using
+  /// per-row gradient/hessian statistics (indexed like `data` rows).
+  void fit_gradients(const Dataset& data,
+                     std::span<const std::size_t> row_indices,
+                     std::span<const double> gradients,
+                     std::span<const double> hessians, ceal::Rng& rng);
+
+  /// Leaf weight for one feature vector.
+  double predict(std::span<const double> features) const;
+
+  bool is_fitted() const { return !nodes_.empty(); }
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t leaf_count() const;
+  std::size_t depth() const;
+
+  /// Flattened copy of the node table (for ml::save_gbt).
+  std::vector<TreeNodeData> export_nodes() const;
+
+  /// Rebuilds a tree from a node table; validates child indices form a
+  /// proper tree rooted at node 0. Throws PreconditionError otherwise.
+  static RegressionTree import_nodes(const std::vector<TreeNodeData>& nodes,
+                                     TreeParams params = {});
+
+ private:
+  struct Node {
+    // Internal nodes: feature/threshold/children. Leaves: weight.
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    std::int32_t left = -1;  // -1 marks a leaf
+    std::int32_t right = -1;
+    double weight = 0.0;
+  };
+
+  struct Split {
+    bool found = false;
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    double gain = 0.0;
+  };
+
+  std::int32_t build(const Dataset& data, std::vector<std::size_t>& rows,
+                     std::span<const double> g, std::span<const double> h,
+                     std::span<const std::size_t> feature_pool,
+                     std::size_t depth);
+  Split best_split(const Dataset& data, std::span<const std::size_t> rows,
+                   std::span<const double> g, std::span<const double> h,
+                   std::span<const std::size_t> feature_pool) const;
+  std::size_t depth_of(std::int32_t node) const;
+
+  TreeParams params_;
+  std::vector<Node> nodes_;  // nodes_[0] is the root when fitted
+};
+
+}  // namespace ceal::ml

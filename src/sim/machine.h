@@ -1,0 +1,26 @@
+// Machine description for the cluster performance simulator.
+//
+// Defaults mirror the paper's testbed (§7.1): a 600-node cluster with two
+// 18-core Broadwell sockets per node (hyperthreading off) and an
+// Omni-Path interconnect; workflows run on allocations of up to 32 nodes.
+#pragma once
+
+namespace ceal::sim {
+
+struct MachineSpec {
+  int total_nodes = 600;
+  int allocation_nodes = 32;     ///< max nodes one workflow may occupy
+  int cores_per_node = 36;
+  double node_net_bw_gbs = 10.0; ///< injection bandwidth per node (GB/s)
+  double net_latency_s = 2e-6;
+  double fs_bw_gbs = 8.0;        ///< shared parallel-filesystem bandwidth
+  double fs_latency_s = 2e-3;    ///< per-operation filesystem latency
+
+  /// Core-hours consumed by `nodes` nodes held for `seconds`.
+  double core_hours(int nodes, double seconds) const {
+    return seconds * static_cast<double>(nodes) *
+           static_cast<double>(cores_per_node) / 3600.0;
+  }
+};
+
+}  // namespace ceal::sim

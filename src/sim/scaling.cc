@@ -1,0 +1,45 @@
+#include "sim/scaling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace ceal::sim {
+
+ScalingModel::ScalingModel(ScalingParams params) : params_(params) {
+  CEAL_EXPECT(params_.serial_s >= 0.0);
+  CEAL_EXPECT(params_.work_core_s >= 0.0);
+  CEAL_EXPECT(params_.thread_frac >= 0.0 && params_.thread_frac <= 1.0);
+  CEAL_EXPECT(params_.p_ref > 0.0);
+}
+
+double ScalingModel::step_time(int procs, int ppn, int tpp, double aspect,
+                               const MachineSpec& machine) const {
+  CEAL_EXPECT(procs >= 1 && ppn >= 1 && tpp >= 1);
+  CEAL_EXPECT(aspect >= 1.0);
+
+  const double p = static_cast<double>(procs);
+  const double workers = 1.0 + (static_cast<double>(tpp) - 1.0) *
+                                   params_.thread_frac;
+
+  // Node occupancy: hardware threads requested over physical cores.
+  const double occupancy =
+      static_cast<double>(ppn) * static_cast<double>(tpp) /
+      static_cast<double>(machine.cores_per_node);
+  // Bandwidth contention saturates sharply as the node fills (cubic in
+  // occupancy, a NUMA-like knee near full occupancy).
+  const double occ = std::min(1.0, occupancy);
+  const double mem_factor = 1.0 + params_.mem_slope * occ * occ * occ;
+  const double oversub = std::max(1.0, occupancy);
+
+  const double compute =
+      params_.work_core_s / (p * workers) * mem_factor * oversub;
+  const double comm = params_.comm_log_s * std::log2(p + 1.0) +
+                      params_.comm_lin_s * (p / params_.p_ref);
+  const double halo = params_.halo_s / std::sqrt(p) * aspect;
+
+  return params_.serial_s + compute + comm + halo;
+}
+
+}  // namespace ceal::sim

@@ -1,0 +1,51 @@
+// Analytic strong-scaling model for one component application.
+//
+// The per-step compute time of an app running with p processes, ppn
+// processes per node, and tpp threads per process is modelled as
+//
+//   t_step = serial_s
+//          + work_core_s / (p · w(tpp)) · mem(ppn·tpp) · oversub(ppn·tpp)
+//          + comm_log_s · log2(p) + comm_lin_s · p / p_ref
+//          + halo_s / sqrt(p) · aspect
+//
+// where w(tpp) = 1 + (tpp−1)·thread_frac is the per-process speedup from
+// threading, mem(·) models per-node memory-bandwidth saturation,
+// oversub(·) the slowdown when ppn·tpp exceeds the physical cores, the
+// log/linear terms collective-communication cost, and the halo term
+// nearest-neighbour exchange (aspect > 1 penalises skewed 2D
+// decompositions). The resulting surface is U-shaped in p with a
+// configuration-dependent optimum — the structure the paper's tuners
+// exploit.
+#pragma once
+
+#include "sim/machine.h"
+
+namespace ceal::sim {
+
+struct ScalingParams {
+  double serial_s = 0.05;       ///< non-parallelisable time per step
+  double work_core_s = 200.0;   ///< parallel work per step (core-seconds)
+  double thread_frac = 0.5;     ///< threading efficiency in [0, 1]
+  double mem_slope = 0.6;       ///< memory-bandwidth contention strength
+  double comm_log_s = 0.02;     ///< collective cost coefficient
+  double comm_lin_s = 0.10;     ///< linear network pressure at p == p_ref
+  double p_ref = 1085.0;        ///< process count normalising comm_lin_s
+  double halo_s = 0.0;          ///< nearest-neighbour exchange coefficient
+};
+
+class ScalingModel {
+ public:
+  explicit ScalingModel(ScalingParams params);
+
+  /// Per-step compute time. `aspect` >= 1 penalises skewed decompositions
+  /// (1 = perfectly square). All arguments must be >= 1.
+  double step_time(int procs, int ppn, int tpp, double aspect,
+                   const MachineSpec& machine) const;
+
+  const ScalingParams& params() const { return params_; }
+
+ private:
+  ScalingParams params_;
+};
+
+}  // namespace ceal::sim

@@ -1,0 +1,221 @@
+#include "sim/workloads.h"
+
+#include "core/error.h"
+
+namespace ceal::sim {
+
+namespace {
+
+using config::ConfigSpace;
+using config::Parameter;
+
+constexpr int kMaxNodesPerApp = 31;
+
+/// "# processes 2..1085, # processes per node 1..35, # threads 1..4"
+/// (LAMMPS and Voro++ rows of Table 1).
+ComponentApp make_proc_ppn_tpp_app(std::string name, ScalingParams scaling,
+                                   IoProfile io, double startup_s) {
+  ParamRoles roles;
+  roles.procs = 0;
+  roles.ppn = 1;
+  roles.tpp = 2;
+  ConfigSpace space(
+      {Parameter::range("procs", 2, 1085), Parameter::range("ppn", 1, 35),
+       Parameter::range("tpp", 1, 4)},
+      ComponentApp::node_limit_constraint(roles, kMaxNodesPerApp));
+  return ComponentApp(std::move(name), std::move(space), roles, scaling, io,
+                      startup_s);
+}
+
+/// "# processes lo..hi, # processes per node 1..35" (Stage Write,
+/// Gray-Scott, PDF-calculator rows of Table 1).
+ComponentApp make_proc_ppn_app(std::string name, int procs_lo, int procs_hi,
+                               ScalingParams scaling, IoProfile io,
+                               double startup_s) {
+  ParamRoles roles;
+  roles.procs = 0;
+  roles.ppn = 1;
+  ConfigSpace space({Parameter::range("procs", procs_lo, procs_hi),
+                     Parameter::range("ppn", 1, 35)},
+                    ComponentApp::node_limit_constraint(roles,
+                                                        kMaxNodesPerApp));
+  return ComponentApp(std::move(name), std::move(space), roles, scaling, io,
+                      startup_s);
+}
+
+/// Unconfigurable single-process visualisation app (G-Plot, P-Plot).
+ComponentApp make_plot_app(std::string name, double step_seconds,
+                           double input_gb, double startup_s) {
+  ParamRoles roles;
+  roles.procs = 0;
+  ConfigSpace space({Parameter("procs", {1})});
+  ScalingParams scaling;
+  scaling.serial_s = step_seconds;
+  scaling.work_core_s = 0.0;
+  scaling.comm_log_s = 0.0;
+  scaling.comm_lin_s = 0.0;
+  IoProfile io;
+  io.default_input_gb = input_gb;
+  return ComponentApp(std::move(name), std::move(space), roles, scaling, io,
+                      startup_s);
+}
+
+}  // namespace
+
+MachineSpec paper_machine() { return MachineSpec{}; }
+
+Workload make_lv() {
+  const MachineSpec machine = paper_machine();
+
+  // LAMMPS: 16 000-atom MD, streams positions+velocities each step.
+  ScalingParams lammps;
+  lammps.serial_s = 0.15;
+  lammps.work_core_s = 250.0;
+  lammps.thread_frac = 0.3;
+  lammps.mem_slope = 1.2;
+  lammps.comm_log_s = 0.04;
+  lammps.comm_lin_s = 0.30;
+  lammps.p_ref = 1085.0;
+  IoProfile lammps_io;
+  lammps_io.base_output_gb = 0.02;
+
+  // Voro++: tessellation of the streamed frame; threads well.
+  ScalingParams voro;
+  voro.serial_s = 0.10;
+  voro.work_core_s = 30.0;
+  voro.thread_frac = 0.7;
+  voro.mem_slope = 0.8;
+  voro.comm_log_s = 0.03;
+  voro.comm_lin_s = 0.15;
+  voro.p_ref = 1085.0;
+  IoProfile voro_io;
+  voro_io.default_input_gb = 0.02;
+
+  std::vector<ComponentApp> apps;
+  apps.push_back(
+      make_proc_ppn_tpp_app("lammps", lammps, lammps_io, 4.0));
+  apps.push_back(make_proc_ppn_tpp_app("voro", voro, voro_io, 3.0));
+
+  InSituWorkflow wf("LV", machine, std::move(apps), {{0, 1}});
+  Workload wl{std::move(wf),
+              /*expert_exec=*/{288, 18, 2, 288, 18, 2},
+              /*expert_comp=*/{18, 18, 2, 18, 18, 2}};
+  CEAL_ENSURE(wl.workflow.joint_space().is_valid(wl.expert_exec));
+  CEAL_ENSURE(wl.workflow.joint_space().is_valid(wl.expert_comp));
+  return wl;
+}
+
+Workload make_hs() {
+  const MachineSpec machine = paper_machine();
+
+  // Heat Transfer: px * py process grid over a fixed global mesh; the
+  // outputs knob multiplies the streamed volume, the buffer knob trades
+  // flush latency against staging stalls.
+  ScalingParams heat;
+  heat.serial_s = 0.04;
+  heat.work_core_s = 40.0;
+  heat.thread_frac = 0.0;
+  heat.mem_slope = 3.5;
+  heat.comm_log_s = 0.015;
+  heat.comm_lin_s = 0.50;
+  heat.p_ref = 1024.0;
+  heat.halo_s = 1.0;
+  IoProfile heat_io;
+  heat_io.base_output_gb = 0.0625;  // at outputs = 4; 0.5 GB at 32
+  heat_io.flush_latency_s = 2e-3;
+  heat_io.buffer_stall_s_per_mb = 1.5e-3;
+
+  ParamRoles heat_roles;
+  heat_roles.procs_x = 0;
+  heat_roles.procs_y = 1;
+  heat_roles.ppn = 2;
+  heat_roles.outputs = 3;
+  heat_roles.buffer_mb = 4;
+  ConfigSpace heat_space(
+      {Parameter::range("px", 2, 32), Parameter::range("py", 2, 32),
+       Parameter::range("ppn", 1, 35), Parameter::range("outputs", 4, 32, 4),
+       Parameter::range("buffer_mb", 1, 40)},
+      ComponentApp::node_limit_constraint(heat_roles, kMaxNodesPerApp));
+
+  // Stage Write: drains the stream to the filesystem; its per-step work
+  // scales with the producer's streamed volume.
+  ScalingParams sw;
+  sw.serial_s = 0.03;
+  sw.work_core_s = 8.0;
+  sw.thread_frac = 0.0;
+  sw.mem_slope = 0.3;
+  sw.comm_log_s = 0.01;
+  sw.comm_lin_s = 0.40;
+  sw.p_ref = 1085.0;
+  IoProfile sw_io;
+  sw_io.default_input_gb = 0.0625;
+
+  std::vector<ComponentApp> apps;
+  apps.emplace_back("heat_transfer", std::move(heat_space), heat_roles, heat,
+                    heat_io, 1.0);
+  apps.push_back(make_proc_ppn_app("stage_write", 2, 1085, sw, sw_io, 1.0));
+
+  InSituWorkflow wf("HS", machine, std::move(apps), {{0, 1}});
+  Workload wl{std::move(wf),
+              /*expert_exec=*/{32, 17, 34, 4, 20, 560, 35},
+              /*expert_comp=*/{8, 4, 32, 4, 20, 35, 35}};
+  CEAL_ENSURE(wl.workflow.joint_space().is_valid(wl.expert_exec));
+  CEAL_ENSURE(wl.workflow.joint_space().is_valid(wl.expert_comp));
+  return wl;
+}
+
+Workload make_gp() {
+  const MachineSpec machine = paper_machine();
+
+  // Gray-Scott: 3D reaction-diffusion producer.
+  ScalingParams gs;
+  gs.serial_s = 0.20;
+  gs.work_core_s = 100.0;
+  gs.thread_frac = 0.0;
+  gs.mem_slope = 0.7;
+  gs.comm_log_s = 0.05;
+  gs.comm_lin_s = 0.30;
+  gs.p_ref = 1085.0;
+  IoProfile gs_io;
+  gs_io.base_output_gb = 0.30;
+
+  // PDF calculator: reduces each Gray-Scott frame to a histogram.
+  ScalingParams pdf;
+  pdf.serial_s = 0.05;
+  pdf.work_core_s = 50.0;
+  pdf.thread_frac = 0.0;
+  pdf.mem_slope = 0.8;
+  pdf.comm_log_s = 0.02;
+  pdf.comm_lin_s = 0.10;
+  pdf.p_ref = 512.0;
+  IoProfile pdf_io;
+  pdf_io.default_input_gb = 0.30;
+  pdf_io.base_output_gb = 0.01;
+
+  std::vector<ComponentApp> apps;
+  apps.push_back(make_proc_ppn_app("gray_scott", 2, 1085, gs, gs_io, 3.0));
+  apps.push_back(make_proc_ppn_app("pdf_calc", 1, 512, pdf, pdf_io, 2.0));
+  // G-Plot renders the full field (slow, unconfigurable bottleneck);
+  // P-Plot renders the PDF (fast, unconfigurable).
+  apps.push_back(make_plot_app("g_plot", 4.65, 0.30, 2.0));
+  apps.push_back(make_plot_app("p_plot", 0.90, 0.01, 1.0));
+
+  InSituWorkflow wf("GP", machine, std::move(apps),
+                    {{0, 1}, {0, 2}, {1, 3}});
+  Workload wl{std::move(wf),
+              /*expert_exec=*/{525, 35, 512, 35, 1, 1},
+              /*expert_comp=*/{35, 35, 35, 35, 1, 1}};
+  CEAL_ENSURE(wl.workflow.joint_space().is_valid(wl.expert_exec));
+  CEAL_ENSURE(wl.workflow.joint_space().is_valid(wl.expert_comp));
+  return wl;
+}
+
+std::vector<Workload> make_all_workloads() {
+  std::vector<Workload> all;
+  all.push_back(make_lv());
+  all.push_back(make_hs());
+  all.push_back(make_gp());
+  return all;
+}
+
+}  // namespace ceal::sim

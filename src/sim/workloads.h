@@ -1,0 +1,40 @@
+// The paper's three benchmark workflows (§7.1) with the Table-1
+// parameter spaces and expert-recommended configurations:
+//
+//   LV — LAMMPS molecular dynamics -> Voro++ tessellation/analysis
+//   HS — Heat Transfer simulation  -> Stage Write output staging
+//   GP — Gray-Scott reaction-diffusion -> PDF calculator -> P-Plot,
+//                                      -> G-Plot
+//
+// Ground-truth constants are calibrated so the best/expert magnitudes
+// echo Table 2 (documented in EXPERIMENTS.md); tuning results depend on
+// the shape of the surfaces, not the absolute values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/workflow.h"
+
+namespace ceal::sim {
+
+struct Workload {
+  InSituWorkflow workflow;
+  /// Expert-recommended joint configurations (Table 2), one per
+  /// optimisation objective.
+  config::Configuration expert_exec;
+  config::Configuration expert_comp;
+};
+
+/// The paper's cluster (600 Broadwell nodes, 36 cores, 32-node
+/// allocations).
+MachineSpec paper_machine();
+
+Workload make_lv();
+Workload make_hs();
+Workload make_gp();
+
+/// All three, in paper order {LV, HS, GP}.
+std::vector<Workload> make_all_workloads();
+
+}  // namespace ceal::sim

@@ -1,0 +1,47 @@
+#include "tuner/active_learning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "tuner/collector.h"
+#include "tuner/surrogate.h"
+#include "tuner/tuning_util.h"
+
+namespace ceal::tuner {
+
+ActiveLearning::ActiveLearning(ActiveLearningParams params)
+    : params_(params) {
+  CEAL_EXPECT(params_.iterations >= 1);
+  CEAL_EXPECT(params_.init_fraction > 0.0 && params_.init_fraction <= 1.0);
+}
+
+TuneResult ActiveLearning::tune(const TuningProblem& problem,
+                                std::size_t budget_runs,
+                                ceal::Rng& rng) const {
+  Collector collector(problem, budget_runs);
+  const auto& space = problem.workload->workflow.joint_space();
+
+  const auto warmup = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::llround(
+             params_.init_fraction * static_cast<double>(budget_runs))));
+  measure_batch(collector, random_unmeasured(collector, warmup, rng));
+
+  const std::size_t batch_size = std::max<std::size_t>(
+      1, (budget_runs - std::min(warmup, budget_runs)) / params_.iterations);
+
+  Surrogate surrogate;
+  while (collector.remaining() > 0) {
+    fit_on_measured(surrogate, collector, rng);
+    const auto scores = surrogate.predict_many(space, problem.pool->configs);
+    const auto batch = top_unmeasured(scores, collector, batch_size);
+    if (batch.empty()) break;
+    measure_batch(collector, batch);
+  }
+
+  fit_on_measured(surrogate, collector, rng);
+  auto scores = surrogate.predict_many(space, problem.pool->configs);
+  return finalize_result(collector, std::move(scores));
+}
+
+}  // namespace ceal::tuner

@@ -1,0 +1,31 @@
+// AL baseline (§7.3): batch active learning. After a random warm-up the
+// surrogate is refined iteratively; each iteration measures the batch of
+// configurations the current model predicts to perform best
+// (exploitation-driven sampling, as in Behzad et al. and Mametjanov et
+// al.).
+#pragma once
+
+#include "tuner/autotuner.h"
+
+namespace ceal::tuner {
+
+struct ActiveLearningParams {
+  std::size_t iterations = 8;
+  /// Fraction of the budget spent on the random warm-up batch.
+  double init_fraction = 0.25;
+};
+
+class ActiveLearning final : public AutoTuner {
+ public:
+  explicit ActiveLearning(ActiveLearningParams params = {});
+
+  std::string name() const override { return "AL"; }
+
+  TuneResult tune(const TuningProblem& problem, std::size_t budget_runs,
+                  ceal::Rng& rng) const override;
+
+ private:
+  ActiveLearningParams params_;
+};
+
+}  // namespace ceal::tuner

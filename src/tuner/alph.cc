@@ -1,0 +1,108 @@
+#include "tuner/alph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/error.h"
+#include "ml/dataset.h"
+#include "ml/gbt.h"
+#include "tuner/collector.h"
+#include "tuner/low_fidelity.h"
+#include "tuner/tuning_util.h"
+
+namespace ceal::tuner {
+
+namespace {
+
+/// Joint-config features augmented with per-component model predictions.
+std::vector<double> augmented_features(const sim::InSituWorkflow& workflow,
+                                       const ComponentModelSet& components,
+                                       const config::Configuration& joint) {
+  std::vector<double> f = workflow.joint_space().features(joint);
+  for (std::size_t j = 0; j < workflow.component_count(); ++j) {
+    f.push_back(components.predict(j, workflow.space().slice(joint, j)));
+  }
+  return f;
+}
+
+}  // namespace
+
+Alph::Alph(AlphParams params) : params_(params) {
+  CEAL_EXPECT(params_.iterations >= 1);
+  CEAL_EXPECT(params_.init_fraction > 0.0 && params_.init_fraction <= 1.0);
+  CEAL_EXPECT(params_.component_fraction >= 0.0 &&
+              params_.component_fraction < 1.0);
+}
+
+TuneResult Alph::tune(const TuningProblem& problem, std::size_t budget_runs,
+                      ceal::Rng& rng) const {
+  Collector collector(problem, budget_runs);
+  const auto& workflow = problem.workload->workflow;
+
+  // Component models: free history when available, otherwise charged runs.
+  const std::vector<std::vector<std::size_t>>* component_indices = nullptr;
+  if (problem.components_are_history) {
+    component_indices = &collector.all_component_samples();
+  } else {
+    const auto rounds = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(
+               params_.component_fraction * static_cast<double>(budget_runs))));
+    component_indices = &collector.acquire_component_samples(rounds, rng);
+  }
+  const ComponentModelSet components(workflow, problem.objective,
+                                     *problem.component_samples,
+                                     *component_indices, rng);
+
+  // Pre-compute the augmented feature rows for the whole pool once.
+  const std::size_t pool_size = problem.pool->size();
+  const std::size_t width =
+      workflow.joint_space().dimension() + workflow.component_count();
+  std::vector<std::vector<double>> pool_features(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    pool_features[i] =
+        augmented_features(workflow, components, problem.pool->configs[i]);
+  }
+
+  // Same log-target treatment as Surrogate (times span decades).
+  const auto fit = [&](ml::GradientBoostedTrees& model) {
+    const auto& indices = collector.measured_indices();
+    const auto& values = collector.measured_values();
+    ml::Dataset data(width);
+    for (std::size_t s = 0; s < indices.size(); ++s) {
+      CEAL_EXPECT(values[s] > 0.0);
+      data.add(pool_features[indices[s]], std::log(values[s]));
+    }
+    model.fit(data, rng);
+  };
+  const auto predict_pool = [&](const ml::GradientBoostedTrees& model) {
+    std::vector<double> scores(pool_size);
+    for (std::size_t i = 0; i < pool_size; ++i) {
+      scores[i] = std::exp(model.predict(pool_features[i]));
+    }
+    return scores;
+  };
+
+  const auto warmup = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::llround(
+             params_.init_fraction * static_cast<double>(budget_runs))));
+  measure_batch(collector, random_unmeasured(collector, warmup, rng));
+
+  const std::size_t batch_size = std::max<std::size_t>(
+      1, (budget_runs - std::min(warmup, budget_runs)) / params_.iterations);
+
+  ml::GradientBoostedTrees model(
+      ml::GradientBoostedTrees::surrogate_defaults());
+  while (collector.remaining() > 0) {
+    fit(model);
+    const auto scores = predict_pool(model);
+    const auto batch = top_unmeasured(scores, collector, batch_size);
+    if (batch.empty()) break;
+    measure_batch(collector, batch);
+  }
+
+  fit(model);
+  return finalize_result(collector, predict_pool(model));
+}
+
+}  // namespace ceal::tuner

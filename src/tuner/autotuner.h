@@ -1,0 +1,44 @@
+// Common interface of all auto-tuning algorithms (RS, AL, GEIST, ALpH,
+// CEAL). Each algorithm consumes a TuningProblem plus a budget of
+// workflow-run equivalents and produces a TuneResult carrying the final
+// surrogate's scores over the whole pool, the training history, and the
+// collection cost — everything the evaluation metrics of §7.2 need.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "tuner/measured_pool.h"
+
+namespace ceal::tuner {
+
+struct TuneResult {
+  /// Final-model scores for every pool configuration (lower = better).
+  std::vector<double> model_scores;
+  /// Pool indices measured as training samples, in order.
+  std::vector<std::size_t> measured_indices;
+  /// The searcher's recommendation: argmin of model_scores.
+  std::size_t best_predicted_index = 0;
+  /// Best *measured* training configuration (argmin observed value).
+  std::size_t best_measured_index = 0;
+  std::size_t runs_used = 0;
+  /// Collection cost: summed wall-clock seconds of charged runs.
+  double cost_exec_s = 0.0;
+  /// Collection cost in core-hours.
+  double cost_comp_ch = 0.0;
+};
+
+class AutoTuner {
+ public:
+  virtual ~AutoTuner() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Runs one complete auto-tuning session within `budget_runs` workflow-
+  /// run equivalents. Deterministic given `rng`'s state.
+  virtual TuneResult tune(const TuningProblem& problem,
+                          std::size_t budget_runs, ceal::Rng& rng) const = 0;
+};
+
+}  // namespace ceal::tuner

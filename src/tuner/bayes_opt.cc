@@ -1,0 +1,153 @@
+#include "tuner/bayes_opt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/error.h"
+#include "core/stats.h"
+#include "ml/dataset.h"
+#include "ml/gbt.h"
+#include "tuner/collector.h"
+#include "tuner/low_fidelity.h"
+#include "tuner/tuning_util.h"
+
+namespace ceal::tuner {
+
+namespace {
+
+/// Bootstrapped boosted-tree ensemble over log targets.
+class Ensemble {
+ public:
+  Ensemble(std::size_t members, ceal::Rng& rng)
+      : members_(members), rng_(&rng) {
+    CEAL_EXPECT(members >= 2);
+  }
+
+  void fit(const config::ConfigSpace& space,
+           const std::vector<config::Configuration>& configs,
+           std::span<const double> targets) {
+    CEAL_EXPECT(!configs.empty());
+    models_.clear();
+    models_.reserve(members_);
+    const std::size_t n = configs.size();
+    ml::GbtParams params = ml::GradientBoostedTrees::surrogate_defaults();
+    params.n_rounds = 80;  // ensembles amortise the rounds
+    for (std::size_t k = 0; k < members_; ++k) {
+      ml::Dataset data(space.dimension());
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t pick = rng_->uniform_u64(n);  // bootstrap
+        CEAL_EXPECT(targets[pick] > 0.0);
+        data.add(space.features(configs[pick]), std::log(targets[pick]));
+      }
+      ml::GradientBoostedTrees model(params);
+      model.fit(data, *rng_);
+      models_.push_back(std::move(model));
+    }
+  }
+
+  bool is_fitted() const { return !models_.empty(); }
+
+  /// Mean and standard deviation of the ensemble in *time* units.
+  void predict(const config::ConfigSpace& space,
+               const config::Configuration& c, double& mu,
+               double& sigma) const {
+    std::vector<double> preds(models_.size());
+    const auto f = space.features(c);
+    for (std::size_t k = 0; k < models_.size(); ++k) {
+      preds[k] = std::exp(models_[k].predict(f));
+    }
+    mu = ceal::mean(preds);
+    sigma = preds.size() >= 2 ? ceal::stddev(preds) : 0.0;
+  }
+
+ private:
+  std::size_t members_;
+  ceal::Rng* rng_;
+  std::vector<ml::GradientBoostedTrees> models_;
+};
+
+}  // namespace
+
+BayesOpt::BayesOpt(BayesOptParams params) : params_(params) {
+  CEAL_EXPECT(params_.iterations >= 1);
+  CEAL_EXPECT(params_.init_fraction > 0.0 && params_.init_fraction <= 1.0);
+  CEAL_EXPECT(params_.ensemble_size >= 2);
+  CEAL_EXPECT(params_.kappa >= 0.0);
+  CEAL_EXPECT(params_.mR_fraction >= 0.0 && params_.mR_fraction < 1.0);
+}
+
+TuneResult BayesOpt::tune(const TuningProblem& problem,
+                          std::size_t budget_runs, ceal::Rng& rng) const {
+  Collector collector(problem, budget_runs);
+  const auto& workflow = problem.workload->workflow;
+  const auto& space = workflow.joint_space();
+  const std::size_t pool_size = problem.pool->size();
+
+  // Initial design: random, or bootstrapped by the low-fidelity model.
+  const auto init = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::llround(
+             params_.init_fraction * static_cast<double>(budget_runs))));
+  if (params_.bootstrap_with_low_fidelity) {
+    const std::vector<std::vector<std::size_t>>* component_indices;
+    if (problem.components_are_history) {
+      component_indices = &collector.all_component_samples();
+    } else {
+      const auto m_r = std::clamp<std::size_t>(
+          static_cast<std::size_t>(std::llround(
+              params_.mR_fraction * static_cast<double>(budget_runs))),
+          1, budget_runs - 2);
+      component_indices = &collector.acquire_component_samples(m_r, rng);
+    }
+    auto components = std::make_shared<const ComponentModelSet>(
+        workflow, problem.objective, *problem.component_samples,
+        *component_indices, rng);
+    const LowFidelityModel low_fidelity(workflow, problem.objective,
+                                        components);
+    const auto low_scores = low_fidelity.score_many(problem.pool->configs);
+    measure_batch(collector,
+                  top_unmeasured(low_scores, collector,
+                                 std::min(init, collector.remaining())));
+  } else {
+    measure_batch(collector, random_unmeasured(collector, init, rng));
+  }
+
+  const std::size_t batch_size = std::max<std::size_t>(
+      1, (budget_runs - std::min(init, budget_runs)) / params_.iterations);
+
+  Ensemble ensemble(params_.ensemble_size, rng);
+  std::vector<config::Configuration> train_configs;
+  const auto refit = [&] {
+    train_configs.clear();
+    for (const std::size_t i : collector.measured_indices()) {
+      train_configs.push_back(problem.pool->configs[i]);
+    }
+    ensemble.fit(space, train_configs, collector.measured_values());
+  };
+
+  while (collector.remaining() > 0) {
+    refit();
+    // LCB acquisition: optimistic lower bound, lower = more attractive.
+    std::vector<double> acquisition(pool_size);
+    for (std::size_t i = 0; i < pool_size; ++i) {
+      double mu = 0.0, sigma = 0.0;
+      ensemble.predict(space, problem.pool->configs[i], mu, sigma);
+      acquisition[i] = mu - params_.kappa * sigma;
+    }
+    const auto batch = top_unmeasured(acquisition, collector, batch_size);
+    if (batch.empty()) break;
+    measure_batch(collector, batch);
+  }
+
+  // Final ranking uses the ensemble mean (no exploration bonus).
+  refit();
+  std::vector<double> scores(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    double mu = 0.0, sigma = 0.0;
+    ensemble.predict(space, problem.pool->configs[i], mu, sigma);
+    scores[i] = mu;
+  }
+  return finalize_result(collector, std::move(scores));
+}
+
+}  // namespace ceal::tuner

@@ -1,0 +1,212 @@
+#include "tuner/ceal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/error.h"
+#include "core/stats.h"
+#include "ml/metrics.h"
+#include "tuner/collector.h"
+#include "tuner/low_fidelity.h"
+#include "tuner/surrogate.h"
+#include "tuner/tuning_util.h"
+
+namespace ceal::tuner {
+
+namespace {
+
+std::size_t rounded_fraction(double fraction, std::size_t total) {
+  return static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(total)));
+}
+
+}  // namespace
+
+Ceal::Ceal(CealParams params) : params_(params) {
+  CEAL_EXPECT(params_.iterations >= 1);
+  CEAL_EXPECT(params_.m0_fraction >= 0.0 && params_.m0_fraction < 1.0);
+  CEAL_EXPECT(params_.mR_fraction >= 0.0 && params_.mR_fraction < 1.0);
+}
+
+TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
+                      ceal::Rng& rng) const {
+  const CealParams params =
+      auto_params_ ? (problem.components_are_history
+                          ? CealParams::with_history()
+                          : CealParams::no_history())
+                   : params_;
+  const std::size_t m = budget_runs;
+  Collector collector(problem, m);
+  const auto& workflow = problem.workload->workflow;
+  const auto& space = workflow.joint_space();
+
+  // ---- Phase 1: low-fidelity model via component combination (lines
+  // 1-6). Historical samples are free; otherwise m_R is charged.
+  std::size_t m_r = 0;
+  const std::vector<std::vector<std::size_t>>* component_indices = nullptr;
+  if (problem.components_are_history) {
+    component_indices = &collector.all_component_samples();
+  } else {
+    m_r = std::clamp<std::size_t>(rounded_fraction(params.mR_fraction, m),
+                                  1, m - 2);
+    component_indices = &collector.acquire_component_samples(m_r, rng);
+  }
+  auto components = std::make_shared<const ComponentModelSet>(
+      workflow, problem.objective, *problem.component_samples,
+      *component_indices, rng);
+  const LowFidelityModel low_fidelity(workflow, problem.objective,
+                                      components);
+  const std::vector<double> low_scores =
+      low_fidelity.score_many(problem.pool->configs);
+
+  // ---- Phase 2: high-fidelity model via dynamic ensemble active
+  // learning (lines 7-28).
+  std::size_t m0 = std::max<std::size_t>(
+      2, rounded_fraction(params.m0_fraction, m));
+  if (m0 % 2 == 1) ++m0;                    // keep m0/2 integral
+  m0 = std::min(m0, m - m_r);               // never exceed the run budget
+  std::size_t m0_used = m0 / 2;             // m0' in Alg. 1
+  // Alg. 1 line 8 sizes batches as (m - m0 - m_R)/I; we additionally keep
+  // batches at >= 3 so the top-1/2/3 recalls of the switch detector carry
+  // signal (iterations simply end sooner when the budget runs dry).
+  std::size_t m_b = std::max<std::size_t>(
+      3, (m - std::min(m, m0 + m_r)) / params.iterations);
+
+  // Line 7: m0/2 random samples; lines 9-10: top m_B by the low-fidelity
+  // model.
+  std::vector<std::size_t> c_meas =
+      random_unmeasured(collector, m0_used, rng);
+  {
+    const auto top = top_unmeasured(low_scores, collector, m_b);
+    c_meas.insert(c_meas.end(), top.begin(), top.end());
+  }
+
+  bool using_high_fidelity = false;  // M = M_L (line 11)
+  Surrogate high_fidelity;           // M_H (line 12)
+
+  for (std::size_t i = 1; i <= params.iterations; ++i) {
+    // Line 14: run the workflow for this iteration's batch.
+    const std::size_t batch_start = collector.measured_indices().size();
+    measure_batch(collector, c_meas);
+    c_meas.clear();
+    const auto& all_indices = collector.measured_indices();
+    const auto& all_values = collector.measured_values();
+    const std::size_t batch_len = all_indices.size() - batch_start;
+    if (batch_len == 0) break;  // budget exhausted
+
+    // Lines 16-24: model-switch detection, while still evaluating with
+    // the low-fidelity model and once M_H has been trained at least once.
+    // Batches smaller than 3 carry no ranking signal (the top-1/2/3
+    // recalls of any two models tie trivially), so detection waits for a
+    // meaningful batch.
+    if (params.enable_switch_detection && !using_high_fidelity &&
+        high_fidelity.is_fitted() && batch_len >= 3) {
+      std::vector<double> batch_high(batch_len), batch_low(batch_len),
+          batch_meas(batch_len);
+      for (std::size_t b = 0; b < batch_len; ++b) {
+        const std::size_t idx = all_indices[batch_start + b];
+        batch_high[b] =
+            high_fidelity.predict(space, problem.pool->configs[idx]);
+        batch_low[b] = low_scores[idx];
+        batch_meas[b] = all_values[batch_start + b];
+      }
+      const double s_high = ml::recall_sum_top123(batch_high, batch_meas);
+      const double s_low = ml::recall_sum_top123(batch_low, batch_meas);
+
+      // Line 20: bias check — M_H's three favourite measured configs
+      // must fall within the better half of all measurements, otherwise
+      // top up with random samples.
+      std::vector<double> meas_high(all_indices.size());
+      for (std::size_t s = 0; s < all_indices.size(); ++s) {
+        meas_high[s] =
+            high_fidelity.predict(space, problem.pool->configs[all_indices[s]]);
+      }
+      const std::size_t top_n = std::min<std::size_t>(3, meas_high.size());
+      const std::size_t half =
+          std::max<std::size_t>(top_n, all_indices.size() / 2);
+      auto fav = ml::top_indices(meas_high, top_n);
+      auto good = ml::top_indices(all_values, half);
+      std::sort(fav.begin(), fav.end());
+      std::sort(good.begin(), good.end());
+      std::vector<std::size_t> common;
+      std::set_intersection(fav.begin(), fav.end(), good.begin(), good.end(),
+                            std::back_inserter(common));
+      if (params.enable_random_topup && common.size() < top_n &&
+          m0_used < m0) {
+        const std::size_t extra = (m0 - m0_used) / 2;
+        if (extra > 0) {
+          const auto randoms = random_unmeasured(collector, extra, rng);
+          c_meas.insert(c_meas.end(), randoms.begin(), randoms.end());
+          m0_used += extra;  // line 22
+        }
+      }
+
+      if (s_high >= s_low) {
+        using_high_fidelity = true;  // line 24: M <- M_H
+        if (i < params.iterations) {
+          m_b += (m0 - m0_used) / (params.iterations - i);
+        }
+      }
+    }
+
+    // Line 25: train/refine M_H on all measured data.
+    fit_on_measured(high_fidelity, collector, rng);
+
+    if (collector.remaining() == 0) break;
+
+    // Lines 26-27: evaluate the pool with M and queue the next batch.
+    if (using_high_fidelity) {
+      const auto high_scores =
+          high_fidelity.predict_many(space, problem.pool->configs);
+      const auto top = top_unmeasured(high_scores, collector, m_b);
+      c_meas.insert(c_meas.end(), top.begin(), top.end());
+    } else {
+      const auto top = top_unmeasured(low_scores, collector, m_b);
+      c_meas.insert(c_meas.end(), top.begin(), top.end());
+    }
+  }
+
+  // Line 28 returns M_H; the searcher, per Fig. 3, consumes the *selected*
+  // model — M_H once switch detection has promoted it, the low-fidelity
+  // ensemble otherwise (measured configurations always score as their
+  // observations, see finalize_result).
+  CEAL_ENSURE_MSG(high_fidelity.is_fitted(),
+                  "CEAL collected no workflow samples");
+
+  // The low-fidelity output is only a ranking score (§4); calibrate it to
+  // the measurement scale with the median measured/score ratio so it can
+  // stand next to real observations and M_H predictions.
+  std::vector<double> calibrated_low = low_scores;
+  {
+    const auto& indices = collector.measured_indices();
+    const auto& values = collector.measured_values();
+    std::vector<double> ratios;
+    ratios.reserve(indices.size());
+    for (std::size_t s = 0; s < indices.size(); ++s) {
+      if (calibrated_low[indices[s]] > 0.0) {
+        ratios.push_back(values[s] / calibrated_low[indices[s]]);
+      }
+    }
+    if (!ratios.empty()) {
+      const double factor = ceal::median(ratios);
+      for (double& v : calibrated_low) v *= factor;
+    }
+  }
+
+  // Final ensemble ranking: a configuration only ranks highly when *both*
+  // models believe in it (element-wise max of lower-is-better scores).
+  // Each model alone suffers a winner's curse over a 2000-entry pool —
+  // its single most optimistic extrapolation error wins the argmin; the
+  // conjunction suppresses errors that are not shared by both models.
+  std::vector<double> scores =
+      high_fidelity.predict_many(space, problem.pool->configs);
+  if (params.ensemble_final) {
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      scores[i] = std::max(scores[i], calibrated_low[i]);
+    }
+  }
+  return finalize_result(collector, std::move(scores));
+}
+
+}  // namespace ceal::tuner

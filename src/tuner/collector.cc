@@ -1,0 +1,91 @@
+#include "tuner/collector.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace ceal::tuner {
+
+Collector::Collector(const TuningProblem& problem, std::size_t budget_runs)
+    : problem_(&problem), budget_(budget_runs) {
+  CEAL_EXPECT(problem.workload != nullptr);
+  CEAL_EXPECT(problem.pool != nullptr);
+  CEAL_EXPECT(problem.component_samples != nullptr);
+  CEAL_EXPECT(budget_runs >= 1);
+  seen_.assign(problem.pool->size(), false);
+
+  const std::size_t n_components = problem.component_samples->size();
+  component_indices_.resize(n_components);
+  component_unused_.resize(n_components);
+  for (std::size_t j = 0; j < n_components; ++j) {
+    const std::size_t n = (*problem.component_samples)[j].size();
+    component_unused_[j].resize(n);
+    for (std::size_t i = 0; i < n; ++i) component_unused_[j][i] = i;
+  }
+}
+
+void Collector::charge(std::size_t units) {
+  CEAL_EXPECT_MSG(runs_used_ + units <= budget_,
+                  "data-collection budget exhausted");
+  runs_used_ += units;
+}
+
+double Collector::measure(std::size_t pool_index) {
+  const MeasuredPool& pool = *problem_->pool;
+  CEAL_EXPECT(pool_index < pool.size());
+  const double value = pool.measured(problem_->objective)[pool_index];
+  if (!seen_[pool_index]) {
+    charge(1);
+    seen_[pool_index] = true;
+    measured_.push_back(pool_index);
+    values_.push_back(value);
+    cost_exec_s_ += pool.exec_s[pool_index];
+    cost_comp_ch_ += pool.comp_ch[pool_index];
+  }
+  return value;
+}
+
+bool Collector::is_measured(std::size_t pool_index) const {
+  CEAL_EXPECT(pool_index < seen_.size());
+  return seen_[pool_index];
+}
+
+const std::vector<std::vector<std::size_t>>&
+Collector::acquire_component_samples(std::size_t rounds, ceal::Rng& rng) {
+  if (rounds == 0) return component_indices_;
+  if (!problem_->components_are_history) charge(rounds);
+
+  const auto& samples = *problem_->component_samples;
+  for (std::size_t j = 0; j < samples.size(); ++j) {
+    auto& unused = component_unused_[j];
+    const std::size_t take = std::min(rounds, unused.size());
+    for (std::size_t r = 0; r < take; ++r) {
+      const std::size_t pick = rng.uniform_u64(unused.size());
+      const std::size_t idx = unused[pick];
+      unused[pick] = unused.back();
+      unused.pop_back();
+      component_indices_[j].push_back(idx);
+      cost_exec_s_ += samples[j].exec_s[idx];
+      cost_comp_ch_ += samples[j].comp_ch[idx];
+    }
+  }
+  return component_indices_;
+}
+
+const std::vector<std::vector<std::size_t>>&
+Collector::all_component_samples() {
+  CEAL_EXPECT_MSG(problem_->components_are_history,
+                  "free component samples require history mode");
+  const auto& samples = *problem_->component_samples;
+  for (std::size_t j = 0; j < samples.size(); ++j) {
+    component_indices_[j].clear();
+    component_indices_[j].resize(samples[j].size());
+    for (std::size_t i = 0; i < samples[j].size(); ++i) {
+      component_indices_[j][i] = i;
+    }
+    component_unused_[j].clear();
+  }
+  return component_indices_;
+}
+
+}  // namespace ceal::tuner

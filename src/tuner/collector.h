@@ -1,0 +1,84 @@
+// The collector of the auto-tuner (§2.2): runs the target workflow (or its
+// component applications) at configurations chosen by the modeler, caches
+// the measurements, and accounts for the data-collection budget.
+//
+// The budget unit is one workflow run (Alg. 1 input m). Running every
+// component application once at one configuration each also costs one
+// unit, per §6 ("the cost is equivalent to running the complete workflow
+// m_R times") — unless the component samples are historical (§7.5), in
+// which case they are free.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "tuner/measured_pool.h"
+
+namespace ceal::tuner {
+
+class Collector {
+ public:
+  Collector(const TuningProblem& problem, std::size_t budget_runs);
+
+  const TuningProblem& problem() const { return *problem_; }
+
+  std::size_t budget() const { return budget_; }
+  std::size_t runs_used() const { return runs_used_; }
+  std::size_t remaining() const { return budget_ - runs_used_; }
+
+  /// Measures the pool configuration at `pool_index` and returns the
+  /// objective value. The first measurement charges one budget unit
+  /// (throws PreconditionError when the budget is exhausted); repeats are
+  /// served from the cache for free.
+  double measure(std::size_t pool_index);
+
+  bool is_measured(std::size_t pool_index) const;
+
+  /// Pool indices measured so far, in measurement order.
+  const std::vector<std::size_t>& measured_indices() const {
+    return measured_;
+  }
+
+  /// Objective values matching measured_indices().
+  const std::vector<double>& measured_values() const { return values_; }
+
+  /// Acquires `rounds` additional solo samples per component application,
+  /// drawn randomly without replacement from the pre-measured component
+  /// pools. Charges `rounds` budget units unless the problem marks the
+  /// samples as historical. Returns, per component, the cumulative sample
+  /// indices available after this call.
+  const std::vector<std::vector<std::size_t>>& acquire_component_samples(
+      std::size_t rounds, ceal::Rng& rng);
+
+  /// All component samples, free of charge. Only valid when the problem's
+  /// components_are_history flag is set.
+  const std::vector<std::vector<std::size_t>>& all_component_samples();
+
+  /// Component sample indices acquired so far (without further charge).
+  const std::vector<std::vector<std::size_t>>& component_indices() const {
+    return component_indices_;
+  }
+
+  /// Accumulated collection cost: total wall-clock seconds of all charged
+  /// runs (workflow runs plus sequential component runs).
+  double cost_exec_s() const { return cost_exec_s_; }
+  /// Accumulated collection cost in core-hours.
+  double cost_comp_ch() const { return cost_comp_ch_; }
+
+ private:
+  void charge(std::size_t units);
+
+  const TuningProblem* problem_;
+  std::size_t budget_;
+  std::size_t runs_used_ = 0;
+  double cost_exec_s_ = 0.0;
+  double cost_comp_ch_ = 0.0;
+
+  std::vector<bool> seen_;                 // per pool index
+  std::vector<std::size_t> measured_;      // measurement order
+  std::vector<double> values_;             // objective values
+  std::vector<std::vector<std::size_t>> component_indices_;
+  std::vector<std::vector<std::size_t>> component_unused_;
+};
+
+}  // namespace ceal::tuner

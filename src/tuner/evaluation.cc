@@ -1,0 +1,130 @@
+#include "tuner/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/error.h"
+#include "core/stats.h"
+#include "ml/metrics.h"
+
+namespace ceal::tuner {
+
+namespace {
+
+struct RepOutcome {
+  double norm_perf = 0.0;
+  std::array<double, kRecallDepth> recall{};
+  double mdape_all = 0.0;
+  double mdape_top2 = 0.0;
+  double cost_exec_s = 0.0;
+  double cost_comp_ch = 0.0;
+  double runs_used = 0.0;
+  double improvement = 0.0;
+};
+
+}  // namespace
+
+EvalSummary evaluate(const TuningProblem& problem, const AutoTuner& algorithm,
+                     std::size_t budget, std::size_t replications,
+                     std::uint64_t seed, ceal::ThreadPool* pool) {
+  CEAL_EXPECT(replications >= 1);
+  CEAL_EXPECT(problem.workload != nullptr && problem.pool != nullptr);
+
+  const auto& workflow = problem.workload->workflow;
+  const auto& measured = problem.pool->measured(problem.objective);
+  const auto& truth = problem.pool->truth(problem.objective);
+  const double best_truth =
+      truth[problem.pool->best_truth_index(problem.objective)];
+
+  const config::Configuration& expert =
+      problem.objective == Objective::kExecTime
+          ? problem.workload->expert_exec
+          : problem.workload->expert_comp;
+  const double expert_truth =
+      metric(workflow.expected(expert), problem.objective);
+
+  // Indices of the top-2% pool configurations by measurement, for the
+  // MdAPE split of Fig. 6.
+  const std::size_t top2_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(0.02 * static_cast<double>(measured.size()))));
+  const auto top2 = ml::top_indices(measured, top2_count);
+
+  std::vector<RepOutcome> outcomes(replications);
+  const auto run_one = [&](std::size_t rep) {
+    ceal::Rng rng(seed * 0x9e3779b97f4a7c15ULL + rep * 0xda942042e4dd58b5ULL +
+                  1);
+    const TuneResult result = algorithm.tune(problem, budget, rng);
+
+    RepOutcome& out = outcomes[rep];
+    out.norm_perf = truth[result.best_predicted_index] / best_truth;
+    for (std::size_t n = 1; n <= kRecallDepth; ++n) {
+      out.recall[n - 1] =
+          ml::recall_score_percent(n, result.model_scores, measured);
+    }
+    out.mdape_all = ceal::mdape_percent(measured, result.model_scores);
+    std::vector<double> top_actual(top2.size()), top_pred(top2.size());
+    for (std::size_t t = 0; t < top2.size(); ++t) {
+      top_actual[t] = measured[top2[t]];
+      top_pred[t] = result.model_scores[top2[t]];
+    }
+    out.mdape_top2 = ceal::mdape_percent(top_actual, top_pred);
+    out.cost_exec_s = result.cost_exec_s;
+    out.cost_comp_ch = result.cost_comp_ch;
+    out.runs_used = static_cast<double>(result.runs_used);
+    out.improvement = expert_truth - truth[result.best_predicted_index];
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(0, replications, run_one);
+  } else {
+    for (std::size_t rep = 0; rep < replications; ++rep) run_one(rep);
+  }
+
+  EvalSummary summary;
+  summary.algorithm = algorithm.name();
+  summary.workload = workflow.name();
+  summary.objective = problem.objective;
+  summary.budget = budget;
+  summary.replications = replications;
+
+  std::vector<double> norms(replications);
+  for (std::size_t r = 0; r < replications; ++r) {
+    const RepOutcome& o = outcomes[r];
+    norms[r] = o.norm_perf;
+    summary.mean_norm_perf += o.norm_perf;
+    for (std::size_t n = 0; n < kRecallDepth; ++n) {
+      summary.mean_recall[n] += o.recall[n];
+    }
+    summary.mean_mdape_all += o.mdape_all;
+    summary.mean_mdape_top2 += o.mdape_top2;
+    summary.mean_cost_exec_s += o.cost_exec_s;
+    summary.mean_cost_comp_ch += o.cost_comp_ch;
+    summary.mean_runs_used += o.runs_used;
+    summary.mean_improvement += o.improvement;
+    if (o.improvement > 0.0) summary.frac_beat_expert += 1.0;
+  }
+  const double inv = 1.0 / static_cast<double>(replications);
+  summary.mean_norm_perf *= inv;
+  for (auto& r : summary.mean_recall) r *= inv;
+  summary.mean_mdape_all *= inv;
+  summary.mean_mdape_top2 *= inv;
+  summary.mean_cost_exec_s *= inv;
+  summary.mean_cost_comp_ch *= inv;
+  summary.mean_runs_used *= inv;
+  summary.mean_improvement *= inv;
+  summary.frac_beat_expert *= inv;
+  summary.median_norm_perf = ceal::median(norms);
+
+  const double mean_cost = problem.objective == Objective::kExecTime
+                               ? summary.mean_cost_exec_s
+                               : summary.mean_cost_comp_ch;
+  summary.least_uses = summary.mean_improvement > 0.0
+                           ? mean_cost / summary.mean_improvement
+                           : std::numeric_limits<double>::infinity();
+  return summary;
+}
+
+}  // namespace ceal::tuner

@@ -1,0 +1,150 @@
+#include "tuner/geist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/error.h"
+#include "core/stats.h"
+#include "tuner/collector.h"
+#include "tuner/surrogate.h"
+#include "tuner/tuning_util.h"
+
+namespace ceal::tuner {
+
+PoolGraph::PoolGraph(const config::ConfigSpace& space,
+                     const std::vector<config::Configuration>& configs,
+                     std::size_t k_neighbors) {
+  CEAL_EXPECT(configs.size() >= 2);
+  CEAL_EXPECT(k_neighbors >= 1);
+  const std::size_t n = configs.size();
+  const std::size_t d = space.dimension();
+  const std::size_t k = std::min(k_neighbors, n - 1);
+
+  // Min-max normalise features over the pool.
+  std::vector<double> feat(n * d);
+  std::vector<double> lo(d, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(d, -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto f = space.features(configs[i]);
+    for (std::size_t j = 0; j < d; ++j) {
+      feat[i * d + j] = f[j];
+      lo[j] = std::min(lo[j], f[j]);
+      hi[j] = std::max(hi[j], f[j]);
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    const double span = hi[j] - lo[j];
+    const double scale = span > 0.0 ? 1.0 / span : 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      feat[i * d + j] = (feat[i * d + j] - lo[j]) * scale;
+    }
+  }
+
+  neighbors_.resize(n);
+  std::vector<std::pair<double, std::size_t>> dist(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t m = 0; m < n; ++m) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double delta = feat[i * d + j] - feat[m * d + j];
+        acc += delta * delta;
+      }
+      dist[m] = {acc, m};
+    }
+    dist[i].first = std::numeric_limits<double>::infinity();  // not self
+    std::partial_sort(dist.begin(),
+                      dist.begin() + static_cast<std::ptrdiff_t>(k),
+                      dist.end());
+    neighbors_[i].reserve(k);
+    for (std::size_t m = 0; m < k; ++m) {
+      neighbors_[i].push_back(dist[m].second);
+    }
+  }
+}
+
+const std::vector<std::size_t>& PoolGraph::neighbors(std::size_t i) const {
+  CEAL_EXPECT(i < neighbors_.size());
+  return neighbors_[i];
+}
+
+Geist::Geist(GeistParams params) : params_(std::move(params)) {
+  CEAL_EXPECT(params_.iterations >= 1);
+  CEAL_EXPECT(params_.init_fraction > 0.0 && params_.init_fraction <= 1.0);
+  CEAL_EXPECT(params_.alpha >= 0.0 && params_.alpha <= 1.0);
+  CEAL_EXPECT(params_.top_quantile > 0.0 && params_.top_quantile < 1.0);
+}
+
+TuneResult Geist::tune(const TuningProblem& problem, std::size_t budget_runs,
+                       ceal::Rng& rng) const {
+  Collector collector(problem, budget_runs);
+  const auto& space = problem.workload->workflow.joint_space();
+  const std::size_t pool_size = problem.pool->size();
+
+  std::shared_ptr<const PoolGraph> graph = params_.graph;
+  if (!graph) {
+    graph = std::make_shared<PoolGraph>(space, problem.pool->configs,
+                                        params_.k_neighbors);
+  }
+  CEAL_EXPECT_MSG(graph->size() == pool_size,
+                  "pool graph does not match the pool");
+
+  const auto warmup = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::llround(
+             params_.init_fraction * static_cast<double>(budget_runs))));
+  measure_batch(collector, random_unmeasured(collector, warmup, rng));
+
+  const std::size_t batch_size = std::max<std::size_t>(
+      1, (budget_runs - std::min(warmup, budget_runs)) / params_.iterations);
+
+  while (collector.remaining() > 0) {
+    // Seed labels: measured configs in the running top quantile are 1.
+    const auto& indices = collector.measured_indices();
+    const auto& values = collector.measured_values();
+    const double threshold = ceal::quantile(values, params_.top_quantile);
+
+    std::vector<double> belief(pool_size, 0.5);  // unknown prior
+    std::vector<double> seed(pool_size, -1.0);
+    for (std::size_t s = 0; s < indices.size(); ++s) {
+      seed[indices[s]] = values[s] <= threshold ? 1.0 : 0.0;
+      belief[indices[s]] = seed[indices[s]];
+    }
+
+    for (std::size_t it = 0; it < params_.propagation_iters; ++it) {
+      std::vector<double> next(pool_size);
+      for (std::size_t i = 0; i < pool_size; ++i) {
+        const auto& nbrs = graph->neighbors(i);
+        double acc = 0.0;
+        for (const std::size_t nb : nbrs) acc += belief[nb];
+        const double propagated =
+            acc / static_cast<double>(nbrs.size());
+        if (seed[i] >= 0.0) {
+          // Labeled nodes stay anchored to their observation.
+          next[i] = (1.0 - params_.alpha) * propagated +
+                    params_.alpha * seed[i];
+        } else {
+          next[i] = propagated;
+        }
+      }
+      belief.swap(next);
+    }
+
+    // Measure the unlabeled nodes believed most likely to be top.
+    std::vector<double> selection_score(pool_size);
+    for (std::size_t i = 0; i < pool_size; ++i) {
+      selection_score[i] = -belief[i];  // lower = better for top_unmeasured
+    }
+    const auto batch = top_unmeasured(selection_score, collector, batch_size);
+    if (batch.empty()) break;
+    measure_batch(collector, batch);
+  }
+
+  // Final surrogate for the searcher, trained on everything measured —
+  // the same model family all algorithms use (§7.3).
+  Surrogate surrogate;
+  fit_on_measured(surrogate, collector, rng);
+  auto scores = surrogate.predict_many(space, problem.pool->configs);
+  return finalize_result(collector, std::move(scores));
+}
+
+}  // namespace ceal::tuner

@@ -1,0 +1,61 @@
+// GEIST baseline (§7.3): graph-guided semi-supervised exploration
+// (Thiagarajan et al., "Bootstrapping parameter space exploration for
+// fast tuning", ICS'18). A k-nearest-neighbour parameter graph is built
+// over the pool; measured configurations seed binary labels ("likely in
+// the top 5%" vs not), label propagation spreads belief across graph
+// edges, and each iteration measures the unlabeled configurations with
+// the highest propagated top-probability.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tuner/autotuner.h"
+
+namespace ceal::tuner {
+
+/// k-NN adjacency over pool configurations (min-max-normalised L2).
+/// Building it is O(N^2 d); the evaluation harness shares one instance
+/// across replications via TuningProblem-independent construction.
+class PoolGraph {
+ public:
+  PoolGraph(const config::ConfigSpace& space,
+            const std::vector<config::Configuration>& configs,
+            std::size_t k_neighbors);
+
+  std::size_t size() const { return neighbors_.size(); }
+  const std::vector<std::size_t>& neighbors(std::size_t i) const;
+
+ private:
+  std::vector<std::vector<std::size_t>> neighbors_;
+};
+
+struct GeistParams {
+  std::size_t iterations = 8;
+  double init_fraction = 0.25;
+  std::size_t k_neighbors = 10;
+  /// Propagation mixing weight (label retention is 1 - alpha).
+  double alpha = 0.85;
+  std::size_t propagation_iters = 30;
+  /// A measured configuration counts as "top" when its value falls in
+  /// this quantile of the measurements seen so far (paper: top 5%).
+  double top_quantile = 0.05;
+  /// Optional pre-built graph shared across tune() calls; when null each
+  /// call builds its own.
+  std::shared_ptr<const PoolGraph> graph;
+};
+
+class Geist final : public AutoTuner {
+ public:
+  explicit Geist(GeistParams params = {});
+
+  std::string name() const override { return "GEIST"; }
+
+  TuneResult tune(const TuningProblem& problem, std::size_t budget_runs,
+                  ceal::Rng& rng) const override;
+
+ private:
+  GeistParams params_;
+};
+
+}  // namespace ceal::tuner

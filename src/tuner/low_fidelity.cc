@@ -1,0 +1,78 @@
+#include "tuner/low_fidelity.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "ml/dataset.h"
+
+namespace ceal::tuner {
+
+ComponentModelSet::ComponentModelSet(
+    const sim::InSituWorkflow& workflow, Objective objective,
+    const std::vector<ComponentSamples>& samples,
+    const std::vector<std::vector<std::size_t>>& sample_indices,
+    ceal::Rng& rng)
+    : workflow_(&workflow) {
+  CEAL_EXPECT(samples.size() == workflow.component_count());
+  CEAL_EXPECT(sample_indices.size() == samples.size());
+
+  models_.reserve(samples.size());
+  for (std::size_t j = 0; j < samples.size(); ++j) {
+    CEAL_EXPECT_MSG(!sample_indices[j].empty(),
+                    "component model needs at least one sample");
+    const auto& space = workflow.app(j).space();
+    const auto& values = samples[j].measured(objective);
+    std::vector<config::Configuration> configs;
+    std::vector<double> targets;
+    configs.reserve(sample_indices[j].size());
+    targets.reserve(sample_indices[j].size());
+    for (const std::size_t idx : sample_indices[j]) {
+      CEAL_EXPECT(idx < samples[j].size());
+      configs.push_back(samples[j].configs[idx]);
+      targets.push_back(values[idx]);
+    }
+    Surrogate model;
+    model.fit(space, configs, targets, rng);
+    models_.push_back(std::move(model));
+  }
+}
+
+double ComponentModelSet::predict(
+    std::size_t j, const config::Configuration& component_config) const {
+  CEAL_EXPECT(j < models_.size());
+  return models_[j].predict(workflow_->app(j).space(), component_config);
+}
+
+LowFidelityModel::LowFidelityModel(
+    const sim::InSituWorkflow& workflow, Objective objective,
+    std::shared_ptr<const ComponentModelSet> components)
+    : workflow_(&workflow),
+      objective_(objective),
+      components_(std::move(components)) {
+  CEAL_EXPECT(components_ != nullptr);
+  CEAL_EXPECT(components_->component_count() == workflow.component_count());
+}
+
+double LowFidelityModel::score(const config::Configuration& joint) const {
+  double combined =
+      objective_ == Objective::kExecTime ? 0.0 : 0.0;  // max / sum seed
+  for (std::size_t j = 0; j < workflow_->component_count(); ++j) {
+    const double v =
+        components_->predict(j, workflow_->space().slice(joint, j));
+    if (objective_ == Objective::kExecTime) {
+      combined = std::max(combined, v);
+    } else {
+      combined += v;
+    }
+  }
+  return combined;
+}
+
+std::vector<double> LowFidelityModel::score_many(
+    std::span<const config::Configuration> joints) const {
+  std::vector<double> out(joints.size());
+  for (std::size_t i = 0; i < joints.size(); ++i) out[i] = score(joints[i]);
+  return out;
+}
+
+}  // namespace ceal::tuner

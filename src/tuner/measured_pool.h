@@ -1,0 +1,83 @@
+// Pre-measured configuration pools.
+//
+// Following §7.1, a sample pool C_pool of N joint configurations is drawn
+// uniformly from the (constrained) configuration space and each entry is
+// measured once; all auto-tuning algorithms select their training samples
+// from this pool and the same measurements serve as the test set. The
+// per-component pools (500 random solo runs each) provide component-model
+// training data and the "historical measurements" D_hist of §7.5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "config/config_space.h"
+#include "sim/workflow.h"
+#include "sim/workloads.h"
+#include "tuner/objective.h"
+
+namespace ceal::tuner {
+
+struct MeasuredPool {
+  std::vector<config::Configuration> configs;
+  std::vector<double> exec_s;   ///< one noisy measurement per config
+  std::vector<double> comp_ch;
+  /// Noise-free expected values, used only by the evaluation harness to
+  /// report the actual performance of recommended configurations.
+  std::vector<double> true_exec_s;
+  std::vector<double> true_comp_ch;
+
+  std::size_t size() const { return configs.size(); }
+
+  const std::vector<double>& measured(Objective objective) const {
+    return objective == Objective::kExecTime ? exec_s : comp_ch;
+  }
+
+  const std::vector<double>& truth(Objective objective) const {
+    return objective == Objective::kExecTime ? true_exec_s : true_comp_ch;
+  }
+
+  /// Index of the best (smallest) measured value for the objective.
+  std::size_t best_index(Objective objective) const;
+
+  /// Index of the best noise-free value for the objective.
+  std::size_t best_truth_index(Objective objective) const;
+};
+
+/// Solo measurements of one component application.
+struct ComponentSamples {
+  std::vector<config::Configuration> configs;  ///< component-local configs
+  std::vector<double> exec_s;
+  std::vector<double> comp_ch;
+
+  std::size_t size() const { return configs.size(); }
+
+  const std::vector<double>& measured(Objective objective) const {
+    return objective == Objective::kExecTime ? exec_s : comp_ch;
+  }
+};
+
+/// Draws `n` random valid joint configurations and measures each once.
+MeasuredPool measure_pool(const sim::InSituWorkflow& workflow, std::size_t n,
+                          std::uint64_t seed);
+
+/// Draws and measures `n_per_component` random solo runs per component.
+/// Unconfigurable components get a single sample (their space is trivial).
+std::vector<ComponentSamples> measure_components(
+    const sim::InSituWorkflow& workflow, std::size_t n_per_component,
+    std::uint64_t seed);
+
+/// Everything one tuning experiment needs, bundled.
+struct TuningProblem {
+  const sim::Workload* workload = nullptr;
+  Objective objective = Objective::kExecTime;
+  const MeasuredPool* pool = nullptr;
+  /// Per-component solo measurements (same order as workflow components).
+  const std::vector<ComponentSamples>* component_samples = nullptr;
+  /// When true, component samples are treated as historical data D_hist
+  /// and cost nothing; otherwise algorithms that use them must charge
+  /// their budget (CEAL's m_R).
+  bool components_are_history = false;
+};
+
+}  // namespace ceal::tuner

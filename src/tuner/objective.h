@@ -1,0 +1,27 @@
+// Optimisation objectives (§4): execution time (wall-clock) and computer
+// time (core-hours). Both are lower-is-better. The objective decides the
+// analytical combination function of the low-fidelity model: max of
+// component execution times (Eqn. 1) vs sum of component computer times
+// (Eqn. 2).
+#pragma once
+
+#include <string>
+
+#include "sim/workflow.h"
+
+namespace ceal::tuner {
+
+enum class Objective {
+  kExecTime,      ///< minimise workflow wall-clock time
+  kComputerTime,  ///< minimise consumed core-hours
+};
+
+inline double metric(const sim::Measurement& m, Objective objective) {
+  return objective == Objective::kExecTime ? m.exec_s : m.comp_ch;
+}
+
+inline std::string objective_name(Objective objective) {
+  return objective == Objective::kExecTime ? "exec_time" : "computer_time";
+}
+
+}  // namespace ceal::tuner

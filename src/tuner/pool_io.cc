@@ -1,0 +1,167 @@
+#include "tuner/pool_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/error.h"
+
+namespace ceal::tuner {
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream is(line);
+  while (std::getline(is, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+double parse_double(const std::string& token) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  CEAL_EXPECT_MSG(end != nullptr && end != token.c_str() && *end == '\0',
+                  "malformed number in pool file: '" + token + "'");
+  return v;
+}
+
+int parse_int(const std::string& token) {
+  int v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), v);
+  CEAL_EXPECT_MSG(ec == std::errc{} && ptr == token.data() + token.size(),
+                  "malformed integer in pool file: '" + token + "'");
+  return v;
+}
+
+void write_header(std::ofstream& os, const config::ConfigSpace& space,
+                  bool with_truth) {
+  for (std::size_t j = 0; j < space.dimension(); ++j) {
+    os << space.parameter(j).name() << ',';
+  }
+  os << "exec_s,comp_ch";
+  if (with_truth) os << ",true_exec_s,true_comp_ch";
+  os << '\n';
+}
+
+void write_row(std::ofstream& os, const config::Configuration& c,
+               double exec_s, double comp_ch, const double* true_exec,
+               const double* true_comp) {
+  for (const int v : c) os << v << ',';
+  os.precision(17);
+  os << exec_s << ',' << comp_ch;
+  if (true_exec != nullptr) os << ',' << *true_exec << ',' << *true_comp;
+  os << '\n';
+}
+
+struct ParsedRow {
+  config::Configuration config;
+  double exec_s = 0.0;
+  double comp_ch = 0.0;
+  double true_exec_s = 0.0;
+  double true_comp_ch = 0.0;
+  bool has_truth = false;
+};
+
+ParsedRow parse_row(const std::vector<std::string>& cells,
+                    const config::ConfigSpace& space) {
+  const std::size_t d = space.dimension();
+  CEAL_EXPECT_MSG(cells.size() == d + 2 || cells.size() == d + 4,
+                  "pool row has wrong column count");
+  ParsedRow row;
+  row.config.resize(d);
+  for (std::size_t j = 0; j < d; ++j) row.config[j] = parse_int(cells[j]);
+  CEAL_EXPECT_MSG(space.is_valid(row.config),
+                  "pool row is not a valid configuration: " +
+                      config::to_string(row.config));
+  row.exec_s = parse_double(cells[d]);
+  row.comp_ch = parse_double(cells[d + 1]);
+  CEAL_EXPECT_MSG(row.exec_s > 0.0 && row.comp_ch > 0.0,
+                  "pool row has non-positive measurements");
+  if (cells.size() == d + 4) {
+    row.true_exec_s = parse_double(cells[d + 2]);
+    row.true_comp_ch = parse_double(cells[d + 3]);
+    row.has_truth = true;
+  } else {
+    row.true_exec_s = row.exec_s;
+    row.true_comp_ch = row.comp_ch;
+  }
+  return row;
+}
+
+}  // namespace
+
+void save_pool_csv(const MeasuredPool& pool,
+                   const config::ConfigSpace& space,
+                   const std::string& path) {
+  CEAL_EXPECT(pool.size() > 0);
+  const bool with_truth = pool.true_exec_s.size() == pool.size();
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  write_header(os, space, with_truth);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    write_row(os, pool.configs[i], pool.exec_s[i], pool.comp_ch[i],
+              with_truth ? &pool.true_exec_s[i] : nullptr,
+              with_truth ? &pool.true_comp_ch[i] : nullptr);
+  }
+  if (!os) throw std::runtime_error("write failure on " + path);
+}
+
+MeasuredPool load_pool_csv(const config::ConfigSpace& space,
+                           const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  std::string line;
+  CEAL_EXPECT_MSG(static_cast<bool>(std::getline(is, line)),
+                  "pool file is empty");
+  MeasuredPool pool;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const ParsedRow row = parse_row(split_csv(line), space);
+    pool.configs.push_back(row.config);
+    pool.exec_s.push_back(row.exec_s);
+    pool.comp_ch.push_back(row.comp_ch);
+    pool.true_exec_s.push_back(row.true_exec_s);
+    pool.true_comp_ch.push_back(row.true_comp_ch);
+  }
+  CEAL_EXPECT_MSG(pool.size() > 0, "pool file has no rows");
+  return pool;
+}
+
+void save_component_csv(const ComponentSamples& samples,
+                        const config::ConfigSpace& space,
+                        const std::string& path) {
+  CEAL_EXPECT(samples.size() > 0);
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  write_header(os, space, /*with_truth=*/false);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    write_row(os, samples.configs[i], samples.exec_s[i], samples.comp_ch[i],
+              nullptr, nullptr);
+  }
+  if (!os) throw std::runtime_error("write failure on " + path);
+}
+
+ComponentSamples load_component_csv(const config::ConfigSpace& space,
+                                    const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  std::string line;
+  CEAL_EXPECT_MSG(static_cast<bool>(std::getline(is, line)),
+                  "component file is empty");
+  ComponentSamples samples;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const ParsedRow row = parse_row(split_csv(line), space);
+    samples.configs.push_back(row.config);
+    samples.exec_s.push_back(row.exec_s);
+    samples.comp_ch.push_back(row.comp_ch);
+  }
+  CEAL_EXPECT_MSG(samples.size() > 0, "component file has no rows");
+  return samples;
+}
+
+}  // namespace ceal::tuner

@@ -1,0 +1,42 @@
+// CSV persistence for measured pools and component samples.
+//
+// Measuring a 2000-configuration pool is the expensive part of an
+// auto-tuning study (on real hardware it *is* the study), so pools are
+// saved and reloaded across sessions and shared between the CLI tools.
+//
+// Format (one header line, then one row per configuration):
+//   p0,p1,...,p{d-1},exec_s,comp_ch[,true_exec_s,true_comp_ch]
+// Column names for the parameters come from the space. Truth columns are
+// present only when the pool carries them (simulator-generated pools do;
+// hardware pools will not).
+#pragma once
+
+#include <string>
+
+#include "config/config_space.h"
+#include "tuner/measured_pool.h"
+
+namespace ceal::tuner {
+
+/// Writes `pool` to `path`. Throws std::runtime_error on I/O failure.
+void save_pool_csv(const MeasuredPool& pool,
+                   const config::ConfigSpace& space,
+                   const std::string& path);
+
+/// Reads a pool written by save_pool_csv. Every configuration is
+/// validated against `space`; truth columns are optional and fall back
+/// to the measured values when absent. Throws ceal::PreconditionError on
+/// malformed content.
+MeasuredPool load_pool_csv(const config::ConfigSpace& space,
+                           const std::string& path);
+
+/// Writes one component's samples (same row format, component space).
+void save_component_csv(const ComponentSamples& samples,
+                        const config::ConfigSpace& space,
+                        const std::string& path);
+
+/// Reads component samples written by save_component_csv.
+ComponentSamples load_component_csv(const config::ConfigSpace& space,
+                                    const std::string& path);
+
+}  // namespace ceal::tuner

@@ -1,0 +1,23 @@
+#include "tuner/random_search.h"
+
+#include "tuner/collector.h"
+#include "tuner/surrogate.h"
+#include "tuner/tuning_util.h"
+
+namespace ceal::tuner {
+
+TuneResult RandomSearch::tune(const TuningProblem& problem,
+                              std::size_t budget_runs,
+                              ceal::Rng& rng) const {
+  Collector collector(problem, budget_runs);
+  const auto batch = random_unmeasured(collector, budget_runs, rng);
+  measure_batch(collector, batch);
+
+  Surrogate surrogate;
+  fit_on_measured(surrogate, collector, rng);
+  auto scores = surrogate.predict_many(
+      problem.workload->workflow.joint_space(), problem.pool->configs);
+  return finalize_result(collector, std::move(scores));
+}
+
+}  // namespace ceal::tuner

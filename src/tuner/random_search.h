@@ -1,0 +1,17 @@
+// RS baseline (§7.3): selects training samples by uniform random
+// sampling from the pool, then trains the surrogate once.
+#pragma once
+
+#include "tuner/autotuner.h"
+
+namespace ceal::tuner {
+
+class RandomSearch final : public AutoTuner {
+ public:
+  std::string name() const override { return "RS"; }
+
+  TuneResult tune(const TuningProblem& problem, std::size_t budget_runs,
+                  ceal::Rng& rng) const override;
+};
+
+}  // namespace ceal::tuner

@@ -1,0 +1,44 @@
+// Surrogate model over joint workflow configurations: a boosted-tree
+// regressor plus the configuration->feature encoding.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "config/config_space.h"
+#include "ml/gbt.h"
+
+namespace ceal::tuner {
+
+class Surrogate {
+ public:
+  /// `log_targets`: train on log(y) and exponentiate predictions.
+  /// Execution/computer times span several orders of magnitude across a
+  /// configuration space; the log transform makes that multiplicative
+  /// structure additive, so a handful of samples generalises far better.
+  explicit Surrogate(
+      ml::GbtParams params = ml::GradientBoostedTrees::surrogate_defaults(),
+      bool log_targets = true);
+
+  /// Retrains from scratch on the given configurations and objective
+  /// values. Requires equal, non-zero sizes.
+  void fit(const config::ConfigSpace& space,
+           std::span<const config::Configuration> configs,
+           std::span<const double> targets, ceal::Rng& rng);
+
+  bool is_fitted() const { return model_.is_fitted(); }
+
+  double predict(const config::ConfigSpace& space,
+                 const config::Configuration& c) const;
+
+  /// Predictions for a batch of configurations.
+  std::vector<double> predict_many(
+      const config::ConfigSpace& space,
+      std::span<const config::Configuration> configs) const;
+
+ private:
+  ml::GradientBoostedTrees model_;
+  bool log_targets_;
+};
+
+}  // namespace ceal::tuner

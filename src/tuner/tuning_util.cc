@@ -1,0 +1,93 @@
+#include "tuner/tuning_util.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "core/stats.h"
+
+namespace ceal::tuner {
+
+std::vector<std::size_t> top_unmeasured(std::span<const double> scores,
+                                        const Collector& collector,
+                                        std::size_t count) {
+  CEAL_EXPECT(scores.size() == collector.problem().pool->size());
+  const auto order = ceal::argsort(scores);
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  for (const std::size_t idx : order) {
+    if (out.size() == count) break;
+    if (!collector.is_measured(idx)) out.push_back(idx);
+  }
+  return out;
+}
+
+std::vector<std::size_t> random_unmeasured(const Collector& collector,
+                                           std::size_t count,
+                                           ceal::Rng& rng) {
+  std::vector<std::size_t> candidates;
+  const std::size_t pool_size = collector.problem().pool->size();
+  candidates.reserve(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    if (!collector.is_measured(i)) candidates.push_back(i);
+  }
+  const std::size_t take = std::min(count, candidates.size());
+  const auto picks = rng.sample_without_replacement(candidates.size(), take);
+  std::vector<std::size_t> out;
+  out.reserve(take);
+  for (const std::size_t p : picks) out.push_back(candidates[p]);
+  return out;
+}
+
+std::size_t measure_batch(Collector& collector,
+                          std::span<const std::size_t> batch) {
+  std::size_t measured = 0;
+  for (const std::size_t idx : batch) {
+    if (collector.remaining() == 0) break;
+    collector.measure(idx);
+    ++measured;
+  }
+  return measured;
+}
+
+void fit_on_measured(Surrogate& surrogate, const Collector& collector,
+                     ceal::Rng& rng) {
+  const auto& indices = collector.measured_indices();
+  CEAL_EXPECT_MSG(!indices.empty(), "no training samples collected");
+  const MeasuredPool& pool = *collector.problem().pool;
+  std::vector<config::Configuration> configs;
+  configs.reserve(indices.size());
+  for (const std::size_t idx : indices) configs.push_back(pool.configs[idx]);
+  surrogate.fit(collector.problem().workload->workflow.joint_space(),
+                configs, collector.measured_values(), rng);
+}
+
+TuneResult finalize_result(const Collector& collector,
+                           std::vector<double> model_scores) {
+  CEAL_EXPECT(model_scores.size() == collector.problem().pool->size());
+  // The auto-tuner's score for a configuration it already measured is the
+  // measurement itself; the surrogate only fills in the unmeasured rest.
+  {
+    const auto& indices = collector.measured_indices();
+    const auto& values = collector.measured_values();
+    for (std::size_t s = 0; s < indices.size(); ++s) {
+      model_scores[indices[s]] = values[s];
+    }
+  }
+  TuneResult result;
+  result.best_predicted_index = static_cast<std::size_t>(
+      std::min_element(model_scores.begin(), model_scores.end()) -
+      model_scores.begin());
+  result.model_scores = std::move(model_scores);
+  result.measured_indices = collector.measured_indices();
+  CEAL_EXPECT(!result.measured_indices.empty());
+  const auto& values = collector.measured_values();
+  const std::size_t best_pos = static_cast<std::size_t>(
+      std::min_element(values.begin(), values.end()) - values.begin());
+  result.best_measured_index = result.measured_indices[best_pos];
+  result.runs_used = collector.runs_used();
+  result.cost_exec_s = collector.cost_exec_s();
+  result.cost_comp_ch = collector.cost_comp_ch();
+  return result;
+}
+
+}  // namespace ceal::tuner

@@ -1,0 +1,40 @@
+// Small helpers shared by the auto-tuning algorithms.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/rng.h"
+#include "tuner/autotuner.h"
+#include "tuner/collector.h"
+#include "tuner/surrogate.h"
+
+namespace ceal::tuner {
+
+/// The `count` unmeasured pool indices with the smallest scores
+/// (lower = better). `scores` must cover the whole pool. Returns fewer
+/// when not enough unmeasured configurations remain.
+std::vector<std::size_t> top_unmeasured(std::span<const double> scores,
+                                        const Collector& collector,
+                                        std::size_t count);
+
+/// `count` distinct random unmeasured pool indices (fewer if exhausted).
+std::vector<std::size_t> random_unmeasured(const Collector& collector,
+                                           std::size_t count,
+                                           ceal::Rng& rng);
+
+/// Measures every index in `batch` until the budget runs out; returns the
+/// number actually measured.
+std::size_t measure_batch(Collector& collector,
+                          std::span<const std::size_t> batch);
+
+/// Fits `surrogate` on everything the collector has measured so far.
+void fit_on_measured(Surrogate& surrogate, const Collector& collector,
+                     ceal::Rng& rng);
+
+/// Builds the TuneResult from the final pool scores and the collector's
+/// ledger (searcher = argmin of scores, §2.2).
+TuneResult finalize_result(const Collector& collector,
+                           std::vector<double> model_scores);
+
+}  // namespace ceal::tuner

@@ -1,0 +1,95 @@
+#include "apps/gray_scott.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/thread_pool.h"
+
+namespace ceal::apps {
+namespace {
+
+class GrayScottTest : public ::testing::Test {
+ protected:
+  ceal::ThreadPool pool_{2};
+};
+
+TEST_F(GrayScottTest, SeedRegionActivatesReaction) {
+  GrayScottParams params;
+  params.n = 64;
+  params.steps = 50;
+  GrayScott2D sim(params, pool_);
+  const auto result = sim.run();
+  EXPECT_GT(result.v_sum, 0.0);   // V species present and spreading
+  EXPECT_GT(result.u_sum, 0.0);
+  EXPECT_EQ(result.steps_run, 50u);
+}
+
+TEST_F(GrayScottTest, ConcentrationsStayInPhysicalRange) {
+  GrayScottParams params;
+  params.n = 32;
+  params.steps = 200;
+  GrayScott2D sim(params, pool_);
+  sim.run();
+  for (const double u : sim.u()) {
+    EXPECT_GE(u, -0.05);
+    EXPECT_LE(u, 1.05);
+  }
+  for (const double v : sim.v()) {
+    EXPECT_GE(v, -0.05);
+    EXPECT_LE(v, 1.05);
+  }
+}
+
+TEST_F(GrayScottTest, ObserverReceivesVField) {
+  GrayScottParams params;
+  params.n = 16;
+  params.steps = 5;
+  GrayScott2D sim(params, pool_);
+  std::size_t calls = 0;
+  sim.run([&](std::size_t, std::span<const double> v) {
+    ++calls;
+    EXPECT_EQ(v.size(), params.n * params.n);
+  });
+  EXPECT_EQ(calls, 5u);
+}
+
+TEST_F(GrayScottTest, DeterministicAcrossThreadCounts) {
+  GrayScottParams params;
+  params.n = 32;
+  params.steps = 25;
+  ceal::ThreadPool pool1(1), pool3(3);
+  GrayScott2D a(params, pool1), b(params, pool3);
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_DOUBLE_EQ(ra.u_sum, rb.u_sum);
+  EXPECT_DOUBLE_EQ(ra.v_sum, rb.v_sum);
+}
+
+TEST_F(GrayScottTest, PatternSpreadsBeyondSeed) {
+  GrayScottParams params;
+  params.n = 64;
+  GrayScottParams longer = params;
+  params.steps = 10;
+  longer.steps = 400;
+  GrayScott2D early(params, pool_), late(longer, pool_);
+  early.run();
+  late.run();
+  // Count active cells (V above threshold): the pattern grows.
+  const auto active = [](std::span<const double> v) {
+    std::size_t n = 0;
+    for (const double x : v) {
+      if (x > 0.1) ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(active(late.v()), active(early.v()));
+}
+
+TEST_F(GrayScottTest, RejectsTinyGrid) {
+  GrayScottParams params;
+  params.n = 4;
+  EXPECT_THROW(GrayScott2D(params, pool_), ceal::PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceal::apps

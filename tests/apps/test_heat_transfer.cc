@@ -1,0 +1,99 @@
+#include "apps/heat_transfer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "core/thread_pool.h"
+
+namespace ceal::apps {
+namespace {
+
+class HeatTest : public ::testing::Test {
+ protected:
+  ceal::ThreadPool pool_{2};
+};
+
+TEST_F(HeatTest, HeatFlowsInFromHotBoundary) {
+  HeatParams params;
+  params.nx = 32;
+  params.ny = 32;
+  params.steps = 50;
+  HeatTransfer2D sim(params, pool_);
+  const auto result = sim.run();
+  EXPECT_GT(result.checksum, 0.0);  // interior warmed up from zero
+  EXPECT_EQ(result.steps_run, 50u);
+}
+
+TEST_F(HeatTest, TemperatureStaysWithinBoundaryBounds) {
+  HeatParams params;
+  params.nx = 16;
+  params.ny = 16;
+  params.steps = 100;
+  params.hot_boundary = 50.0;
+  HeatTransfer2D sim(params, pool_);
+  sim.run();
+  for (const double t : sim.field()) {
+    EXPECT_GE(t, -1e-12);
+    EXPECT_LE(t, 50.0 + 1e-12);
+  }
+}
+
+TEST_F(HeatTest, MoreStepsMoveCloserToSteadyState) {
+  HeatParams params;
+  params.nx = 16;
+  params.ny = 16;
+  HeatParams longer = params;
+  params.steps = 10;
+  longer.steps = 200;
+  HeatTransfer2D sim_short(params, pool_);
+  HeatTransfer2D sim_long(longer, pool_);
+  // The hot boundary keeps injecting heat, so the checksum grows
+  // monotonically toward the steady state.
+  EXPECT_LT(sim_short.run().checksum, sim_long.run().checksum);
+}
+
+TEST_F(HeatTest, ObserverSeesEveryStep) {
+  HeatParams params;
+  params.nx = 8;
+  params.ny = 8;
+  params.steps = 7;
+  HeatTransfer2D sim(params, pool_);
+  std::size_t calls = 0;
+  std::size_t last_step = 0;
+  const auto result = sim.run([&](std::size_t step,
+                                  std::span<const double> field) {
+    ++calls;
+    last_step = step;
+    EXPECT_EQ(field.size(), params.nx * params.ny);
+  });
+  EXPECT_EQ(calls, 7u);
+  EXPECT_EQ(last_step, 6u);
+  EXPECT_EQ(result.steps_run, 7u);
+}
+
+TEST_F(HeatTest, ResultIndependentOfThreadCount) {
+  HeatParams params;
+  params.nx = 24;
+  params.ny = 24;
+  params.steps = 30;
+  ceal::ThreadPool pool1(1), pool4(4);
+  HeatTransfer2D a(params, pool1), b(params, pool4);
+  EXPECT_DOUBLE_EQ(a.run().checksum, b.run().checksum);
+}
+
+TEST_F(HeatTest, RejectsUnstableAlpha) {
+  HeatParams params;
+  params.alpha = 0.3;
+  EXPECT_THROW(HeatTransfer2D(params, pool_), ceal::PreconditionError);
+}
+
+TEST_F(HeatTest, RejectsDegenerateGrid) {
+  HeatParams params;
+  params.nx = 1;
+  EXPECT_THROW(HeatTransfer2D(params, pool_), ceal::PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceal::apps

@@ -1,0 +1,92 @@
+#include "apps/md_lite.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.h"
+#include "core/thread_pool.h"
+
+namespace ceal::apps {
+namespace {
+
+class MdTest : public ::testing::Test {
+ protected:
+  static MdParams small() {
+    MdParams p;
+    p.n_particles = 256;
+    p.steps = 10;
+    p.box = 32.0;
+    p.dt = 0.002;
+    p.temperature = 0.5;
+    return p;
+  }
+
+  ceal::ThreadPool pool_{2};
+};
+
+TEST_F(MdTest, PositionsStayInPeriodicBox) {
+  MdLite sim(small(), pool_);
+  sim.run();
+  for (const auto& p : sim.positions()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, small().box);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, small().box);
+  }
+}
+
+TEST_F(MdTest, EnergiesAreFinite) {
+  MdLite sim(small(), pool_);
+  const auto result = sim.run();
+  EXPECT_TRUE(std::isfinite(result.kinetic_energy));
+  EXPECT_TRUE(std::isfinite(result.potential_energy));
+  EXPECT_GT(result.kinetic_energy, 0.0);
+  EXPECT_EQ(result.steps_run, small().steps);
+}
+
+TEST_F(MdTest, DeterministicForSameSeed) {
+  MdLite a(small(), pool_), b(small(), pool_);
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_DOUBLE_EQ(ra.kinetic_energy, rb.kinetic_energy);
+  EXPECT_DOUBLE_EQ(ra.potential_energy, rb.potential_energy);
+}
+
+TEST_F(MdTest, DifferentSeedsDiffer) {
+  MdParams p1 = small(), p2 = small();
+  p2.seed = p1.seed + 1;
+  MdLite a(p1, pool_), b(p2, pool_);
+  EXPECT_NE(a.run().kinetic_energy, b.run().kinetic_energy);
+}
+
+TEST_F(MdTest, ObserverSeesPositionsEveryStep) {
+  MdLite sim(small(), pool_);
+  std::size_t calls = 0;
+  sim.run([&](std::size_t, std::span<const Vec2> pos) {
+    ++calls;
+    EXPECT_EQ(pos.size(), small().n_particles);
+  });
+  EXPECT_EQ(calls, small().steps);
+}
+
+TEST_F(MdTest, ColdLatticeStaysNearLattice) {
+  // With zero temperature and a relaxed lattice the system barely moves,
+  // so kinetic energy remains tiny.
+  MdParams p = small();
+  p.temperature = 0.0;
+  p.steps = 5;
+  MdLite sim(p, pool_);
+  const auto result = sim.run();
+  EXPECT_LT(result.kinetic_energy, 1.0);
+}
+
+TEST_F(MdTest, RejectsBoxSmallerThanCutoffNeighbourhood) {
+  MdParams p = small();
+  p.box = 4.0;
+  p.cutoff = 2.5;
+  EXPECT_THROW(MdLite(p, pool_), ceal::PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceal::apps

@@ -1,0 +1,100 @@
+#include "apps/pdf_calc.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
+
+namespace ceal::apps {
+namespace {
+
+class PdfTest : public ::testing::Test {
+ protected:
+  ceal::ThreadPool pool_{2};
+};
+
+TEST_F(PdfTest, CountsSumToFieldSize) {
+  PdfParams params;
+  params.bins = 16;
+  PdfCalc pdf(params, pool_);
+  ceal::Rng rng(1);
+  std::vector<double> field(1000);
+  for (auto& x : field) x = rng.normal();
+  const auto result = pdf.compute(field);
+  EXPECT_EQ(std::accumulate(result.counts.begin(), result.counts.end(),
+                            std::size_t{0}),
+            1000u);
+}
+
+TEST_F(PdfTest, DensityIntegratesToOne) {
+  PdfParams params;
+  params.bins = 32;
+  PdfCalc pdf(params, pool_);
+  ceal::Rng rng(2);
+  std::vector<double> field(5000);
+  for (auto& x : field) x = rng.uniform(-3.0, 5.0);
+  const auto result = pdf.compute(field);
+  const double width = (result.hi - result.lo) / params.bins;
+  double integral = 0.0;
+  for (const double d : result.density) integral += d * width;
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST_F(PdfTest, BoundsMatchFieldExtremes) {
+  PdfCalc pdf(PdfParams{}, pool_);
+  const std::vector<double> field{3.0, -1.0, 7.0, 2.0};
+  const auto result = pdf.compute(field);
+  EXPECT_DOUBLE_EQ(result.lo, -1.0);
+  EXPECT_DOUBLE_EQ(result.hi, 7.0);
+}
+
+TEST_F(PdfTest, UniformFieldFillsOneBin) {
+  PdfParams params;
+  params.bins = 8;
+  PdfCalc pdf(params, pool_);
+  const std::vector<double> field(100, 42.0);
+  const auto result = pdf.compute(field);
+  std::size_t nonzero = 0;
+  for (const auto c : result.counts) {
+    if (c > 0) ++nonzero;
+  }
+  EXPECT_EQ(nonzero, 1u);
+}
+
+TEST_F(PdfTest, GaussianPeaksNearMean) {
+  PdfParams params;
+  params.bins = 21;
+  PdfCalc pdf(params, pool_);
+  ceal::Rng rng(3);
+  std::vector<double> field(50000);
+  for (auto& x : field) x = rng.normal(10.0, 1.0);
+  const auto result = pdf.compute(field);
+  const auto peak = std::max_element(result.counts.begin(),
+                                     result.counts.end());
+  const std::size_t peak_bin =
+      static_cast<std::size_t>(peak - result.counts.begin());
+  const double width = (result.hi - result.lo) / params.bins;
+  const double peak_center = result.lo + (peak_bin + 0.5) * width;
+  EXPECT_NEAR(peak_center, 10.0, 1.0);
+}
+
+TEST_F(PdfTest, ThreadCountInvariance) {
+  ceal::ThreadPool pool1(1), pool4(4);
+  PdfCalc a(PdfParams{}, pool1), b(PdfParams{}, pool4);
+  ceal::Rng rng(4);
+  std::vector<double> field(10000);
+  for (auto& x : field) x = rng.uniform01();
+  EXPECT_EQ(a.compute(field).counts, b.compute(field).counts);
+}
+
+TEST_F(PdfTest, RejectsDegenerateInput) {
+  PdfCalc pdf(PdfParams{}, pool_);
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(pdf.compute(one), ceal::PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceal::apps

@@ -1,0 +1,92 @@
+#include "apps/stage_write.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.h"
+
+namespace ceal::apps {
+namespace {
+
+struct CountingSink {
+  std::vector<std::size_t> flush_sizes;
+
+  StageWriter::Sink fn() {
+    return [this](std::span<const std::byte> buffer) {
+      flush_sizes.push_back(buffer.size());
+    };
+  }
+};
+
+constexpr std::size_t kMiB = 1024 * 1024;
+
+TEST(StageWriter, FlushesWholeBuffersOnly) {
+  CountingSink sink;
+  StageWriter writer({.buffer_mb = 1}, sink.fn());
+  const std::vector<std::byte> block(kMiB / 2);
+  writer.write(block);  // half full, no flush
+  EXPECT_TRUE(sink.flush_sizes.empty());
+  writer.write(block);  // exactly full -> one flush
+  ASSERT_EQ(sink.flush_sizes.size(), 1u);
+  EXPECT_EQ(sink.flush_sizes[0], kMiB);
+}
+
+TEST(StageWriter, LargeBlockSpansMultipleFlushes) {
+  CountingSink sink;
+  StageWriter writer({.buffer_mb = 1}, sink.fn());
+  const std::vector<std::byte> block(3 * kMiB + 100);
+  writer.write(block);
+  EXPECT_EQ(sink.flush_sizes.size(), 3u);
+  writer.finish();
+  ASSERT_EQ(sink.flush_sizes.size(), 4u);
+  EXPECT_EQ(sink.flush_sizes.back(), 100u);
+}
+
+TEST(StageWriter, FinishOnEmptyBufferIsNoop) {
+  CountingSink sink;
+  StageWriter writer({.buffer_mb = 2}, sink.fn());
+  writer.finish();
+  EXPECT_TRUE(sink.flush_sizes.empty());
+  EXPECT_EQ(writer.stats().flush_count, 0u);
+}
+
+TEST(StageWriter, StatsTrackBytes) {
+  CountingSink sink;
+  StageWriter writer({.buffer_mb = 1}, sink.fn());
+  const std::vector<std::byte> block(kMiB + 7);
+  writer.write(block);
+  writer.finish();
+  EXPECT_EQ(writer.stats().bytes_in, kMiB + 7);
+  EXPECT_EQ(writer.stats().bytes_flushed, kMiB + 7);
+  EXPECT_EQ(writer.stats().flush_count, 2u);
+}
+
+TEST(StageWriter, WriteDoublesStagesRawBytes) {
+  CountingSink sink;
+  StageWriter writer({.buffer_mb = 1}, sink.fn());
+  const std::vector<double> values(100, 1.5);
+  writer.write_doubles(values);
+  writer.finish();
+  EXPECT_EQ(writer.stats().bytes_in, 100 * sizeof(double));
+}
+
+TEST(StageWriter, BufferCapacityMatchesParams) {
+  CountingSink sink;
+  StageWriter writer({.buffer_mb = 3}, sink.fn());
+  EXPECT_EQ(writer.buffer_capacity_bytes(), 3 * kMiB);
+}
+
+TEST(StageWriter, RejectsEmptySink) {
+  EXPECT_THROW(StageWriter({.buffer_mb = 1}, StageWriter::Sink{}),
+               ceal::PreconditionError);
+}
+
+TEST(StageWriter, RejectsZeroBuffer) {
+  CountingSink sink;
+  EXPECT_THROW(StageWriter({.buffer_mb = 0}, sink.fn()),
+               ceal::PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceal::apps

@@ -1,0 +1,115 @@
+#include "apps/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/error.h"
+
+namespace ceal::apps {
+namespace {
+
+TEST(Stream, PushPopRoundTrip) {
+  Stream stream(4);
+  Frame f;
+  f.step = 3;
+  f.data = {1.0, 2.0};
+  EXPECT_TRUE(stream.push(std::move(f)));
+  const auto out = stream.pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->step, 3u);
+  EXPECT_EQ(out->data, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Stream, PreservesFifoOrder) {
+  Stream stream(8);
+  for (std::size_t i = 0; i < 5; ++i) {
+    stream.push(Frame{i, {}});
+  }
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(stream.pop()->step, i);
+  }
+}
+
+TEST(Stream, CloseDrainsThenSignalsEnd) {
+  Stream stream(4);
+  stream.push(Frame{0, {}});
+  stream.close();
+  EXPECT_TRUE(stream.pop().has_value());   // pending frame still readable
+  EXPECT_FALSE(stream.pop().has_value());  // then end-of-stream
+}
+
+TEST(Stream, PushAfterCloseIsRejected) {
+  Stream stream(4);
+  stream.close();
+  EXPECT_FALSE(stream.push(Frame{}));
+  EXPECT_EQ(stream.frames_pushed(), 0u);
+}
+
+TEST(Stream, ProducerConsumerTransfersEverything) {
+  Stream stream(2);  // tiny capacity forces back-pressure
+  constexpr std::size_t kFrames = 200;
+  std::thread producer([&] {
+    for (std::size_t i = 0; i < kFrames; ++i) {
+      stream.push(Frame{i, std::vector<double>(16, double(i))});
+    }
+    stream.close();
+  });
+  std::size_t received = 0;
+  std::size_t next_step = 0;
+  while (auto frame = stream.pop()) {
+    EXPECT_EQ(frame->step, next_step++);
+    ++received;
+  }
+  producer.join();
+  EXPECT_EQ(received, kFrames);
+  EXPECT_EQ(stream.frames_pushed(), kFrames);
+}
+
+TEST(Stream, BackPressureBlocksTheFasterSide) {
+  Stream stream(1);
+  std::thread producer([&] {
+    for (std::size_t i = 0; i < 50; ++i) {
+      stream.push(Frame{i, std::vector<double>(1024)});
+    }
+    stream.close();
+  });
+  std::size_t received = 0;
+  while (auto frame = stream.pop()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    ++received;
+  }
+  producer.join();
+  EXPECT_EQ(received, 50u);
+  // A slow consumer over a size-1 stream must have blocked the producer.
+  EXPECT_GT(stream.producer_blocked_seconds(), 0.0);
+}
+
+TEST(Stream, CloseUnblocksWaitingConsumer) {
+  Stream stream(4);
+  std::thread consumer([&] {
+    const auto frame = stream.pop();  // blocks until close
+    EXPECT_FALSE(frame.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  stream.close();
+  consumer.join();
+}
+
+TEST(Stream, SizeTracksQueueDepth) {
+  Stream stream(4);
+  EXPECT_EQ(stream.size(), 0u);
+  stream.push(Frame{});
+  stream.push(Frame{});
+  EXPECT_EQ(stream.size(), 2u);
+  stream.pop();
+  EXPECT_EQ(stream.size(), 1u);
+}
+
+TEST(Stream, RejectsZeroCapacity) {
+  EXPECT_THROW(Stream(0), ceal::PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceal::apps

@@ -1,0 +1,95 @@
+#include "apps/voronoi_lite.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
+
+namespace ceal::apps {
+namespace {
+
+class VoronoiTest : public ::testing::Test {
+ protected:
+  std::vector<Vec2> random_positions(std::size_t n, double box,
+                                     std::uint64_t seed) {
+    ceal::Rng rng(seed);
+    std::vector<Vec2> pos(n);
+    for (auto& p : pos) {
+      p.x = rng.uniform(0.0, box);
+      p.y = rng.uniform(0.0, box);
+    }
+    return pos;
+  }
+
+  ceal::ThreadPool pool_{2};
+};
+
+TEST_F(VoronoiTest, HistogramCountsEveryParticle) {
+  VoronoiParams params;
+  params.box = 32.0;
+  VoronoiLite voro(params, pool_);
+  const auto pos = random_positions(500, params.box, 1);
+  const auto result = voro.analyze(pos);
+  const std::size_t total = std::accumulate(result.histogram.begin(),
+                                            result.histogram.end(),
+                                            std::size_t{0});
+  EXPECT_EQ(total, 500u);
+  EXPECT_EQ(result.histogram.size(), params.histogram_bins);
+}
+
+TEST_F(VoronoiTest, StatisticsArePositive) {
+  VoronoiParams params;
+  params.box = 32.0;
+  VoronoiLite voro(params, pool_);
+  const auto result = voro.analyze(random_positions(300, params.box, 2));
+  EXPECT_GT(result.mean_nn_distance, 0.0);
+  EXPECT_GT(result.mean_cell_volume, 0.0);
+}
+
+TEST_F(VoronoiTest, DenserSystemsHaveSmallerCells) {
+  VoronoiParams params;
+  params.box = 32.0;
+  VoronoiLite voro(params, pool_);
+  const auto sparse = voro.analyze(random_positions(100, params.box, 3));
+  const auto dense = voro.analyze(random_positions(2000, params.box, 3));
+  EXPECT_LT(dense.mean_cell_volume, sparse.mean_cell_volume);
+  EXPECT_LT(dense.mean_nn_distance, sparse.mean_nn_distance);
+}
+
+TEST_F(VoronoiTest, RegularLatticeNearestNeighbourMatchesSpacing) {
+  VoronoiParams params;
+  params.box = 16.0;
+  params.search_radius = 3.0;
+  VoronoiLite voro(params, pool_);
+  std::vector<Vec2> lattice;
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      lattice.push_back({x * 2.0 + 1.0, y * 2.0 + 1.0});
+    }
+  }
+  const auto result = voro.analyze(lattice);
+  EXPECT_NEAR(result.mean_nn_distance, 2.0, 1e-9);
+}
+
+TEST_F(VoronoiTest, ThreadCountDoesNotChangeResult) {
+  VoronoiParams params;
+  params.box = 32.0;
+  ceal::ThreadPool pool1(1), pool4(4);
+  VoronoiLite a(params, pool1), b(params, pool4);
+  const auto pos = random_positions(400, params.box, 4);
+  EXPECT_DOUBLE_EQ(a.analyze(pos).mean_nn_distance,
+                   b.analyze(pos).mean_nn_distance);
+}
+
+TEST_F(VoronoiTest, RejectsFewerThanTwoParticles) {
+  VoronoiParams params;
+  VoronoiLite voro(params, pool_);
+  const std::vector<Vec2> one{{1.0, 1.0}};
+  EXPECT_THROW(voro.analyze(one), ceal::PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceal::apps

@@ -1,0 +1,64 @@
+#include "core/error.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ceal {
+namespace {
+
+TEST(Error, ExpectPassesOnTrue) {
+  EXPECT_NO_THROW(CEAL_EXPECT(1 + 1 == 2));
+  EXPECT_NO_THROW(CEAL_EXPECT_MSG(true, "never shown"));
+}
+
+TEST(Error, ExpectThrowsPreconditionOnFalse) {
+  EXPECT_THROW(CEAL_EXPECT(1 == 2), PreconditionError);
+}
+
+TEST(Error, EnsureThrowsInvariantOnFalse) {
+  EXPECT_THROW(CEAL_ENSURE(false), InvariantError);
+  EXPECT_NO_THROW(CEAL_ENSURE(true));
+}
+
+TEST(Error, MessagesCarryExpressionAndLocation) {
+  try {
+    CEAL_EXPECT_MSG(2 < 1, "two is not less than one");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cc"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+  }
+}
+
+TEST(Error, InvariantMessageDistinctFromPrecondition) {
+  try {
+    CEAL_ENSURE_MSG(false, "broken state");
+    FAIL() << "should have thrown";
+  } catch (const InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("invariant failed"), std::string::npos);
+    EXPECT_NE(what.find("broken state"), std::string::npos);
+  }
+}
+
+TEST(Error, HierarchyAllowsGenericCatch) {
+  // PreconditionError is an invalid_argument; InvariantError a logic_error.
+  EXPECT_THROW(CEAL_EXPECT(false), std::invalid_argument);
+  EXPECT_THROW(CEAL_ENSURE(false), std::logic_error);
+}
+
+TEST(Error, SideEffectsEvaluateExactlyOnce) {
+  int calls = 0;
+  const auto count = [&calls] {
+    ++calls;
+    return true;
+  };
+  CEAL_EXPECT(count());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace ceal

@@ -1,0 +1,121 @@
+#include "core/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/error.h"
+
+namespace ceal {
+namespace {
+
+TEST(Stats, MeanOfKnownValues) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanRejectsEmpty) {
+  const std::vector<double> xs;
+  EXPECT_THROW(mean(xs), PreconditionError);
+}
+
+TEST(Stats, VarianceAndStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  const std::vector<double> odd{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, QuantileEndpointsAndMiddle) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 20.0);
+}
+
+TEST(Stats, QuantileInterpolatesLinearly) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.3), 3.0);
+}
+
+TEST(Stats, QuantileRejectsOutOfRangeQ) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(quantile(xs, -0.1), PreconditionError);
+  EXPECT_THROW(quantile(xs, 1.1), PreconditionError);
+}
+
+TEST(Stats, AbsolutePercentageError) {
+  EXPECT_DOUBLE_EQ(absolute_percentage_error(100.0, 110.0), 0.1);
+  EXPECT_DOUBLE_EQ(absolute_percentage_error(100.0, 90.0), 0.1);
+  EXPECT_THROW(absolute_percentage_error(0.0, 1.0), PreconditionError);
+}
+
+TEST(Stats, MdapeIsMedianOfApesInPercent) {
+  const std::vector<double> actual{100.0, 100.0, 100.0};
+  const std::vector<double> pred{110.0, 120.0, 150.0};  // APEs 10, 20, 50
+  EXPECT_DOUBLE_EQ(mdape_percent(actual, pred), 20.0);
+}
+
+TEST(Stats, MdapeRejectsSizeMismatch) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0};
+  EXPECT_THROW(mdape_percent(a, b), PreconditionError);
+}
+
+TEST(Stats, RmseOfKnownValues) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{2.0, 2.0, 5.0};  // errors 1, 0, 2
+  EXPECT_NEAR(rmse(a, b), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, ArgsortIsStableAscending) {
+  const std::vector<double> xs{3.0, 1.0, 2.0, 1.0};
+  const auto order = argsort(xs);
+  const std::vector<std::size_t> expected{1, 3, 2, 0};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Stats, RanksInvertArgsort) {
+  const std::vector<double> xs{30.0, 10.0, 20.0};
+  const auto r = ranks(xs);
+  EXPECT_EQ(r[0], 2u);
+  EXPECT_EQ(r[1], 0u);
+  EXPECT_EQ(r[2], 1u);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectAnticorrelation) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(a, b), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonRejectsConstantInput) {
+  const std::vector<double> a{1.0, 1.0, 1.0};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_THROW(pearson(a, b), PreconditionError);
+}
+
+TEST(Stats, SpearmanIsRankCorrelation) {
+  // Monotone but non-linear relation: Spearman 1, Pearson < 1.
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> b{1.0, 8.0, 27.0, 64.0, 125.0};
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+  EXPECT_LT(pearson(a, b), 1.0);
+}
+
+}  // namespace
+}  // namespace ceal

@@ -1,0 +1,57 @@
+#include "core/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.h"
+
+namespace ceal {
+namespace {
+
+TEST(Table, HeaderIsRequired) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), PreconditionError);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  os << t;
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+  EXPECT_NE(out.find("------"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.row_count(), 1u);
+  std::ostringstream os;
+  os << t;  // must not throw
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(Table, OverlongRowsAreRejected) {
+  Table t({"a"});
+  EXPECT_THROW(t.add_row({"x", "y"}), PreconditionError);
+}
+
+TEST(Table, NumFormatsWithPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+TEST(Table, RowCountTracksRows) {
+  Table t({"h"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace ceal

@@ -1,0 +1,79 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace ceal::ml {
+namespace {
+
+TEST(Dataset, StartsEmpty) {
+  const Dataset d(3);
+  EXPECT_EQ(d.n_features(), 3u);
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(Dataset, AddAndAccessRows) {
+  Dataset d(2);
+  d.add(std::vector<double>{1.0, 2.0}, 10.0);
+  d.add(std::vector<double>{3.0, 4.0}, 20.0);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.feature(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d.feature(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(d.target(0), 10.0);
+  EXPECT_DOUBLE_EQ(d.target(1), 20.0);
+  const auto row = d.row(1);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_DOUBLE_EQ(row[0], 3.0);
+}
+
+TEST(Dataset, AddRejectsWrongWidth) {
+  Dataset d(2);
+  EXPECT_THROW(d.add(std::vector<double>{1.0}, 0.0),
+               ceal::PreconditionError);
+}
+
+TEST(Dataset, OutOfRangeAccessThrows) {
+  Dataset d(1);
+  d.add(std::vector<double>{1.0}, 1.0);
+  EXPECT_THROW(d.row(1), ceal::PreconditionError);
+  EXPECT_THROW(d.target(1), ceal::PreconditionError);
+  EXPECT_THROW(d.feature(0, 1), ceal::PreconditionError);
+}
+
+TEST(Dataset, AppendConcatenates) {
+  Dataset a(1), b(1);
+  a.add(std::vector<double>{1.0}, 1.0);
+  b.add(std::vector<double>{2.0}, 2.0);
+  b.add(std::vector<double>{3.0}, 3.0);
+  a.append(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.feature(2, 0), 3.0);
+}
+
+TEST(Dataset, AppendRejectsWidthMismatch) {
+  Dataset a(1), b(2);
+  EXPECT_THROW(a.append(b), ceal::PreconditionError);
+}
+
+TEST(Dataset, SubsetPicksAndDuplicates) {
+  Dataset d(1);
+  for (int i = 0; i < 5; ++i) {
+    d.add(std::vector<double>{static_cast<double>(i)},
+          static_cast<double>(i * 10));
+  }
+  const std::vector<std::size_t> idx{4, 0, 0};
+  const Dataset s = d.subset(idx);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.target(0), 40.0);
+  EXPECT_DOUBLE_EQ(s.target(1), 0.0);
+  EXPECT_DOUBLE_EQ(s.target(2), 0.0);
+}
+
+TEST(Dataset, ZeroFeatureWidthRejected) {
+  EXPECT_THROW(Dataset(0), ceal::PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceal::ml

@@ -1,0 +1,151 @@
+#include "ml/gbt.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "core/stats.h"
+
+namespace ceal::ml {
+namespace {
+
+Dataset quadratic_data(std::size_t n, ceal::Rng& rng) {
+  Dataset d(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform(-2.0, 2.0);
+    const double x1 = rng.uniform(-2.0, 2.0);
+    d.add(std::vector<double>{x0, x1}, x0 * x0 + 0.5 * x1);
+  }
+  return d;
+}
+
+double test_rmse(const GradientBoostedTrees& model, const Dataset& test) {
+  const auto pred = model.predict_all(test);
+  return ceal::rmse(test.targets(), pred);
+}
+
+TEST(Gbt, FitsSmoothFunction) {
+  ceal::Rng rng(1);
+  const Dataset train = quadratic_data(400, rng);
+  const Dataset test = quadratic_data(100, rng);
+  GradientBoostedTrees model;
+  model.fit(train, rng);
+  EXPECT_LT(test_rmse(model, test), 0.35);
+}
+
+TEST(Gbt, MoreRoundsReduceTrainError) {
+  ceal::Rng rng(2);
+  const Dataset train = quadratic_data(200, rng);
+  GbtParams few;
+  few.n_rounds = 5;
+  GbtParams many;
+  many.n_rounds = 200;
+  GradientBoostedTrees weak(few), strong(many);
+  ceal::Rng r1(3), r2(3);
+  weak.fit(train, r1);
+  strong.fit(train, r2);
+  EXPECT_LT(test_rmse(strong, train), test_rmse(weak, train));
+}
+
+TEST(Gbt, BaseScoreIsTargetMean) {
+  Dataset d(1);
+  d.add(std::vector<double>{0.0}, 2.0);
+  d.add(std::vector<double>{1.0}, 4.0);
+  GradientBoostedTrees model;
+  ceal::Rng rng(4);
+  model.fit(d, rng);
+  EXPECT_DOUBLE_EQ(model.base_score(), 3.0);
+}
+
+TEST(Gbt, SingleSamplePredictsNearIt) {
+  Dataset d(1);
+  d.add(std::vector<double>{0.0}, 7.0);
+  GradientBoostedTrees model;
+  ceal::Rng rng(5);
+  model.fit(d, rng);
+  EXPECT_NEAR(model.predict(std::vector<double>{0.0}), 7.0, 1e-6);
+}
+
+TEST(Gbt, DeterministicGivenSeed) {
+  ceal::Rng data_rng(6);
+  const Dataset train = quadratic_data(100, data_rng);
+  GradientBoostedTrees a, b;
+  ceal::Rng r1(7), r2(7);
+  a.fit(train, r1);
+  b.fit(train, r2);
+  for (double x = -2.0; x <= 2.0; x += 0.5) {
+    EXPECT_DOUBLE_EQ(a.predict(std::vector<double>{x, 0.0}),
+                     b.predict(std::vector<double>{x, 0.0}));
+  }
+}
+
+TEST(Gbt, RefitDiscardsPreviousModel) {
+  Dataset d1(1), d2(1);
+  d1.add(std::vector<double>{0.0}, 0.0);
+  d2.add(std::vector<double>{0.0}, 100.0);
+  GradientBoostedTrees model;
+  ceal::Rng rng(8);
+  model.fit(d1, rng);
+  model.fit(d2, rng);
+  EXPECT_NEAR(model.predict(std::vector<double>{0.0}), 100.0, 1e-6);
+  EXPECT_EQ(model.tree_count(), model.params().n_rounds);
+}
+
+TEST(Gbt, PredictBeforeFitThrows) {
+  GradientBoostedTrees model;
+  EXPECT_FALSE(model.is_fitted());
+  EXPECT_THROW(model.predict(std::vector<double>{1.0}),
+               ceal::PreconditionError);
+}
+
+TEST(Gbt, EmptyDatasetRejected) {
+  GradientBoostedTrees model;
+  ceal::Rng rng(9);
+  const Dataset empty(1);
+  EXPECT_THROW(model.fit(empty, rng), ceal::PreconditionError);
+}
+
+TEST(Gbt, InvalidParamsRejected) {
+  GbtParams p;
+  p.learning_rate = 0.0;
+  EXPECT_THROW(GradientBoostedTrees{p}, ceal::PreconditionError);
+  p = GbtParams{};
+  p.n_rounds = 0;
+  EXPECT_THROW(GradientBoostedTrees{p}, ceal::PreconditionError);
+  p = GbtParams{};
+  p.subsample = 1.5;
+  EXPECT_THROW(GradientBoostedTrees{p}, ceal::PreconditionError);
+}
+
+TEST(Gbt, SubsamplingStillLearnsTrend) {
+  ceal::Rng rng(10);
+  const Dataset train = quadratic_data(400, rng);
+  GbtParams p = GradientBoostedTrees::surrogate_defaults();
+  p.subsample = 0.5;
+  GradientBoostedTrees model(p);
+  model.fit(train, rng);
+  // Prediction at x0 = 2 (high) must exceed prediction at x0 = 0 (low).
+  EXPECT_GT(model.predict(std::vector<double>{2.0, 0.0}),
+            model.predict(std::vector<double>{0.0, 0.0}));
+}
+
+TEST(Gbt, OutlierIsolatedFromGoodRegion) {
+  // Regression guard: a single extreme sample must not drag down/up the
+  // predictions of the dense cluster (requires min_samples_leaf == 1 in
+  // the surrogate defaults).
+  Dataset d(1);
+  for (int i = 0; i < 9; ++i) {
+    d.add(std::vector<double>{static_cast<double>(i)}, 10.0);
+  }
+  d.add(std::vector<double>{100.0}, 5000.0);
+  GradientBoostedTrees model(GradientBoostedTrees::surrogate_defaults());
+  ceal::Rng rng(11);
+  model.fit(d, rng);
+  EXPECT_NEAR(model.predict(std::vector<double>{4.0}), 10.0, 2.0);
+  EXPECT_GT(model.predict(std::vector<double>{100.0}), 1000.0);
+}
+
+}  // namespace
+}  // namespace ceal::ml

@@ -1,0 +1,107 @@
+// Parameterized property sweep over GBT hyper-parameters: any sane
+// setting must produce finite predictions that beat the constant-mean
+// baseline on a learnable surface.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "core/stats.h"
+#include "ml/gbt.h"
+
+namespace ceal::ml {
+namespace {
+
+struct GbtCase {
+  std::size_t rounds;
+  double lr;
+  std::size_t depth;
+  double subsample;
+  double colsample;
+};
+
+class GbtProperty : public ::testing::TestWithParam<GbtCase> {
+ protected:
+  static Dataset make_data(std::size_t n, ceal::Rng& rng) {
+    Dataset d(3);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double a = rng.uniform(1.0, 100.0);
+      const double b = rng.uniform(0.0, 10.0);
+      const double c = rng.uniform(0.0, 1.0);
+      d.add(std::vector<double>{a, b, c}, 500.0 / a + 5.0 * b + c);
+    }
+    return d;
+  }
+};
+
+TEST_P(GbtProperty, BeatsConstantBaseline) {
+  const GbtCase c = GetParam();
+  GbtParams params;
+  params.n_rounds = c.rounds;
+  params.learning_rate = c.lr;
+  params.subsample = c.subsample;
+  params.tree.max_depth = c.depth;
+  params.tree.colsample = c.colsample;
+  params.tree.min_samples_leaf = 1;
+  params.tree.min_child_weight = 0.0;
+
+  ceal::Rng rng(1234);
+  const Dataset train = make_data(250, rng);
+  const Dataset test = make_data(80, rng);
+
+  GradientBoostedTrees model(params);
+  model.fit(train, rng);
+
+  const double base = ceal::mean(train.targets());
+  double model_sse = 0.0, base_sse = 0.0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const double pred = model.predict(test.row(i));
+    ASSERT_TRUE(std::isfinite(pred));
+    model_sse += (pred - test.target(i)) * (pred - test.target(i));
+    base_sse += (base - test.target(i)) * (base - test.target(i));
+  }
+  EXPECT_LT(model_sse, base_sse);
+}
+
+TEST_P(GbtProperty, TrainingErrorIsBoundedByTargetRange) {
+  const GbtCase c = GetParam();
+  GbtParams params;
+  params.n_rounds = c.rounds;
+  params.learning_rate = c.lr;
+  params.subsample = c.subsample;
+  params.tree.max_depth = c.depth;
+  params.tree.colsample = c.colsample;
+
+  ceal::Rng rng(99);
+  const Dataset train = make_data(120, rng);
+  GradientBoostedTrees model(params);
+  model.fit(train, rng);
+
+  const double lo = *std::min_element(train.targets().begin(),
+                                      train.targets().end());
+  const double hi = *std::max_element(train.targets().begin(),
+                                      train.targets().end());
+  const double span = hi - lo;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const double pred = model.predict(train.row(i));
+    EXPECT_GT(pred, lo - span);
+    EXPECT_LT(pred, hi + span);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HyperparameterSweep, GbtProperty,
+    ::testing::Values(GbtCase{30, 0.3, 3, 1.0, 1.0},
+                      GbtCase{100, 0.1, 4, 1.0, 1.0},
+                      GbtCase{150, 0.1, 5, 0.8, 0.8},
+                      GbtCase{200, 0.05, 6, 0.7, 1.0},
+                      GbtCase{60, 0.2, 2, 1.0, 0.5},
+                      GbtCase{400, 0.03, 8, 0.9, 0.9}),
+    [](const auto& info) {
+      const GbtCase& c = info.param;
+      return "r" + std::to_string(c.rounds) + "_d" +
+             std::to_string(c.depth) + "_i" + std::to_string(info.index);
+    });
+
+}  // namespace
+}  // namespace ceal::ml

@@ -1,0 +1,94 @@
+#include "ml/knn.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace ceal::ml {
+namespace {
+
+TEST(Knn, ExactMatchDominatesWithDistanceWeighting) {
+  Dataset d(1);
+  d.add(std::vector<double>{0.0}, 1.0);
+  d.add(std::vector<double>{10.0}, 100.0);
+  KnnParams p;
+  p.k = 2;
+  p.distance_weighted = true;
+  KnnRegressor model(p);
+  ceal::Rng rng(1);
+  model.fit(d, rng);
+  EXPECT_NEAR(model.predict(std::vector<double>{0.0}), 1.0, 0.01);
+}
+
+TEST(Knn, UnweightedAveragesKNearest) {
+  Dataset d(1);
+  d.add(std::vector<double>{0.0}, 2.0);
+  d.add(std::vector<double>{1.0}, 4.0);
+  d.add(std::vector<double>{100.0}, 1000.0);
+  KnnParams p;
+  p.k = 2;
+  p.distance_weighted = false;
+  KnnRegressor model(p);
+  ceal::Rng rng(2);
+  model.fit(d, rng);
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{0.4}), 3.0);
+}
+
+TEST(Knn, KLargerThanDatasetUsesAll) {
+  Dataset d(1);
+  d.add(std::vector<double>{0.0}, 1.0);
+  d.add(std::vector<double>{1.0}, 3.0);
+  KnnParams p;
+  p.k = 10;
+  p.distance_weighted = false;
+  KnnRegressor model(p);
+  ceal::Rng rng(3);
+  model.fit(d, rng);
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{0.5}), 2.0);
+}
+
+TEST(Knn, FeatureNormalisationBalancesScales) {
+  // Feature 0 spans 0..1, feature 1 spans 0..1000. Without min-max
+  // normalisation the second feature would dominate the distance.
+  Dataset d(2);
+  d.add(std::vector<double>{0.0, 0.0}, 1.0);
+  d.add(std::vector<double>{1.0, 1000.0}, 2.0);
+  d.add(std::vector<double>{0.0, 1000.0}, 3.0);
+  KnnParams p;
+  p.k = 1;
+  KnnRegressor model(p);
+  ceal::Rng rng(4);
+  model.fit(d, rng);
+  // Query near (0, 900): normalised distances make row 2 the closest.
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{0.1, 900.0}), 3.0);
+}
+
+TEST(Knn, ConstantFeatureDoesNotProduceNan) {
+  Dataset d(2);
+  d.add(std::vector<double>{5.0, 0.0}, 1.0);
+  d.add(std::vector<double>{5.0, 1.0}, 2.0);
+  KnnParams p;
+  p.k = 1;
+  KnnRegressor model(p);
+  ceal::Rng rng(5);
+  model.fit(d, rng);
+  const double pred = model.predict(std::vector<double>{5.0, 0.9});
+  EXPECT_DOUBLE_EQ(pred, 2.0);
+}
+
+TEST(Knn, PredictBeforeFitThrows) {
+  KnnRegressor model;
+  EXPECT_FALSE(model.is_fitted());
+  EXPECT_THROW(model.predict(std::vector<double>{0.0}),
+               ceal::PreconditionError);
+}
+
+TEST(Knn, ZeroKRejected) {
+  KnnParams p;
+  p.k = 0;
+  EXPECT_THROW(KnnRegressor{p}, ceal::PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceal::ml

@@ -1,0 +1,82 @@
+#include "ml/random_forest.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "core/stats.h"
+
+namespace ceal::ml {
+namespace {
+
+Dataset step_data(std::size_t n, ceal::Rng& rng) {
+  Dataset d(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    d.add(std::vector<double>{x}, x < 5.0 ? 1.0 : 9.0);
+  }
+  return d;
+}
+
+TEST(RandomForest, LearnsStepFunction) {
+  ceal::Rng rng(1);
+  const Dataset train = step_data(300, rng);
+  RandomForest model;
+  model.fit(train, rng);
+  EXPECT_NEAR(model.predict(std::vector<double>{2.0}), 1.0, 0.5);
+  EXPECT_NEAR(model.predict(std::vector<double>{8.0}), 9.0, 0.5);
+}
+
+TEST(RandomForest, PredictionIsAverageWithinTargetRange) {
+  ceal::Rng rng(2);
+  const Dataset train = step_data(200, rng);
+  RandomForest model;
+  model.fit(train, rng);
+  for (double x = 0.0; x <= 10.0; x += 1.0) {
+    const double p = model.predict(std::vector<double>{x});
+    EXPECT_GE(p, 1.0 - 1e-9);
+    EXPECT_LE(p, 9.0 + 1e-9);
+  }
+}
+
+TEST(RandomForest, TreeCountMatchesParams) {
+  RandomForestParams params;
+  params.n_trees = 17;
+  RandomForest model(params);
+  ceal::Rng rng(3);
+  Dataset d(1);
+  d.add(std::vector<double>{0.0}, 1.0);
+  d.add(std::vector<double>{1.0}, 2.0);
+  model.fit(d, rng);
+  EXPECT_EQ(model.tree_count(), 17u);
+}
+
+TEST(RandomForest, DeterministicGivenSeed) {
+  ceal::Rng data_rng(4);
+  const Dataset train = step_data(100, data_rng);
+  RandomForest a, b;
+  ceal::Rng r1(5), r2(5);
+  a.fit(train, r1);
+  b.fit(train, r2);
+  EXPECT_DOUBLE_EQ(a.predict(std::vector<double>{3.0}),
+                   b.predict(std::vector<double>{3.0}));
+}
+
+TEST(RandomForest, PredictBeforeFitThrows) {
+  RandomForest model;
+  EXPECT_FALSE(model.is_fitted());
+  EXPECT_THROW(model.predict(std::vector<double>{0.0}),
+               ceal::PreconditionError);
+}
+
+TEST(RandomForest, InvalidParamsRejected) {
+  RandomForestParams p;
+  p.n_trees = 0;
+  EXPECT_THROW(RandomForest{p}, ceal::PreconditionError);
+  p = RandomForestParams{};
+  p.bootstrap_fraction = 0.0;
+  EXPECT_THROW(RandomForest{p}, ceal::PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceal::ml

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "sim/workloads.h"
+
+namespace ceal::sim {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  ExplainTest() : wl_(make_lv()) {}
+
+  Workload wl_;
+};
+
+TEST_F(ExplainTest, BreakdownMatchesExpectedMeasurement) {
+  ceal::Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const auto c = wl_.workflow.joint_space().random_valid(rng);
+    const auto bd = wl_.workflow.explain(c);
+    const auto m = wl_.workflow.expected(c);
+    EXPECT_DOUBLE_EQ(bd.exec_s, m.exec_s);
+    EXPECT_DOUBLE_EQ(bd.comp_ch, m.comp_ch);
+    EXPECT_EQ(bd.nodes, m.nodes);
+  }
+}
+
+TEST_F(ExplainTest, ExactlyOneBottleneckWithMaxPeriod) {
+  ceal::Rng rng(2);
+  const auto c = wl_.workflow.joint_space().random_valid(rng);
+  const auto bd = wl_.workflow.explain(c);
+  std::size_t bottlenecks = 0;
+  double max_period = 0.0;
+  for (const auto& comp : bd.components) {
+    max_period = std::max(max_period, comp.period_s);
+    if (comp.bottleneck) ++bottlenecks;
+  }
+  ASSERT_EQ(bottlenecks, 1u);
+  for (const auto& comp : bd.components) {
+    if (comp.bottleneck) {
+      EXPECT_DOUBLE_EQ(comp.period_s, max_period);
+    }
+  }
+}
+
+TEST_F(ExplainTest, PeriodDecomposesIntoParts) {
+  ceal::Rng rng(3);
+  const auto c = wl_.workflow.joint_space().random_valid(rng);
+  const auto bd = wl_.workflow.explain(c);
+  for (const auto& comp : bd.components) {
+    EXPECT_NEAR(comp.period_s,
+                comp.step_compute_s + comp.staging_s +
+                    comp.transfer_exposed_s,
+                1e-12);
+  }
+}
+
+TEST_F(ExplainTest, StepIsContentionTimesBottleneckPeriod) {
+  ceal::Rng rng(4);
+  const auto c = wl_.workflow.joint_space().random_valid(rng);
+  const auto bd = wl_.workflow.explain(c);
+  double max_period = 0.0;
+  for (const auto& comp : bd.components) {
+    max_period = std::max(max_period, comp.period_s);
+  }
+  EXPECT_NEAR(bd.step_s, max_period * bd.contention_factor, 1e-12);
+  EXPECT_GE(bd.contention_factor, 1.0);
+}
+
+TEST_F(ExplainTest, ConsumerSeesProducerVolume) {
+  const auto c = wl_.expert_exec;
+  const auto bd = wl_.workflow.explain(c);
+  // LV: lammps streams 0.02 GB/step to voro.
+  EXPECT_DOUBLE_EQ(bd.components[0].input_gb, 0.0);
+  EXPECT_DOUBLE_EQ(bd.components[1].input_gb, 0.02);
+  EXPECT_GT(bd.transfer_total_s, 0.0);
+}
+
+TEST_F(ExplainTest, NamesAndShapesFollowTheWorkflow) {
+  const auto gp = make_gp();
+  const auto bd = gp.workflow.explain(gp.expert_exec);
+  ASSERT_EQ(bd.components.size(), 4u);
+  EXPECT_EQ(bd.components[0].name, "gray_scott");
+  EXPECT_EQ(bd.components[2].name, "g_plot");
+  // The unconfigurable G-Plot is the bottleneck at the expert config.
+  EXPECT_TRUE(bd.components[2].bottleneck);
+}
+
+TEST_F(ExplainTest, InvalidConfigurationRejected) {
+  config::Configuration bad = wl_.expert_exec;
+  bad[0] = 1085;
+  EXPECT_THROW(wl_.workflow.explain(bad), ceal::PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceal::sim

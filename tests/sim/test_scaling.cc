@@ -1,0 +1,145 @@
+#include "sim/scaling.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "core/error.h"
+
+namespace ceal::sim {
+namespace {
+
+ScalingParams basic() {
+  ScalingParams p;
+  p.serial_s = 0.1;
+  p.work_core_s = 100.0;
+  p.thread_frac = 0.5;
+  p.mem_slope = 1.0;
+  p.comm_log_s = 0.02;
+  p.comm_lin_s = 0.1;
+  p.p_ref = 1000.0;
+  p.halo_s = 0.0;
+  return p;
+}
+
+TEST(ScalingModel, SerialFloorIsNeverUndershot) {
+  const ScalingModel model(basic());
+  const MachineSpec machine;
+  for (int p = 1; p <= 1024; p *= 2) {
+    EXPECT_GT(model.step_time(p, 1, 1, 1.0, machine), basic().serial_s);
+  }
+}
+
+TEST(ScalingModel, SmallScaleSpeedupIsNearLinear) {
+  const ScalingModel model(basic());
+  const MachineSpec machine;
+  const double t1 = model.step_time(1, 1, 1, 1.0, machine);
+  const double t2 = model.step_time(2, 1, 1, 1.0, machine);
+  EXPECT_LT(t2, t1);
+  EXPECT_GT(t2, t1 / 2.2);  // not super-linear
+}
+
+TEST(ScalingModel, CommunicationEventuallyDominates) {
+  // Strong-scaling curve is U-shaped: time at very high p exceeds the
+  // minimum over p.
+  const ScalingModel model(basic());
+  const MachineSpec machine;
+  double best = std::numeric_limits<double>::infinity();
+  for (int p = 1; p <= 100000; p *= 2) {
+    best = std::min(best, model.step_time(p, 1, 1, 1.0, machine));
+  }
+  EXPECT_GT(model.step_time(100000, 1, 1, 1.0, machine), best * 1.5);
+}
+
+TEST(ScalingModel, FullerNodesSufferMemoryContention) {
+  const ScalingModel model(basic());
+  const MachineSpec machine;  // 36 cores/node
+  const double sparse = model.step_time(36, 6, 1, 1.0, machine);
+  const double packed = model.step_time(36, 36, 1, 1.0, machine);
+  EXPECT_GT(packed, sparse);
+}
+
+TEST(ScalingModel, ContentionKneeIsSharpNearFullOccupancy) {
+  // The cubic occupancy curve makes the marginal penalty grow: the jump
+  // from 24->36 ppn exceeds the jump from 1->12 ppn.
+  const ScalingModel model(basic());
+  const MachineSpec machine;
+  const double lo = model.step_time(36, 1, 1, 1.0, machine);
+  const double mid = model.step_time(36, 12, 1, 1.0, machine);
+  const double hi = model.step_time(36, 24, 1, 1.0, machine);
+  const double full = model.step_time(36, 36, 1, 1.0, machine);
+  EXPECT_GT(full - hi, mid - lo);
+}
+
+TEST(ScalingModel, ThreadsHelpAccordingToThreadFraction) {
+  ScalingParams p = basic();
+  p.comm_log_s = 0.0;
+  p.comm_lin_s = 0.0;
+  p.mem_slope = 0.0;
+  const ScalingModel model(p);
+  const MachineSpec machine;
+  const double t1 = model.step_time(4, 1, 1, 1.0, machine);
+  const double t4 = model.step_time(4, 1, 4, 1.0, machine);
+  // workers = 1 + 3 * 0.5 = 2.5 per process.
+  EXPECT_NEAR((t1 - p.serial_s) / (t4 - p.serial_s), 2.5, 1e-9);
+}
+
+TEST(ScalingModel, ZeroThreadFractionIgnoresThreadsInWork) {
+  ScalingParams p = basic();
+  p.thread_frac = 0.0;
+  p.mem_slope = 0.0;
+  const ScalingModel model(p);
+  const MachineSpec machine;
+  // With ppn=1, tpp 1 vs 2 keeps occupancy below one node's cores.
+  EXPECT_DOUBLE_EQ(model.step_time(8, 1, 1, 1.0, machine),
+                   model.step_time(8, 1, 2, 1.0, machine));
+}
+
+TEST(ScalingModel, OversubscriptionSlowsDown) {
+  ScalingParams p = basic();
+  p.thread_frac = 0.0;  // threads give no speedup, only occupancy
+  const ScalingModel model(p);
+  const MachineSpec machine;
+  const double fits = model.step_time(36, 36, 1, 1.0, machine);
+  const double oversub = model.step_time(36, 36, 4, 1.0, machine);
+  EXPECT_GT(oversub, fits);
+}
+
+TEST(ScalingModel, SkewedDecompositionCostsMoreWithHalo) {
+  ScalingParams p = basic();
+  p.halo_s = 1.0;
+  const ScalingModel model(p);
+  const MachineSpec machine;
+  EXPECT_GT(model.step_time(64, 8, 1, 4.0, machine),
+            model.step_time(64, 8, 1, 1.0, machine));
+}
+
+TEST(ScalingModel, RejectsInvalidArguments) {
+  const ScalingModel model(basic());
+  const MachineSpec machine;
+  EXPECT_THROW(model.step_time(0, 1, 1, 1.0, machine),
+               ceal::PreconditionError);
+  EXPECT_THROW(model.step_time(1, 0, 1, 1.0, machine),
+               ceal::PreconditionError);
+  EXPECT_THROW(model.step_time(1, 1, 1, 0.5, machine),
+               ceal::PreconditionError);
+}
+
+TEST(ScalingModel, RejectsInvalidParams) {
+  ScalingParams p = basic();
+  p.thread_frac = 1.5;
+  EXPECT_THROW(ScalingModel{p}, ceal::PreconditionError);
+  p = basic();
+  p.p_ref = 0.0;
+  EXPECT_THROW(ScalingModel{p}, ceal::PreconditionError);
+}
+
+TEST(MachineSpec, CoreHoursArithmetic) {
+  const MachineSpec machine;  // 36 cores/node
+  EXPECT_DOUBLE_EQ(machine.core_hours(2, 3600.0), 72.0);
+  EXPECT_DOUBLE_EQ(machine.core_hours(1, 100.0), 1.0);
+}
+
+}  // namespace
+}  // namespace ceal::sim

@@ -1,0 +1,110 @@
+// Parameterized property sweep over every (workflow, objective) pair:
+// invariants the coupling simulator must satisfy regardless of workload.
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/stats.h"
+#include "sim/workloads.h"
+#include "tuner/objective.h"
+
+namespace ceal::sim {
+namespace {
+
+using tuner::Objective;
+
+class WorkflowProperty
+    : public ::testing::TestWithParam<std::tuple<int, Objective>> {
+ protected:
+  WorkflowProperty() {
+    const auto all = make_all_workloads();
+    wl_ = std::make_unique<Workload>(all[static_cast<std::size_t>(
+        std::get<0>(GetParam()))]);
+  }
+
+  Objective objective() const { return std::get<1>(GetParam()); }
+  std::unique_ptr<Workload> wl_;
+};
+
+TEST_P(WorkflowProperty, MetricsArePositiveOnRandomConfigs) {
+  ceal::Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    const auto c = wl_->workflow.joint_space().random_valid(rng);
+    const auto m = wl_->workflow.expected(c);
+    EXPECT_GT(tuner::metric(m, objective()), 0.0);
+    EXPECT_GE(m.nodes, static_cast<int>(wl_->workflow.component_count()));
+    EXPECT_LE(m.nodes, wl_->workflow.machine().allocation_nodes);
+  }
+}
+
+TEST_P(WorkflowProperty, NoiseIsUnbiasedInTheMedian) {
+  ceal::Rng rng(2);
+  const auto c = wl_->workflow.joint_space().random_valid(rng);
+  const double expected = tuner::metric(wl_->workflow.expected(c),
+                                        objective());
+  std::vector<double> runs(301);
+  for (auto& r : runs) {
+    r = tuner::metric(wl_->workflow.run(c, rng), objective());
+  }
+  // Lognormal noise has median 1, so the median run matches expectation.
+  EXPECT_NEAR(ceal::median(runs), expected, expected * 0.02);
+}
+
+TEST_P(WorkflowProperty, ComputerTimeDominatesSingleNodeExecTime) {
+  // comp_ch = exec_s * nodes * cores / 3600 with nodes >= component count,
+  // so comp/exec ratio is bounded below by cores/3600 * components.
+  ceal::Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const auto c = wl_->workflow.joint_space().random_valid(rng);
+    const auto m = wl_->workflow.expected(c);
+    const double cores = wl_->workflow.machine().cores_per_node;
+    EXPECT_NEAR(m.comp_ch, m.exec_s * m.nodes * cores / 3600.0,
+                1e-9 * m.comp_ch);
+  }
+}
+
+TEST_P(WorkflowProperty, SoloModelsAreDeterministicPerConfig) {
+  ceal::Rng rng(4);
+  for (std::size_t j = 0; j < wl_->workflow.component_count(); ++j) {
+    const auto c = wl_->workflow.app(j).space().random_valid(rng);
+    const auto a = wl_->workflow.expected_component(j, c);
+    const auto b = wl_->workflow.expected_component(j, c);
+    EXPECT_DOUBLE_EQ(a.exec_s, b.exec_s);
+    EXPECT_DOUBLE_EQ(a.comp_ch, b.comp_ch);
+  }
+}
+
+TEST_P(WorkflowProperty, BottleneckComponentBoundsTheWorkflow) {
+  // The coupled execution time is at least the largest per-step compute
+  // time times the number of steps (synchronised pipeline).
+  ceal::Rng rng(5);
+  const auto& wf = wl_->workflow;
+  for (int i = 0; i < 10; ++i) {
+    const auto joint = wf.joint_space().random_valid(rng);
+    double max_step = 0.0;
+    for (std::size_t j = 0; j < wf.component_count(); ++j) {
+      const auto part = wf.space().slice(joint, j);
+      max_step = std::max(
+          max_step, wf.app(j).step_compute_s(part, wf.machine(), 0.0));
+    }
+    const auto m = wf.expected(joint);
+    EXPECT_GE(m.exec_s,
+              max_step * wf.coupling().pipeline_steps * 0.999);
+  }
+}
+
+std::string workflow_param_name(
+    const ::testing::TestParamInfo<std::tuple<int, Objective>>& info) {
+  static const char* const names[] = {"LV", "HS", "GP"};
+  return std::string(names[std::get<0>(info.param)]) + "_" +
+         tuner::objective_name(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkflows, WorkflowProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(Objective::kExecTime,
+                                         Objective::kComputerTime)),
+    workflow_param_name);
+
+}  // namespace
+}  // namespace ceal::sim

@@ -1,0 +1,142 @@
+#include "sim/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace ceal::sim {
+namespace {
+
+TEST(Workloads, AllThreeBuild) {
+  const auto all = make_all_workloads();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].workflow.name(), "LV");
+  EXPECT_EQ(all[1].workflow.name(), "HS");
+  EXPECT_EQ(all[2].workflow.name(), "GP");
+}
+
+TEST(Workloads, MachineMatchesPaperTestbed) {
+  const MachineSpec m = paper_machine();
+  EXPECT_EQ(m.total_nodes, 600);
+  EXPECT_EQ(m.cores_per_node, 36);
+  EXPECT_EQ(m.allocation_nodes, 32);
+}
+
+TEST(Workloads, LvComponentStructure) {
+  const auto lv = make_lv();
+  ASSERT_EQ(lv.workflow.component_count(), 2u);
+  EXPECT_EQ(lv.workflow.app(0).name(), "lammps");
+  EXPECT_EQ(lv.workflow.app(1).name(), "voro");
+  EXPECT_EQ(lv.workflow.joint_space().dimension(), 6u);
+  ASSERT_EQ(lv.workflow.edges().size(), 1u);
+  EXPECT_EQ(lv.workflow.edges()[0].producer, 0u);
+  EXPECT_EQ(lv.workflow.edges()[0].consumer, 1u);
+}
+
+TEST(Workloads, HsComponentStructure) {
+  const auto hs = make_hs();
+  ASSERT_EQ(hs.workflow.component_count(), 2u);
+  EXPECT_EQ(hs.workflow.app(0).name(), "heat_transfer");
+  EXPECT_EQ(hs.workflow.app(0).space().dimension(), 5u);
+  EXPECT_EQ(hs.workflow.app(1).space().dimension(), 2u);
+  EXPECT_EQ(hs.workflow.joint_space().dimension(), 7u);
+}
+
+TEST(Workloads, GpComponentStructure) {
+  const auto gp = make_gp();
+  ASSERT_EQ(gp.workflow.component_count(), 4u);
+  EXPECT_EQ(gp.workflow.app(2).name(), "g_plot");
+  EXPECT_FALSE(gp.workflow.app(2).configurable());
+  EXPECT_FALSE(gp.workflow.app(3).configurable());
+  ASSERT_EQ(gp.workflow.edges().size(), 3u);
+}
+
+TEST(Workloads, Table1RawSizesMatchPaperGrids) {
+  // LAMMPS/Voro++: 1084 procs x 35 ppn x 4 tpp.
+  const auto lv = make_lv();
+  EXPECT_EQ(lv.workflow.app(0).space().raw_size(), 1084u * 35u * 4u);
+  // Heat transfer: 31 x 31 x 35 x 8 x 40.
+  const auto hs = make_hs();
+  EXPECT_EQ(hs.workflow.app(0).space().raw_size(),
+            31u * 31u * 35u * 8u * 40u);
+  // Stage write: 1084 x 35. PDF: 512 x 35.
+  EXPECT_EQ(hs.workflow.app(1).space().raw_size(), 1084u * 35u);
+  const auto gp = make_gp();
+  EXPECT_EQ(gp.workflow.app(1).space().raw_size(), 512u * 35u);
+}
+
+TEST(Workloads, LammpsValidCountEchoesPaperTable) {
+  // Paper §7.1 reports ~7.6e4 valid LAMMPS configurations; the node
+  // constraint ceil(p/ppn) <= 31 yields the same order.
+  const auto lv = make_lv();
+  ceal::Rng rng(1);
+  const double frac =
+      lv.workflow.app(0).space().estimate_valid_fraction(rng, 40000);
+  const double count =
+      frac * static_cast<double>(lv.workflow.app(0).space().raw_size());
+  EXPECT_GT(count, 6.0e4);
+  EXPECT_LT(count, 9.5e4);
+}
+
+TEST(Workloads, ExpertConfigurationsAreValid) {
+  for (const auto& wl : make_all_workloads()) {
+    EXPECT_TRUE(wl.workflow.joint_space().is_valid(wl.expert_exec))
+        << wl.workflow.name();
+    EXPECT_TRUE(wl.workflow.joint_space().is_valid(wl.expert_comp))
+        << wl.workflow.name();
+  }
+}
+
+TEST(Workloads, AllocationConstraintHoldsOnRandomDraws) {
+  for (const auto& wl : make_all_workloads()) {
+    ceal::Rng rng(2);
+    for (int i = 0; i < 50; ++i) {
+      const auto c = wl.workflow.joint_space().random_valid(rng);
+      EXPECT_LE(wl.workflow.total_nodes(c), 32) << wl.workflow.name();
+    }
+  }
+}
+
+TEST(Workloads, ExecMagnitudesEchoTable2) {
+  // Orders of magnitude from Table 2 (shape, not exact values):
+  // LV best ~25 s, HS best ~6-15 s, GP best ~97 s.
+  const auto lv = make_lv();
+  EXPECT_GT(lv.workflow.expected(lv.expert_exec).exec_s, 15.0);
+  EXPECT_LT(lv.workflow.expected(lv.expert_exec).exec_s, 120.0);
+  const auto gp = make_gp();
+  const double gp_exec = gp.workflow.expected(gp.expert_exec).exec_s;
+  EXPECT_GT(gp_exec, 80.0);
+  EXPECT_LT(gp_exec, 130.0);
+}
+
+TEST(Workloads, GPlotBottleneckFlattensGpExecTimes) {
+  // §7.1: unconfigurable G-Plot dominates; most reasonable configs have
+  // nearly identical execution times.
+  const auto gp = make_gp();
+  ceal::Rng rng(3);
+  // Two very different well-provisioned configurations.
+  const auto& space = gp.workflow.joint_space();
+  config::Configuration a = gp.expert_exec;   // 525/512 procs
+  config::Configuration b = gp.expert_exec;
+  b[space.parameter_index("gray_scott.procs")] = 300;
+  b[space.parameter_index("pdf_calc.procs")] = 256;
+  ASSERT_TRUE(space.is_valid(b));
+  const double ta = gp.workflow.expected(a).exec_s;
+  const double tb = gp.workflow.expected(b).exec_s;
+  EXPECT_NEAR(ta, tb, ta * 0.1);
+}
+
+TEST(Workloads, ExpertsUnderperformBestForLvAndHs) {
+  // Table 2: expert recommendations do poorly except for GP exec.
+  const auto lv = make_lv();
+  ceal::Rng rng(4);
+  double best_exec = 1e100;
+  for (int i = 0; i < 300; ++i) {
+    const auto c = lv.workflow.joint_space().random_valid(rng);
+    best_exec = std::min(best_exec, lv.workflow.expected(c).exec_s);
+  }
+  EXPECT_GT(lv.workflow.expected(lv.expert_exec).exec_s, best_exec);
+}
+
+}  // namespace
+}  // namespace ceal::sim

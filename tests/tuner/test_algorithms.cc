@@ -1,0 +1,184 @@
+// Contract tests shared by every auto-tuning algorithm, run as a
+// parameterized suite: budget discipline, result consistency, and
+// determinism.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "sim/workloads.h"
+#include "tuner/active_learning.h"
+#include "tuner/alph.h"
+#include "tuner/ceal.h"
+#include "tuner/geist.h"
+#include "tuner/random_search.h"
+
+namespace ceal::tuner {
+namespace {
+
+struct Fixture {
+  sim::Workload wl = sim::make_lv();
+  MeasuredPool pool;
+  std::vector<ComponentSamples> comps;
+
+  Fixture()
+      : pool(measure_pool(wl.workflow, 300, 11)),
+        comps(measure_components(wl.workflow, 60, 12)) {}
+};
+
+Fixture& fixture() {
+  static Fixture f;  // built once; measuring pools is the slow part
+  return f;
+}
+
+std::unique_ptr<AutoTuner> make_tuner(const std::string& name) {
+  if (name == "RS") return std::make_unique<RandomSearch>();
+  if (name == "AL") return std::make_unique<ActiveLearning>();
+  if (name == "GEIST") return std::make_unique<Geist>();
+  if (name == "ALpH") return std::make_unique<Alph>();
+  return std::make_unique<Ceal>();
+}
+
+class AlgorithmContract
+    : public ::testing::TestWithParam<std::tuple<std::string, bool>> {
+ protected:
+  TuningProblem problem() {
+    auto& f = fixture();
+    return TuningProblem{&f.wl, Objective::kExecTime, &f.pool, &f.comps,
+                         std::get<1>(GetParam())};
+  }
+
+  std::unique_ptr<AutoTuner> tuner() {
+    return make_tuner(std::get<0>(GetParam()));
+  }
+};
+
+TEST_P(AlgorithmContract, RespectsBudget) {
+  auto prob = problem();
+  ceal::Rng rng(1);
+  const auto result = tuner()->tune(prob, 20, rng);
+  EXPECT_LE(result.runs_used, 20u);
+  EXPECT_GE(result.runs_used, 1u);
+}
+
+TEST_P(AlgorithmContract, ScoresCoverWholePool) {
+  auto prob = problem();
+  ceal::Rng rng(2);
+  const auto result = tuner()->tune(prob, 20, rng);
+  EXPECT_EQ(result.model_scores.size(), prob.pool->size());
+}
+
+TEST_P(AlgorithmContract, BestPredictedIsArgminOfScores) {
+  auto prob = problem();
+  ceal::Rng rng(3);
+  const auto result = tuner()->tune(prob, 20, rng);
+  for (const double s : result.model_scores) {
+    EXPECT_LE(result.model_scores[result.best_predicted_index], s);
+  }
+}
+
+TEST_P(AlgorithmContract, MeasuredIndicesAreUniqueAndInRange) {
+  auto prob = problem();
+  ceal::Rng rng(4);
+  const auto result = tuner()->tune(prob, 20, rng);
+  std::set<std::size_t> seen(result.measured_indices.begin(),
+                             result.measured_indices.end());
+  EXPECT_EQ(seen.size(), result.measured_indices.size());
+  for (const std::size_t i : result.measured_indices) {
+    EXPECT_LT(i, prob.pool->size());
+  }
+}
+
+TEST_P(AlgorithmContract, MeasuredConfigsScoreAsObservations) {
+  auto prob = problem();
+  ceal::Rng rng(5);
+  const auto result = tuner()->tune(prob, 20, rng);
+  const auto& measured = prob.pool->measured(prob.objective);
+  for (const std::size_t i : result.measured_indices) {
+    EXPECT_DOUBLE_EQ(result.model_scores[i], measured[i]);
+  }
+}
+
+TEST_P(AlgorithmContract, DeterministicGivenSeed) {
+  auto prob = problem();
+  ceal::Rng r1(6), r2(6);
+  const auto a = tuner()->tune(prob, 15, r1);
+  const auto b = tuner()->tune(prob, 15, r2);
+  EXPECT_EQ(a.best_predicted_index, b.best_predicted_index);
+  EXPECT_EQ(a.measured_indices, b.measured_indices);
+  EXPECT_EQ(a.model_scores, b.model_scores);
+}
+
+TEST_P(AlgorithmContract, CostsArePositiveAndConsistent) {
+  auto prob = problem();
+  ceal::Rng rng(7);
+  const auto result = tuner()->tune(prob, 20, rng);
+  EXPECT_GT(result.cost_exec_s, 0.0);
+  EXPECT_GT(result.cost_comp_ch, 0.0);
+  // Cost includes at least the measured workflow runs.
+  double min_cost = 0.0;
+  for (const std::size_t i : result.measured_indices) {
+    min_cost += prob.pool->exec_s[i];
+  }
+  EXPECT_GE(result.cost_exec_s, min_cost - 1e-9);
+}
+
+TEST_P(AlgorithmContract, BestMeasuredIsTrulyTheBestMeasurement) {
+  auto prob = problem();
+  ceal::Rng rng(8);
+  const auto result = tuner()->tune(prob, 20, rng);
+  const auto& measured = prob.pool->measured(prob.objective);
+  for (const std::size_t i : result.measured_indices) {
+    EXPECT_LE(measured[result.best_measured_index], measured[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, AlgorithmContract,
+    ::testing::Values(std::make_tuple("RS", false),
+                      std::make_tuple("AL", false),
+                      std::make_tuple("GEIST", false),
+                      std::make_tuple("CEAL", false),
+                      std::make_tuple("ALpH", true),
+                      std::make_tuple("CEAL", true),
+                      std::make_tuple("ALpH", false)),
+    [](const auto& info) {
+      return std::get<0>(info.param) +
+             (std::get<1>(info.param) ? "_hist" : "_nohist");
+    });
+
+TEST(AlgorithmNames, AreStable) {
+  EXPECT_EQ(RandomSearch().name(), "RS");
+  EXPECT_EQ(ActiveLearning().name(), "AL");
+  EXPECT_EQ(Geist().name(), "GEIST");
+  EXPECT_EQ(Alph().name(), "ALpH");
+  EXPECT_EQ(Ceal().name(), "CEAL");
+}
+
+TEST(PoolGraphTest, NeighborsAreSymmetricallySized) {
+  auto& f = fixture();
+  const PoolGraph graph(f.wl.workflow.joint_space(), f.pool.configs, 5);
+  EXPECT_EQ(graph.size(), f.pool.size());
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    EXPECT_EQ(graph.neighbors(i).size(), 5u);
+    for (const std::size_t nb : graph.neighbors(i)) {
+      EXPECT_NE(nb, i);
+      EXPECT_LT(nb, graph.size());
+    }
+  }
+}
+
+TEST(GeistTest, SharedGraphGivesSameResultAsOwnGraph) {
+  auto& f = fixture();
+  TuningProblem prob{&f.wl, Objective::kExecTime, &f.pool, &f.comps, false};
+  GeistParams with_graph;
+  with_graph.graph = std::make_shared<PoolGraph>(
+      f.wl.workflow.joint_space(), f.pool.configs, with_graph.k_neighbors);
+  Geist own{GeistParams{}}, shared{with_graph};
+  ceal::Rng r1(9), r2(9);
+  EXPECT_EQ(own.tune(prob, 15, r1).best_predicted_index,
+            shared.tune(prob, 15, r2).best_predicted_index);
+}
+
+}  // namespace
+}  // namespace ceal::tuner

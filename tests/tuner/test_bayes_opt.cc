@@ -1,0 +1,120 @@
+#include "tuner/bayes_opt.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "sim/workloads.h"
+#include "tuner/random_search.h"
+
+namespace ceal::tuner {
+namespace {
+
+class BayesOptTest : public ::testing::Test {
+ protected:
+  BayesOptTest()
+      : wl_(sim::make_lv()),
+        pool_(measure_pool(wl_.workflow, 300, 61)),
+        comps_(measure_components(wl_.workflow, 60, 62)) {}
+
+  TuningProblem problem(bool history = false) {
+    return TuningProblem{&wl_, Objective::kExecTime, &pool_, &comps_,
+                         history};
+  }
+
+  sim::Workload wl_;
+  MeasuredPool pool_;
+  std::vector<ComponentSamples> comps_;
+};
+
+TEST_F(BayesOptTest, RespectsBudgetAndContract) {
+  auto prob = problem();
+  BayesOpt bo;
+  ceal::Rng rng(1);
+  const auto result = bo.tune(prob, 20, rng);
+  EXPECT_LE(result.runs_used, 20u);
+  EXPECT_EQ(result.model_scores.size(), pool_.size());
+  for (const double s : result.model_scores) {
+    EXPECT_LE(result.model_scores[result.best_predicted_index], s);
+  }
+}
+
+TEST_F(BayesOptTest, NameReflectsBootstrapMode) {
+  EXPECT_EQ(BayesOpt().name(), "BO");
+  BayesOptParams p;
+  p.bootstrap_with_low_fidelity = true;
+  EXPECT_EQ(BayesOpt(p).name(), "BO-CEAL");
+}
+
+TEST_F(BayesOptTest, DeterministicGivenSeed) {
+  auto prob = problem();
+  BayesOpt bo;
+  ceal::Rng r1(2), r2(2);
+  const auto a = bo.tune(prob, 15, r1);
+  const auto b = bo.tune(prob, 15, r2);
+  EXPECT_EQ(a.measured_indices, b.measured_indices);
+  EXPECT_EQ(a.best_predicted_index, b.best_predicted_index);
+}
+
+TEST_F(BayesOptTest, LowFidelityBootstrapChargesComponentRuns) {
+  auto prob = problem(/*history=*/false);
+  BayesOptParams p;
+  p.bootstrap_with_low_fidelity = true;
+  p.mR_fraction = 0.5;
+  BayesOpt bo(p);
+  ceal::Rng rng(3);
+  const auto result = bo.tune(prob, 20, rng);
+  // Half the budget goes to component rounds.
+  EXPECT_LE(result.measured_indices.size(), 10u);
+  EXPECT_LE(result.runs_used, 20u);
+}
+
+TEST_F(BayesOptTest, HistoryModeBootstrapIsFree) {
+  auto prob = problem(/*history=*/true);
+  BayesOptParams p;
+  p.bootstrap_with_low_fidelity = true;
+  BayesOpt bo(p);
+  ceal::Rng rng(4);
+  const auto result = bo.tune(prob, 20, rng);
+  EXPECT_EQ(result.runs_used, result.measured_indices.size());
+}
+
+TEST_F(BayesOptTest, BeatsRandomSearch) {
+  auto prob = problem(/*history=*/true);
+  BayesOptParams p;
+  p.bootstrap_with_low_fidelity = true;
+  BayesOpt bo(p);
+  RandomSearch rs;
+  const auto& truth = pool_.truth(prob.objective);
+  double bo_sum = 0.0, rs_sum = 0.0;
+  for (int rep = 0; rep < 8; ++rep) {
+    ceal::Rng r1(50 + rep), r2(50 + rep);
+    bo_sum += truth[bo.tune(prob, 20, r1).best_predicted_index];
+    rs_sum += truth[rs.tune(prob, 20, r2).best_predicted_index];
+  }
+  EXPECT_LT(bo_sum, rs_sum);
+}
+
+TEST_F(BayesOptTest, ZeroKappaIsPureExploitation) {
+  auto prob = problem();
+  BayesOptParams p;
+  p.kappa = 0.0;
+  BayesOpt bo(p);
+  ceal::Rng rng(5);
+  const auto result = bo.tune(prob, 15, rng);
+  EXPECT_EQ(result.model_scores.size(), pool_.size());
+}
+
+TEST_F(BayesOptTest, ParamsValidated) {
+  BayesOptParams p;
+  p.ensemble_size = 1;
+  EXPECT_THROW(BayesOpt{p}, ceal::PreconditionError);
+  p = BayesOptParams{};
+  p.kappa = -1.0;
+  EXPECT_THROW(BayesOpt{p}, ceal::PreconditionError);
+  p = BayesOptParams{};
+  p.iterations = 0;
+  EXPECT_THROW(BayesOpt{p}, ceal::PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceal::tuner

@@ -1,0 +1,134 @@
+#include "tuner/ceal.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/stats.h"
+#include "sim/workloads.h"
+#include "tuner/random_search.h"
+
+namespace ceal::tuner {
+namespace {
+
+class CealTest : public ::testing::Test {
+ protected:
+  CealTest()
+      : wl_(sim::make_lv()),
+        pool_(measure_pool(wl_.workflow, 400, 21)),
+        comps_(measure_components(wl_.workflow, 120, 22)) {}
+
+  TuningProblem problem(bool history,
+                        Objective obj = Objective::kExecTime) {
+    return TuningProblem{&wl_, obj, &pool_, &comps_, history};
+  }
+
+  sim::Workload wl_;
+  MeasuredPool pool_;
+  std::vector<ComponentSamples> comps_;
+};
+
+TEST_F(CealTest, NoHistoryChargesComponentRuns) {
+  auto prob = problem(false);
+  CealParams params;  // mR = 0.5 m
+  Ceal ceal(params);
+  ceal::Rng rng(1);
+  const auto result = ceal.tune(prob, 50, rng);
+  // 25 budget units go to component runs, so at most 25 pool configs
+  // can be measured.
+  EXPECT_LE(result.measured_indices.size(), 25u);
+  EXPECT_LE(result.runs_used, 50u);
+}
+
+TEST_F(CealTest, HistoryModeSpendsWholeBudgetOnWorkflowRuns) {
+  auto prob = problem(true);
+  Ceal ceal(CealParams::with_history());
+  ceal::Rng rng(2);
+  const auto result = ceal.tune(prob, 25, rng);
+  EXPECT_EQ(result.runs_used, result.measured_indices.size());
+  EXPECT_GE(result.measured_indices.size(), 20u);
+}
+
+TEST_F(CealTest, DefaultCtorAdaptsParamsToHistoryFlag) {
+  Ceal auto_ceal;
+  ceal::Rng r1(3), r2(3);
+  auto no_hist = problem(false);
+  auto hist = problem(true);
+  const auto a = auto_ceal.tune(no_hist, 30, r1);
+  const auto b = auto_ceal.tune(hist, 30, r2);
+  // Without histories most budget goes to components (few pool runs);
+  // with histories all 30 go to the pool.
+  EXPECT_LT(a.measured_indices.size(), b.measured_indices.size());
+}
+
+TEST_F(CealTest, FindsBetterConfigsThanRandomSearch) {
+  auto prob = problem(true, Objective::kComputerTime);
+  Ceal ceal;
+  RandomSearch rs;
+  const auto& truth = pool_.truth(prob.objective);
+  double ceal_sum = 0.0, rs_sum = 0.0;
+  for (int rep = 0; rep < 10; ++rep) {
+    ceal::Rng r1(100 + rep), r2(100 + rep);
+    ceal_sum += truth[ceal.tune(prob, 25, r1).best_predicted_index];
+    rs_sum += truth[rs.tune(prob, 25, r2).best_predicted_index];
+  }
+  EXPECT_LT(ceal_sum, rs_sum);
+}
+
+TEST_F(CealTest, SamplesConcentrateOnGoodConfigurations) {
+  // §7.4.2: CEAL picks mostly top configurations as training samples.
+  auto prob = problem(true);
+  Ceal ceal;
+  ceal::Rng rng(5);
+  const auto result = ceal.tune(prob, 25, rng);
+  const auto& measured = pool_.measured(prob.objective);
+  const double med = ceal::median(measured);
+  std::size_t below_median = 0;
+  for (const std::size_t i : result.measured_indices) {
+    if (measured[i] < med) ++below_median;
+  }
+  EXPECT_GT(below_median * 2, result.measured_indices.size());
+}
+
+TEST_F(CealTest, WorksForComputerTimeObjective) {
+  auto prob = problem(false, Objective::kComputerTime);
+  Ceal ceal;
+  ceal::Rng rng(6);
+  const auto result = ceal.tune(prob, 25, rng);
+  EXPECT_EQ(result.model_scores.size(), pool_.size());
+  EXPECT_LE(result.runs_used, 25u);
+}
+
+TEST_F(CealTest, TinyBudgetStillProducesAModel) {
+  auto prob = problem(false);
+  Ceal ceal;
+  ceal::Rng rng(7);
+  const auto result = ceal.tune(prob, 5, rng);
+  EXPECT_GE(result.measured_indices.size(), 1u);
+  EXPECT_LE(result.runs_used, 5u);
+}
+
+TEST_F(CealTest, ParamsAreValidated) {
+  CealParams bad;
+  bad.iterations = 0;
+  EXPECT_THROW(Ceal{bad}, ceal::PreconditionError);
+  bad = CealParams{};
+  bad.m0_fraction = 1.0;
+  EXPECT_THROW(Ceal{bad}, ceal::PreconditionError);
+  bad = CealParams{};
+  bad.mR_fraction = -0.1;
+  EXPECT_THROW(Ceal{bad}, ceal::PreconditionError);
+}
+
+TEST_F(CealTest, PresetFactoriesMatchPaperSettings) {
+  const auto no_hist = CealParams::no_history();
+  EXPECT_EQ(no_hist.iterations, 8u);
+  EXPECT_DOUBLE_EQ(no_hist.m0_fraction, 0.05);
+  EXPECT_DOUBLE_EQ(no_hist.mR_fraction, 0.5);
+  const auto hist = CealParams::with_history();
+  EXPECT_EQ(hist.iterations, 3u);
+  EXPECT_DOUBLE_EQ(hist.m0_fraction, 0.15);
+  EXPECT_DOUBLE_EQ(hist.mR_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace ceal::tuner

@@ -1,0 +1,135 @@
+#include "tuner/collector.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "sim/workloads.h"
+
+namespace ceal::tuner {
+namespace {
+
+class CollectorTest : public ::testing::Test {
+ protected:
+  CollectorTest()
+      : wl_(sim::make_lv()),
+        pool_(measure_pool(wl_.workflow, 100, 1)),
+        comps_(measure_components(wl_.workflow, 30, 2)) {}
+
+  TuningProblem problem(bool history = false) {
+    return TuningProblem{&wl_, Objective::kExecTime, &pool_, &comps_,
+                         history};
+  }
+
+  sim::Workload wl_;
+  MeasuredPool pool_;
+  std::vector<ComponentSamples> comps_;
+};
+
+TEST_F(CollectorTest, MeasureChargesOncePerConfig) {
+  auto prob = problem();
+  Collector col(prob, 10);
+  EXPECT_EQ(col.remaining(), 10u);
+  const double v1 = col.measure(5);
+  EXPECT_EQ(col.runs_used(), 1u);
+  const double v2 = col.measure(5);  // cached, free
+  EXPECT_EQ(col.runs_used(), 1u);
+  EXPECT_DOUBLE_EQ(v1, v2);
+  EXPECT_DOUBLE_EQ(v1, pool_.exec_s[5]);
+}
+
+TEST_F(CollectorTest, BudgetExhaustionThrows) {
+  auto prob = problem();
+  Collector col(prob, 2);
+  col.measure(0);
+  col.measure(1);
+  EXPECT_EQ(col.remaining(), 0u);
+  EXPECT_THROW(col.measure(2), ceal::PreconditionError);
+  // Already-measured configs stay free even at zero budget.
+  EXPECT_DOUBLE_EQ(col.measure(1), pool_.exec_s[1]);
+}
+
+TEST_F(CollectorTest, MeasuredBookkeeping) {
+  auto prob = problem();
+  Collector col(prob, 5);
+  col.measure(7);
+  col.measure(3);
+  EXPECT_TRUE(col.is_measured(7));
+  EXPECT_FALSE(col.is_measured(8));
+  const std::vector<std::size_t> expected{7, 3};
+  EXPECT_EQ(col.measured_indices(), expected);
+  EXPECT_EQ(col.measured_values().size(), 2u);
+  EXPECT_DOUBLE_EQ(col.measured_values()[1], pool_.exec_s[3]);
+}
+
+TEST_F(CollectorTest, CostAccumulatesMeasuredTimes) {
+  auto prob = problem();
+  Collector col(prob, 5);
+  col.measure(0);
+  col.measure(1);
+  EXPECT_DOUBLE_EQ(col.cost_exec_s(), pool_.exec_s[0] + pool_.exec_s[1]);
+  EXPECT_DOUBLE_EQ(col.cost_comp_ch(), pool_.comp_ch[0] + pool_.comp_ch[1]);
+}
+
+TEST_F(CollectorTest, ComponentSamplesChargeRounds) {
+  auto prob = problem();
+  Collector col(prob, 20);
+  ceal::Rng rng(1);
+  const auto& idx = col.acquire_component_samples(8, rng);
+  EXPECT_EQ(col.runs_used(), 8u);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0].size(), 8u);
+  EXPECT_EQ(idx[1].size(), 8u);
+  EXPECT_GT(col.cost_exec_s(), 0.0);
+}
+
+TEST_F(CollectorTest, ComponentSamplesAreDistinctAcrossCalls) {
+  auto prob = problem();
+  Collector col(prob, 30);
+  ceal::Rng rng(2);
+  col.acquire_component_samples(10, rng);
+  const auto idx = col.acquire_component_samples(10, rng);
+  std::set<std::size_t> seen(idx[0].begin(), idx[0].end());
+  EXPECT_EQ(seen.size(), 20u);  // no repeats within a component
+}
+
+TEST_F(CollectorTest, HistoryModeComponentSamplesAreFree) {
+  auto prob = problem(/*history=*/true);
+  Collector col(prob, 5);
+  const auto& idx = col.all_component_samples();
+  EXPECT_EQ(col.runs_used(), 0u);
+  EXPECT_EQ(idx[0].size(), comps_[0].size());
+  EXPECT_EQ(idx[1].size(), comps_[1].size());
+}
+
+TEST_F(CollectorTest, FreeSamplesRequireHistoryMode) {
+  auto prob = problem(/*history=*/false);
+  Collector col(prob, 5);
+  EXPECT_THROW(col.all_component_samples(), ceal::PreconditionError);
+}
+
+TEST_F(CollectorTest, HistoryModeAcquireDoesNotCharge) {
+  auto prob = problem(/*history=*/true);
+  Collector col(prob, 5);
+  ceal::Rng rng(3);
+  col.acquire_component_samples(4, rng);
+  EXPECT_EQ(col.runs_used(), 0u);
+}
+
+TEST_F(CollectorTest, ObjectiveSelectsMeasuredMetric) {
+  auto prob = problem();
+  prob.objective = Objective::kComputerTime;
+  Collector col(prob, 5);
+  EXPECT_DOUBLE_EQ(col.measure(4), pool_.comp_ch[4]);
+}
+
+TEST_F(CollectorTest, ComponentPoolExhaustionIsGraceful) {
+  auto prob = problem();
+  Collector col(prob, 50);
+  ceal::Rng rng(4);
+  // Only 30 samples exist per component; asking for 40 rounds yields 30.
+  const auto& idx = col.acquire_component_samples(40, rng);
+  EXPECT_EQ(idx[0].size(), 30u);
+}
+
+}  // namespace
+}  // namespace ceal::tuner

@@ -1,0 +1,87 @@
+// Focused tests of GEIST's parameter graph and selection behaviour.
+#include <gtest/gtest.h>
+
+#include "config/config_space.h"
+#include "core/error.h"
+#include "core/rng.h"
+#include "tuner/geist.h"
+
+namespace ceal::tuner {
+namespace {
+
+using config::ConfigSpace;
+using config::Configuration;
+using config::Parameter;
+
+TEST(PoolGraph, ChainNeighborsAreIndexAdjacent) {
+  // Configurations on a 1-D line: nearest neighbours in feature space are
+  // the nearest values.
+  const ConfigSpace space({Parameter::range("x", 0, 99)});
+  std::vector<Configuration> configs;
+  for (int x = 0; x < 100; ++x) configs.push_back({x});
+  const PoolGraph graph(space, configs, /*k_neighbors=*/2);
+  ASSERT_EQ(graph.size(), 100u);
+  // Interior nodes: neighbours are x-1 and x+1.
+  for (std::size_t i = 10; i < 90; ++i) {
+    const auto& nbrs = graph.neighbors(i);
+    ASSERT_EQ(nbrs.size(), 2u);
+    for (const std::size_t nb : nbrs) {
+      const auto delta = static_cast<std::ptrdiff_t>(nb) -
+                         static_cast<std::ptrdiff_t>(i);
+      EXPECT_LE(std::abs(delta), 2);
+      EXPECT_NE(delta, 0);
+    }
+  }
+}
+
+TEST(PoolGraph, NormalisationMakesScalesComparable) {
+  // Feature 0 in [0,1], feature 1 in [0,1000]. Two clusters split on
+  // feature 0 only; with min-max normalisation, same-cluster points are
+  // each other's neighbours despite feature 1 spreading within clusters.
+  const ConfigSpace space(
+      {Parameter("a", {0, 1}), Parameter::range("b", 0, 1000, 100)});
+  std::vector<Configuration> configs;
+  for (int b = 0; b <= 1000; b += 100) {
+    configs.push_back({0, b});
+    configs.push_back({1, b});
+  }
+  const PoolGraph graph(space, configs, /*k_neighbors=*/1);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    for (const std::size_t nb : graph.neighbors(i)) {
+      EXPECT_EQ(configs[nb][0], configs[i][0])
+          << "neighbour crossed the informative cluster split";
+    }
+  }
+}
+
+TEST(PoolGraph, DuplicatePointsAreMutualNeighbors) {
+  const ConfigSpace space({Parameter::range("x", 0, 9)});
+  std::vector<Configuration> configs{{0}, {0}, {9}};
+  const PoolGraph graph(space, configs, /*k_neighbors=*/1);
+  EXPECT_EQ(graph.neighbors(0)[0], 1u);
+  EXPECT_EQ(graph.neighbors(1)[0], 0u);
+}
+
+TEST(PoolGraph, KClampedToPoolSize) {
+  const ConfigSpace space({Parameter::range("x", 0, 9)});
+  std::vector<Configuration> configs{{0}, {5}, {9}};
+  const PoolGraph graph(space, configs, /*k_neighbors=*/10);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(graph.neighbors(i).size(), 2u);  // everyone else
+  }
+}
+
+TEST(GeistParams, Validation) {
+  GeistParams p;
+  p.alpha = 1.5;
+  EXPECT_THROW(Geist{p}, ceal::PreconditionError);
+  p = GeistParams{};
+  p.top_quantile = 0.0;
+  EXPECT_THROW(Geist{p}, ceal::PreconditionError);
+  p = GeistParams{};
+  p.iterations = 0;
+  EXPECT_THROW(Geist{p}, ceal::PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceal::tuner

@@ -1,0 +1,23 @@
+#include "tuner/objective.h"
+
+#include <gtest/gtest.h>
+
+namespace ceal::tuner {
+namespace {
+
+TEST(Objective, MetricSelectsTheRightField) {
+  sim::Measurement m;
+  m.exec_s = 12.5;
+  m.comp_ch = 3.75;
+  EXPECT_DOUBLE_EQ(metric(m, Objective::kExecTime), 12.5);
+  EXPECT_DOUBLE_EQ(metric(m, Objective::kComputerTime), 3.75);
+}
+
+TEST(Objective, NamesAreStableApi) {
+  // Bench CSVs and CLI flags key on these strings.
+  EXPECT_EQ(objective_name(Objective::kExecTime), "exec_time");
+  EXPECT_EQ(objective_name(Objective::kComputerTime), "computer_time");
+}
+
+}  // namespace
+}  // namespace ceal::tuner

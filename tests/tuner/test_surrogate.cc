@@ -1,0 +1,126 @@
+#include "tuner/surrogate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace ceal::tuner {
+namespace {
+
+using config::ConfigSpace;
+using config::Configuration;
+using config::Parameter;
+
+ConfigSpace grid() {
+  return ConfigSpace(
+      {Parameter::range("x", 1, 32), Parameter::range("y", 1, 8)});
+}
+
+TEST(Surrogate, FitsMultiplicativeSurface) {
+  const auto space = grid();
+  ceal::Rng rng(1);
+  std::vector<Configuration> configs;
+  std::vector<double> targets;
+  for (int i = 0; i < 200; ++i) {
+    const Configuration c = space.random_valid(rng);
+    configs.push_back(c);
+    targets.push_back(100.0 / c[0] * (1.0 + 0.2 * c[1]));
+  }
+  Surrogate model;
+  model.fit(space, configs, targets, rng);
+  // Ranking: fewer x is slower.
+  EXPECT_GT(model.predict(space, {2, 4}), model.predict(space, {30, 4}));
+}
+
+TEST(Surrogate, LogTargetsKeepOutlierFromPoisoningGoodRegion) {
+  const auto space = grid();
+  ceal::Rng rng(2);
+  std::vector<Configuration> configs;
+  std::vector<double> targets;
+  for (int x = 20; x <= 28; ++x) {
+    configs.push_back({x, 1});
+    targets.push_back(10.0);
+  }
+  configs.push_back({1, 8});
+  targets.push_back(5000.0);  // extreme outlier
+  Surrogate model;
+  model.fit(space, configs, targets, rng);
+  EXPECT_NEAR(model.predict(space, {24, 1}), 10.0, 3.0);
+}
+
+TEST(Surrogate, PredictionsArePositiveWithLogTargets) {
+  const auto space = grid();
+  ceal::Rng rng(3);
+  std::vector<Configuration> configs{{1, 1}, {32, 8}, {16, 4}};
+  std::vector<double> targets{100.0, 1.0, 10.0};
+  Surrogate model;
+  model.fit(space, configs, targets, rng);
+  for (int x = 1; x <= 32; x += 5) {
+    for (int y = 1; y <= 8; ++y) {
+      EXPECT_GT(model.predict(space, {x, y}), 0.0);
+    }
+  }
+}
+
+TEST(Surrogate, LogTargetsRejectNonPositiveValues) {
+  const auto space = grid();
+  ceal::Rng rng(4);
+  std::vector<Configuration> configs{{1, 1}};
+  std::vector<double> targets{0.0};
+  Surrogate model;
+  EXPECT_THROW(model.fit(space, configs, targets, rng),
+               ceal::PreconditionError);
+}
+
+TEST(Surrogate, RawModeAllowsAnyTargets) {
+  const auto space = grid();
+  ceal::Rng rng(5);
+  std::vector<Configuration> configs{{1, 1}, {2, 1}};
+  std::vector<double> targets{-5.0, 5.0};
+  Surrogate model(ml::GradientBoostedTrees::surrogate_defaults(),
+                  /*log_targets=*/false);
+  model.fit(space, configs, targets, rng);
+  EXPECT_LT(model.predict(space, {1, 1}), model.predict(space, {2, 1}));
+}
+
+TEST(Surrogate, PredictManyMatchesPredict) {
+  const auto space = grid();
+  ceal::Rng rng(6);
+  std::vector<Configuration> configs{{1, 1}, {8, 2}, {32, 8}};
+  std::vector<double> targets{30.0, 20.0, 10.0};
+  Surrogate model;
+  model.fit(space, configs, targets, rng);
+  const auto many = model.predict_many(space, configs);
+  ASSERT_EQ(many.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(many[i], model.predict(space, configs[i]));
+  }
+}
+
+TEST(Surrogate, MismatchedSizesRejected) {
+  const auto space = grid();
+  ceal::Rng rng(7);
+  std::vector<Configuration> configs{{1, 1}};
+  std::vector<double> targets{1.0, 2.0};
+  Surrogate model;
+  EXPECT_THROW(model.fit(space, configs, targets, rng),
+               ceal::PreconditionError);
+}
+
+TEST(Surrogate, IsFittedLifecycle) {
+  Surrogate model;
+  EXPECT_FALSE(model.is_fitted());
+  const auto space = grid();
+  ceal::Rng rng(8);
+  std::vector<Configuration> configs{{4, 4}};
+  std::vector<double> targets{2.0};
+  model.fit(space, configs, targets, rng);
+  EXPECT_TRUE(model.is_fitted());
+  EXPECT_NEAR(model.predict(space, {4, 4}), 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace ceal::tuner

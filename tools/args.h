@@ -1,0 +1,103 @@
+// Tiny declarative command-line parser shared by the ceal_* tools.
+// Flags are "--name value" or boolean "--name"; unknown flags abort with
+// the usage text.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ceal::tools {
+
+class Args {
+ public:
+  Args(int argc, char** argv, std::string usage)
+      : program_(argv[0]), usage_(std::move(usage)) {
+    for (int i = 1; i < argc; ++i) tokens_.emplace_back(argv[i]);
+  }
+
+  /// Declares a boolean flag; returns true when present.
+  bool flag(const std::string& name) {
+    declared_.insert(name);
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (tokens_[i] == "--" + name) {
+        consumed_.insert(i);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Declares a valued option; returns its value or `fallback`.
+  std::string option(const std::string& name, std::string fallback) {
+    return value_of(name).value_or(std::move(fallback));
+  }
+
+  /// Declares a required valued option; exits with usage when missing.
+  std::string required(const std::string& name) {
+    auto v = value_of(name);
+    if (!v) {
+      std::cerr << "missing required --" << name << "\n" << usage_text();
+      std::exit(2);
+    }
+    return *v;
+  }
+
+  long integer(const std::string& name, long fallback) {
+    const auto v = value_of(name);
+    if (!v) return fallback;
+    char* end = nullptr;
+    const long parsed = std::strtol(v->c_str(), &end, 10);
+    if (end == v->c_str() || *end != '\0') {
+      std::cerr << "--" << name << " expects an integer, got '" << *v
+                << "'\n";
+      std::exit(2);
+    }
+    return parsed;
+  }
+
+  /// Call after all declarations: rejects unknown/unconsumed flags and
+  /// handles --help.
+  void finish() {
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (tokens_[i] == "--help" || tokens_[i] == "-h") {
+        std::cout << usage_text();
+        std::exit(0);
+      }
+      if (!consumed_.count(i)) {
+        std::cerr << "unknown argument '" << tokens_[i] << "'\n"
+                  << usage_text();
+        std::exit(2);
+      }
+    }
+  }
+
+  std::string usage_text() const {
+    return "usage: " + program_ + " " + usage_ + "\n";
+  }
+
+ private:
+  std::optional<std::string> value_of(const std::string& name) {
+    declared_.insert(name);
+    for (std::size_t i = 0; i + 1 < tokens_.size(); ++i) {
+      if (tokens_[i] == "--" + name) {
+        consumed_.insert(i);
+        consumed_.insert(i + 1);
+        return tokens_[i + 1];
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::string program_;
+  std::string usage_;
+  std::vector<std::string> tokens_;
+  std::set<std::size_t> consumed_;
+  std::set<std::string> declared_;
+};
+
+}  // namespace ceal::tools

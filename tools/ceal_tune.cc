@@ -1,0 +1,167 @@
+// ceal_tune — run one auto-tuning session (or an averaged evaluation)
+// against a benchmark workflow.
+//
+//   ceal_tune --workflow LV --objective comp --budget 25 --history
+//   ceal_tune --workflow HS --objective exec --budget 50
+//             --algorithm AL --replications 40
+//   ceal_tune --workflow LV --objective exec --budget 50
+//             --load-pool pool.csv --save-model surrogate.gbt
+#include <cmath>
+#include <iostream>
+
+#include "core/table.h"
+#include "ml/serialize.h"
+#include "tools/args.h"
+#include "tools/common.h"
+#include "tuner/evaluation.h"
+#include "tuner/measured_pool.h"
+#include "tuner/pool_io.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "--workflow LV|HS|GP --objective exec|comp --budget N\n"
+    "  [--algorithm CEAL|AL|RS|GEIST|ALpH|BO|BO-CEAL]  (default CEAL)\n"
+    "  [--history]              treat component samples as free history\n"
+    "  [--replications N]       N>1: evaluate instead of one session\n"
+    "  [--pool-size N]          default 2000\n"
+    "  [--component-samples N]  default 500\n"
+    "  [--pool-seed S] [--seed S]\n"
+    "  [--load-pool FILE] [--save-pool FILE]  pool CSV persistence\n"
+    "  [--save-model FILE]      persist a surrogate fitted on the session\n"
+    "  [--explain]              print the recommendation's cost breakdown";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ceal;
+  tools::Args args(argc, argv, kUsage);
+
+  const auto wl_name = args.required("workflow");
+  const auto objective = tools::objective_by_name(args.required("objective"));
+  const auto budget = static_cast<std::size_t>(args.integer("budget", 0));
+  const auto algo = tools::algorithm_by_name(args.option("algorithm", "CEAL"));
+  const bool history = args.flag("history");
+  const auto replications =
+      static_cast<std::size_t>(args.integer("replications", 1));
+  const auto pool_size =
+      static_cast<std::size_t>(args.integer("pool-size", 2000));
+  const auto comp_samples =
+      static_cast<std::size_t>(args.integer("component-samples", 500));
+  const auto pool_seed =
+      static_cast<std::uint64_t>(args.integer("pool-seed", 1));
+  const auto seed = static_cast<std::uint64_t>(args.integer("seed", 42));
+  const auto load_pool = args.option("load-pool", "");
+  const auto save_pool = args.option("save-pool", "");
+  const auto save_model = args.option("save-model", "");
+  const bool explain = args.flag("explain");
+  args.finish();
+
+  if (budget == 0) {
+    std::cerr << "--budget must be >= 1\n" << args.usage_text();
+    return 2;
+  }
+
+  sim::Workload wl = tools::workload_by_name(wl_name);
+  const auto& space = wl.workflow.joint_space();
+
+  const tuner::MeasuredPool pool =
+      load_pool.empty()
+          ? tuner::measure_pool(wl.workflow, pool_size, pool_seed)
+          : tuner::load_pool_csv(space, load_pool);
+  if (!save_pool.empty()) {
+    tuner::save_pool_csv(pool, space, save_pool);
+    std::cout << "pool saved to " << save_pool << " (" << pool.size()
+              << " configurations)\n";
+  }
+  const auto comps =
+      tuner::measure_components(wl.workflow, comp_samples, pool_seed + 1);
+
+  tuner::TuningProblem problem{&wl, objective, &pool, &comps, history};
+
+  if (replications > 1) {
+    const auto s =
+        tuner::evaluate(problem, *algo, budget, replications, seed);
+    Table table({"metric", "value"});
+    table.add_row({"algorithm", s.algorithm});
+    table.add_row({"normalized performance", Table::num(s.mean_norm_perf)});
+    table.add_row({"median normalized", Table::num(s.median_norm_perf)});
+    table.add_row({"top-1 recall", Table::num(s.mean_recall[0], 1) + "%"});
+    table.add_row({"top-3 recall", Table::num(s.mean_recall[2], 1) + "%"});
+    table.add_row({"MdAPE top-2%", Table::num(s.mean_mdape_top2, 1) + "%"});
+    table.add_row({"MdAPE all", Table::num(s.mean_mdape_all, 1) + "%"});
+    table.add_row({"mean collection cost (s)",
+                   Table::num(s.mean_cost_exec_s, 1)});
+    table.add_row({"mean collection cost (ch)",
+                   Table::num(s.mean_cost_comp_ch, 2)});
+    table.add_row({"least number of uses",
+                   std::isinf(s.least_uses) ? "inf"
+                                            : Table::num(s.least_uses, 0)});
+    table.add_row({"beats expert",
+                   Table::num(100.0 * s.frac_beat_expert, 0) + "%"});
+    std::cout << table;
+    return 0;
+  }
+
+  Rng rng(seed);
+  const auto result = algo->tune(problem, budget, rng);
+  const auto& best = pool.configs[result.best_predicted_index];
+  const auto perf = wl.workflow.expected(best);
+
+  std::cout << algo->name() << " on " << wl.workflow.name() << " ("
+            << tuner::objective_name(objective) << ", budget " << budget
+            << (history ? ", with histories" : "") << ")\n";
+  std::cout << "  measured " << result.measured_indices.size()
+            << " workflow configurations, " << result.runs_used
+            << " budget units used\n";
+  std::cout << "  recommendation: " << config::to_string(best) << "\n";
+  std::cout << "  expected: " << Table::num(perf.exec_s, 2) << " s on "
+            << perf.nodes << " nodes = " << Table::num(perf.comp_ch, 3)
+            << " core-hours per run\n";
+  const auto& expert = objective == tuner::Objective::kExecTime
+                           ? wl.expert_exec
+                           : wl.expert_comp;
+  std::cout << "  expert config: "
+            << Table::num(tuner::metric(wl.workflow.expected(expert),
+                                        objective),
+                          3)
+            << (objective == tuner::Objective::kExecTime ? " s"
+                                                         : " core-hours")
+            << "\n";
+
+  if (explain) {
+    const auto bd = wl.workflow.explain(best);
+    Table table({"component", "procs", "nodes", "compute (s)",
+                 "staging (s)", "transfer (s)", "period (s)", ""});
+    for (const auto& c : bd.components) {
+      table.add_row({c.name, std::to_string(c.procs),
+                     std::to_string(c.nodes),
+                     Table::num(c.step_compute_s, 4),
+                     Table::num(c.staging_s, 4),
+                     Table::num(c.transfer_exposed_s, 4),
+                     Table::num(c.period_s, 4),
+                     c.bottleneck ? "<- bottleneck" : ""});
+    }
+    std::cout << "\n" << table;
+    std::cout << "contention x" << Table::num(bd.contention_factor, 3)
+              << ", synchronised step " << Table::num(bd.step_s, 4)
+              << " s, startup " << Table::num(bd.startup_s, 1) << " s\n";
+  }
+
+  if (!save_model.empty()) {
+    // Fit a log-time GBT on everything the session measured and persist
+    // it (predictions are exp() of the model output).
+    ml::Dataset data(space.dimension());
+    for (const std::size_t i : result.measured_indices) {
+      data.add(space.features(pool.configs[i]),
+               std::log(pool.measured(objective)[i]));
+    }
+    ml::GradientBoostedTrees model(
+        ml::GradientBoostedTrees::surrogate_defaults());
+    Rng model_rng(seed + 1);
+    model.fit(data, model_rng);
+    ml::save_gbt_file(model, save_model, space.dimension());
+    std::cout << "surrogate (log-time GBT) saved to " << save_model << "\n";
+  }
+  return 0;
+}

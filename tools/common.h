@@ -1,0 +1,68 @@
+// Shared lookups for the ceal_* command-line tools.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "sim/workloads.h"
+#include "tuner/active_learning.h"
+#include "tuner/alph.h"
+#include "tuner/bayes_opt.h"
+#include "tuner/ceal.h"
+#include "tuner/geist.h"
+#include "tuner/objective.h"
+#include "tuner/random_search.h"
+
+namespace ceal::tools {
+
+inline sim::Workload workload_by_name(const std::string& name) {
+  if (name == "LV" || name == "lv") return sim::make_lv();
+  if (name == "HS" || name == "hs") return sim::make_hs();
+  if (name == "GP" || name == "gp") return sim::make_gp();
+  std::cerr << "unknown workflow '" << name << "' (expected LV, HS, GP)\n";
+  std::exit(2);
+}
+
+inline tuner::Objective objective_by_name(const std::string& name) {
+  if (name == "exec" || name == "exec_time") {
+    return tuner::Objective::kExecTime;
+  }
+  if (name == "comp" || name == "computer_time") {
+    return tuner::Objective::kComputerTime;
+  }
+  std::cerr << "unknown objective '" << name << "' (expected exec, comp)\n";
+  std::exit(2);
+}
+
+inline std::unique_ptr<tuner::AutoTuner> algorithm_by_name(
+    const std::string& name) {
+  if (name == "CEAL") return std::make_unique<tuner::Ceal>();
+  if (name == "AL") return std::make_unique<tuner::ActiveLearning>();
+  if (name == "RS") return std::make_unique<tuner::RandomSearch>();
+  if (name == "GEIST") return std::make_unique<tuner::Geist>();
+  if (name == "ALpH") return std::make_unique<tuner::Alph>();
+  if (name == "BO") return std::make_unique<tuner::BayesOpt>();
+  if (name == "BO-CEAL") {
+    tuner::BayesOptParams params;
+    params.bootstrap_with_low_fidelity = true;
+    return std::make_unique<tuner::BayesOpt>(params);
+  }
+  std::cerr << "unknown algorithm '" << name
+            << "' (expected CEAL, AL, RS, GEIST, ALpH, BO, BO-CEAL)\n";
+  std::exit(2);
+}
+
+/// Parses "288,18,2,288,18,2" into a Configuration.
+inline config::Configuration parse_config(const std::string& text) {
+  config::Configuration c;
+  std::string token;
+  std::istringstream is(text);
+  while (std::getline(is, token, ',')) {
+    c.push_back(static_cast<int>(std::strtol(token.c_str(), nullptr, 10)));
+  }
+  return c;
+}
+
+}  // namespace ceal::tools
