@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ceal.dir/bench_ablation_ceal.cc.o"
+  "CMakeFiles/bench_ablation_ceal.dir/bench_ablation_ceal.cc.o.d"
+  "bench_ablation_ceal"
+  "bench_ablation_ceal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ceal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

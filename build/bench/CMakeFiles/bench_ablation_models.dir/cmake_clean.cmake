@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_models.dir/bench_ablation_models.cc.o"
+  "CMakeFiles/bench_ablation_models.dir/bench_ablation_models.cc.o.d"
+  "bench_ablation_models"
+  "bench_ablation_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

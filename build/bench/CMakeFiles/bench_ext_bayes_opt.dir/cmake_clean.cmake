@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_bayes_opt.dir/bench_ext_bayes_opt.cc.o"
+  "CMakeFiles/bench_ext_bayes_opt.dir/bench_ext_bayes_opt.cc.o.d"
+  "bench_ext_bayes_opt"
+  "bench_ext_bayes_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_bayes_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

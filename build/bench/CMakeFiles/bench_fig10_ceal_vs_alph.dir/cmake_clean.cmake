@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_ceal_vs_alph.dir/bench_fig10_ceal_vs_alph.cc.o"
+  "CMakeFiles/bench_fig10_ceal_vs_alph.dir/bench_fig10_ceal_vs_alph.cc.o.d"
+  "bench_fig10_ceal_vs_alph"
+  "bench_fig10_ceal_vs_alph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_ceal_vs_alph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

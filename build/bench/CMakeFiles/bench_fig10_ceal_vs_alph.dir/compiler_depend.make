@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig10_ceal_vs_alph.
+# This may be replaced when dependencies are built.

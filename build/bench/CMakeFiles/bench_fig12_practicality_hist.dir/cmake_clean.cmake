@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_practicality_hist.dir/bench_fig12_practicality_hist.cc.o"
+  "CMakeFiles/bench_fig12_practicality_hist.dir/bench_fig12_practicality_hist.cc.o.d"
+  "bench_fig12_practicality_hist"
+  "bench_fig12_practicality_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_practicality_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

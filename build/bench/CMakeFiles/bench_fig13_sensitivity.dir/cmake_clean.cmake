@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_sensitivity.dir/bench_fig13_sensitivity.cc.o"
+  "CMakeFiles/bench_fig13_sensitivity.dir/bench_fig13_sensitivity.cc.o.d"
+  "bench_fig13_sensitivity"
+  "bench_fig13_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_combination_recall.
+# This may be replaced when dependencies are built.

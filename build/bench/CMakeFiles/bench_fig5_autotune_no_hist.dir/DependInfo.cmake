@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_autotune_no_hist.cc" "bench/CMakeFiles/bench_fig5_autotune_no_hist.dir/bench_fig5_autotune_no_hist.cc.o" "gcc" "bench/CMakeFiles/bench_fig5_autotune_no_hist.dir/bench_fig5_autotune_no_hist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuner/CMakeFiles/ceal_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ceal_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ceal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/ceal_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ceal_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

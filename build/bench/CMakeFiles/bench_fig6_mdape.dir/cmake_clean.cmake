@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_mdape.dir/bench_fig6_mdape.cc.o"
+  "CMakeFiles/bench_fig6_mdape.dir/bench_fig6_mdape.cc.o.d"
+  "bench_fig6_mdape"
+  "bench_fig6_mdape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_mdape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

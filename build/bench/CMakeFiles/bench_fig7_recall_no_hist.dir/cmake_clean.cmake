@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_recall_no_hist.dir/bench_fig7_recall_no_hist.cc.o"
+  "CMakeFiles/bench_fig7_recall_no_hist.dir/bench_fig7_recall_no_hist.cc.o.d"
+  "bench_fig7_recall_no_hist"
+  "bench_fig7_recall_no_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_recall_no_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

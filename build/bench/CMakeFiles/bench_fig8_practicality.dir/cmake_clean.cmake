@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_practicality.dir/bench_fig8_practicality.cc.o"
+  "CMakeFiles/bench_fig8_practicality.dir/bench_fig8_practicality.cc.o.d"
+  "bench_fig8_practicality"
+  "bench_fig8_practicality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_practicality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

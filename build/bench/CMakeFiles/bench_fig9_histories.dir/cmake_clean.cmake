@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_histories.dir/bench_fig9_histories.cc.o"
+  "CMakeFiles/bench_fig9_histories.dir/bench_fig9_histories.cc.o.d"
+  "bench_fig9_histories"
+  "bench_fig9_histories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_histories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_ml.dir/bench_micro_ml.cc.o"
+  "CMakeFiles/bench_micro_ml.dir/bench_micro_ml.cc.o.d"
+  "bench_micro_ml"
+  "bench_micro_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

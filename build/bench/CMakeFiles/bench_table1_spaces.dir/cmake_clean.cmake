@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_spaces.dir/bench_table1_spaces.cc.o"
+  "CMakeFiles/bench_table1_spaces.dir/bench_table1_spaces.cc.o.d"
+  "bench_table1_spaces"
+  "bench_table1_spaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_spaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_best_vs_expert.dir/bench_table2_best_vs_expert.cc.o"
+  "CMakeFiles/bench_table2_best_vs_expert.dir/bench_table2_best_vs_expert.cc.o.d"
+  "bench_table2_best_vs_expert"
+  "bench_table2_best_vs_expert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_best_vs_expert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

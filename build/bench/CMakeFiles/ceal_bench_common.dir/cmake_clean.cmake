@@ -1,0 +1,9 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceal_bench_common.dir/common.cc.o"
+  "CMakeFiles/ceal_bench_common.dir/common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceal_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

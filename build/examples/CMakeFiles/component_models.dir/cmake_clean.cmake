@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/component_models.dir/component_models.cpp.o"
+  "CMakeFiles/component_models.dir/component_models.cpp.o.d"
+  "component_models"
+  "component_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/component_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

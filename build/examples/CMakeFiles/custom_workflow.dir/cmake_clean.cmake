@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_workflow.dir/custom_workflow.cpp.o"
+  "CMakeFiles/custom_workflow.dir/custom_workflow.cpp.o.d"
+  "custom_workflow"
+  "custom_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_autotune.dir/lv_autotune.cpp.o"
+  "CMakeFiles/lv_autotune.dir/lv_autotune.cpp.o.d"
+  "lv_autotune"
+  "lv_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lv_autotune.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for lv_autotune.
+# This may be replaced when dependencies are built.

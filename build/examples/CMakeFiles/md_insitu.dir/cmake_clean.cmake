@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_insitu.dir/md_insitu.cpp.o"
+  "CMakeFiles/md_insitu.dir/md_insitu.cpp.o.d"
+  "md_insitu"
+  "md_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for md_insitu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for md_insitu.
+# This may be replaced when dependencies are built.

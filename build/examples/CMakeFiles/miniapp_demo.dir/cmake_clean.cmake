@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniapp_demo.dir/miniapp_demo.cpp.o"
+  "CMakeFiles/miniapp_demo.dir/miniapp_demo.cpp.o.d"
+  "miniapp_demo"
+  "miniapp_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniapp_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

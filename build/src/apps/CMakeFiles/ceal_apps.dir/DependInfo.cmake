@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/gray_scott.cc" "src/apps/CMakeFiles/ceal_apps.dir/gray_scott.cc.o" "gcc" "src/apps/CMakeFiles/ceal_apps.dir/gray_scott.cc.o.d"
+  "/root/repo/src/apps/heat_transfer.cc" "src/apps/CMakeFiles/ceal_apps.dir/heat_transfer.cc.o" "gcc" "src/apps/CMakeFiles/ceal_apps.dir/heat_transfer.cc.o.d"
+  "/root/repo/src/apps/md_lite.cc" "src/apps/CMakeFiles/ceal_apps.dir/md_lite.cc.o" "gcc" "src/apps/CMakeFiles/ceal_apps.dir/md_lite.cc.o.d"
+  "/root/repo/src/apps/pdf_calc.cc" "src/apps/CMakeFiles/ceal_apps.dir/pdf_calc.cc.o" "gcc" "src/apps/CMakeFiles/ceal_apps.dir/pdf_calc.cc.o.d"
+  "/root/repo/src/apps/stage_write.cc" "src/apps/CMakeFiles/ceal_apps.dir/stage_write.cc.o" "gcc" "src/apps/CMakeFiles/ceal_apps.dir/stage_write.cc.o.d"
+  "/root/repo/src/apps/stream.cc" "src/apps/CMakeFiles/ceal_apps.dir/stream.cc.o" "gcc" "src/apps/CMakeFiles/ceal_apps.dir/stream.cc.o.d"
+  "/root/repo/src/apps/voronoi_lite.cc" "src/apps/CMakeFiles/ceal_apps.dir/voronoi_lite.cc.o" "gcc" "src/apps/CMakeFiles/ceal_apps.dir/voronoi_lite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ceal_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

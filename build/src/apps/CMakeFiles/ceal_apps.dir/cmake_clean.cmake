@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceal_apps.dir/gray_scott.cc.o"
+  "CMakeFiles/ceal_apps.dir/gray_scott.cc.o.d"
+  "CMakeFiles/ceal_apps.dir/heat_transfer.cc.o"
+  "CMakeFiles/ceal_apps.dir/heat_transfer.cc.o.d"
+  "CMakeFiles/ceal_apps.dir/md_lite.cc.o"
+  "CMakeFiles/ceal_apps.dir/md_lite.cc.o.d"
+  "CMakeFiles/ceal_apps.dir/pdf_calc.cc.o"
+  "CMakeFiles/ceal_apps.dir/pdf_calc.cc.o.d"
+  "CMakeFiles/ceal_apps.dir/stage_write.cc.o"
+  "CMakeFiles/ceal_apps.dir/stage_write.cc.o.d"
+  "CMakeFiles/ceal_apps.dir/stream.cc.o"
+  "CMakeFiles/ceal_apps.dir/stream.cc.o.d"
+  "CMakeFiles/ceal_apps.dir/voronoi_lite.cc.o"
+  "CMakeFiles/ceal_apps.dir/voronoi_lite.cc.o.d"
+  "libceal_apps.a"
+  "libceal_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceal_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/composite.cc" "src/config/CMakeFiles/ceal_config.dir/composite.cc.o" "gcc" "src/config/CMakeFiles/ceal_config.dir/composite.cc.o.d"
+  "/root/repo/src/config/config_space.cc" "src/config/CMakeFiles/ceal_config.dir/config_space.cc.o" "gcc" "src/config/CMakeFiles/ceal_config.dir/config_space.cc.o.d"
+  "/root/repo/src/config/parameter.cc" "src/config/CMakeFiles/ceal_config.dir/parameter.cc.o" "gcc" "src/config/CMakeFiles/ceal_config.dir/parameter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ceal_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

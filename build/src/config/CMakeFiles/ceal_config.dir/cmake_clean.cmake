@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceal_config.dir/composite.cc.o"
+  "CMakeFiles/ceal_config.dir/composite.cc.o.d"
+  "CMakeFiles/ceal_config.dir/config_space.cc.o"
+  "CMakeFiles/ceal_config.dir/config_space.cc.o.d"
+  "CMakeFiles/ceal_config.dir/parameter.cc.o"
+  "CMakeFiles/ceal_config.dir/parameter.cc.o.d"
+  "libceal_config.a"
+  "libceal_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceal_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

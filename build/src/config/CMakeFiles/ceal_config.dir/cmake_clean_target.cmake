@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libceal_config.a"
+)

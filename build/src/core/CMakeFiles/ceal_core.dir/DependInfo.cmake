@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/csv.cc" "src/core/CMakeFiles/ceal_core.dir/csv.cc.o" "gcc" "src/core/CMakeFiles/ceal_core.dir/csv.cc.o.d"
+  "/root/repo/src/core/rng.cc" "src/core/CMakeFiles/ceal_core.dir/rng.cc.o" "gcc" "src/core/CMakeFiles/ceal_core.dir/rng.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/ceal_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/ceal_core.dir/stats.cc.o.d"
+  "/root/repo/src/core/table.cc" "src/core/CMakeFiles/ceal_core.dir/table.cc.o" "gcc" "src/core/CMakeFiles/ceal_core.dir/table.cc.o.d"
+  "/root/repo/src/core/thread_pool.cc" "src/core/CMakeFiles/ceal_core.dir/thread_pool.cc.o" "gcc" "src/core/CMakeFiles/ceal_core.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceal_core.dir/csv.cc.o"
+  "CMakeFiles/ceal_core.dir/csv.cc.o.d"
+  "CMakeFiles/ceal_core.dir/rng.cc.o"
+  "CMakeFiles/ceal_core.dir/rng.cc.o.d"
+  "CMakeFiles/ceal_core.dir/stats.cc.o"
+  "CMakeFiles/ceal_core.dir/stats.cc.o.d"
+  "CMakeFiles/ceal_core.dir/table.cc.o"
+  "CMakeFiles/ceal_core.dir/table.cc.o.d"
+  "CMakeFiles/ceal_core.dir/thread_pool.cc.o"
+  "CMakeFiles/ceal_core.dir/thread_pool.cc.o.d"
+  "libceal_core.a"
+  "libceal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

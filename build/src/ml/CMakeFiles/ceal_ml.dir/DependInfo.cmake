@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/ceal_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/ceal_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/gbt.cc" "src/ml/CMakeFiles/ceal_ml.dir/gbt.cc.o" "gcc" "src/ml/CMakeFiles/ceal_ml.dir/gbt.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/ceal_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/ceal_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/ceal_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/ceal_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/ceal_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/ceal_ml.dir/random_forest.cc.o.d"
+  "/root/repo/src/ml/serialize.cc" "src/ml/CMakeFiles/ceal_ml.dir/serialize.cc.o" "gcc" "src/ml/CMakeFiles/ceal_ml.dir/serialize.cc.o.d"
+  "/root/repo/src/ml/tree.cc" "src/ml/CMakeFiles/ceal_ml.dir/tree.cc.o" "gcc" "src/ml/CMakeFiles/ceal_ml.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ceal_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceal_ml.dir/dataset.cc.o"
+  "CMakeFiles/ceal_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/ceal_ml.dir/gbt.cc.o"
+  "CMakeFiles/ceal_ml.dir/gbt.cc.o.d"
+  "CMakeFiles/ceal_ml.dir/knn.cc.o"
+  "CMakeFiles/ceal_ml.dir/knn.cc.o.d"
+  "CMakeFiles/ceal_ml.dir/metrics.cc.o"
+  "CMakeFiles/ceal_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/ceal_ml.dir/random_forest.cc.o"
+  "CMakeFiles/ceal_ml.dir/random_forest.cc.o.d"
+  "CMakeFiles/ceal_ml.dir/serialize.cc.o"
+  "CMakeFiles/ceal_ml.dir/serialize.cc.o.d"
+  "CMakeFiles/ceal_ml.dir/tree.cc.o"
+  "CMakeFiles/ceal_ml.dir/tree.cc.o.d"
+  "libceal_ml.a"
+  "libceal_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceal_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

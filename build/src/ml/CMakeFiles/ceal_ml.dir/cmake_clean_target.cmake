@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libceal_ml.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/component_app.cc" "src/sim/CMakeFiles/ceal_sim.dir/component_app.cc.o" "gcc" "src/sim/CMakeFiles/ceal_sim.dir/component_app.cc.o.d"
+  "/root/repo/src/sim/scaling.cc" "src/sim/CMakeFiles/ceal_sim.dir/scaling.cc.o" "gcc" "src/sim/CMakeFiles/ceal_sim.dir/scaling.cc.o.d"
+  "/root/repo/src/sim/workflow.cc" "src/sim/CMakeFiles/ceal_sim.dir/workflow.cc.o" "gcc" "src/sim/CMakeFiles/ceal_sim.dir/workflow.cc.o.d"
+  "/root/repo/src/sim/workloads.cc" "src/sim/CMakeFiles/ceal_sim.dir/workloads.cc.o" "gcc" "src/sim/CMakeFiles/ceal_sim.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ceal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/ceal_config.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

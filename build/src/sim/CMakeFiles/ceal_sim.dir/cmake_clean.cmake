@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceal_sim.dir/component_app.cc.o"
+  "CMakeFiles/ceal_sim.dir/component_app.cc.o.d"
+  "CMakeFiles/ceal_sim.dir/scaling.cc.o"
+  "CMakeFiles/ceal_sim.dir/scaling.cc.o.d"
+  "CMakeFiles/ceal_sim.dir/workflow.cc.o"
+  "CMakeFiles/ceal_sim.dir/workflow.cc.o.d"
+  "CMakeFiles/ceal_sim.dir/workloads.cc.o"
+  "CMakeFiles/ceal_sim.dir/workloads.cc.o.d"
+  "libceal_sim.a"
+  "libceal_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceal_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

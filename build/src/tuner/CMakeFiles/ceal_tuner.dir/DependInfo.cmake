@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuner/active_learning.cc" "src/tuner/CMakeFiles/ceal_tuner.dir/active_learning.cc.o" "gcc" "src/tuner/CMakeFiles/ceal_tuner.dir/active_learning.cc.o.d"
+  "/root/repo/src/tuner/alph.cc" "src/tuner/CMakeFiles/ceal_tuner.dir/alph.cc.o" "gcc" "src/tuner/CMakeFiles/ceal_tuner.dir/alph.cc.o.d"
+  "/root/repo/src/tuner/bayes_opt.cc" "src/tuner/CMakeFiles/ceal_tuner.dir/bayes_opt.cc.o" "gcc" "src/tuner/CMakeFiles/ceal_tuner.dir/bayes_opt.cc.o.d"
+  "/root/repo/src/tuner/ceal.cc" "src/tuner/CMakeFiles/ceal_tuner.dir/ceal.cc.o" "gcc" "src/tuner/CMakeFiles/ceal_tuner.dir/ceal.cc.o.d"
+  "/root/repo/src/tuner/collector.cc" "src/tuner/CMakeFiles/ceal_tuner.dir/collector.cc.o" "gcc" "src/tuner/CMakeFiles/ceal_tuner.dir/collector.cc.o.d"
+  "/root/repo/src/tuner/evaluation.cc" "src/tuner/CMakeFiles/ceal_tuner.dir/evaluation.cc.o" "gcc" "src/tuner/CMakeFiles/ceal_tuner.dir/evaluation.cc.o.d"
+  "/root/repo/src/tuner/geist.cc" "src/tuner/CMakeFiles/ceal_tuner.dir/geist.cc.o" "gcc" "src/tuner/CMakeFiles/ceal_tuner.dir/geist.cc.o.d"
+  "/root/repo/src/tuner/low_fidelity.cc" "src/tuner/CMakeFiles/ceal_tuner.dir/low_fidelity.cc.o" "gcc" "src/tuner/CMakeFiles/ceal_tuner.dir/low_fidelity.cc.o.d"
+  "/root/repo/src/tuner/measured_pool.cc" "src/tuner/CMakeFiles/ceal_tuner.dir/measured_pool.cc.o" "gcc" "src/tuner/CMakeFiles/ceal_tuner.dir/measured_pool.cc.o.d"
+  "/root/repo/src/tuner/pool_io.cc" "src/tuner/CMakeFiles/ceal_tuner.dir/pool_io.cc.o" "gcc" "src/tuner/CMakeFiles/ceal_tuner.dir/pool_io.cc.o.d"
+  "/root/repo/src/tuner/random_search.cc" "src/tuner/CMakeFiles/ceal_tuner.dir/random_search.cc.o" "gcc" "src/tuner/CMakeFiles/ceal_tuner.dir/random_search.cc.o.d"
+  "/root/repo/src/tuner/surrogate.cc" "src/tuner/CMakeFiles/ceal_tuner.dir/surrogate.cc.o" "gcc" "src/tuner/CMakeFiles/ceal_tuner.dir/surrogate.cc.o.d"
+  "/root/repo/src/tuner/tuning_util.cc" "src/tuner/CMakeFiles/ceal_tuner.dir/tuning_util.cc.o" "gcc" "src/tuner/CMakeFiles/ceal_tuner.dir/tuning_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ceal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/ceal_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ceal_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ceal_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

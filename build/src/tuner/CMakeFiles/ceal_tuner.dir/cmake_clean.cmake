@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceal_tuner.dir/active_learning.cc.o"
+  "CMakeFiles/ceal_tuner.dir/active_learning.cc.o.d"
+  "CMakeFiles/ceal_tuner.dir/alph.cc.o"
+  "CMakeFiles/ceal_tuner.dir/alph.cc.o.d"
+  "CMakeFiles/ceal_tuner.dir/bayes_opt.cc.o"
+  "CMakeFiles/ceal_tuner.dir/bayes_opt.cc.o.d"
+  "CMakeFiles/ceal_tuner.dir/ceal.cc.o"
+  "CMakeFiles/ceal_tuner.dir/ceal.cc.o.d"
+  "CMakeFiles/ceal_tuner.dir/collector.cc.o"
+  "CMakeFiles/ceal_tuner.dir/collector.cc.o.d"
+  "CMakeFiles/ceal_tuner.dir/evaluation.cc.o"
+  "CMakeFiles/ceal_tuner.dir/evaluation.cc.o.d"
+  "CMakeFiles/ceal_tuner.dir/geist.cc.o"
+  "CMakeFiles/ceal_tuner.dir/geist.cc.o.d"
+  "CMakeFiles/ceal_tuner.dir/low_fidelity.cc.o"
+  "CMakeFiles/ceal_tuner.dir/low_fidelity.cc.o.d"
+  "CMakeFiles/ceal_tuner.dir/measured_pool.cc.o"
+  "CMakeFiles/ceal_tuner.dir/measured_pool.cc.o.d"
+  "CMakeFiles/ceal_tuner.dir/pool_io.cc.o"
+  "CMakeFiles/ceal_tuner.dir/pool_io.cc.o.d"
+  "CMakeFiles/ceal_tuner.dir/random_search.cc.o"
+  "CMakeFiles/ceal_tuner.dir/random_search.cc.o.d"
+  "CMakeFiles/ceal_tuner.dir/surrogate.cc.o"
+  "CMakeFiles/ceal_tuner.dir/surrogate.cc.o.d"
+  "CMakeFiles/ceal_tuner.dir/tuning_util.cc.o"
+  "CMakeFiles/ceal_tuner.dir/tuning_util.cc.o.d"
+  "libceal_tuner.a"
+  "libceal_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceal_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_end_to_end.cc" "tests/CMakeFiles/system_tests.dir/integration/test_end_to_end.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/integration/test_end_to_end.cc.o.d"
+  "/root/repo/tests/sim/test_component_app.cc" "tests/CMakeFiles/system_tests.dir/sim/test_component_app.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/sim/test_component_app.cc.o.d"
+  "/root/repo/tests/sim/test_explain.cc" "tests/CMakeFiles/system_tests.dir/sim/test_explain.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/sim/test_explain.cc.o.d"
+  "/root/repo/tests/sim/test_scaling.cc" "tests/CMakeFiles/system_tests.dir/sim/test_scaling.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/sim/test_scaling.cc.o.d"
+  "/root/repo/tests/sim/test_workflow.cc" "tests/CMakeFiles/system_tests.dir/sim/test_workflow.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/sim/test_workflow.cc.o.d"
+  "/root/repo/tests/sim/test_workflow_properties.cc" "tests/CMakeFiles/system_tests.dir/sim/test_workflow_properties.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/sim/test_workflow_properties.cc.o.d"
+  "/root/repo/tests/sim/test_workloads.cc" "tests/CMakeFiles/system_tests.dir/sim/test_workloads.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/sim/test_workloads.cc.o.d"
+  "/root/repo/tests/tuner/test_algorithms.cc" "tests/CMakeFiles/system_tests.dir/tuner/test_algorithms.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/tuner/test_algorithms.cc.o.d"
+  "/root/repo/tests/tuner/test_bayes_opt.cc" "tests/CMakeFiles/system_tests.dir/tuner/test_bayes_opt.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/tuner/test_bayes_opt.cc.o.d"
+  "/root/repo/tests/tuner/test_ceal.cc" "tests/CMakeFiles/system_tests.dir/tuner/test_ceal.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/tuner/test_ceal.cc.o.d"
+  "/root/repo/tests/tuner/test_collector.cc" "tests/CMakeFiles/system_tests.dir/tuner/test_collector.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/tuner/test_collector.cc.o.d"
+  "/root/repo/tests/tuner/test_evaluation.cc" "tests/CMakeFiles/system_tests.dir/tuner/test_evaluation.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/tuner/test_evaluation.cc.o.d"
+  "/root/repo/tests/tuner/test_geist_graph.cc" "tests/CMakeFiles/system_tests.dir/tuner/test_geist_graph.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/tuner/test_geist_graph.cc.o.d"
+  "/root/repo/tests/tuner/test_low_fidelity.cc" "tests/CMakeFiles/system_tests.dir/tuner/test_low_fidelity.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/tuner/test_low_fidelity.cc.o.d"
+  "/root/repo/tests/tuner/test_measured_pool.cc" "tests/CMakeFiles/system_tests.dir/tuner/test_measured_pool.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/tuner/test_measured_pool.cc.o.d"
+  "/root/repo/tests/tuner/test_objective.cc" "tests/CMakeFiles/system_tests.dir/tuner/test_objective.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/tuner/test_objective.cc.o.d"
+  "/root/repo/tests/tuner/test_pool_io.cc" "tests/CMakeFiles/system_tests.dir/tuner/test_pool_io.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/tuner/test_pool_io.cc.o.d"
+  "/root/repo/tests/tuner/test_surrogate.cc" "tests/CMakeFiles/system_tests.dir/tuner/test_surrogate.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/tuner/test_surrogate.cc.o.d"
+  "/root/repo/tests/tuner/test_tuning_util.cc" "tests/CMakeFiles/system_tests.dir/tuner/test_tuning_util.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/tuner/test_tuning_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ceal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/ceal_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ceal_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ceal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/ceal_tuner.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

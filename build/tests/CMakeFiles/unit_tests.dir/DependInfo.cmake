@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/test_gray_scott.cc" "tests/CMakeFiles/unit_tests.dir/apps/test_gray_scott.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/apps/test_gray_scott.cc.o.d"
+  "/root/repo/tests/apps/test_heat_transfer.cc" "tests/CMakeFiles/unit_tests.dir/apps/test_heat_transfer.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/apps/test_heat_transfer.cc.o.d"
+  "/root/repo/tests/apps/test_md_lite.cc" "tests/CMakeFiles/unit_tests.dir/apps/test_md_lite.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/apps/test_md_lite.cc.o.d"
+  "/root/repo/tests/apps/test_pdf_calc.cc" "tests/CMakeFiles/unit_tests.dir/apps/test_pdf_calc.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/apps/test_pdf_calc.cc.o.d"
+  "/root/repo/tests/apps/test_stage_write.cc" "tests/CMakeFiles/unit_tests.dir/apps/test_stage_write.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/apps/test_stage_write.cc.o.d"
+  "/root/repo/tests/apps/test_stream.cc" "tests/CMakeFiles/unit_tests.dir/apps/test_stream.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/apps/test_stream.cc.o.d"
+  "/root/repo/tests/apps/test_voronoi_lite.cc" "tests/CMakeFiles/unit_tests.dir/apps/test_voronoi_lite.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/apps/test_voronoi_lite.cc.o.d"
+  "/root/repo/tests/config/test_composite.cc" "tests/CMakeFiles/unit_tests.dir/config/test_composite.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/config/test_composite.cc.o.d"
+  "/root/repo/tests/config/test_config_space.cc" "tests/CMakeFiles/unit_tests.dir/config/test_config_space.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/config/test_config_space.cc.o.d"
+  "/root/repo/tests/config/test_parameter.cc" "tests/CMakeFiles/unit_tests.dir/config/test_parameter.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/config/test_parameter.cc.o.d"
+  "/root/repo/tests/config/test_space_properties.cc" "tests/CMakeFiles/unit_tests.dir/config/test_space_properties.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/config/test_space_properties.cc.o.d"
+  "/root/repo/tests/core/test_csv.cc" "tests/CMakeFiles/unit_tests.dir/core/test_csv.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/core/test_csv.cc.o.d"
+  "/root/repo/tests/core/test_error.cc" "tests/CMakeFiles/unit_tests.dir/core/test_error.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/core/test_error.cc.o.d"
+  "/root/repo/tests/core/test_rng.cc" "tests/CMakeFiles/unit_tests.dir/core/test_rng.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/core/test_rng.cc.o.d"
+  "/root/repo/tests/core/test_stats.cc" "tests/CMakeFiles/unit_tests.dir/core/test_stats.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/core/test_stats.cc.o.d"
+  "/root/repo/tests/core/test_table.cc" "tests/CMakeFiles/unit_tests.dir/core/test_table.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/core/test_table.cc.o.d"
+  "/root/repo/tests/core/test_thread_pool.cc" "tests/CMakeFiles/unit_tests.dir/core/test_thread_pool.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/core/test_thread_pool.cc.o.d"
+  "/root/repo/tests/ml/test_dataset.cc" "tests/CMakeFiles/unit_tests.dir/ml/test_dataset.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/ml/test_dataset.cc.o.d"
+  "/root/repo/tests/ml/test_gbt.cc" "tests/CMakeFiles/unit_tests.dir/ml/test_gbt.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/ml/test_gbt.cc.o.d"
+  "/root/repo/tests/ml/test_gbt_properties.cc" "tests/CMakeFiles/unit_tests.dir/ml/test_gbt_properties.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/ml/test_gbt_properties.cc.o.d"
+  "/root/repo/tests/ml/test_knn.cc" "tests/CMakeFiles/unit_tests.dir/ml/test_knn.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/ml/test_knn.cc.o.d"
+  "/root/repo/tests/ml/test_metrics.cc" "tests/CMakeFiles/unit_tests.dir/ml/test_metrics.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/ml/test_metrics.cc.o.d"
+  "/root/repo/tests/ml/test_random_forest.cc" "tests/CMakeFiles/unit_tests.dir/ml/test_random_forest.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/ml/test_random_forest.cc.o.d"
+  "/root/repo/tests/ml/test_serialize.cc" "tests/CMakeFiles/unit_tests.dir/ml/test_serialize.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/ml/test_serialize.cc.o.d"
+  "/root/repo/tests/ml/test_tree.cc" "tests/CMakeFiles/unit_tests.dir/ml/test_tree.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/ml/test_tree.cc.o.d"
+  "/root/repo/tests/tools/test_args.cc" "tests/CMakeFiles/unit_tests.dir/tools/test_args.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/tools/test_args.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ceal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/ceal_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ceal_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ceal_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

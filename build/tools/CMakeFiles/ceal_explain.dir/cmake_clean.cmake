@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceal_explain.dir/ceal_explain.cc.o"
+  "CMakeFiles/ceal_explain.dir/ceal_explain.cc.o.d"
+  "ceal_explain"
+  "ceal_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceal_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceal_pool.dir/ceal_pool.cc.o"
+  "CMakeFiles/ceal_pool.dir/ceal_pool.cc.o.d"
+  "ceal_pool"
+  "ceal_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceal_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceal_tune.dir/ceal_tune.cc.o"
+  "CMakeFiles/ceal_tune.dir/ceal_tune.cc.o.d"
+  "ceal_tune"
+  "ceal_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceal_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
