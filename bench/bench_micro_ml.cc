@@ -1,6 +1,13 @@
 // Micro-benchmarks of the ML substrate (google-benchmark): tree and
 // ensemble training/prediction at surrogate-realistic sizes.
+//
+// Besides the console table, the run writes machine-readable results to
+// BENCH_micro_ml.json in the working directory (see docs/PERFORMANCE.md).
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/rng.h"
 #include "ml/gbt.h"
@@ -67,6 +74,68 @@ void BM_GbtPredictPool(benchmark::State& state) {
 }
 BENCHMARK(BM_GbtPredictPool);
 
+// ---------------------------------------------------------------------
+// Exact vs histogram trainer, at the workload from docs/PERFORMANCE.md:
+// n = 512 rows, 150 boosting rounds, depth-5 trees.  state.range(0)
+// selects the TreeMethod so both variants share one body.
+
+ml::GbtParams deep_fit_params(ml::TreeMethod method) {
+  ml::GbtParams p;
+  p.n_rounds = 150;
+  p.learning_rate = 0.1;
+  p.tree.max_depth = 5;
+  p.tree.method = method;
+  return p;
+}
+
+void BM_GbtFit512(benchmark::State& state) {
+  Rng rng(8);
+  const auto data = synth(512, 7, rng);
+  const auto params = deep_fit_params(
+      state.range(0) == 0 ? ml::TreeMethod::kExact : ml::TreeMethod::kHist);
+  for (auto _ : state) {
+    ml::GradientBoostedTrees model(params);
+    Rng fit_rng(9);
+    model.fit(data, fit_rng);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+  state.SetLabel(state.range(0) == 0 ? "exact" : "hist");
+}
+BENCHMARK(BM_GbtFit512)->Arg(0)->Arg(1);
+
+// Scoring a 2000-configuration pool: one predict() call per row (the
+// pre-cache tuner loop) vs the batched predict_all path.
+void BM_GbtPredictPoolSerial(benchmark::State& state) {
+  Rng rng(10);
+  const auto train = synth(512, 7, rng);
+  const auto pool = synth(2000, 7, rng);
+  ml::GradientBoostedTrees model(deep_fit_params(ml::TreeMethod::kExact));
+  model.fit(train, rng);
+  std::vector<double> out(pool.size());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      out[i] = model.predict(pool.row(i));
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_GbtPredictPoolSerial);
+
+void BM_GbtPredictPoolBatch(benchmark::State& state) {
+  Rng rng(10);
+  const auto train = synth(512, 7, rng);
+  const auto pool = synth(2000, 7, rng);
+  ml::GradientBoostedTrees model(deep_fit_params(ml::TreeMethod::kExact));
+  model.fit(train, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_all(pool));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_GbtPredictPoolBatch);
+
 void BM_RandomForestFit(benchmark::State& state) {
   Rng rng(5);
   const auto data = synth(static_cast<std::size_t>(state.range(0)), 7, rng);
@@ -93,4 +162,29 @@ BENCHMARK(BM_KnnPredict)->Arg(500)->Arg(2000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: mirror the console output into BENCH_micro_ml.json by
+// default so scripts can diff runs without scraping the human-readable
+// table.  Explicit --benchmark_out flags still win.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out")) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro_ml.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

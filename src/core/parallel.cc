@@ -1,0 +1,47 @@
+#include "core/parallel.h"
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+namespace ceal {
+
+namespace {
+
+std::mutex pool_mutex;
+std::unique_ptr<ThreadPool> pool;
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("CEAL_THREADS")) {
+    const long n = std::atol(env);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return 0;  // ThreadPool resolves 0 to hardware_concurrency
+}
+
+}  // namespace
+
+ThreadPool& global_thread_pool() {
+  std::lock_guard lock(pool_mutex);
+  if (!pool) pool = std::make_unique<ThreadPool>(default_thread_count());
+  return *pool;
+}
+
+void set_global_thread_pool_threads(std::size_t threads) {
+  std::lock_guard lock(pool_mutex);
+  pool = std::make_unique<ThreadPool>(threads);
+}
+
+std::size_t global_thread_count() { return global_thread_pool().thread_count(); }
+
+void parallel_apply(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn) {
+  ThreadPool& tp = global_thread_pool();
+  if (tp.thread_count() <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  tp.parallel_for(begin, end, fn);
+}
+
+}  // namespace ceal

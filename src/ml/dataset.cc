@@ -1,5 +1,7 @@
 #include "ml/dataset.h"
 
+#include <algorithm>
+
 #include "core/error.h"
 
 namespace ceal::ml {
@@ -41,6 +43,28 @@ Dataset Dataset::subset(std::span<const std::size_t> indices) const {
   Dataset out(n_features_);
   for (const std::size_t i : indices) out.add(row(i), target(i));
   return out;
+}
+
+FeatureMatrix::FeatureMatrix(std::size_t n_features, std::size_t n_rows)
+    : n_features_(n_features), n_rows_(n_rows),
+      x_(n_features * n_rows, 0.0) {
+  CEAL_EXPECT(n_features > 0);
+}
+
+std::span<const double> FeatureMatrix::row(std::size_t i) const {
+  CEAL_EXPECT(i < n_rows_);
+  return {x_.data() + i * n_features_, n_features_};
+}
+
+std::span<double> FeatureMatrix::mutable_row(std::size_t i) {
+  CEAL_EXPECT(i < n_rows_);
+  return {x_.data() + i * n_features_, n_features_};
+}
+
+void FeatureMatrix::set_row(std::size_t i, std::span<const double> features) {
+  CEAL_EXPECT(features.size() == n_features_);
+  const auto dst = mutable_row(i);
+  std::copy(features.begin(), features.end(), dst.begin());
 }
 
 }  // namespace ceal::ml

@@ -40,4 +40,32 @@ class Dataset {
   std::vector<double> targets_;  // one per row
 };
 
+/// Row-major feature matrix without targets: the cached featurization of
+/// a candidate pool, scored many times per tuning run. Rows can be
+/// written concurrently (one writer per row) once the shape is fixed.
+class FeatureMatrix {
+ public:
+  /// Matrix of `n_rows` zero-initialised rows of `n_features` each.
+  /// n_features > 0.
+  FeatureMatrix(std::size_t n_features, std::size_t n_rows);
+
+  std::size_t n_features() const { return n_features_; }
+  std::size_t size() const { return n_rows_; }
+  bool empty() const { return n_rows_ == 0; }
+
+  std::span<const double> row(std::size_t i) const;
+
+  /// Writable row i, for filling the matrix in place (possibly from
+  /// several threads, each owning disjoint rows).
+  std::span<double> mutable_row(std::size_t i);
+
+  /// Overwrites row i. `features.size()` must equal n_features().
+  void set_row(std::size_t i, std::span<const double> features);
+
+ private:
+  std::size_t n_features_;
+  std::size_t n_rows_;
+  std::vector<double> x_;  // row-major, n_rows_ * n_features_
+};
+
 }  // namespace ceal::ml

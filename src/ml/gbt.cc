@@ -1,8 +1,12 @@
 #include "ml/gbt.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <optional>
 
 #include "core/error.h"
+#include "core/parallel.h"
 #include "core/stats.h"
 
 namespace ceal::ml {
@@ -43,6 +47,20 @@ void GradientBoostedTrees::fit(const Dataset& data, ceal::Rng& rng) {
       1, static_cast<std::size_t>(
              std::llround(params_.subsample * static_cast<double>(n))));
 
+  // Per-round predictions update incrementally: the tree builder reports
+  // the fitted leaf weight of every row it trained on (identical to
+  // re-descending the tree for that row), so only rows left out by
+  // subsampling need a real descent.
+  constexpr double kUntrained = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> leaf_values(n);
+
+  // Feature binning depends only on the data, so the histogram trainer
+  // bins once here and every round reuses the cache.
+  std::optional<HistogramCache> hist_cache;
+  if (params_.tree.method == TreeMethod::kHist) {
+    hist_cache.emplace(data, params_.tree.max_bins);
+  }
+
   trees_.reserve(params_.n_rounds);
   for (std::size_t round = 0; round < params_.n_rounds; ++round) {
     for (std::size_t i = 0; i < n; ++i) grad[i] = pred[i] - data.target(i);
@@ -56,9 +74,16 @@ void GradientBoostedTrees::fit(const Dataset& data, ceal::Rng& rng) {
     }
 
     RegressionTree tree(params_.tree);
-    tree.fit_gradients(data, rows, grad, hess, rng);
+    if (rows_per_round != n) {
+      std::fill(leaf_values.begin(), leaf_values.end(), kUntrained);
+    }
+    tree.fit_gradients(data, rows, grad, hess, rng, &leaf_values,
+                       hist_cache ? &*hist_cache : nullptr);
     for (std::size_t i = 0; i < n; ++i) {
-      pred[i] += params_.learning_rate * tree.predict(data.row(i));
+      const double value = std::isnan(leaf_values[i])
+                               ? tree.predict(data.row(i))
+                               : leaf_values[i];
+      pred[i] += params_.learning_rate * value;
     }
     trees_.push_back(std::move(tree));
   }
@@ -91,6 +116,42 @@ double GradientBoostedTrees::predict(std::span<const double> features) const {
     out += params_.learning_rate * tree.predict(features);
   }
   return out;
+}
+
+namespace {
+
+/// Rows x trees below which the pool dispatch overhead outweighs the
+/// parallel win.
+constexpr std::size_t kParallelPredictWork = 1 << 14;
+
+template <typename RowOf>
+std::vector<double> predict_rows(const GradientBoostedTrees& model,
+                                 std::size_t n, std::size_t n_trees,
+                                 const RowOf& row_of) {
+  std::vector<double> out(n);
+  const auto fill = [&](std::size_t i) { out[i] = model.predict(row_of(i)); };
+  if (n > 1 && n * n_trees >= kParallelPredictWork) {
+    ceal::parallel_apply(0, n, fill);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fill(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> GradientBoostedTrees::predict_all(
+    const Dataset& data) const {
+  CEAL_EXPECT_MSG(fitted_, "predict_all() before fit()");
+  return predict_rows(*this, data.size(), trees_.size(),
+                      [&](std::size_t i) { return data.row(i); });
+}
+
+std::vector<double> GradientBoostedTrees::predict_matrix(
+    const FeatureMatrix& rows) const {
+  CEAL_EXPECT_MSG(fitted_, "predict_matrix() before fit()");
+  return predict_rows(*this, rows.size(), trees_.size(),
+                      [&](std::size_t i) { return rows.row(i); });
 }
 
 }  // namespace ceal::ml

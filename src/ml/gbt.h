@@ -30,6 +30,15 @@ class GradientBoostedTrees final : public Regressor {
   double predict(std::span<const double> features) const override;
   bool is_fitted() const override { return fitted_; }
 
+  /// Batch prediction, parallel over rows on the global thread pool.
+  /// Each row descends the trees in ensemble order, so the result is
+  /// bitwise identical to row-by-row predict() for any worker count.
+  std::vector<double> predict_all(const Dataset& data) const override;
+
+  /// Same as predict_all for a cached (target-less) feature matrix —
+  /// the pool-scoring hot path of the tuners.
+  std::vector<double> predict_matrix(const FeatureMatrix& rows) const;
+
   std::size_t tree_count() const { return trees_.size(); }
   double base_score() const { return base_score_; }
   const GbtParams& params() const { return params_; }

@@ -24,8 +24,10 @@ class Regressor {
   /// True once fit() has completed.
   virtual bool is_fitted() const = 0;
 
-  /// Predictions for every row of `data`.
-  std::vector<double> predict_all(const Dataset& data) const {
+  /// Predictions for every row of `data`. Implementations may fan rows
+  /// out across threads but must return exactly what row-by-row
+  /// predict() calls would.
+  virtual std::vector<double> predict_all(const Dataset& data) const {
     std::vector<double> out(data.size());
     for (std::size_t i = 0; i < data.size(); ++i) out[i] = predict(data.row(i));
     return out;

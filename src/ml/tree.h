@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -18,6 +19,21 @@
 #include "ml/dataset.h"
 
 namespace ceal::ml {
+
+/// Split-finding strategy.
+///   kExact: per-node sort of every feature; the serial reference path.
+///     Every distinct value boundary is a candidate. Best for the tiny
+///     sample budgets of the surrogates (tens of rows) and the path whose
+///     results the reproduction benchmarks are pinned to.
+///   kHist: quantile binning (<= max_bins bins per feature, computed once
+///     per dataset — see HistogramCache) and per-node linear scans over
+///     bin accumulators, with the per-feature
+///     search fanned out across the global thread pool. Results are
+///     deterministic and independent of the worker count (fixed per-
+///     feature decomposition, reduction in feature order, ties broken on
+///     the lowest feature index), but differ from kExact when a feature
+///     has more distinct values than bins.
+enum class TreeMethod { kExact, kHist };
 
 struct TreeParams {
   std::size_t max_depth = 6;
@@ -31,6 +47,13 @@ struct TreeParams {
   double gamma = 0.0;
   /// Fraction of features considered at each tree (0 < colsample <= 1).
   double colsample = 1.0;
+  /// Split-finding strategy (see TreeMethod).
+  TreeMethod method = TreeMethod::kExact;
+  /// Maximum histogram bins per feature (kHist only). 2 <= max_bins <=
+  /// 65536. When a feature has fewer distinct values than bins, each
+  /// value gets its own bin and kHist considers exactly the kExact
+  /// candidate set.
+  std::size_t max_bins = 256;
 };
 
 /// Flattened node for persistence: leaves have left == right == -1 and
@@ -43,16 +66,61 @@ struct TreeNodeData {
   double weight = 0.0;
 };
 
+/// Pre-binned view of a dataset for TreeMethod::kHist. Binning depends
+/// only on the feature values — not on gradients or the per-tree row
+/// sample — so an ensemble fit builds one cache up front and shares it
+/// across all boosting rounds instead of re-sorting every feature per
+/// tree. RegressionTree::fit_gradients builds a transient one when the
+/// caller does not supply a cache.
+class HistogramCache {
+ public:
+  /// Quantile-bins every feature of `data` (2 <= max_bins <= 65536).
+  HistogramCache(const Dataset& data, std::size_t max_bins);
+
+  std::size_t n_rows() const { return n_rows_; }
+  std::size_t n_features() const { return features_.size(); }
+
+ private:
+  friend class HistTreeBuilder;
+
+  struct FeatureBins {
+    /// Candidate threshold between bin b and b+1 (size bin_count - 1).
+    /// Satisfies max(bin b) <= split_value[b] < min(bin b+1), so
+    /// partitioning by bin index equals partitioning by
+    /// `value <= split_value[b]`.
+    std::vector<double> split_value;
+    /// Upper edge (largest training value) of each bin, ascending.
+    std::vector<double> bin_max;
+  };
+
+  std::size_t n_rows_ = 0;
+  std::vector<FeatureBins> features_;
+  /// Bin index per value, feature-major: binned_[j * n_rows_ + row].
+  std::vector<std::uint16_t> binned_;
+};
+
 class RegressionTree {
  public:
   explicit RegressionTree(TreeParams params = {});
 
   /// Grows the tree on the rows of `data` listed in `row_indices`, using
   /// per-row gradient/hessian statistics (indexed like `data` rows).
+  ///
+  /// When `out_leaf_values` is non-null it must have data.size() entries;
+  /// for every trained row r the entry is set to the weight of the leaf
+  /// the row landed in (== predict(data.row(r))), so boosting can update
+  /// round predictions without re-descending the tree. Entries of rows
+  /// not in `row_indices` are left untouched.
+  ///
+  /// `hist_cache` (kHist only) shares pre-binned features across the
+  /// trees of an ensemble; it must have been built on `data` with this
+  /// tree's max_bins. When null, kHist bins `data` transiently.
   void fit_gradients(const Dataset& data,
                      std::span<const std::size_t> row_indices,
                      std::span<const double> gradients,
-                     std::span<const double> hessians, ceal::Rng& rng);
+                     std::span<const double> hessians, ceal::Rng& rng,
+                     std::vector<double>* out_leaf_values = nullptr,
+                     const HistogramCache* hist_cache = nullptr);
 
   /// Leaf weight for one feature vector.
   double predict(std::span<const double> features) const;
@@ -90,11 +158,14 @@ class RegressionTree {
   std::int32_t build(const Dataset& data, std::vector<std::size_t>& rows,
                      std::span<const double> g, std::span<const double> h,
                      std::span<const std::size_t> feature_pool,
-                     std::size_t depth);
+                     std::size_t depth, std::vector<double>* out_leaf_values);
   Split best_split(const Dataset& data, std::span<const std::size_t> rows,
                    std::span<const double> g, std::span<const double> h,
-                   std::span<const std::size_t> feature_pool) const;
+                   std::span<const std::size_t> feature_pool, double g_total,
+                   double h_total) const;
   std::size_t depth_of(std::int32_t node) const;
+
+  friend class HistTreeBuilder;
 
   TreeParams params_;
   std::vector<Node> nodes_;  // nodes_[0] is the root when fitted

@@ -5,6 +5,7 @@
 
 #include "core/error.h"
 #include "tuner/collector.h"
+#include "tuner/pool_features.h"
 #include "tuner/surrogate.h"
 #include "tuner/tuning_util.h"
 
@@ -21,6 +22,9 @@ TuneResult ActiveLearning::tune(const TuningProblem& problem,
                                 ceal::Rng& rng) const {
   Collector collector(problem, budget_runs);
   const auto& space = problem.workload->workflow.joint_space();
+  // The pool is rescored every iteration; featurize it once.
+  const ml::FeatureMatrix pool_features =
+      featurize_joint(space, problem.pool->configs);
 
   const auto warmup = std::max<std::size_t>(
       2, static_cast<std::size_t>(std::llround(
@@ -33,14 +37,14 @@ TuneResult ActiveLearning::tune(const TuningProblem& problem,
   Surrogate surrogate;
   while (collector.remaining() > 0) {
     fit_on_measured(surrogate, collector, rng);
-    const auto scores = surrogate.predict_many(space, problem.pool->configs);
+    const auto scores = surrogate.predict_many(pool_features);
     const auto batch = top_unmeasured(scores, collector, batch_size);
     if (batch.empty()) break;
     measure_batch(collector, batch);
   }
 
   fit_on_measured(surrogate, collector, rng);
-  auto scores = surrogate.predict_many(space, problem.pool->configs);
+  auto scores = surrogate.predict_many(pool_features);
   return finalize_result(collector, std::move(scores));
 }
 

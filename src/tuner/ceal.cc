@@ -9,6 +9,7 @@
 #include "ml/metrics.h"
 #include "tuner/collector.h"
 #include "tuner/low_fidelity.h"
+#include "tuner/pool_features.h"
 #include "tuner/surrogate.h"
 #include "tuner/tuning_util.h"
 
@@ -39,7 +40,11 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
   const std::size_t m = budget_runs;
   Collector collector(problem, m);
   const auto& workflow = problem.workload->workflow;
-  const auto& space = workflow.joint_space();
+
+  // Every model evaluation below scores the same fixed pool; featurize
+  // it (joint + per-component slices) exactly once.
+  const PoolFeatures pool_features =
+      featurize_pool(workflow, problem.pool->configs);
 
   // ---- Phase 1: low-fidelity model via component combination (lines
   // 1-6). Historical samples are free; otherwise m_R is charged.
@@ -58,7 +63,7 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
   const LowFidelityModel low_fidelity(workflow, problem.objective,
                                       components);
   const std::vector<double> low_scores =
-      low_fidelity.score_many(problem.pool->configs);
+      low_fidelity.score_many(pool_features);
 
   // ---- Phase 2: high-fidelity model via dynamic ensemble active
   // learning (lines 7-28).
@@ -107,7 +112,7 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
       for (std::size_t b = 0; b < batch_len; ++b) {
         const std::size_t idx = all_indices[batch_start + b];
         batch_high[b] =
-            high_fidelity.predict(space, problem.pool->configs[idx]);
+            high_fidelity.predict_features(pool_features.joint.row(idx));
         batch_low[b] = low_scores[idx];
         batch_meas[b] = all_values[batch_start + b];
       }
@@ -119,8 +124,8 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
       // top up with random samples.
       std::vector<double> meas_high(all_indices.size());
       for (std::size_t s = 0; s < all_indices.size(); ++s) {
-        meas_high[s] =
-            high_fidelity.predict(space, problem.pool->configs[all_indices[s]]);
+        meas_high[s] = high_fidelity.predict_features(
+            pool_features.joint.row(all_indices[s]));
       }
       const std::size_t top_n = std::min<std::size_t>(3, meas_high.size());
       const std::size_t half =
@@ -157,8 +162,7 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
 
     // Lines 26-27: evaluate the pool with M and queue the next batch.
     if (using_high_fidelity) {
-      const auto high_scores =
-          high_fidelity.predict_many(space, problem.pool->configs);
+      const auto high_scores = high_fidelity.predict_many(pool_features.joint);
       const auto top = top_unmeasured(high_scores, collector, m_b);
       c_meas.insert(c_meas.end(), top.begin(), top.end());
     } else {
@@ -200,7 +204,7 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
   // its single most optimistic extrapolation error wins the argmin; the
   // conjunction suppresses errors that are not shared by both models.
   std::vector<double> scores =
-      high_fidelity.predict_many(space, problem.pool->configs);
+      high_fidelity.predict_many(pool_features.joint);
   if (params.ensemble_final) {
     for (std::size_t i = 0; i < scores.size(); ++i) {
       scores[i] = std::max(scores[i], calibrated_low[i]);

@@ -43,6 +43,12 @@ double ComponentModelSet::predict(
   return models_[j].predict(workflow_->app(j).space(), component_config);
 }
 
+std::vector<double> ComponentModelSet::predict_many(
+    std::size_t j, const ml::FeatureMatrix& rows) const {
+  CEAL_EXPECT(j < models_.size());
+  return models_[j].predict_many(rows);
+}
+
 LowFidelityModel::LowFidelityModel(
     const sim::InSituWorkflow& workflow, Objective objective,
     std::shared_ptr<const ComponentModelSet> components)
@@ -72,6 +78,30 @@ std::vector<double> LowFidelityModel::score_many(
     std::span<const config::Configuration> joints) const {
   std::vector<double> out(joints.size());
   for (std::size_t i = 0; i < joints.size(); ++i) out[i] = score(joints[i]);
+  return out;
+}
+
+std::vector<double> LowFidelityModel::score_many(
+    const PoolFeatures& pool) const {
+  const std::size_t n_comps = workflow_->component_count();
+  CEAL_EXPECT(pool.components.size() == n_comps);
+
+  // Component-major evaluation: each component's surrogate scores its
+  // cached slice matrix in one (parallel) batch. The per-row combine
+  // folds components in ascending j, exactly like score(), so results
+  // match the uncached path bitwise.
+  std::vector<double> out(pool.size(), 0.0);
+  for (std::size_t j = 0; j < n_comps; ++j) {
+    const std::vector<double> comp =
+        components_->predict_many(j, pool.components[j]);
+    if (objective_ == Objective::kExecTime) {
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = std::max(out[i], comp[i]);
+      }
+    } else {
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] += comp[i];
+    }
+  }
   return out;
 }
 

@@ -15,6 +15,7 @@
 
 #include "tuner/measured_pool.h"
 #include "tuner/objective.h"
+#include "tuner/pool_features.h"
 #include "tuner/surrogate.h"
 
 namespace ceal::tuner {
@@ -39,6 +40,10 @@ class ComponentModelSet {
   double predict(std::size_t j, const config::Configuration& component_config)
       const;
 
+  /// Batch predictions of component j over its cached slice matrix.
+  std::vector<double> predict_many(std::size_t j,
+                                   const ml::FeatureMatrix& rows) const;
+
  private:
   const sim::InSituWorkflow* workflow_;
   std::vector<Surrogate> models_;
@@ -58,6 +63,11 @@ class LowFidelityModel {
   /// Scores for a batch of joint configurations.
   std::vector<double> score_many(
       std::span<const config::Configuration> joints) const;
+
+  /// Scores for the whole pool from its cached per-component feature
+  /// matrices; bitwise equal to score() per row, but featurizes and
+  /// slices nothing.
+  std::vector<double> score_many(const PoolFeatures& pool) const;
 
  private:
   const sim::InSituWorkflow* workflow_;

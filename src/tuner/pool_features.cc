@@ -1,0 +1,60 @@
+#include "tuner/pool_features.h"
+
+#include "core/error.h"
+#include "core/parallel.h"
+
+namespace ceal::tuner {
+
+namespace {
+
+/// Featurization is memory-bound; below this many rows the pool
+/// dispatch costs more than it saves.
+constexpr std::size_t kParallelRows = 256;
+
+}  // namespace
+
+PoolFeatures featurize_pool(const sim::InSituWorkflow& workflow,
+                            std::span<const config::Configuration> configs) {
+  const auto& composite = workflow.space();
+  const std::size_t n = configs.size();
+  const std::size_t n_comps = workflow.component_count();
+
+  PoolFeatures out{ml::FeatureMatrix(workflow.joint_space().dimension(), n),
+                   {}};
+  out.components.reserve(n_comps);
+  for (std::size_t j = 0; j < n_comps; ++j) {
+    out.components.emplace_back(composite.component_space(j).dimension(), n);
+  }
+
+  const auto fill_row = [&](std::size_t i) {
+    out.joint.set_row(i, workflow.joint_space().features(configs[i]));
+    for (std::size_t j = 0; j < n_comps; ++j) {
+      out.components[j].set_row(
+          i, composite.component_space(j).features(
+                 composite.slice(configs[i], j)));
+    }
+  };
+  if (n >= kParallelRows) {
+    ceal::parallel_apply(0, n, fill_row);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fill_row(i);
+  }
+  return out;
+}
+
+ml::FeatureMatrix featurize_joint(
+    const config::ConfigSpace& space,
+    std::span<const config::Configuration> configs) {
+  ml::FeatureMatrix out(space.dimension(), configs.size());
+  const auto fill_row = [&](std::size_t i) {
+    out.set_row(i, space.features(configs[i]));
+  };
+  if (configs.size() >= kParallelRows) {
+    ceal::parallel_apply(0, configs.size(), fill_row);
+  } else {
+    for (std::size_t i = 0; i < configs.size(); ++i) fill_row(i);
+  }
+  return out;
+}
+
+}  // namespace ceal::tuner

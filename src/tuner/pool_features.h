@@ -1,0 +1,45 @@
+// Cached featurization of a candidate pool.
+//
+// CEAL's inner loop scores the same ~2000-configuration pool with both
+// the low-fidelity combination model and the high-fidelity surrogate on
+// every iteration. Featurizing a configuration allocates a fresh
+// std::vector<double> per call, and the low-fidelity model additionally
+// slices the joint configuration per component — all of it identical
+// work every time. A PoolFeatures materialises the joint feature matrix
+// and each component's sliced feature matrix once per tune() so every
+// later scoring pass is a pure read of a row-major array.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "config/config_space.h"
+#include "ml/dataset.h"
+#include "sim/workflow.h"
+
+namespace ceal::tuner {
+
+struct PoolFeatures {
+  /// Joint-space features, one row per pool configuration.
+  ml::FeatureMatrix joint;
+  /// Per component j: features of the component's slice of each pool
+  /// configuration (same row order as `joint`).
+  std::vector<ml::FeatureMatrix> components;
+
+  std::size_t size() const { return joint.size(); }
+};
+
+/// Featurizes `configs` against the workflow's joint and component
+/// spaces, parallel over rows on the global thread pool. Row values are
+/// exactly space.features(config), so cached and uncached scoring agree
+/// bitwise.
+PoolFeatures featurize_pool(const sim::InSituWorkflow& workflow,
+                            std::span<const config::Configuration> configs);
+
+/// Joint-space-only featurization for tuners that never slice per
+/// component (active learning, random search).
+ml::FeatureMatrix featurize_joint(
+    const config::ConfigSpace& space,
+    std::span<const config::Configuration> configs);
+
+}  // namespace ceal::tuner

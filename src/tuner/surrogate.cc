@@ -29,7 +29,11 @@ void Surrogate::fit(const config::ConfigSpace& space,
 
 double Surrogate::predict(const config::ConfigSpace& space,
                           const config::Configuration& c) const {
-  const double raw = model_.predict(space.features(c));
+  return predict_features(space.features(c));
+}
+
+double Surrogate::predict_features(std::span<const double> features) const {
+  const double raw = model_.predict(features);
   return log_targets_ ? std::exp(raw) : raw;
 }
 
@@ -39,6 +43,15 @@ std::vector<double> Surrogate::predict_many(
   std::vector<double> out(configs.size());
   for (std::size_t i = 0; i < configs.size(); ++i) {
     out[i] = predict(space, configs[i]);
+  }
+  return out;
+}
+
+std::vector<double> Surrogate::predict_many(
+    const ml::FeatureMatrix& rows) const {
+  std::vector<double> out = model_.predict_matrix(rows);
+  if (log_targets_) {
+    for (double& v : out) v = std::exp(v);
   }
   return out;
 }

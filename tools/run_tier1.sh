@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full regular test suite, then the unit (ml)
+# and system (tuner) test binaries rebuilt and rerun under
+# AddressSanitizer and UndefinedBehaviorSanitizer (CEAL_SANITIZE, see the
+# root CMakeLists.txt). Sanitizer builds go to build-address/ and
+# build-undefined/ so they never disturb the primary build/ tree.
+#
+# Usage: tools/run_tier1.sh [--skip-sanitizers]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+skip_san=0
+[[ "${1:-}" == "--skip-sanitizers" ]] && skip_san=1
+
+echo "== tier-1: plain build + full ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "$skip_san" == 1 ]]; then
+  echo "tier-1 OK (sanitizer stages skipped)"
+  exit 0
+fi
+
+for san in address undefined; do
+  echo "== tier-1: ml+tuner tests under ${san} sanitizer =="
+  dir="build-${san}"
+  cmake -B "$dir" -S . -DCEAL_SANITIZE="$san" >/dev/null
+  cmake --build "$dir" -j "$jobs" --target unit_tests system_tests
+  "./$dir/tests/unit_tests" --gtest_brief=1
+  "./$dir/tests/system_tests" --gtest_brief=1
+done
+
+echo "tier-1 OK (plain + asan + ubsan)"
