@@ -65,7 +65,7 @@ std::size_t Env::index_of(const std::string& name) const {
 tuner::TuningProblem Env::problem(std::size_t i, tuner::Objective objective,
                                   bool history) const {
   return tuner::TuningProblem{&workload(i), objective, &pool(i),
-                              &components(i), history};
+                              &components(i), history, {}};
 }
 
 std::size_t Env::replications() {

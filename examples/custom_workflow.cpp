@@ -92,7 +92,7 @@ int main() {
   const auto pool = tuner::measure_pool(wl.workflow, 1500, 11);
   const auto comps = tuner::measure_components(wl.workflow, 300, 12);
   tuner::TuningProblem problem{&wl, tuner::Objective::kComputerTime, &pool,
-                               &comps, /*components_are_history=*/true};
+                               &comps, /*components_are_history=*/true, {}};
 
   tuner::Ceal ceal;
   Rng rng(5);

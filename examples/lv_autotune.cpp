@@ -32,7 +32,7 @@ int main() {
   for (const auto obj : {Objective::kExecTime, Objective::kComputerTime}) {
     const std::size_t budget = obj == Objective::kExecTime ? 50 : 25;
     tuner::TuningProblem problem{&lv, obj, &pool, &comps,
-                                 /*components_are_history=*/false};
+                                 /*components_are_history=*/false, {}};
     for (const auto& algo : algorithms) {
       const auto s = tuner::evaluate(problem, *algo, budget,
                                      /*replications=*/20, /*seed=*/7);

@@ -22,7 +22,7 @@ int main() {
   const auto comps = tuner::measure_components(hs.workflow, 500, /*seed=*/2);
 
   tuner::TuningProblem problem{&hs, tuner::Objective::kExecTime, &pool,
-                               &comps, /*components_are_history=*/true};
+                               &comps, /*components_are_history=*/true, {}};
 
   tuner::Ceal ceal;  // paper defaults, adapted to the history flag
   Rng rng(42);

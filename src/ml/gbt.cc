@@ -36,6 +36,16 @@ GbtParams GradientBoostedTrees::surrogate_defaults() {
 
 void GradientBoostedTrees::fit(const Dataset& data, ceal::Rng& rng) {
   CEAL_EXPECT_MSG(!data.empty(), "cannot fit on an empty dataset");
+  // Hard guard: a single NaN target poisons every gradient (and a NaN
+  // feature corrupts split search), so reject them up front instead of
+  // training a silently broken model.
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    CEAL_EXPECT_MSG(std::isfinite(data.target(i)),
+                    "non-finite training target");
+    for (const double f : data.row(i)) {
+      CEAL_EXPECT_MSG(std::isfinite(f), "non-finite training feature");
+    }
+  }
   trees_.clear();
   base_score_ = ceal::mean(data.targets());
 

@@ -21,9 +21,22 @@ std::string hex_double(double v) {
 }
 
 double parse_hex_double(const std::string& token) {
+  // save_gbt only ever emits C99 hex-floats; accepting anything else
+  // (decimal strings, "nan", partial parses) would let a corrupted file
+  // load with silently wrong values.
+  std::size_t digits = 0;
+  if (digits < token.size() &&
+      (token[digits] == '+' || token[digits] == '-')) {
+    ++digits;
+  }
+  CEAL_EXPECT_MSG(digits + 1 < token.size() && token[digits] == '0' &&
+                      (token[digits + 1] == 'x' || token[digits + 1] == 'X'),
+                  "malformed double in model file (expected hex-float): " +
+                      token);
   char* end = nullptr;
   const double v = std::strtod(token.c_str(), &end);
-  CEAL_EXPECT_MSG(end != nullptr && *end == '\0',
+  CEAL_EXPECT_MSG(end != nullptr && *end == '\0' &&
+                      end != token.c_str() && std::isfinite(v),
                   "malformed double in model file: " + token);
   return v;
 }
@@ -99,6 +112,14 @@ LoadedGbt load_gbt(std::istream& is) {
       nodes.push_back(d);
     }
     trees.push_back(RegressionTree::import_nodes(nodes));
+  }
+
+  // A model file ends after its last tree; anything further is
+  // corruption (e.g. a concatenated or doubled file), not padding.
+  std::string tail;
+  while (std::getline(is, tail)) {
+    CEAL_EXPECT_MSG(tail.find_first_not_of(" \t\r") == std::string::npos,
+                    "trailing garbage after the last tree in model file");
   }
 
   LoadedGbt out{GradientBoostedTrees::from_parts(params, base_score,

@@ -1,0 +1,76 @@
+#include "sim/fault_model.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace ceal::sim {
+
+const char* run_status_name(RunStatus status) {
+  switch (status) {
+    case RunStatus::kOk:
+      return "ok";
+    case RunStatus::kFailed:
+      return "failed";
+    case RunStatus::kCensored:
+      return "censored";
+  }
+  return "unknown";
+}
+
+void FaultModel::validate() const {
+  CEAL_EXPECT_MSG(fail_prob >= 0.0 && fail_prob < 1.0,
+                  "fail_prob must be in [0, 1)");
+  CEAL_EXPECT_MSG(deadline_s >= 0.0, "deadline_s must be >= 0");
+  CEAL_EXPECT_MSG(outlier_prob >= 0.0 && outlier_prob < 1.0,
+                  "outlier_prob must be in [0, 1)");
+  CEAL_EXPECT_MSG(outlier_tail > 0.0, "outlier_tail must be > 0");
+}
+
+FaultOutcome apply_faults(const FaultModel& model, double exec_s,
+                          ceal::Rng& rng) {
+  CEAL_EXPECT(exec_s > 0.0);
+  FaultOutcome out;
+  // Fixed draw order — failure, deadline, outlier — so a seed replays the
+  // same fault trace regardless of which channels are configured off.
+  if (model.fail_prob > 0.0 && rng.bernoulli(model.fail_prob)) {
+    out.status = RunStatus::kFailed;
+    out.elapsed_s = rng.uniform01() * exec_s;  // fault strikes mid-run
+    return out;
+  }
+  if (model.deadline_s > 0.0 && exec_s > model.deadline_s) {
+    out.status = RunStatus::kCensored;
+    out.elapsed_s = model.deadline_s;  // killed at the walltime limit
+    return out;
+  }
+  out.elapsed_s = exec_s;
+  if (model.outlier_prob > 0.0 && rng.bernoulli(model.outlier_prob)) {
+    // Pareto(alpha) magnitude via inverse-CDF: (1-u)^(-1/alpha) >= 1.
+    const double u = rng.uniform01();
+    out.value_factor = std::pow(1.0 - u, -1.0 / model.outlier_tail);
+  }
+  return out;
+}
+
+FaultyRun run_with_faults(const InSituWorkflow& workflow,
+                          const config::Configuration& joint,
+                          const FaultModel& model, ceal::Rng& rng) {
+  FaultyRun out;
+  out.measurement = workflow.run(joint, rng);
+  out.elapsed_s = out.measurement.exec_s;
+  if (!model.enabled()) return out;  // no extra draws on the clean path
+  model.validate();
+  const FaultOutcome fo = apply_faults(model, out.measurement.exec_s, rng);
+  out.status = fo.status;
+  out.elapsed_s = fo.elapsed_s;
+  if (fo.status == RunStatus::kOk) {
+    out.measurement.exec_s *= fo.value_factor;
+    out.measurement.comp_ch *= fo.value_factor;
+    for (double& t : out.measurement.component_exec_s) t *= fo.value_factor;
+  } else {
+    out.measurement = Measurement{};
+  }
+  return out;
+}
+
+}  // namespace ceal::sim

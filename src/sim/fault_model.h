@@ -1,0 +1,81 @@
+// Seeded, deterministic fault injection for workflow runs.
+//
+// Real in-situ runs fail: node faults kill a run partway through, a
+// walltime limit censors runs that would exceed the job's deadline, and
+// staging glitches corrupt individual measurements into heavy-tailed
+// outliers. The fault model reproduces those three event classes on top
+// of the simulator's clean measurements, drawing every random decision
+// from a ceal::Rng so any fault sequence is exactly replayable from a
+// seed. A default-constructed model is disabled and draws nothing, which
+// keeps every fault-free code path bitwise identical to the seed
+// reproduction.
+#pragma once
+
+#include "core/rng.h"
+#include "sim/workflow.h"
+
+namespace ceal::sim {
+
+/// Outcome class of one run attempt.
+enum class RunStatus {
+  kOk,        ///< the run finished and produced a measurement
+  kFailed,    ///< the run died (node fault, staging stall) — no value
+  kCensored,  ///< the run was killed at the walltime deadline — no value
+};
+
+const char* run_status_name(RunStatus status);
+
+struct FaultModel {
+  /// Probability that a run attempt dies before finishing.
+  double fail_prob = 0.0;
+  /// Walltime deadline in seconds; a run whose wall-clock would exceed it
+  /// is killed at the deadline and reported censored. 0 disables it.
+  double deadline_s = 0.0;
+  /// Probability that a surviving run's measurement is corrupted into a
+  /// heavy-tailed outlier (staging hiccup, interference burst).
+  double outlier_prob = 0.0;
+  /// Pareto tail index of the outlier magnitude; the measurement is
+  /// multiplied by (1-u)^(-1/outlier_tail) >= 1. Smaller = heavier tail.
+  double outlier_tail = 2.0;
+
+  /// True when any fault channel can fire. Disabled models must never
+  /// consume randomness.
+  bool enabled() const {
+    return fail_prob > 0.0 || deadline_s > 0.0 || outlier_prob > 0.0;
+  }
+
+  /// Throws ceal::PreconditionError on out-of-range parameters.
+  void validate() const;
+};
+
+/// Fault verdict for one run attempt with true wall-clock `exec_s`.
+struct FaultOutcome {
+  RunStatus status = RunStatus::kOk;
+  /// Multiplier applied to the measured value (1 unless an outlier fired).
+  /// Only meaningful when status == kOk.
+  double value_factor = 1.0;
+  /// Wall-clock the attempt actually consumed: full exec_s for clean
+  /// runs, a uniform fraction of it for failed runs (the fault strikes
+  /// mid-run), the deadline for censored runs.
+  double elapsed_s = 0.0;
+};
+
+/// Draws the fault verdict for one attempt. Draw order is fixed
+/// (failure, then deadline check, then outlier) so traces replay
+/// identically for a given seed. `model` must be validated and enabled;
+/// a disabled model must be short-circuited by the caller instead.
+FaultOutcome apply_faults(const FaultModel& model, double exec_s,
+                          ceal::Rng& rng);
+
+/// One noisy coupled run subjected to fault injection. When the model is
+/// disabled this is exactly InSituWorkflow::run (same rng draws).
+struct FaultyRun {
+  RunStatus status = RunStatus::kOk;
+  Measurement measurement;  ///< valid when status == kOk (outlier-scaled)
+  double elapsed_s = 0.0;   ///< wall-clock consumed by the attempt
+};
+FaultyRun run_with_faults(const InSituWorkflow& workflow,
+                          const config::Configuration& joint,
+                          const FaultModel& model, ceal::Rng& rng);
+
+}  // namespace ceal::sim

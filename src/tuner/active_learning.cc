@@ -20,7 +20,7 @@ ActiveLearning::ActiveLearning(ActiveLearningParams params)
 TuneResult ActiveLearning::tune(const TuningProblem& problem,
                                 std::size_t budget_runs,
                                 ceal::Rng& rng) const {
-  Collector collector(problem, budget_runs);
+  Collector collector(problem, budget_runs, &rng);
   const auto& space = problem.workload->workflow.joint_space();
   // The pool is rescored every iteration; featurize it once.
   const ml::FeatureMatrix pool_features =
@@ -36,11 +36,19 @@ TuneResult ActiveLearning::tune(const TuningProblem& problem,
 
   Surrogate surrogate;
   while (collector.remaining() > 0) {
+    if (collector.ok_indices().empty()) {
+      // Every warmup attempt failed; spend budget on fresh random
+      // configurations until the surrogate has something to train on.
+      const auto batch = random_unmeasured(collector, batch_size, rng);
+      if (batch.empty()) break;
+      measure_batch(collector, batch);
+      continue;
+    }
     fit_on_measured(surrogate, collector, rng);
     const auto scores = surrogate.predict_many(pool_features);
     const auto batch = top_unmeasured(scores, collector, batch_size);
     if (batch.empty()) break;
-    measure_batch(collector, batch);
+    measure_batch(collector, batch, scores, batch_size);
   }
 
   fit_on_measured(surrogate, collector, rng);

@@ -37,7 +37,7 @@ Alph::Alph(AlphParams params) : params_(params) {
 
 TuneResult Alph::tune(const TuningProblem& problem, std::size_t budget_runs,
                       ceal::Rng& rng) const {
-  Collector collector(problem, budget_runs);
+  Collector collector(problem, budget_runs, &rng);
   const auto& workflow = problem.workload->workflow;
 
   // Component models: free history when available, otherwise charged runs.
@@ -64,13 +64,15 @@ TuneResult Alph::tune(const TuningProblem& problem, std::size_t budget_runs,
         augmented_features(workflow, components, problem.pool->configs[i]);
   }
 
-  // Same log-target treatment as Surrogate (times span decades).
+  // Same log-target treatment as Surrogate (times span decades). Only
+  // successful measurements train the model — failed entries carry no
+  // value, and the positivity guard keeps NaN/Inf out of the fit.
   const auto fit = [&](ml::GradientBoostedTrees& model) {
-    const auto& indices = collector.measured_indices();
-    const auto& values = collector.measured_values();
+    const auto& indices = collector.ok_indices();
+    const auto& values = collector.ok_values();
     ml::Dataset data(width);
     for (std::size_t s = 0; s < indices.size(); ++s) {
-      CEAL_EXPECT(values[s] > 0.0);
+      CEAL_EXPECT(std::isfinite(values[s]) && values[s] > 0.0);
       data.add(pool_features[indices[s]], std::log(values[s]));
     }
     model.fit(data, rng);
@@ -94,11 +96,17 @@ TuneResult Alph::tune(const TuningProblem& problem, std::size_t budget_runs,
   ml::GradientBoostedTrees model(
       ml::GradientBoostedTrees::surrogate_defaults());
   while (collector.remaining() > 0) {
+    if (collector.ok_indices().empty()) {
+      const auto batch = random_unmeasured(collector, batch_size, rng);
+      if (batch.empty()) break;
+      measure_batch(collector, batch);
+      continue;
+    }
     fit(model);
     const auto scores = predict_pool(model);
     const auto batch = top_unmeasured(scores, collector, batch_size);
     if (batch.empty()) break;
-    measure_batch(collector, batch);
+    measure_batch(collector, batch, scores, batch_size);
   }
 
   fit(model);

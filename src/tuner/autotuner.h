@@ -16,8 +16,13 @@ namespace ceal::tuner {
 struct TuneResult {
   /// Final-model scores for every pool configuration (lower = better).
   std::vector<double> model_scores;
-  /// Pool indices measured as training samples, in order.
+  /// Pool indices requested as training samples, in order — including
+  /// attempts that failed or were censored under fault injection.
   std::vector<std::size_t> measured_indices;
+  /// Run status per measured_indices entry (all kOk without faults).
+  std::vector<sim::RunStatus> measured_statuses;
+  /// Number of measured_indices entries without a usable value.
+  std::size_t failed_runs = 0;
   /// The searcher's recommendation: argmin of model_scores.
   std::size_t best_predicted_index = 0;
   /// Best *measured* training configuration (argmin observed value).

@@ -79,7 +79,7 @@ BayesOpt::BayesOpt(BayesOptParams params) : params_(params) {
 
 TuneResult BayesOpt::tune(const TuningProblem& problem,
                           std::size_t budget_runs, ceal::Rng& rng) const {
-  Collector collector(problem, budget_runs);
+  Collector collector(problem, budget_runs, &rng);
   const auto& workflow = problem.workload->workflow;
   const auto& space = workflow.joint_space();
   const std::size_t pool_size = problem.pool->size();
@@ -119,13 +119,19 @@ TuneResult BayesOpt::tune(const TuningProblem& problem,
   std::vector<config::Configuration> train_configs;
   const auto refit = [&] {
     train_configs.clear();
-    for (const std::size_t i : collector.measured_indices()) {
+    for (const std::size_t i : collector.ok_indices()) {
       train_configs.push_back(problem.pool->configs[i]);
     }
-    ensemble.fit(space, train_configs, collector.measured_values());
+    ensemble.fit(space, train_configs, collector.ok_values());
   };
 
   while (collector.remaining() > 0) {
+    if (collector.ok_indices().empty()) {
+      const auto batch = random_unmeasured(collector, batch_size, rng);
+      if (batch.empty()) break;
+      measure_batch(collector, batch);
+      continue;
+    }
     refit();
     // LCB acquisition: optimistic lower bound, lower = more attractive.
     std::vector<double> acquisition(pool_size);
@@ -136,7 +142,7 @@ TuneResult BayesOpt::tune(const TuningProblem& problem,
     }
     const auto batch = top_unmeasured(acquisition, collector, batch_size);
     if (batch.empty()) break;
-    measure_batch(collector, batch);
+    measure_batch(collector, batch, acquisition, batch_size);
   }
 
   // Final ranking uses the ensemble mean (no exploration bonus).

@@ -38,7 +38,7 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
                           : CealParams::no_history())
                    : params_;
   const std::size_t m = budget_runs;
-  Collector collector(problem, m);
+  Collector collector(problem, m, &rng);
   const auto& workflow = problem.workload->workflow;
 
   // Every model evaluation below scores the same fixed pool; featurize
@@ -89,16 +89,33 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
 
   bool using_high_fidelity = false;  // M = M_L (line 11)
   Surrogate high_fidelity;           // M_H (line 12)
+  // Scores that queued the pending batch; fault top-up re-selects from
+  // them so each iteration still gains its intended number of usable
+  // measurements.
+  std::vector<double> queue_scores = low_scores;
 
   for (std::size_t i = 1; i <= params.iterations; ++i) {
-    // Line 14: run the workflow for this iteration's batch.
-    const std::size_t batch_start = collector.measured_indices().size();
-    measure_batch(collector, c_meas);
+    // Line 14: run the workflow for this iteration's batch. Only
+    // successful measurements count towards the batch; failed attempts
+    // are topped up from the queueing model's ranking.
+    const std::size_t batch_start = collector.ok_indices().size();
+    measure_batch(collector, c_meas, queue_scores, c_meas.size());
     c_meas.clear();
-    const auto& all_indices = collector.measured_indices();
-    const auto& all_values = collector.measured_values();
+    const auto& all_indices = collector.ok_indices();
+    const auto& all_values = collector.ok_values();
     const std::size_t batch_len = all_indices.size() - batch_start;
-    if (batch_len == 0) break;  // budget exhausted
+    if (batch_len == 0) {
+      if (collector.remaining() == 0 ||
+          !problem.measurement.faults.enabled()) {
+        break;  // budget spent (or, fault-free, the pool ran dry)
+      }
+      // Every attempt this iteration failed; re-queue from the
+      // low-fidelity ranking and spend the next iteration retrying.
+      queue_scores = low_scores;
+      c_meas = top_unmeasured(low_scores, collector, m_b);
+      if (c_meas.empty()) break;
+      continue;
+    }
 
     // Lines 16-24: model-switch detection, while still evaluating with
     // the low-fidelity model and once M_H has been trained at least once.
@@ -162,12 +179,14 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
 
     // Lines 26-27: evaluate the pool with M and queue the next batch.
     if (using_high_fidelity) {
-      const auto high_scores = high_fidelity.predict_many(pool_features.joint);
+      auto high_scores = high_fidelity.predict_many(pool_features.joint);
       const auto top = top_unmeasured(high_scores, collector, m_b);
       c_meas.insert(c_meas.end(), top.begin(), top.end());
+      queue_scores = std::move(high_scores);
     } else {
       const auto top = top_unmeasured(low_scores, collector, m_b);
       c_meas.insert(c_meas.end(), top.begin(), top.end());
+      queue_scores = low_scores;
     }
   }
 
@@ -183,8 +202,8 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
   // stand next to real observations and M_H predictions.
   std::vector<double> calibrated_low = low_scores;
   {
-    const auto& indices = collector.measured_indices();
-    const auto& values = collector.measured_values();
+    const auto& indices = collector.ok_indices();
+    const auto& values = collector.ok_values();
     std::vector<double> ratios;
     ratios.reserve(indices.size());
     for (std::size_t s = 0; s < indices.size(); ++s) {

@@ -1,18 +1,37 @@
 #include "tuner/collector.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "core/error.h"
 
 namespace ceal::tuner {
 
-Collector::Collector(const TuningProblem& problem, std::size_t budget_runs)
+namespace {
+
+/// Stream tag for the fault-injection generator split off the tuner rng.
+constexpr std::uint64_t kFaultStream = 0xFA171A7EULL;
+
+}  // namespace
+
+Collector::Collector(const TuningProblem& problem, std::size_t budget_runs,
+                     ceal::Rng* rng)
     : problem_(&problem), budget_(budget_runs) {
   CEAL_EXPECT(problem.workload != nullptr);
   CEAL_EXPECT(problem.pool != nullptr);
   CEAL_EXPECT(problem.component_samples != nullptr);
   CEAL_EXPECT(budget_runs >= 1);
+  CEAL_EXPECT_MSG(problem.measurement.max_attempts >= 1,
+                  "measurement policy needs at least one attempt");
+  faults_enabled_ = problem.measurement.faults.enabled();
+  if (faults_enabled_) {
+    problem.measurement.faults.validate();
+    CEAL_EXPECT_MSG(rng != nullptr,
+                    "fault-injecting measurements need an rng");
+    fault_rng_ = rng->split(kFaultStream);
+  }
   seen_.assign(problem.pool->size(), false);
+  outcomes_.resize(problem.pool->size());
 
   const std::size_t n_components = problem.component_samples->size();
   component_indices_.resize(n_components);
@@ -30,19 +49,79 @@ void Collector::charge(std::size_t units) {
   runs_used_ += units;
 }
 
-double Collector::measure(std::size_t pool_index) {
+void Collector::record(std::size_t pool_index,
+                       const MeasureOutcome& outcome) {
+  seen_[pool_index] = true;
+  outcomes_[pool_index] = outcome;
+  measured_.push_back(pool_index);
+  statuses_.push_back(outcome.status);
+  if (outcome.status == sim::RunStatus::kOk) {
+    values_.push_back(outcome.value);
+    ok_indices_.push_back(pool_index);
+    ok_values_.push_back(outcome.value);
+  } else {
+    values_.push_back(std::numeric_limits<double>::quiet_NaN());
+  }
+}
+
+MeasureOutcome Collector::try_measure(std::size_t pool_index) {
   const MeasuredPool& pool = *problem_->pool;
   CEAL_EXPECT(pool_index < pool.size());
-  const double value = pool.measured(problem_->objective)[pool_index];
-  if (!seen_[pool_index]) {
-    charge(1);
-    seen_[pool_index] = true;
-    measured_.push_back(pool_index);
-    values_.push_back(value);
-    cost_exec_s_ += pool.exec_s[pool_index];
-    cost_comp_ch_ += pool.comp_ch[pool_index];
+  if (seen_[pool_index]) {
+    // Cached repeat — same verdict, no charge. A configuration that
+    // failed stays failed; retrying it costs a fresh entry elsewhere.
+    MeasureOutcome cached = outcomes_[pool_index];
+    cached.attempts = 0;
+    return cached;
   }
-  return value;
+
+  const double value = pool.measured(problem_->objective)[pool_index];
+  const double exec = pool.exec_s[pool_index];
+  const double comp = pool.comp_ch[pool_index];
+
+  MeasureOutcome out;
+  charge(1);  // the first attempt always costs one unit (throws when dry)
+  out.attempts = 1;
+  if (!faults_enabled_) {
+    out.status = sim::RunStatus::kOk;
+    out.value = value;
+    cost_exec_s_ += exec;
+    cost_comp_ch_ += comp;
+  } else {
+    const MeasurementPolicy& policy = problem_->measurement;
+    for (;;) {
+      const sim::FaultOutcome fo =
+          sim::apply_faults(policy.faults, exec, fault_rng_);
+      // Bill the wall-clock the attempt actually held the allocation;
+      // core-hours scale with the same fraction of the run.
+      cost_exec_s_ += fo.elapsed_s;
+      cost_comp_ch_ += comp * (fo.elapsed_s / exec);
+      if (fo.status == sim::RunStatus::kOk) {
+        out.status = sim::RunStatus::kOk;
+        out.value = value * fo.value_factor;
+        break;
+      }
+      out.status = fo.status;
+      if (out.attempts >= policy.max_attempts) break;
+      if (policy.charge_retries) {
+        // A retry that the budget cannot cover is not taken: the entry
+        // keeps its failure status and the ledger stays exactly spent.
+        if (remaining() == 0) break;
+        charge(1);
+      }
+      ++out.attempts;
+    }
+  }
+  record(pool_index, out);
+  return out;
+}
+
+double Collector::measure(std::size_t pool_index) {
+  const MeasureOutcome out = try_measure(pool_index);
+  CEAL_EXPECT_MSG(out.status == sim::RunStatus::kOk,
+                  "measurement did not produce a value (status: " +
+                      std::string(sim::run_status_name(out.status)) + ")");
+  return out.value;
 }
 
 bool Collector::is_measured(std::size_t pool_index) const {
@@ -53,12 +132,20 @@ bool Collector::is_measured(std::size_t pool_index) const {
 const std::vector<std::vector<std::size_t>>&
 Collector::acquire_component_samples(std::size_t rounds, ceal::Rng& rng) {
   if (rounds == 0) return component_indices_;
-  if (!problem_->components_are_history) charge(rounds);
+  // A round is effective while at least one component pool still has
+  // unused samples; requests beyond that neither draw nor charge.
+  std::size_t capacity = 0;
+  for (const auto& unused : component_unused_) {
+    capacity = std::max(capacity, unused.size());
+  }
+  const std::size_t effective = std::min(rounds, capacity);
+  if (effective == 0) return component_indices_;
+  if (!problem_->components_are_history) charge(effective);
 
   const auto& samples = *problem_->component_samples;
   for (std::size_t j = 0; j < samples.size(); ++j) {
     auto& unused = component_unused_[j];
-    const std::size_t take = std::min(rounds, unused.size());
+    const std::size_t take = std::min(effective, unused.size());
     for (std::size_t r = 0; r < take; ++r) {
       const std::size_t pick = rng.uniform_u64(unused.size());
       const std::size_t idx = unused[pick];

@@ -7,6 +7,14 @@
 // unit, per §6 ("the cost is equivalent to running the complete workflow
 // m_R times") — unless the component samples are historical (§7.5), in
 // which case they are free.
+//
+// Measurements are failure-aware: the problem's MeasurementPolicy can
+// inject node faults, walltime censoring, and outlier corruption into
+// every run attempt. A failed attempt still charges budget (the machine
+// time is spent either way); a bounded retry policy may spend further
+// units on the same configuration. Every recorded entry carries an
+// explicit RunStatus — consumers that need clean training data read the
+// ok_indices()/ok_values() views.
 #pragma once
 
 #include <vector>
@@ -16,9 +24,23 @@
 
 namespace ceal::tuner {
 
+/// Result of one measurement request (possibly several run attempts).
+struct MeasureOutcome {
+  sim::RunStatus status = sim::RunStatus::kOk;
+  /// Objective value; meaningful only when status == kOk.
+  double value = 0.0;
+  /// Run attempts this request consumed (0 for a cached repeat).
+  std::size_t attempts = 0;
+};
+
 class Collector {
  public:
-  Collector(const TuningProblem& problem, std::size_t budget_runs);
+  /// `rng` drives fault injection and may be null when the problem's
+  /// policy has faults disabled; a fault-injecting policy requires it.
+  /// The fault stream is split off `rng` exactly once here, so a
+  /// fault-free problem leaves the caller's generator untouched.
+  Collector(const TuningProblem& problem, std::size_t budget_runs,
+            ceal::Rng* rng = nullptr);
 
   const TuningProblem& problem() const { return *problem_; }
 
@@ -29,24 +51,54 @@ class Collector {
   /// Measures the pool configuration at `pool_index` and returns the
   /// objective value. The first measurement charges one budget unit
   /// (throws PreconditionError when the budget is exhausted); repeats are
-  /// served from the cache for free.
+  /// served from the cache for free. Throws PreconditionError when the
+  /// attempt (after retries) failed or was censored — callers running
+  /// under fault injection should use try_measure instead.
   double measure(std::size_t pool_index);
+
+  /// Failure-aware measurement: attempts the run up to the policy's
+  /// max_attempts times and records the entry with its final status. A
+  /// previously requested index is served from the cache for free,
+  /// whatever its status — a failed configuration is not retried by a
+  /// repeat request. Throws PreconditionError only when a *new* request
+  /// arrives with zero remaining budget.
+  MeasureOutcome try_measure(std::size_t pool_index);
 
   bool is_measured(std::size_t pool_index) const;
 
-  /// Pool indices measured so far, in measurement order.
+  /// Pool indices requested so far, in request order (all statuses).
   const std::vector<std::size_t>& measured_indices() const {
     return measured_;
   }
 
-  /// Objective values matching measured_indices().
+  /// Objective values matching measured_indices(). Entries whose status
+  /// is not kOk hold quiet NaN — filter by status or use ok_values().
   const std::vector<double>& measured_values() const { return values_; }
+
+  /// Run status per measured_indices() entry.
+  const std::vector<sim::RunStatus>& measured_statuses() const {
+    return statuses_;
+  }
+
+  /// Successfully measured pool indices, in measurement order — the
+  /// training view every surrogate fit must use.
+  const std::vector<std::size_t>& ok_indices() const { return ok_indices_; }
+
+  /// Objective values matching ok_indices(). Never contains NaN.
+  const std::vector<double>& ok_values() const { return ok_values_; }
+
+  /// Requests that ended failed or censored.
+  std::size_t failed_count() const {
+    return measured_.size() - ok_indices_.size();
+  }
 
   /// Acquires `rounds` additional solo samples per component application,
   /// drawn randomly without replacement from the pre-measured component
-  /// pools. Charges `rounds` budget units unless the problem marks the
-  /// samples as historical. Returns, per component, the cumulative sample
-  /// indices available after this call.
+  /// pools. Charges one budget unit per *effective* round — rounds beyond
+  /// the component pools' capacity neither draw nor charge. Charges
+  /// nothing when the problem marks the samples as historical. Returns,
+  /// per component, the cumulative sample indices available after this
+  /// call.
   const std::vector<std::vector<std::size_t>>& acquire_component_samples(
       std::size_t rounds, ceal::Rng& rng);
 
@@ -60,13 +112,16 @@ class Collector {
   }
 
   /// Accumulated collection cost: total wall-clock seconds of all charged
-  /// runs (workflow runs plus sequential component runs).
+  /// runs (workflow runs plus sequential component runs). Failed attempts
+  /// bill the time they ran before dying; censored attempts bill the
+  /// deadline.
   double cost_exec_s() const { return cost_exec_s_; }
   /// Accumulated collection cost in core-hours.
   double cost_comp_ch() const { return cost_comp_ch_; }
 
  private:
   void charge(std::size_t units);
+  void record(std::size_t pool_index, const MeasureOutcome& outcome);
 
   const TuningProblem* problem_;
   std::size_t budget_;
@@ -74,9 +129,16 @@ class Collector {
   double cost_exec_s_ = 0.0;
   double cost_comp_ch_ = 0.0;
 
+  bool faults_enabled_ = false;
+  ceal::Rng fault_rng_{0};
+
   std::vector<bool> seen_;                 // per pool index
-  std::vector<std::size_t> measured_;      // measurement order
-  std::vector<double> values_;             // objective values
+  std::vector<MeasureOutcome> outcomes_;   // per pool index (when seen)
+  std::vector<std::size_t> measured_;      // request order, all statuses
+  std::vector<double> values_;             // objective values (NaN if not ok)
+  std::vector<sim::RunStatus> statuses_;   // parallel to measured_
+  std::vector<std::size_t> ok_indices_;    // successful subset
+  std::vector<double> ok_values_;
   std::vector<std::vector<std::size_t>> component_indices_;
   std::vector<std::vector<std::size_t>> component_unused_;
 };

@@ -77,7 +77,7 @@ Geist::Geist(GeistParams params) : params_(std::move(params)) {
 
 TuneResult Geist::tune(const TuningProblem& problem, std::size_t budget_runs,
                        ceal::Rng& rng) const {
-  Collector collector(problem, budget_runs);
+  Collector collector(problem, budget_runs, &rng);
   const auto& space = problem.workload->workflow.joint_space();
   const std::size_t pool_size = problem.pool->size();
 
@@ -98,9 +98,16 @@ TuneResult Geist::tune(const TuningProblem& problem, std::size_t budget_runs,
       1, (budget_runs - std::min(warmup, budget_runs)) / params_.iterations);
 
   while (collector.remaining() > 0) {
-    // Seed labels: measured configs in the running top quantile are 1.
-    const auto& indices = collector.measured_indices();
-    const auto& values = collector.measured_values();
+    // Seed labels: successfully measured configs in the running top
+    // quantile are 1 (failed attempts carry no label signal).
+    const auto& indices = collector.ok_indices();
+    const auto& values = collector.ok_values();
+    if (indices.empty()) {
+      const auto batch = random_unmeasured(collector, batch_size, rng);
+      if (batch.empty()) break;
+      measure_batch(collector, batch);
+      continue;
+    }
     const double threshold = ceal::quantile(values, params_.top_quantile);
 
     std::vector<double> belief(pool_size, 0.5);  // unknown prior
@@ -136,7 +143,7 @@ TuneResult Geist::tune(const TuningProblem& problem, std::size_t budget_runs,
     }
     const auto batch = top_unmeasured(selection_score, collector, batch_size);
     if (batch.empty()) break;
-    measure_batch(collector, batch);
+    measure_batch(collector, batch, selection_score, batch_size);
   }
 
   // Final surrogate for the searcher, trained on everything measured —

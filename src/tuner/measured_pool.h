@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "config/config_space.h"
+#include "sim/fault_model.h"
 #include "sim/workflow.h"
 #include "sim/workloads.h"
 #include "tuner/objective.h"
@@ -67,6 +68,23 @@ std::vector<ComponentSamples> measure_components(
     const sim::InSituWorkflow& workflow, std::size_t n_per_component,
     std::uint64_t seed);
 
+/// How the collector turns a measurement request into run attempts.
+/// The default policy (no faults, one attempt) reproduces the paper's
+/// clean collector exactly — same budget accounting, same rng draws.
+struct MeasurementPolicy {
+  /// Fault injection applied to every run attempt (disabled by default).
+  sim::FaultModel faults;
+  /// Attempts per measurement request before the entry is recorded with
+  /// its failure status. Must be >= 1.
+  std::size_t max_attempts = 1;
+  /// When true every retry charges one budget unit like a fresh run;
+  /// when false only the first attempt is charged (e.g. the facility
+  /// refunds faulted jobs). Retries never over-spend: if the budget
+  /// cannot cover a re-charge, retrying stops and the entry keeps its
+  /// failure status.
+  bool charge_retries = true;
+};
+
 /// Everything one tuning experiment needs, bundled.
 struct TuningProblem {
   const sim::Workload* workload = nullptr;
@@ -78,6 +96,9 @@ struct TuningProblem {
   /// and cost nothing; otherwise algorithms that use them must charge
   /// their budget (CEAL's m_R).
   bool components_are_history = false;
+  /// Fault/retry behaviour of workflow measurements (defaults to the
+  /// clean collector of §2.2).
+  MeasurementPolicy measurement;
 };
 
 }  // namespace ceal::tuner

@@ -9,9 +9,17 @@ namespace ceal::tuner {
 TuneResult RandomSearch::tune(const TuningProblem& problem,
                               std::size_t budget_runs,
                               ceal::Rng& rng) const {
-  Collector collector(problem, budget_runs);
+  Collector collector(problem, budget_runs, &rng);
   const auto batch = random_unmeasured(collector, budget_runs, rng);
   measure_batch(collector, batch);
+  // Under fault injection (retries or free retries) budget can remain
+  // after the first sweep; keep drawing random configurations until it
+  // is spent. The fault-free path spends exactly the budget above.
+  while (collector.remaining() > 0) {
+    const auto more = random_unmeasured(collector, collector.remaining(), rng);
+    if (more.empty()) break;
+    measure_batch(collector, more);
+  }
 
   Surrogate surrogate;
   fit_on_measured(surrogate, collector, rng);

@@ -18,6 +18,9 @@ void Surrogate::fit(const config::ConfigSpace& space,
   ml::Dataset data(space.dimension());
   for (std::size_t i = 0; i < configs.size(); ++i) {
     double y = targets[i];
+    CEAL_EXPECT_MSG(std::isfinite(y),
+                    "surrogate targets must be finite — failed or censored "
+                    "measurements must be filtered before fitting");
     if (log_targets_) {
       CEAL_EXPECT_MSG(y > 0.0, "log-target surrogate needs positive targets");
       y = std::log(y);

@@ -1,6 +1,7 @@
 #include "tuner/tuning_util.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/error.h"
 #include "core/stats.h"
@@ -39,26 +40,41 @@ std::vector<std::size_t> random_unmeasured(const Collector& collector,
 }
 
 std::size_t measure_batch(Collector& collector,
-                          std::span<const std::size_t> batch) {
-  std::size_t measured = 0;
+                          std::span<const std::size_t> batch,
+                          std::span<const double> topup_scores,
+                          std::size_t want_ok) {
+  std::size_t ok = 0;
   for (const std::size_t idx : batch) {
     if (collector.remaining() == 0) break;
-    collector.measure(idx);
-    ++measured;
+    if (collector.try_measure(idx).status == sim::RunStatus::kOk) ++ok;
   }
-  return measured;
+  // Fault top-up: keep the per-iteration count of usable measurements at
+  // the intended batch size while budget and candidates last. The
+  // fault-free path never enters the loop (every measurement succeeded).
+  while (ok < want_ok && collector.remaining() > 0 &&
+         !topup_scores.empty()) {
+    const auto extra = top_unmeasured(topup_scores, collector, 1);
+    if (extra.empty()) break;
+    if (collector.try_measure(extra[0]).status == sim::RunStatus::kOk) ++ok;
+  }
+  return ok;
 }
 
 void fit_on_measured(Surrogate& surrogate, const Collector& collector,
                      ceal::Rng& rng) {
-  const auto& indices = collector.measured_indices();
-  CEAL_EXPECT_MSG(!indices.empty(), "no training samples collected");
+  const auto& indices = collector.ok_indices();
+  const auto& values = collector.ok_values();
+  CEAL_EXPECT_MSG(!indices.empty(), "no usable training samples collected");
+  for (const double v : values) {
+    CEAL_EXPECT_MSG(std::isfinite(v),
+                    "non-finite measurement in the training set");
+  }
   const MeasuredPool& pool = *collector.problem().pool;
   std::vector<config::Configuration> configs;
   configs.reserve(indices.size());
   for (const std::size_t idx : indices) configs.push_back(pool.configs[idx]);
   surrogate.fit(collector.problem().workload->workflow.joint_space(),
-                configs, collector.measured_values(), rng);
+                configs, values, rng);
 }
 
 TuneResult finalize_result(const Collector& collector,
@@ -66,9 +82,10 @@ TuneResult finalize_result(const Collector& collector,
   CEAL_EXPECT(model_scores.size() == collector.problem().pool->size());
   // The auto-tuner's score for a configuration it already measured is the
   // measurement itself; the surrogate only fills in the unmeasured rest.
+  // Failed entries have no observation — their model score stands.
   {
-    const auto& indices = collector.measured_indices();
-    const auto& values = collector.measured_values();
+    const auto& indices = collector.ok_indices();
+    const auto& values = collector.ok_values();
     for (std::size_t s = 0; s < indices.size(); ++s) {
       model_scores[indices[s]] = values[s];
     }
@@ -79,11 +96,14 @@ TuneResult finalize_result(const Collector& collector,
       model_scores.begin());
   result.model_scores = std::move(model_scores);
   result.measured_indices = collector.measured_indices();
-  CEAL_EXPECT(!result.measured_indices.empty());
-  const auto& values = collector.measured_values();
+  result.measured_statuses = collector.measured_statuses();
+  result.failed_runs = collector.failed_count();
+  const auto& values = collector.ok_values();
+  CEAL_EXPECT_MSG(!values.empty(),
+                  "tuning session produced no usable measurement");
   const std::size_t best_pos = static_cast<std::size_t>(
       std::min_element(values.begin(), values.end()) - values.begin());
-  result.best_measured_index = result.measured_indices[best_pos];
+  result.best_measured_index = collector.ok_indices()[best_pos];
   result.runs_used = collector.runs_used();
   result.cost_exec_s = collector.cost_exec_s();
   result.cost_comp_ch = collector.cost_comp_ch();

@@ -13,7 +13,8 @@ namespace ceal::tuner {
 
 /// The `count` unmeasured pool indices with the smallest scores
 /// (lower = better). `scores` must cover the whole pool. Returns fewer
-/// when not enough unmeasured configurations remain.
+/// when not enough unmeasured configurations remain. Indices whose
+/// measurement failed count as measured and are never re-selected.
 std::vector<std::size_t> top_unmeasured(std::span<const double> scores,
                                         const Collector& collector,
                                         std::size_t count);
@@ -23,17 +24,29 @@ std::vector<std::size_t> random_unmeasured(const Collector& collector,
                                            std::size_t count,
                                            ceal::Rng& rng);
 
-/// Measures every index in `batch` until the budget runs out; returns the
-/// number actually measured.
+/// Measures every index in `batch` until the budget runs out. When the
+/// problem injects faults, failed attempts can leave the batch short of
+/// usable data; passing `topup_scores` (pool-wide, lower = better) lets
+/// the helper keep measuring the best-scored unmeasured configurations
+/// until `want_ok` measurements succeeded, the budget is spent, or the
+/// pool is exhausted. Returns the number of *successful* measurements
+/// gained (equal to the number measured on the fault-free path).
 std::size_t measure_batch(Collector& collector,
-                          std::span<const std::size_t> batch);
+                          std::span<const std::size_t> batch,
+                          std::span<const double> topup_scores = {},
+                          std::size_t want_ok = 0);
 
-/// Fits `surrogate` on everything the collector has measured so far.
+/// Fits `surrogate` on every *successful* measurement the collector
+/// holds. Failed and censored entries never reach the training set, and
+/// a hard guard rejects non-finite targets before they can reach
+/// GradientBoostedTrees::fit.
 void fit_on_measured(Surrogate& surrogate, const Collector& collector,
                      ceal::Rng& rng);
 
 /// Builds the TuneResult from the final pool scores and the collector's
-/// ledger (searcher = argmin of scores, §2.2).
+/// ledger (searcher = argmin of scores, §2.2). Only successful
+/// measurements override model scores; failed entries are reported in
+/// TuneResult::failed_runs.
 TuneResult finalize_result(const Collector& collector,
                            std::vector<double> model_scores);
 

@@ -55,7 +55,7 @@ TEST(EndToEnd, LowFidelityModelBeatsRandomOrderingAtRecall) {
 
 TEST(EndToEnd, CealBeatsRandomSamplingAtEqualBudget) {
   auto& e = env();
-  TuningProblem prob{&e.wl, Objective::kExecTime, &e.pool, &e.comps, false};
+  TuningProblem prob{&e.wl, Objective::kExecTime, &e.pool, &e.comps, false, {}};
   Ceal ceal;
   RandomSearch rs;
   const auto s_ceal = evaluate(prob, ceal, 50, 12, 5);
@@ -68,7 +68,7 @@ TEST(EndToEnd, HistoriesImproveCeal) {
   // whole budget on workflow runs and find better configurations.
   auto& e = env();
   TuningProblem no_hist{&e.wl, Objective::kComputerTime, &e.pool, &e.comps,
-                        false};
+                        false, {}};
   TuningProblem hist = no_hist;
   hist.components_are_history = true;
   Ceal ceal;
@@ -81,7 +81,7 @@ TEST(EndToEnd, CealTopConfigPredictionsAreAccurate) {
   // Fig. 6's claim: CEAL's surrogate is accurate for the top
   // configurations even when its global MdAPE is unremarkable.
   auto& e = env();
-  TuningProblem prob{&e.wl, Objective::kExecTime, &e.pool, &e.comps, true};
+  TuningProblem prob{&e.wl, Objective::kExecTime, &e.pool, &e.comps, true, {}};
   Ceal ceal;
   const auto s = evaluate(prob, ceal, 50, 12, 7);
   EXPECT_LT(s.mean_mdape_top2, 60.0);
@@ -93,7 +93,7 @@ TEST(EndToEnd, WholePipelineRunsOnEveryWorkflow) {
     const auto comps = measure_components(wl.workflow, 40, 52);
     for (const auto obj :
          {Objective::kExecTime, Objective::kComputerTime}) {
-      TuningProblem prob{&wl, obj, &pool, &comps, false};
+      TuningProblem prob{&wl, obj, &pool, &comps, false, {}};
       Ceal ceal;
       ceal::Rng rng(8);
       const auto result = ceal.tune(prob, 20, rng);
@@ -106,7 +106,7 @@ TEST(EndToEnd, WholePipelineRunsOnEveryWorkflow) {
 
 TEST(EndToEnd, RecommendedConfigIsNearPoolOptimum) {
   auto& e = env();
-  TuningProblem prob{&e.wl, Objective::kExecTime, &e.pool, &e.comps, true};
+  TuningProblem prob{&e.wl, Objective::kExecTime, &e.pool, &e.comps, true, {}};
   Ceal ceal;
   const auto s = evaluate(prob, ceal, 50, 12, 9);
   // Within 25% of the pool optimum on average (paper: within ~5-15%).

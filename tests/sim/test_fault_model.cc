@@ -1,0 +1,156 @@
+#include "sim/fault_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "sim/workloads.h"
+
+namespace ceal::sim {
+namespace {
+
+TEST(FaultModel, DefaultIsDisabled) {
+  const FaultModel m;
+  EXPECT_FALSE(m.enabled());
+  m.validate();
+}
+
+TEST(FaultModel, AnyChannelEnables) {
+  FaultModel m;
+  m.fail_prob = 0.1;
+  EXPECT_TRUE(m.enabled());
+  m = FaultModel{};
+  m.deadline_s = 100.0;
+  EXPECT_TRUE(m.enabled());
+  m = FaultModel{};
+  m.outlier_prob = 0.05;
+  EXPECT_TRUE(m.enabled());
+}
+
+TEST(FaultModel, ValidateRejectsOutOfRange) {
+  FaultModel m;
+  m.fail_prob = 1.0;
+  EXPECT_THROW(m.validate(), ceal::PreconditionError);
+  m = FaultModel{};
+  m.fail_prob = -0.1;
+  EXPECT_THROW(m.validate(), ceal::PreconditionError);
+  m = FaultModel{};
+  m.deadline_s = -1.0;
+  EXPECT_THROW(m.validate(), ceal::PreconditionError);
+  m = FaultModel{};
+  m.outlier_prob = 1.5;
+  EXPECT_THROW(m.validate(), ceal::PreconditionError);
+  m = FaultModel{};
+  m.outlier_tail = 0.0;
+  EXPECT_THROW(m.validate(), ceal::PreconditionError);
+}
+
+TEST(FaultModel, DeadlineCensorsDeterministically) {
+  FaultModel m;
+  m.deadline_s = 50.0;
+  ceal::Rng rng(1);
+  // Longer than the deadline: killed exactly at the walltime limit.
+  const FaultOutcome slow = apply_faults(m, 120.0, rng);
+  EXPECT_EQ(slow.status, RunStatus::kCensored);
+  EXPECT_DOUBLE_EQ(slow.elapsed_s, 50.0);
+  // Shorter: untouched.
+  const FaultOutcome fast = apply_faults(m, 20.0, rng);
+  EXPECT_EQ(fast.status, RunStatus::kOk);
+  EXPECT_DOUBLE_EQ(fast.elapsed_s, 20.0);
+  EXPECT_DOUBLE_EQ(fast.value_factor, 1.0);
+}
+
+TEST(FaultModel, FailedRunsConsumePartialWallclock) {
+  FaultModel m;
+  m.fail_prob = 0.999;  // force the failure branch
+  ceal::Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const FaultOutcome out = apply_faults(m, 100.0, rng);
+    ASSERT_EQ(out.status, RunStatus::kFailed);
+    EXPECT_GE(out.elapsed_s, 0.0);
+    EXPECT_LT(out.elapsed_s, 100.0);
+  }
+}
+
+TEST(FaultModel, OutliersOnlyInflate) {
+  FaultModel m;
+  m.outlier_prob = 0.999;
+  m.outlier_tail = 2.0;
+  ceal::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const FaultOutcome out = apply_faults(m, 10.0, rng);
+    ASSERT_EQ(out.status, RunStatus::kOk);
+    EXPECT_GE(out.value_factor, 1.0);
+    EXPECT_DOUBLE_EQ(out.elapsed_s, 10.0);
+  }
+}
+
+TEST(FaultModel, SameSeedReplaysIdenticalFaultTrace) {
+  FaultModel m;
+  m.fail_prob = 0.3;
+  m.deadline_s = 60.0;
+  m.outlier_prob = 0.2;
+  ceal::Rng a(7), b(7);
+  for (int i = 0; i < 200; ++i) {
+    const double exec = 10.0 + i;
+    const FaultOutcome oa = apply_faults(m, exec, a);
+    const FaultOutcome ob = apply_faults(m, exec, b);
+    ASSERT_EQ(oa.status, ob.status);
+    ASSERT_DOUBLE_EQ(oa.elapsed_s, ob.elapsed_s);
+    ASSERT_DOUBLE_EQ(oa.value_factor, ob.value_factor);
+  }
+}
+
+TEST(FaultModel, FailureRateMatchesProbability) {
+  FaultModel m;
+  m.fail_prob = 0.25;
+  ceal::Rng rng(11);
+  int failed = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    if (apply_faults(m, 5.0, rng).status == RunStatus::kFailed) ++failed;
+  }
+  const double rate = static_cast<double>(failed) / n;
+  EXPECT_NEAR(rate, 0.25, 0.03);
+}
+
+TEST(FaultyRun, DisabledModelMatchesPlainRunExactly) {
+  const auto wl = make_lv();
+  ceal::Rng rng(5);
+  const auto joint = wl.workflow.joint_space().sample_valid(rng, 1)[0];
+
+  ceal::Rng plain(99), faulty(99);
+  const Measurement ref = wl.workflow.run(joint, plain);
+  const FaultyRun out =
+      run_with_faults(wl.workflow, joint, FaultModel{}, faulty);
+  EXPECT_EQ(out.status, RunStatus::kOk);
+  EXPECT_DOUBLE_EQ(out.measurement.exec_s, ref.exec_s);
+  EXPECT_DOUBLE_EQ(out.measurement.comp_ch, ref.comp_ch);
+  EXPECT_DOUBLE_EQ(out.elapsed_s, ref.exec_s);
+  // The disabled model must not consume randomness: the two generators
+  // stay in lock-step after the call.
+  EXPECT_DOUBLE_EQ(plain.uniform01(), faulty.uniform01());
+}
+
+TEST(FaultyRun, FailedRunZeroesTheMeasurement) {
+  const auto wl = make_lv();
+  ceal::Rng rng(6);
+  const auto joint = wl.workflow.joint_space().sample_valid(rng, 1)[0];
+  FaultModel m;
+  m.fail_prob = 0.999;
+  const FaultyRun out = run_with_faults(wl.workflow, joint, m, rng);
+  EXPECT_EQ(out.status, RunStatus::kFailed);
+  EXPECT_DOUBLE_EQ(out.measurement.exec_s, 0.0);
+  EXPECT_DOUBLE_EQ(out.measurement.comp_ch, 0.0);
+}
+
+TEST(RunStatusName, CoversEveryStatus) {
+  EXPECT_STREQ(run_status_name(RunStatus::kOk), "ok");
+  EXPECT_STREQ(run_status_name(RunStatus::kFailed), "failed");
+  EXPECT_STREQ(run_status_name(RunStatus::kCensored), "censored");
+}
+
+}  // namespace
+}  // namespace ceal::sim

@@ -45,7 +45,7 @@ class AlgorithmContract
   TuningProblem problem() {
     auto& f = fixture();
     return TuningProblem{&f.wl, Objective::kExecTime, &f.pool, &f.comps,
-                         std::get<1>(GetParam())};
+                         std::get<1>(GetParam()), {}};
   }
 
   std::unique_ptr<AutoTuner> tuner() {
@@ -170,7 +170,7 @@ TEST(PoolGraphTest, NeighborsAreSymmetricallySized) {
 
 TEST(GeistTest, SharedGraphGivesSameResultAsOwnGraph) {
   auto& f = fixture();
-  TuningProblem prob{&f.wl, Objective::kExecTime, &f.pool, &f.comps, false};
+  TuningProblem prob{&f.wl, Objective::kExecTime, &f.pool, &f.comps, false, {}};
   GeistParams with_graph;
   with_graph.graph = std::make_shared<PoolGraph>(
       f.wl.workflow.joint_space(), f.pool.configs, with_graph.k_neighbors);

@@ -18,7 +18,7 @@ class BayesOptTest : public ::testing::Test {
 
   TuningProblem problem(bool history = false) {
     return TuningProblem{&wl_, Objective::kExecTime, &pool_, &comps_,
-                         history};
+                         history, {}};
   }
 
   sim::Workload wl_;

@@ -19,7 +19,7 @@ class CealTest : public ::testing::Test {
 
   TuningProblem problem(bool history,
                         Objective obj = Objective::kExecTime) {
-    return TuningProblem{&wl_, obj, &pool_, &comps_, history};
+    return TuningProblem{&wl_, obj, &pool_, &comps_, history, {}};
   }
 
   sim::Workload wl_;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/error.h"
 #include "sim/workloads.h"
 
@@ -17,7 +19,7 @@ class CollectorTest : public ::testing::Test {
 
   TuningProblem problem(bool history = false) {
     return TuningProblem{&wl_, Objective::kExecTime, &pool_, &comps_,
-                         history};
+                         history, {}};
   }
 
   sim::Workload wl_;
@@ -126,9 +128,123 @@ TEST_F(CollectorTest, ComponentPoolExhaustionIsGraceful) {
   auto prob = problem();
   Collector col(prob, 50);
   ceal::Rng rng(4);
-  // Only 30 samples exist per component; asking for 40 rounds yields 30.
+  // Only 30 samples exist per component; asking for 40 rounds yields 30
+  // and charges only the 30 effective rounds — ineffective rounds must
+  // not burn workflow-run budget.
   const auto& idx = col.acquire_component_samples(40, rng);
   EXPECT_EQ(idx[0].size(), 30u);
+  EXPECT_EQ(idx[1].size(), 30u);
+  EXPECT_EQ(col.runs_used(), 30u);
+  // The pools are dry: further rounds neither draw nor charge.
+  col.acquire_component_samples(5, rng);
+  EXPECT_EQ(col.runs_used(), 30u);
+  EXPECT_EQ(idx[0].size(), 30u);
+}
+
+TEST_F(CollectorTest, FaultFreePathKeepsOkViewsInSync) {
+  auto prob = problem();
+  ceal::Rng rng(10);
+  Collector col(prob, 5, &rng);
+  col.measure(2);
+  col.measure(9);
+  EXPECT_EQ(col.ok_indices(), col.measured_indices());
+  EXPECT_EQ(col.ok_values(), col.measured_values());
+  EXPECT_EQ(col.failed_count(), 0u);
+  ASSERT_EQ(col.measured_statuses().size(), 2u);
+  EXPECT_EQ(col.measured_statuses()[0], sim::RunStatus::kOk);
+}
+
+TEST_F(CollectorTest, FaultInjectionRequiresRng) {
+  auto prob = problem();
+  prob.measurement.faults.fail_prob = 0.5;
+  EXPECT_THROW(Collector(prob, 5), ceal::PreconditionError);
+}
+
+TEST_F(CollectorTest, RetryExactlyExhaustsBudget) {
+  auto prob = problem();
+  prob.measurement.faults.fail_prob = 0.9999;  // effectively always fails
+  prob.measurement.max_attempts = 10;
+  ceal::Rng rng(11);
+  Collector col(prob, 2, &rng);
+  // Attempt 1 charges the first unit and fails; the single retry charges
+  // the second; the next retry is *not* taken — the ledger stays exactly
+  // spent and the entry keeps its failure status instead of throwing.
+  const MeasureOutcome out = col.try_measure(0);
+  EXPECT_EQ(out.status, sim::RunStatus::kFailed);
+  EXPECT_EQ(out.attempts, 2u);
+  EXPECT_EQ(col.runs_used(), 2u);
+  EXPECT_EQ(col.remaining(), 0u);
+  // A *new* request at zero budget still throws.
+  EXPECT_THROW(col.try_measure(1), ceal::PreconditionError);
+}
+
+TEST_F(CollectorTest, RepeatOfFailedIndexIsCachedAndFree) {
+  auto prob = problem();
+  prob.measurement.faults.fail_prob = 0.9999;
+  prob.measurement.max_attempts = 1;
+  ceal::Rng rng(12);
+  Collector col(prob, 10, &rng);
+  const MeasureOutcome first = col.try_measure(3);
+  ASSERT_EQ(first.status, sim::RunStatus::kFailed);
+  EXPECT_EQ(col.runs_used(), 1u);
+
+  // The repeat serves the cached verdict: same status, zero attempts,
+  // zero charge — a failed configuration is not silently re-run.
+  const MeasureOutcome repeat = col.try_measure(3);
+  EXPECT_EQ(repeat.status, sim::RunStatus::kFailed);
+  EXPECT_EQ(repeat.attempts, 0u);
+  EXPECT_EQ(col.runs_used(), 1u);
+  // The value API refuses to conjure a number for a failed entry.
+  EXPECT_THROW(col.measure(3), ceal::PreconditionError);
+
+  // Bookkeeping: the entry is in the all-statuses trace but not the
+  // training views, and its legacy value slot holds NaN.
+  EXPECT_EQ(col.measured_indices().size(), 1u);
+  EXPECT_EQ(col.ok_indices().size(), 0u);
+  EXPECT_EQ(col.failed_count(), 1u);
+  EXPECT_TRUE(std::isnan(col.measured_values()[0]));
+}
+
+TEST_F(CollectorTest, UnchargedRetriesSpendOneUnit) {
+  auto prob = problem();
+  prob.measurement.faults.fail_prob = 0.9999;
+  prob.measurement.max_attempts = 5;
+  prob.measurement.charge_retries = false;
+  ceal::Rng rng(13);
+  Collector col(prob, 10, &rng);
+  const MeasureOutcome out = col.try_measure(0);
+  EXPECT_EQ(out.status, sim::RunStatus::kFailed);
+  EXPECT_EQ(out.attempts, 5u);
+  EXPECT_EQ(col.runs_used(), 1u);  // retries ride on the first unit
+}
+
+TEST_F(CollectorTest, RetriesRecoverFromTransientFailures) {
+  auto prob = problem();
+  prob.measurement.faults.fail_prob = 0.5;
+  prob.measurement.max_attempts = 8;
+  ceal::Rng rng(14);
+  Collector col(prob, 60, &rng);
+  // With 8 attempts at p=0.5 a final failure has probability 2^-8; ten
+  // configurations should virtually always all end up measured.
+  for (std::size_t i = 0; i < 10; ++i) {
+    const MeasureOutcome out = col.try_measure(i);
+    EXPECT_EQ(out.status, sim::RunStatus::kOk);
+    EXPECT_GE(out.attempts, 1u);
+  }
+  EXPECT_EQ(col.ok_indices().size(), 10u);
+  EXPECT_GE(col.runs_used(), 10u);  // failed attempts charged budget
+}
+
+TEST_F(CollectorTest, CensoredRunsBillTheDeadline) {
+  auto prob = problem();
+  // Deadline below the pool minimum: every attempt is censored
+  // deterministically without drawing randomness for the verdict.
+  prob.measurement.faults.deadline_s = 1e-6;
+  ceal::Rng rng(15);
+  Collector col(prob, 4, &rng);
+  const MeasureOutcome out = col.try_measure(0);
+  EXPECT_EQ(out.status, sim::RunStatus::kCensored);
+  EXPECT_DOUBLE_EQ(col.cost_exec_s(), 1e-6);
 }
 
 }  // namespace

@@ -19,7 +19,7 @@ class EvaluationTest : public ::testing::Test {
         comps_(measure_components(wl_.workflow, 60, 32)) {}
 
   TuningProblem problem(Objective obj = Objective::kExecTime) {
-    return TuningProblem{&wl_, obj, &pool_, &comps_, true};
+    return TuningProblem{&wl_, obj, &pool_, &comps_, true, {}};
   }
 
   sim::Workload wl_;

@@ -102,7 +102,7 @@ TEST_F(PoolFeaturesTest, LowFidelityCachedScoresBitwiseEqual) {
 }
 
 TEST_F(PoolFeaturesTest, CealResultIndependentOfThreadCount) {
-  TuningProblem problem{&wl_, Objective::kExecTime, &pool_, &comps_, true};
+  TuningProblem problem{&wl_, Objective::kExecTime, &pool_, &comps_, true, {}};
   Ceal ceal;
   std::vector<TuneResult> results;
   for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {

@@ -15,7 +15,7 @@ class TuningUtilTest : public ::testing::Test {
       : wl_(sim::make_lv()),
         pool_(measure_pool(wl_.workflow, 50, 1)),
         comps_(measure_components(wl_.workflow, 10, 2)),
-        problem_{&wl_, Objective::kExecTime, &pool_, &comps_, false} {}
+        problem_{&wl_, Objective::kExecTime, &pool_, &comps_, false, {}} {}
 
   sim::Workload wl_;
   MeasuredPool pool_;

@@ -60,6 +60,18 @@ class Args {
     return parsed;
   }
 
+  double real(const std::string& name, double fallback) {
+    const auto v = value_of(name);
+    if (!v) return fallback;
+    char* end = nullptr;
+    const double parsed = std::strtod(v->c_str(), &end);
+    if (end == v->c_str() || *end != '\0') {
+      std::cerr << "--" << name << " expects a number, got '" << *v << "'\n";
+      std::exit(2);
+    }
+    return parsed;
+  }
+
   /// Call after all declarations: rejects unknown/unconsumed flags and
   /// handles --help.
   void finish() {

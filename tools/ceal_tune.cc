@@ -6,6 +6,7 @@
 //             --algorithm AL --replications 40
 //   ceal_tune --workflow LV --objective exec --budget 50
 //             --load-pool pool.csv --save-model surrogate.gbt
+#include <algorithm>
 #include <cmath>
 #include <iostream>
 
@@ -29,7 +30,11 @@ constexpr const char* kUsage =
     "  [--pool-seed S] [--seed S]\n"
     "  [--load-pool FILE] [--save-pool FILE]  pool CSV persistence\n"
     "  [--save-model FILE]      persist a surrogate fitted on the session\n"
-    "  [--explain]              print the recommendation's cost breakdown";
+    "  [--explain]              print the recommendation's cost breakdown\n"
+    "  [--fault-rate P]         per-attempt failure probability (default 0)\n"
+    "  [--outlier-rate P]       heavy-tail outlier probability (default 0)\n"
+    "  [--deadline S]           censor runs longer than S seconds\n"
+    "  [--max-attempts N]       measurement retries per config (default 1)";
 
 }  // namespace
 
@@ -55,6 +60,11 @@ int main(int argc, char** argv) {
   const auto save_pool = args.option("save-pool", "");
   const auto save_model = args.option("save-model", "");
   const bool explain = args.flag("explain");
+  const double fault_rate = args.real("fault-rate", 0.0);
+  const double outlier_rate = args.real("outlier-rate", 0.0);
+  const double deadline = args.real("deadline", 0.0);
+  const auto max_attempts =
+      static_cast<std::size_t>(args.integer("max-attempts", 1));
   args.finish();
 
   if (budget == 0) {
@@ -77,7 +87,12 @@ int main(int argc, char** argv) {
   const auto comps =
       tuner::measure_components(wl.workflow, comp_samples, pool_seed + 1);
 
-  tuner::TuningProblem problem{&wl, objective, &pool, &comps, history};
+  tuner::TuningProblem problem{&wl, objective, &pool, &comps, history, {}};
+  problem.measurement.faults.fail_prob = fault_rate;
+  problem.measurement.faults.outlier_prob = outlier_rate;
+  problem.measurement.faults.deadline_s = deadline;
+  problem.measurement.max_attempts = std::max<std::size_t>(1, max_attempts);
+  problem.measurement.faults.validate();
 
   if (replications > 1) {
     const auto s =
@@ -114,6 +129,16 @@ int main(int argc, char** argv) {
   std::cout << "  measured " << result.measured_indices.size()
             << " workflow configurations, " << result.runs_used
             << " budget units used\n";
+  if (problem.measurement.faults.enabled()) {
+    std::size_t censored = 0;
+    for (const auto st : result.measured_statuses) {
+      if (st == sim::RunStatus::kCensored) ++censored;
+    }
+    std::cout << "  faults: " << result.failed_runs << " failed, " << censored
+              << " censored attempts (fault-rate " << fault_rate
+              << ", max-attempts " << problem.measurement.max_attempts
+              << ")\n";
+  }
   std::cout << "  recommendation: " << config::to_string(best) << "\n";
   std::cout << "  expected: " << Table::num(perf.exec_s, 2) << " s on "
             << perf.nodes << " nodes = " << Table::num(perf.comp_ch, 3)

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the full regular test suite, then the unit (ml)
-# and system (tuner) test binaries rebuilt and rerun under
-# AddressSanitizer and UndefinedBehaviorSanitizer (CEAL_SANITIZE, see the
-# root CMakeLists.txt). Sanitizer builds go to build-address/ and
+# Tier-1 verification: every test labelled tier1 (unit, system, and
+# example smoke tests — see tests/CMakeLists.txt), then the same label
+# set rebuilt and rerun under AddressSanitizer and
+# UndefinedBehaviorSanitizer (CEAL_SANITIZE, see the root
+# CMakeLists.txt). Sanitizer builds go to build-address/ and
 # build-undefined/ so they never disturb the primary build/ tree.
+# Slow stress sweeps carry the `slow` label instead and are not part of
+# tier 1; run them with `ctest --test-dir build -L slow`.
 #
 # Usage: tools/run_tier1.sh [--skip-sanitizers]
 set -euo pipefail
@@ -13,10 +16,10 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 skip_san=0
 [[ "${1:-}" == "--skip-sanitizers" ]] && skip_san=1
 
-echo "== tier-1: plain build + full ctest =="
+echo "== tier-1: plain build + ctest -L tier1 =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
-ctest --test-dir build --output-on-failure -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs" -L tier1
 
 if [[ "$skip_san" == 1 ]]; then
   echo "tier-1 OK (sanitizer stages skipped)"
@@ -24,12 +27,12 @@ if [[ "$skip_san" == 1 ]]; then
 fi
 
 for san in address undefined; do
-  echo "== tier-1: ml+tuner tests under ${san} sanitizer =="
+  echo "== tier-1: tier1 label set under ${san} sanitizer =="
   dir="build-${san}"
   cmake -B "$dir" -S . -DCEAL_SANITIZE="$san" >/dev/null
-  cmake --build "$dir" -j "$jobs" --target unit_tests system_tests
-  "./$dir/tests/unit_tests" --gtest_brief=1
-  "./$dir/tests/system_tests" --gtest_brief=1
+  cmake --build "$dir" -j "$jobs" --target unit_tests system_tests \
+    quickstart component_models miniapp_demo custom_workflow md_insitu
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs" -L tier1
 done
 
 echo "tier-1 OK (plain + asan + ubsan)"
