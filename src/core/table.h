@@ -12,7 +12,9 @@ namespace ceal {
 ///
 ///   Table t({"algo", "time"});
 ///   t.add_row({"CEAL", "3.13"});
-///   std::cout << t;
+///   std::cout << t;        // operator<<(std::ostream&, const Table&),
+///                          // renders via Table::print(std::ostream&)
+///   t.to_csv(std::cout);   // same rows as RFC-4180-style CSV
 class Table {
  public:
   explicit Table(std::vector<std::string> header);
@@ -28,6 +30,11 @@ class Table {
 
   /// Renders with a header underline and two-space column gaps.
   void print(std::ostream& os) const;
+
+  /// Writes header + rows as CSV (cells containing commas, quotes, or
+  /// newlines are double-quoted with embedded quotes doubled). Used by
+  /// `ceal_trace --csv` report output.
+  void to_csv(std::ostream& os) const;
 
  private:
   std::vector<std::string> header_;

@@ -1,0 +1,191 @@
+#include "core/telemetry.h"
+
+#include <chrono>
+#include <ostream>
+
+#include "core/error.h"
+
+namespace ceal::telemetry {
+
+double monotonic_seconds() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+TraceEvent& TraceEvent::field(std::string key, json::Value v) {
+  fields_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+TraceEvent& TraceEvent::field(std::string key, bool v) {
+  return field(std::move(key), json::Value::boolean(v));
+}
+
+TraceEvent& TraceEvent::field(std::string key, double v) {
+  return field(std::move(key), json::Value::number(v));
+}
+
+TraceEvent& TraceEvent::field(std::string key, std::int64_t v) {
+  return field(std::move(key), json::Value::number(v));
+}
+
+TraceEvent& TraceEvent::field(std::string key, std::uint64_t v) {
+  return field(std::move(key), json::Value::number(v));
+}
+
+TraceEvent& TraceEvent::field(std::string key, int v) {
+  return field(std::move(key),
+               json::Value::number(static_cast<std::int64_t>(v)));
+}
+
+TraceEvent& TraceEvent::field(std::string key, const char* v) {
+  return field(std::move(key), json::Value::string(v));
+}
+
+TraceEvent& TraceEvent::field(std::string key, std::string v) {
+  return field(std::move(key), json::Value::string(std::move(v)));
+}
+
+TraceEvent& TraceEvent::field(std::string key,
+                              std::span<const std::size_t> v) {
+  json::Value arr = json::Value::array();
+  for (const std::size_t x : v) {
+    arr.push(json::Value::number(static_cast<std::uint64_t>(x)));
+  }
+  return field(std::move(key), std::move(arr));
+}
+
+TraceEvent& TraceEvent::field(std::string key, std::span<const double> v) {
+  json::Value arr = json::Value::array();
+  for (const double x : v) arr.push(json::Value::number(x));
+  return field(std::move(key), std::move(arr));
+}
+
+TraceEvent& TraceEvent::timing(std::string key, double seconds) {
+  timing_.emplace_back(std::move(key), seconds);
+  return *this;
+}
+
+json::Value TraceEvent::to_json() const {
+  json::Value obj = json::Value::object();
+  obj.set("event", json::Value::string(name_));
+  if (seq_) obj.set("seq", json::Value::number(*seq_));
+  for (const auto& [key, value] : fields_) obj.set(key, value);
+  if (!timing_.empty()) {
+    json::Value t = json::Value::object();
+    for (const auto& [key, seconds] : timing_) {
+      t.set(key, json::Value::number(seconds));
+    }
+    obj.set("timing", std::move(t));
+  }
+  return obj;
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path) : file_(path) {
+  CEAL_EXPECT_MSG(file_.is_open(),
+                  "cannot open trace file for writing: " + path);
+  os_ = &file_;
+}
+
+JsonlTraceSink::~JsonlTraceSink() { flush(); }
+
+void JsonlTraceSink::write(const TraceEvent& event) {
+  event.to_json().write(*os_);
+  *os_ << '\n';
+}
+
+void JsonlTraceSink::flush() { os_->flush(); }
+
+MultiTraceSink::MultiTraceSink(std::vector<TraceSink*> sinks)
+    : sinks_(std::move(sinks)) {
+  for (const TraceSink* s : sinks_) CEAL_EXPECT(s != nullptr);
+}
+
+void MultiTraceSink::write(const TraceEvent& event) {
+  for (TraceSink* s : sinks_) s->write(event);
+}
+
+void MultiTraceSink::flush() {
+  for (TraceSink* s : sinks_) s->flush();
+}
+
+void Telemetry::emit(TraceEvent event) {
+  if (sink_ == nullptr) return;
+  event.seq_ = seq_++;
+  sink_->write(event);
+}
+
+void Telemetry::count(std::string_view name, std::uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+std::uint64_t Telemetry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Telemetry::gauge(std::string_view name, double value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void Telemetry::add_span(std::string_view name, double seconds) {
+  auto it = spans_.find(name);
+  if (it == spans_.end()) {
+    spans_.emplace(std::string(name), SpanStats{1, seconds});
+  } else {
+    ++it->second.count;
+    it->second.total_s += seconds;
+  }
+}
+
+SpanStats Telemetry::span_stats(std::string_view name) const {
+  const auto it = spans_.find(name);
+  return it == spans_.end() ? SpanStats{} : it->second;
+}
+
+TraceEvent Telemetry::summary_event() const {
+  TraceEvent event("telemetry.summary");
+  for (const auto& [name, value] : counters_) event.field(name, value);
+  for (const auto& [name, value] : gauges_) event.field(name, value);
+  for (const auto& [name, stats] : spans_) {
+    event.field(name + ".count", stats.count);
+    event.timing(name + ".total_s", stats.total_s);
+  }
+  return event;
+}
+
+Table Telemetry::summary_table() const {
+  Table table({"kind", "name", "count/value", "total (s)"});
+  for (const auto& [name, value] : counters_) {
+    table.add_row({"counter", name, std::to_string(value), ""});
+  }
+  for (const auto& [name, value] : gauges_) {
+    table.add_row({"gauge", name, Table::num(value, 6), ""});
+  }
+  for (const auto& [name, stats] : spans_) {
+    table.add_row({"span", name, std::to_string(stats.count),
+                   Table::num(stats.total_s, 6)});
+  }
+  return table;
+}
+
+double ScopedSpan::stop() {
+  if (telemetry_ != nullptr) {
+    elapsed_ = monotonic_seconds() - start_;
+    telemetry_->add_span(name_, elapsed_);
+    telemetry_ = nullptr;
+  }
+  return elapsed_;
+}
+
+}  // namespace ceal::telemetry

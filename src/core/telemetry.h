@@ -1,0 +1,201 @@
+// Structured tracing + metrics for the tuning loop.
+//
+// Three pieces:
+//  * Telemetry — a registry of named counters, gauges, and span timers,
+//    plus an optional TraceSink that receives structured TraceEvents.
+//  * TraceSink — where events go: JsonlTraceSink writes one JSON object
+//    per line, NullTraceSink swallows everything (for overhead tests),
+//    MultiTraceSink fans out to several sinks (file + live progress).
+//  * ScopedSpan — RAII wall-clock timer charging a named span
+//    accumulator; a no-op when constructed with a null Telemetry.
+//
+// Determinism contract: every event field except the `timing` sub-object
+// must be a deterministic function of the tuning session's seed. All
+// wall-clock values live exclusively under `timing`, so two traces of
+// the same seeded session are byte-identical once `timing` is stripped
+// (`ceal_trace --check-determinism` and tests/tuner/test_trace.cc hold
+// the instrumentation to this).
+//
+// Overhead contract: code under instrumentation holds a nullable
+// `Telemetry*`; with no telemetry attached every instrumentation site
+// reduces to one branch on that pointer (bench_micro_telemetry measures
+// the residual cost at < 1%).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/json.h"
+#include "core/table.h"
+
+namespace ceal::telemetry {
+
+/// Monotonic (steady_clock) seconds since an arbitrary epoch.
+double monotonic_seconds();
+
+/// One structured trace record: a name, deterministic fields, and
+/// wall-clock timing fields kept in a separate sub-object.
+class TraceEvent {
+ public:
+  explicit TraceEvent(std::string name) : name_(std::move(name)) {}
+
+  TraceEvent& field(std::string key, json::Value v);
+  TraceEvent& field(std::string key, bool v);
+  TraceEvent& field(std::string key, double v);
+  TraceEvent& field(std::string key, std::int64_t v);
+  TraceEvent& field(std::string key, std::uint64_t v);
+  TraceEvent& field(std::string key, int v);
+  TraceEvent& field(std::string key, const char* v);
+  TraceEvent& field(std::string key, std::string v);
+  TraceEvent& field(std::string key, std::span<const std::size_t> v);
+  TraceEvent& field(std::string key, std::span<const double> v);
+
+  /// Wall-clock seconds; serialised under the `timing` sub-object.
+  TraceEvent& timing(std::string key, double seconds);
+
+  const std::string& name() const { return name_; }
+
+  /// {"event":name,["seq":n,]fields...,["timing":{...}]}
+  json::Value to_json() const;
+
+ private:
+  friend class Telemetry;
+
+  std::string name_;
+  std::optional<std::uint64_t> seq_;
+  std::vector<std::pair<std::string, json::Value>> fields_;
+  std::vector<std::pair<std::string, double>> timing_;
+};
+
+/// Receives trace events. Implementations must tolerate events of any
+/// name — the schema is open (docs/OBSERVABILITY.md).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void write(const TraceEvent& event) = 0;
+  virtual void flush() {}
+};
+
+/// Swallows everything; stands in for "tracing disabled" where a sink is
+/// structurally required (overhead benchmarks).
+class NullTraceSink final : public TraceSink {
+ public:
+  void write(const TraceEvent&) override {}
+};
+
+/// One compact JSON object per line. The file constructor owns the
+/// stream and flushes on destruction; the ostream constructor borrows.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream& os) : os_(&os) {}
+  /// Opens (truncates) `path`; throws PreconditionError on failure.
+  explicit JsonlTraceSink(const std::string& path);
+  ~JsonlTraceSink() override;
+
+  void write(const TraceEvent& event) override;
+  void flush() override;
+
+ private:
+  std::ofstream file_;
+  std::ostream* os_ = nullptr;
+};
+
+/// Fans one event out to several sinks, in order.
+class MultiTraceSink final : public TraceSink {
+ public:
+  explicit MultiTraceSink(std::vector<TraceSink*> sinks);
+  void write(const TraceEvent& event) override;
+  void flush() override;
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+struct SpanStats {
+  std::uint64_t count = 0;
+  double total_s = 0.0;
+};
+
+/// Registry of counters, gauges, and span accumulators, with an optional
+/// trace sink. Not thread-safe: one Telemetry instruments one serial
+/// tuning session (the evaluation harness runs replications serially
+/// whenever telemetry is attached).
+class Telemetry {
+ public:
+  explicit Telemetry(TraceSink* sink = nullptr) : sink_(sink) {}
+
+  void set_sink(TraceSink* sink) { sink_ = sink; }
+  TraceSink* sink() const { return sink_; }
+  bool tracing() const { return sink_ != nullptr; }
+
+  /// Stamps the event with the next sequence number and forwards it to
+  /// the sink; drops it (cheaply) when no sink is attached.
+  void emit(TraceEvent event);
+
+  void count(std::string_view name, std::uint64_t delta = 1);
+  /// 0 for a counter never incremented.
+  std::uint64_t counter(std::string_view name) const;
+
+  void gauge(std::string_view name, double value);
+
+  /// Adds one timed interval to the named span accumulator (ScopedSpan
+  /// calls this; direct use is fine for externally measured intervals).
+  void add_span(std::string_view name, double seconds);
+  SpanStats span_stats(std::string_view name) const;
+
+  const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, SpanStats, std::less<>>& spans() const {
+    return spans_;
+  }
+
+  /// "telemetry.summary" event: counters and gauges as deterministic
+  /// fields, span call counts as fields, span totals under `timing`.
+  TraceEvent summary_event() const;
+
+  /// Human-readable metrics table (kind, name, count/value, total
+  /// seconds) for `ceal_tune --metrics-summary`.
+  Table summary_table() const;
+
+ private:
+  TraceSink* sink_;
+  std::uint64_t seq_ = 0;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, SpanStats, std::less<>> spans_;
+};
+
+/// RAII wall-clock span: charges `telemetry->add_span(name, elapsed)` on
+/// stop()/destruction. With a null Telemetry every member is one branch.
+class ScopedSpan {
+ public:
+  ScopedSpan(Telemetry* telemetry, const char* name)
+      : telemetry_(telemetry), name_(name) {
+    if (telemetry_ != nullptr) start_ = monotonic_seconds();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() { stop(); }
+
+  /// Records the span once; further calls return the first elapsed time.
+  /// Returns 0 when no telemetry is attached.
+  double stop();
+
+ private:
+  Telemetry* telemetry_;
+  const char* name_;
+  double start_ = 0.0;
+  double elapsed_ = 0.0;
+};
+
+}  // namespace ceal::telemetry

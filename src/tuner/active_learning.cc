@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/error.h"
+#include "core/telemetry.h"
 #include "tuner/collector.h"
 #include "tuner/pool_features.h"
 #include "tuner/surrogate.h"
@@ -21,6 +22,8 @@ TuneResult ActiveLearning::tune(const TuningProblem& problem,
                                 std::size_t budget_runs,
                                 ceal::Rng& rng) const {
   Collector collector(problem, budget_runs, &rng);
+  emit_tune_start(problem, *this, budget_runs);
+  telemetry::Telemetry* tel = problem.telemetry;
   const auto& space = problem.workload->workflow.joint_space();
   // The pool is rescored every iteration; featurize it once.
   const ml::FeatureMatrix pool_features =
@@ -35,24 +38,35 @@ TuneResult ActiveLearning::tune(const TuningProblem& problem,
       1, (budget_runs - std::min(warmup, budget_runs)) / params_.iterations);
 
   Surrogate surrogate;
+  std::size_t iteration = 0;
   while (collector.remaining() > 0) {
+    const std::size_t req_start = collector.measured_indices().size();
+    const std::size_t ok_start = collector.ok_values().size();
     if (collector.ok_indices().empty()) {
       // Every warmup attempt failed; spend budget on fresh random
       // configurations until the surrogate has something to train on.
       const auto batch = random_unmeasured(collector, batch_size, rng);
       if (batch.empty()) break;
       measure_batch(collector, batch);
+      emit_iteration_event(problem, "al.iteration", iteration++, collector,
+                           req_start, ok_start, 0.0, 0.0);
       continue;
     }
-    fit_on_measured(surrogate, collector, rng);
+    const double fit_s = fit_on_measured(surrogate, collector, rng);
+    telemetry::ScopedSpan predict_span(tel, "surrogate.predict");
     const auto scores = surrogate.predict_many(pool_features);
+    const double predict_s = predict_span.stop();
     const auto batch = top_unmeasured(scores, collector, batch_size);
     if (batch.empty()) break;
     measure_batch(collector, batch, scores, batch_size);
+    emit_iteration_event(problem, "al.iteration", iteration++, collector,
+                         req_start, ok_start, fit_s, predict_s);
   }
 
   fit_on_measured(surrogate, collector, rng);
+  telemetry::ScopedSpan final_span(tel, "surrogate.predict");
   auto scores = surrogate.predict_many(pool_features);
+  final_span.stop();
   return finalize_result(collector, std::move(scores));
 }
 

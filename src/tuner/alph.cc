@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "core/error.h"
+#include "core/telemetry.h"
 #include "ml/dataset.h"
 #include "ml/gbt.h"
 #include "tuner/collector.h"
@@ -38,6 +39,8 @@ Alph::Alph(AlphParams params) : params_(params) {
 TuneResult Alph::tune(const TuningProblem& problem, std::size_t budget_runs,
                       ceal::Rng& rng) const {
   Collector collector(problem, budget_runs, &rng);
+  emit_tune_start(problem, *this, budget_runs);
+  telemetry::Telemetry* tel = problem.telemetry;
   const auto& workflow = problem.workload->workflow;
 
   // Component models: free history when available, otherwise charged runs.
@@ -68,6 +71,8 @@ TuneResult Alph::tune(const TuningProblem& problem, std::size_t budget_runs,
   // successful measurements train the model — failed entries carry no
   // value, and the positivity guard keeps NaN/Inf out of the fit.
   const auto fit = [&](ml::GradientBoostedTrees& model) {
+    if (tel != nullptr) tel->count("surrogate.fits");
+    telemetry::ScopedSpan span(tel, "surrogate.fit");
     const auto& indices = collector.ok_indices();
     const auto& values = collector.ok_values();
     ml::Dataset data(width);
@@ -76,12 +81,17 @@ TuneResult Alph::tune(const TuningProblem& problem, std::size_t budget_runs,
       data.add(pool_features[indices[s]], std::log(values[s]));
     }
     model.fit(data, rng);
+    return span.stop();
   };
-  const auto predict_pool = [&](const ml::GradientBoostedTrees& model) {
+  const auto predict_pool = [&](const ml::GradientBoostedTrees& model,
+                                double* elapsed_s = nullptr) {
+    telemetry::ScopedSpan span(tel, "surrogate.predict");
     std::vector<double> scores(pool_size);
     for (std::size_t i = 0; i < pool_size; ++i) {
       scores[i] = std::exp(model.predict(pool_features[i]));
     }
+    const double s = span.stop();
+    if (elapsed_s != nullptr) *elapsed_s = s;
     return scores;
   };
 
@@ -95,18 +105,26 @@ TuneResult Alph::tune(const TuningProblem& problem, std::size_t budget_runs,
 
   ml::GradientBoostedTrees model(
       ml::GradientBoostedTrees::surrogate_defaults());
+  std::size_t iteration = 0;
   while (collector.remaining() > 0) {
+    const std::size_t req_start = collector.measured_indices().size();
+    const std::size_t ok_start = collector.ok_values().size();
     if (collector.ok_indices().empty()) {
       const auto batch = random_unmeasured(collector, batch_size, rng);
       if (batch.empty()) break;
       measure_batch(collector, batch);
+      emit_iteration_event(problem, "alph.iteration", iteration++, collector,
+                           req_start, ok_start, 0.0, 0.0);
       continue;
     }
-    fit(model);
-    const auto scores = predict_pool(model);
+    const double fit_s = fit(model);
+    double predict_s = 0.0;
+    const auto scores = predict_pool(model, &predict_s);
     const auto batch = top_unmeasured(scores, collector, batch_size);
     if (batch.empty()) break;
     measure_batch(collector, batch, scores, batch_size);
+    emit_iteration_event(problem, "alph.iteration", iteration++, collector,
+                         req_start, ok_start, fit_s, predict_s);
   }
 
   fit(model);

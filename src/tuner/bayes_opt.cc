@@ -6,6 +6,7 @@
 
 #include "core/error.h"
 #include "core/stats.h"
+#include "core/telemetry.h"
 #include "ml/dataset.h"
 #include "ml/gbt.h"
 #include "tuner/collector.h"
@@ -80,6 +81,8 @@ BayesOpt::BayesOpt(BayesOptParams params) : params_(params) {
 TuneResult BayesOpt::tune(const TuningProblem& problem,
                           std::size_t budget_runs, ceal::Rng& rng) const {
   Collector collector(problem, budget_runs, &rng);
+  emit_tune_start(problem, *this, budget_runs);
+  telemetry::Telemetry* tel = problem.telemetry;
   const auto& workflow = problem.workload->workflow;
   const auto& space = workflow.joint_space();
   const std::size_t pool_size = problem.pool->size();
@@ -118,41 +121,55 @@ TuneResult BayesOpt::tune(const TuningProblem& problem,
   Ensemble ensemble(params_.ensemble_size, rng);
   std::vector<config::Configuration> train_configs;
   const auto refit = [&] {
+    if (tel != nullptr) tel->count("surrogate.fits");
+    telemetry::ScopedSpan span(tel, "surrogate.fit");
     train_configs.clear();
     for (const std::size_t i : collector.ok_indices()) {
       train_configs.push_back(problem.pool->configs[i]);
     }
     ensemble.fit(space, train_configs, collector.ok_values());
+    return span.stop();
   };
 
+  std::size_t iteration = 0;
   while (collector.remaining() > 0) {
+    const std::size_t req_start = collector.measured_indices().size();
+    const std::size_t ok_start = collector.ok_values().size();
     if (collector.ok_indices().empty()) {
       const auto batch = random_unmeasured(collector, batch_size, rng);
       if (batch.empty()) break;
       measure_batch(collector, batch);
+      emit_iteration_event(problem, "bo.iteration", iteration++, collector,
+                           req_start, ok_start, 0.0, 0.0);
       continue;
     }
-    refit();
+    const double fit_s = refit();
     // LCB acquisition: optimistic lower bound, lower = more attractive.
+    telemetry::ScopedSpan predict_span(tel, "surrogate.predict");
     std::vector<double> acquisition(pool_size);
     for (std::size_t i = 0; i < pool_size; ++i) {
       double mu = 0.0, sigma = 0.0;
       ensemble.predict(space, problem.pool->configs[i], mu, sigma);
       acquisition[i] = mu - params_.kappa * sigma;
     }
+    const double predict_s = predict_span.stop();
     const auto batch = top_unmeasured(acquisition, collector, batch_size);
     if (batch.empty()) break;
     measure_batch(collector, batch, acquisition, batch_size);
+    emit_iteration_event(problem, "bo.iteration", iteration++, collector,
+                         req_start, ok_start, fit_s, predict_s);
   }
 
   // Final ranking uses the ensemble mean (no exploration bonus).
   refit();
+  telemetry::ScopedSpan final_span(tel, "surrogate.predict");
   std::vector<double> scores(pool_size);
   for (std::size_t i = 0; i < pool_size; ++i) {
     double mu = 0.0, sigma = 0.0;
     ensemble.predict(space, problem.pool->configs[i], mu, sigma);
     scores[i] = mu;
   }
+  final_span.stop();
   return finalize_result(collector, std::move(scores));
 }
 

@@ -6,6 +6,7 @@
 
 #include "core/error.h"
 #include "core/stats.h"
+#include "core/telemetry.h"
 #include "ml/metrics.h"
 #include "tuner/collector.h"
 #include "tuner/low_fidelity.h"
@@ -40,6 +41,8 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
   const std::size_t m = budget_runs;
   Collector collector(problem, m, &rng);
   const auto& workflow = problem.workload->workflow;
+  telemetry::Telemetry* tel = problem.telemetry;
+  emit_tune_start(problem, *this, budget_runs);
 
   // Every model evaluation below scores the same fixed pool; featurize
   // it (joint + per-component slices) exactly once.
@@ -57,13 +60,17 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
                                   1, m - 2);
     component_indices = &collector.acquire_component_samples(m_r, rng);
   }
+  telemetry::ScopedSpan components_span(tel, "components.fit");
   auto components = std::make_shared<const ComponentModelSet>(
       workflow, problem.objective, *problem.component_samples,
       *component_indices, rng);
+  const double components_fit_s = components_span.stop();
   const LowFidelityModel low_fidelity(workflow, problem.objective,
                                       components);
+  telemetry::ScopedSpan low_score_span(tel, "low_fidelity.score");
   const std::vector<double> low_scores =
       low_fidelity.score_many(pool_features);
+  const double low_score_s = low_score_span.stop();
 
   // ---- Phase 2: high-fidelity model via dynamic ensemble active
   // learning (lines 7-28).
@@ -77,6 +84,19 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
   // signal (iterations simply end sooner when the budget runs dry).
   std::size_t m_b = std::max<std::size_t>(
       3, (m - std::min(m, m0 + m_r)) / params.iterations);
+
+  if (tel != nullptr) {
+    telemetry::TraceEvent event("ceal.phase1");
+    event.field("budget", m)
+        .field("m_r", m_r)
+        .field("m0", m0)
+        .field("m_b", m_b)
+        .field("iterations", params.iterations)
+        .field("history", problem.components_are_history)
+        .timing("components_fit_s", components_fit_s)
+        .timing("low_score_s", low_score_s);
+    tel->emit(std::move(event));
+  }
 
   // Line 7: m0/2 random samples; lines 9-10: top m_B by the low-fidelity
   // model.
@@ -98,21 +118,62 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
     // Line 14: run the workflow for this iteration's batch. Only
     // successful measurements count towards the batch; failed attempts
     // are topped up from the queueing model's ranking.
+    const std::size_t req_start = collector.measured_indices().size();
     const std::size_t batch_start = collector.ok_indices().size();
     measure_batch(collector, c_meas, queue_scores, c_meas.size());
     c_meas.clear();
     const auto& all_indices = collector.ok_indices();
     const auto& all_values = collector.ok_values();
     const std::size_t batch_len = all_indices.size() - batch_start;
+
+    // Per-iteration trace state, filled in as the iteration unfolds and
+    // emitted exactly once on every path out of the loop body.
+    bool detection_ran = false, switched_now = false;
+    double s_high = 0.0, s_low = 0.0, detect_s = 0.0, predict_s = 0.0;
+    std::size_t topup_injected = 0;
+    const double fit_total_before =
+        tel != nullptr ? tel->span_stats("surrogate.fit").total_s : 0.0;
+    const auto emit_iteration = [&] {
+      if (tel == nullptr) return;
+      tel->count("ceal.iterations");
+      telemetry::TraceEvent event("ceal.iteration");
+      const auto& requested = collector.measured_indices();
+      event.field("iteration", i)
+          .field("batch", std::span<const std::size_t>(
+                              requested.data() + req_start,
+                              requested.size() - req_start))
+          .field("batch_ok", batch_len)
+          .field("batch_values",
+                 std::span<const double>(all_values.data() + batch_start,
+                                         batch_len))
+          .field("model", using_high_fidelity ? "high" : "low")
+          .field("switched", switched_now)
+          .field("topup", topup_injected)
+          .field("m_b", m_b)
+          .field("budget_used", collector.runs_used())
+          .field("budget_remaining", collector.remaining());
+      if (detection_ran) {
+        event.field("recall_low", s_low).field("recall_high", s_high);
+      }
+      event
+          .timing("fit_s",
+                  tel->span_stats("surrogate.fit").total_s - fit_total_before)
+          .timing("detect_s", detect_s)
+          .timing("predict_s", predict_s);
+      tel->emit(std::move(event));
+    };
+
     if (batch_len == 0) {
       if (collector.remaining() == 0 ||
           !problem.measurement.faults.enabled()) {
+        emit_iteration();
         break;  // budget spent (or, fault-free, the pool ran dry)
       }
       // Every attempt this iteration failed; re-queue from the
       // low-fidelity ranking and spend the next iteration retrying.
       queue_scores = low_scores;
       c_meas = top_unmeasured(low_scores, collector, m_b);
+      emit_iteration();
       if (c_meas.empty()) break;
       continue;
     }
@@ -124,6 +185,8 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
     // meaningful batch.
     if (params.enable_switch_detection && !using_high_fidelity &&
         high_fidelity.is_fitted() && batch_len >= 3) {
+      telemetry::ScopedSpan detect_span(tel, "ceal.switch_detection");
+      detection_ran = true;
       std::vector<double> batch_high(batch_len), batch_low(batch_len),
           batch_meas(batch_len);
       for (std::size_t b = 0; b < batch_len; ++b) {
@@ -133,8 +196,8 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
         batch_low[b] = low_scores[idx];
         batch_meas[b] = all_values[batch_start + b];
       }
-      const double s_high = ml::recall_sum_top123(batch_high, batch_meas);
-      const double s_low = ml::recall_sum_top123(batch_low, batch_meas);
+      s_high = ml::recall_sum_top123(batch_high, batch_meas);
+      s_low = ml::recall_sum_top123(batch_low, batch_meas);
 
       // Line 20: bias check — M_H's three favourite measured configs
       // must fall within the better half of all measurements, otherwise
@@ -161,25 +224,50 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
           const auto randoms = random_unmeasured(collector, extra, rng);
           c_meas.insert(c_meas.end(), randoms.begin(), randoms.end());
           m0_used += extra;  // line 22
+          topup_injected = randoms.size();
+          if (tel != nullptr) {
+            tel->count("ceal.topups");
+            telemetry::TraceEvent event("ceal.topup");
+            event.field("iteration", i)
+                .field("injected", randoms.size())
+                .field("m0_used", m0_used);
+            tel->emit(std::move(event));
+          }
         }
       }
 
       if (s_high >= s_low) {
         using_high_fidelity = true;  // line 24: M <- M_H
+        switched_now = true;
         if (i < params.iterations) {
           m_b += (m0 - m0_used) / (params.iterations - i);
         }
+        if (tel != nullptr) {
+          tel->count("ceal.switched");
+          telemetry::TraceEvent event("ceal.switch");
+          event.field("iteration", i)
+              .field("recall_low", s_low)
+              .field("recall_high", s_high)
+              .field("m_b", m_b);
+          tel->emit(std::move(event));
+        }
       }
+      detect_s = detect_span.stop();
     }
 
     // Line 25: train/refine M_H on all measured data.
     fit_on_measured(high_fidelity, collector, rng);
 
-    if (collector.remaining() == 0) break;
+    if (collector.remaining() == 0) {
+      emit_iteration();
+      break;
+    }
 
     // Lines 26-27: evaluate the pool with M and queue the next batch.
     if (using_high_fidelity) {
+      telemetry::ScopedSpan predict_span(tel, "surrogate.predict");
       auto high_scores = high_fidelity.predict_many(pool_features.joint);
+      predict_s = predict_span.stop();
       const auto top = top_unmeasured(high_scores, collector, m_b);
       c_meas.insert(c_meas.end(), top.begin(), top.end());
       queue_scores = std::move(high_scores);
@@ -188,6 +276,7 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
       c_meas.insert(c_meas.end(), top.begin(), top.end());
       queue_scores = low_scores;
     }
+    emit_iteration();
   }
 
   // Line 28 returns M_H; the searcher, per Fig. 3, consumes the *selected*
@@ -222,8 +311,10 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
   // Each model alone suffers a winner's curse over a 2000-entry pool —
   // its single most optimistic extrapolation error wins the argmin; the
   // conjunction suppresses errors that are not shared by both models.
+  telemetry::ScopedSpan final_span(tel, "surrogate.predict");
   std::vector<double> scores =
       high_fidelity.predict_many(pool_features.joint);
+  final_span.stop();
   if (params.ensemble_final) {
     for (std::size_t i = 0; i < scores.size(); ++i) {
       scores[i] = std::max(scores[i], calibrated_low[i]);

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/error.h"
+#include "core/telemetry.h"
 
 namespace ceal::tuner {
 
@@ -70,6 +71,9 @@ MeasureOutcome Collector::try_measure(std::size_t pool_index) {
   if (seen_[pool_index]) {
     // Cached repeat — same verdict, no charge. A configuration that
     // failed stays failed; retrying it costs a fresh entry elsewhere.
+    if (telemetry::Telemetry* tel = problem_->telemetry) {
+      tel->count("measure.cached");
+    }
     MeasureOutcome cached = outcomes_[pool_index];
     cached.attempts = 0;
     return cached;
@@ -80,6 +84,8 @@ MeasureOutcome Collector::try_measure(std::size_t pool_index) {
   const double comp = pool.comp_ch[pool_index];
 
   MeasureOutcome out;
+  const std::size_t used_before = runs_used_;
+  const double exec_before = cost_exec_s_;
   charge(1);  // the first attempt always costs one unit (throws when dry)
   out.attempts = 1;
   if (!faults_enabled_) {
@@ -113,6 +119,26 @@ MeasureOutcome Collector::try_measure(std::size_t pool_index) {
     }
   }
   record(pool_index, out);
+  if (telemetry::Telemetry* tel = problem_->telemetry) {
+    tel->count("measure.requests");
+    switch (out.status) {
+      case sim::RunStatus::kOk: tel->count("measure.ok"); break;
+      case sim::RunStatus::kFailed: tel->count("measure.failed"); break;
+      case sim::RunStatus::kCensored: tel->count("measure.censored"); break;
+    }
+    if (out.attempts > 1) tel->count("measure.retries", out.attempts - 1);
+    tel->gauge("budget.remaining", static_cast<double>(remaining()));
+    telemetry::TraceEvent event("measure");
+    event.field("pool_index", pool_index)
+        .field("status", sim::run_status_name(out.status))
+        .field("attempts", out.attempts)
+        .field("charged_units", runs_used_ - used_before)
+        .field("charged_exec_s", cost_exec_s_ - exec_before)
+        .field("budget_used", runs_used_)
+        .field("budget_remaining", remaining());
+    if (out.status == sim::RunStatus::kOk) event.field("value", out.value);
+    tel->emit(std::move(event));
+  }
   return out;
 }
 
@@ -155,6 +181,22 @@ Collector::acquire_component_samples(std::size_t rounds, ceal::Rng& rng) {
       cost_exec_s_ += samples[j].exec_s[idx];
       cost_comp_ch_ += samples[j].comp_ch[idx];
     }
+  }
+  if (telemetry::Telemetry* tel = problem_->telemetry) {
+    tel->count("components.rounds", effective);
+    telemetry::TraceEvent event("components");
+    event.field("rounds_requested", rounds)
+        .field("rounds_effective", effective)
+        .field("charged", !problem_->components_are_history)
+        .field("budget_used", runs_used_)
+        .field("budget_remaining", remaining());
+    std::vector<std::size_t> per_component(component_indices_.size());
+    for (std::size_t j = 0; j < component_indices_.size(); ++j) {
+      per_component[j] = component_indices_[j].size();
+    }
+    event.field("samples_per_component",
+                std::span<const std::size_t>(per_component));
+    tel->emit(std::move(event));
   }
   return component_indices_;
 }

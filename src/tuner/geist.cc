@@ -6,6 +6,7 @@
 
 #include "core/error.h"
 #include "core/stats.h"
+#include "core/telemetry.h"
 #include "tuner/collector.h"
 #include "tuner/surrogate.h"
 #include "tuner/tuning_util.h"
@@ -78,6 +79,8 @@ Geist::Geist(GeistParams params) : params_(std::move(params)) {
 TuneResult Geist::tune(const TuningProblem& problem, std::size_t budget_runs,
                        ceal::Rng& rng) const {
   Collector collector(problem, budget_runs, &rng);
+  emit_tune_start(problem, *this, budget_runs);
+  telemetry::Telemetry* tel = problem.telemetry;
   const auto& space = problem.workload->workflow.joint_space();
   const std::size_t pool_size = problem.pool->size();
 
@@ -97,7 +100,10 @@ TuneResult Geist::tune(const TuningProblem& problem, std::size_t budget_runs,
   const std::size_t batch_size = std::max<std::size_t>(
       1, (budget_runs - std::min(warmup, budget_runs)) / params_.iterations);
 
+  std::size_t iteration = 0;
   while (collector.remaining() > 0) {
+    const std::size_t req_start = collector.measured_indices().size();
+    const std::size_t ok_start = collector.ok_values().size();
     // Seed labels: successfully measured configs in the running top
     // quantile are 1 (failed attempts carry no label signal).
     const auto& indices = collector.ok_indices();
@@ -106,8 +112,11 @@ TuneResult Geist::tune(const TuningProblem& problem, std::size_t budget_runs,
       const auto batch = random_unmeasured(collector, batch_size, rng);
       if (batch.empty()) break;
       measure_batch(collector, batch);
+      emit_iteration_event(problem, "geist.iteration", iteration++, collector,
+                           req_start, ok_start, 0.0, 0.0);
       continue;
     }
+    telemetry::ScopedSpan propagate_span(tel, "geist.propagate");
     const double threshold = ceal::quantile(values, params_.top_quantile);
 
     std::vector<double> belief(pool_size, 0.5);  // unknown prior
@@ -141,16 +150,22 @@ TuneResult Geist::tune(const TuningProblem& problem, std::size_t budget_runs,
     for (std::size_t i = 0; i < pool_size; ++i) {
       selection_score[i] = -belief[i];  // lower = better for top_unmeasured
     }
+    const double propagate_s = propagate_span.stop();
     const auto batch = top_unmeasured(selection_score, collector, batch_size);
     if (batch.empty()) break;
     measure_batch(collector, batch, selection_score, batch_size);
+    // Label propagation is this tuner's model step; report it as fit_s.
+    emit_iteration_event(problem, "geist.iteration", iteration++, collector,
+                         req_start, ok_start, propagate_s, 0.0);
   }
 
   // Final surrogate for the searcher, trained on everything measured —
   // the same model family all algorithms use (§7.3).
   Surrogate surrogate;
   fit_on_measured(surrogate, collector, rng);
+  telemetry::ScopedSpan predict_span(tel, "surrogate.predict");
   auto scores = surrogate.predict_many(space, problem.pool->configs);
+  predict_span.stop();
   return finalize_result(collector, std::move(scores));
 }
 

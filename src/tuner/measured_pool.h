@@ -17,6 +17,10 @@
 #include "sim/workloads.h"
 #include "tuner/objective.h"
 
+namespace ceal::telemetry {
+class Telemetry;
+}
+
 namespace ceal::tuner {
 
 struct MeasuredPool {
@@ -99,6 +103,14 @@ struct TuningProblem {
   /// Fault/retry behaviour of workflow measurements (defaults to the
   /// clean collector of §2.2).
   MeasurementPolicy measurement;
+  /// Optional observability hook (core/telemetry.h): when set, the
+  /// collector and every tuner record counters/spans and emit structured
+  /// trace events into it. Null (the default) disables all
+  /// instrumentation at the cost of one pointer branch per site; the
+  /// tuning session's results are identical either way. Not owned; must
+  /// outlive the session. Attach only to serial sessions — Telemetry is
+  /// not thread-safe across parallel replications.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 }  // namespace ceal::tuner

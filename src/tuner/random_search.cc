@@ -1,5 +1,6 @@
 #include "tuner/random_search.h"
 
+#include "core/telemetry.h"
 #include "tuner/collector.h"
 #include "tuner/surrogate.h"
 #include "tuner/tuning_util.h"
@@ -10,21 +11,35 @@ TuneResult RandomSearch::tune(const TuningProblem& problem,
                               std::size_t budget_runs,
                               ceal::Rng& rng) const {
   Collector collector(problem, budget_runs, &rng);
-  const auto batch = random_unmeasured(collector, budget_runs, rng);
-  measure_batch(collector, batch);
+  emit_tune_start(problem, *this, budget_runs);
+  std::size_t sweep = 0;
+  {
+    const std::size_t req_start = collector.measured_indices().size();
+    const std::size_t ok_start = collector.ok_values().size();
+    const auto batch = random_unmeasured(collector, budget_runs, rng);
+    measure_batch(collector, batch);
+    emit_iteration_event(problem, "rs.sweep", sweep++, collector, req_start,
+                         ok_start, 0.0, 0.0);
+  }
   // Under fault injection (retries or free retries) budget can remain
   // after the first sweep; keep drawing random configurations until it
   // is spent. The fault-free path spends exactly the budget above.
   while (collector.remaining() > 0) {
+    const std::size_t req_start = collector.measured_indices().size();
+    const std::size_t ok_start = collector.ok_values().size();
     const auto more = random_unmeasured(collector, collector.remaining(), rng);
     if (more.empty()) break;
     measure_batch(collector, more);
+    emit_iteration_event(problem, "rs.sweep", sweep++, collector, req_start,
+                         ok_start, 0.0, 0.0);
   }
 
   Surrogate surrogate;
   fit_on_measured(surrogate, collector, rng);
+  telemetry::ScopedSpan predict_span(problem.telemetry, "surrogate.predict");
   auto scores = surrogate.predict_many(
       problem.workload->workflow.joint_space(), problem.pool->configs);
+  predict_span.stop();
   return finalize_result(collector, std::move(scores));
 }
 

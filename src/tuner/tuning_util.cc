@@ -5,6 +5,7 @@
 
 #include "core/error.h"
 #include "core/stats.h"
+#include "core/telemetry.h"
 
 namespace ceal::tuner {
 
@@ -60,8 +61,8 @@ std::size_t measure_batch(Collector& collector,
   return ok;
 }
 
-void fit_on_measured(Surrogate& surrogate, const Collector& collector,
-                     ceal::Rng& rng) {
+double fit_on_measured(Surrogate& surrogate, const Collector& collector,
+                       ceal::Rng& rng) {
   const auto& indices = collector.ok_indices();
   const auto& values = collector.ok_values();
   CEAL_EXPECT_MSG(!indices.empty(), "no usable training samples collected");
@@ -73,8 +74,12 @@ void fit_on_measured(Surrogate& surrogate, const Collector& collector,
   std::vector<config::Configuration> configs;
   configs.reserve(indices.size());
   for (const std::size_t idx : indices) configs.push_back(pool.configs[idx]);
+  telemetry::Telemetry* tel = collector.problem().telemetry;
+  if (tel != nullptr) tel->count("surrogate.fits");
+  telemetry::ScopedSpan span(tel, "surrogate.fit");
   surrogate.fit(collector.problem().workload->workflow.joint_space(),
                 configs, values, rng);
+  return span.stop();
 }
 
 TuneResult finalize_result(const Collector& collector,
@@ -107,7 +112,60 @@ TuneResult finalize_result(const Collector& collector,
   result.runs_used = collector.runs_used();
   result.cost_exec_s = collector.cost_exec_s();
   result.cost_comp_ch = collector.cost_comp_ch();
+  if (telemetry::Telemetry* tel = collector.problem().telemetry) {
+    telemetry::TraceEvent event("tune.finish");
+    event.field("runs_used", result.runs_used)
+        .field("measured", result.measured_indices.size())
+        .field("failed_runs", result.failed_runs)
+        .field("best_predicted_index", result.best_predicted_index)
+        .field("best_measured_index", result.best_measured_index)
+        .field("best_measured_value", values[best_pos])
+        .field("cost_exec_s", result.cost_exec_s)
+        .field("cost_comp_ch", result.cost_comp_ch);
+    tel->emit(std::move(event));
+  }
   return result;
+}
+
+void emit_tune_start(const TuningProblem& problem, const AutoTuner& algorithm,
+                     std::size_t budget_runs) {
+  telemetry::Telemetry* tel = problem.telemetry;
+  if (tel == nullptr) return;
+  tel->count("tune.sessions");
+  telemetry::TraceEvent event("tune.start");
+  event.field("algorithm", algorithm.name())
+      .field("workflow", problem.workload->workflow.name())
+      .field("objective", objective_name(problem.objective))
+      .field("budget", budget_runs)
+      .field("history", problem.components_are_history)
+      .field("faults", problem.measurement.faults.enabled())
+      .field("max_attempts", problem.measurement.max_attempts);
+  tel->emit(std::move(event));
+}
+
+void emit_iteration_event(const TuningProblem& problem, const char* name,
+                          std::size_t iteration, const Collector& collector,
+                          std::size_t req_start, std::size_t ok_start,
+                          double fit_s, double predict_s) {
+  telemetry::Telemetry* tel = problem.telemetry;
+  if (tel == nullptr) return;
+  tel->count("tuner.iterations");
+  const auto& requested = collector.measured_indices();
+  const auto& ok_values = collector.ok_values();
+  telemetry::TraceEvent event(name);
+  event.field("iteration", iteration)
+      .field("batch", std::span<const std::size_t>(
+                          requested.data() + req_start,
+                          requested.size() - req_start))
+      .field("batch_ok", ok_values.size() - ok_start)
+      .field("batch_values",
+             std::span<const double>(ok_values.data() + ok_start,
+                                     ok_values.size() - ok_start))
+      .field("budget_used", collector.runs_used())
+      .field("budget_remaining", collector.remaining())
+      .timing("fit_s", fit_s)
+      .timing("predict_s", predict_s);
+  tel->emit(std::move(event));
 }
 
 }  // namespace ceal::tuner

@@ -39,15 +39,34 @@ std::size_t measure_batch(Collector& collector,
 /// Fits `surrogate` on every *successful* measurement the collector
 /// holds. Failed and censored entries never reach the training set, and
 /// a hard guard rejects non-finite targets before they can reach
-/// GradientBoostedTrees::fit.
-void fit_on_measured(Surrogate& surrogate, const Collector& collector,
-                     ceal::Rng& rng);
+/// GradientBoostedTrees::fit. Returns the fit's wall-clock seconds when
+/// the problem carries telemetry (recorded as the "surrogate.fit" span),
+/// 0 otherwise.
+double fit_on_measured(Surrogate& surrogate, const Collector& collector,
+                       ceal::Rng& rng);
 
 /// Builds the TuneResult from the final pool scores and the collector's
 /// ledger (searcher = argmin of scores, §2.2). Only successful
 /// measurements override model scores; failed entries are reported in
-/// TuneResult::failed_runs.
+/// TuneResult::failed_runs. Emits the "tune.finish" trace event when the
+/// problem carries telemetry.
 TuneResult finalize_result(const Collector& collector,
                            std::vector<double> model_scores);
+
+/// Emits the "tune.start" trace event (algorithm, workflow, objective,
+/// budget, fault/history flags) when the problem carries telemetry;
+/// otherwise a single pointer branch. Every tuner calls this first.
+void emit_tune_start(const TuningProblem& problem, const AutoTuner& algorithm,
+                     std::size_t budget_runs);
+
+/// Emits one per-iteration trace event for the simple tuner loops (AL,
+/// RS, GEIST, ALpH, BO): the pool indices requested since `req_start`,
+/// the successful values gained since `ok_start`, budget state, and the
+/// iteration's model-fit/predict wall-clock under `timing`. No-op
+/// without telemetry.
+void emit_iteration_event(const TuningProblem& problem, const char* name,
+                          std::size_t iteration, const Collector& collector,
+                          std::size_t req_start, std::size_t ok_start,
+                          double fit_s, double predict_s);
 
 }  // namespace ceal::tuner

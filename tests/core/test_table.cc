@@ -45,6 +45,34 @@ TEST(Table, NumFormatsWithPrecision) {
   EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
 }
 
+TEST(Table, ToCsvWritesHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"b", "2"});
+  std::ostringstream os;
+  t.to_csv(os);
+  EXPECT_EQ(os.str(), "name,value\na,1\nb,2\n");
+}
+
+TEST(Table, ToCsvQuotesSpecialCells) {
+  Table t({"name", "value"});
+  t.add_row({"with,comma", "with \"quote\""});
+  t.add_row({"with\nnewline", "plain"});
+  std::ostringstream os;
+  t.to_csv(os);
+  EXPECT_EQ(os.str(),
+            "name,value\n\"with,comma\",\"with \"\"quote\"\"\"\n"
+            "\"with\nnewline\",plain\n");
+}
+
+TEST(Table, ToCsvPadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  std::ostringstream os;
+  t.to_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\nx,,\n");
+}
+
 TEST(Table, RowCountTracksRows) {
   Table t({"h"});
   EXPECT_EQ(t.row_count(), 0u);

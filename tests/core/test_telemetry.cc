@@ -1,0 +1,209 @@
+#include "core/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "core/json.h"
+
+namespace ceal::telemetry {
+namespace {
+
+/// Collects events in memory for assertions.
+class RecordingSink final : public TraceSink {
+ public:
+  void write(const TraceEvent& event) override {
+    lines.push_back(event.to_json().dump());
+  }
+  void flush() override { ++flushes; }
+
+  std::vector<std::string> lines;
+  int flushes = 0;
+};
+
+TEST(Telemetry, CountersAccumulateAndDefaultToZero) {
+  Telemetry tel;
+  EXPECT_EQ(tel.counter("measure.ok"), 0u);
+  tel.count("measure.ok");
+  tel.count("measure.ok", 3);
+  EXPECT_EQ(tel.counter("measure.ok"), 4u);
+  EXPECT_EQ(tel.counters().size(), 1u);
+}
+
+TEST(Telemetry, GaugesKeepTheLastValue) {
+  Telemetry tel;
+  tel.gauge("budget.remaining", 25.0);
+  tel.gauge("budget.remaining", 7.0);
+  ASSERT_EQ(tel.gauges().count("budget.remaining"), 1u);
+  EXPECT_DOUBLE_EQ(tel.gauges().at("budget.remaining"), 7.0);
+}
+
+TEST(Telemetry, SpansAccumulateCountAndTotal) {
+  Telemetry tel;
+  tel.add_span("surrogate.fit", 0.5);
+  tel.add_span("surrogate.fit", 0.25);
+  const SpanStats stats = tel.span_stats("surrogate.fit");
+  EXPECT_EQ(stats.count, 2u);
+  EXPECT_DOUBLE_EQ(stats.total_s, 0.75);
+  EXPECT_EQ(tel.span_stats("never").count, 0u);
+}
+
+TEST(Telemetry, EmitStampsMonotonicSequenceNumbers) {
+  RecordingSink sink;
+  Telemetry tel(&sink);
+  tel.emit(TraceEvent("first"));
+  tel.emit(TraceEvent("second"));
+  ASSERT_EQ(sink.lines.size(), 2u);
+  EXPECT_EQ(sink.lines[0], "{\"event\":\"first\",\"seq\":0}");
+  EXPECT_EQ(sink.lines[1], "{\"event\":\"second\",\"seq\":1}");
+}
+
+TEST(Telemetry, EmitWithoutSinkIsDropped) {
+  Telemetry tel;
+  EXPECT_FALSE(tel.tracing());
+  tel.emit(TraceEvent("lost"));  // must not crash
+  tel.count("still.counts");
+  EXPECT_EQ(tel.counter("still.counts"), 1u);
+}
+
+TEST(TraceEventTest, FieldsSerialiseInOrderWithTimingLast) {
+  TraceEvent event("ceal.iteration");
+  event.field("iteration", std::uint64_t{3})
+      .field("model", "high")
+      .field("switched", true)
+      .field("value", 1.5)
+      .timing("fit_s", 0.25);
+  EXPECT_EQ(event.to_json().dump(),
+            "{\"event\":\"ceal.iteration\",\"iteration\":3,"
+            "\"model\":\"high\",\"switched\":true,\"value\":1.5,"
+            "\"timing\":{\"fit_s\":0.25}}");
+}
+
+TEST(TraceEventTest, SpanFieldsBecomeArrays) {
+  const std::vector<std::size_t> batch{4, 2, 9};
+  const std::vector<double> values{1.5, 2.0};
+  TraceEvent event("x");
+  event.field("batch", std::span<const std::size_t>(batch))
+      .field("values", std::span<const double>(values));
+  EXPECT_EQ(event.to_json().dump(),
+            "{\"event\":\"x\",\"batch\":[4,2,9],\"values\":[1.5,2]}");
+}
+
+TEST(JsonlTraceSinkTest, WritesOneEscapedLinePerEvent) {
+  std::ostringstream os;
+  {
+    JsonlTraceSink sink(os);
+    TraceEvent event("note");
+    event.field("text", "line1\nline2 \"quoted\"");
+    sink.write(event);
+  }
+  EXPECT_EQ(os.str(),
+            "{\"event\":\"note\",\"text\":\"line1\\nline2 "
+            "\\\"quoted\\\"\"}\n");
+}
+
+TEST(JsonlTraceSinkTest, FileSinkFlushesOnDestruction) {
+  const std::string path = testing::TempDir() + "telemetry_flush.jsonl";
+  {
+    JsonlTraceSink sink(path);
+    Telemetry tel(&sink);
+    tel.emit(TraceEvent("a"));
+    tel.emit(TraceEvent("b"));
+  }  // destruction must leave both lines on disk
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(json::Value::parse(lines[0]).at("event").as_string(), "a");
+  EXPECT_EQ(json::Value::parse(lines[1]).at("event").as_string(), "b");
+}
+
+TEST(JsonlTraceSinkTest, UnwritablePathThrows) {
+  EXPECT_THROW(JsonlTraceSink("/nonexistent-dir/trace.jsonl"),
+               PreconditionError);
+}
+
+TEST(NullTraceSinkTest, SwallowsEverything) {
+  NullTraceSink sink;
+  Telemetry tel(&sink);
+  EXPECT_TRUE(tel.tracing());
+  TraceEvent event("dropped");
+  event.field("n", 1);
+  tel.emit(std::move(event));  // must not crash or emit anywhere
+}
+
+TEST(MultiTraceSinkTest, FansOutToEverySinkInOrder) {
+  RecordingSink a, b;
+  MultiTraceSink multi({&a, &b});
+  Telemetry tel(&multi);
+  tel.emit(TraceEvent("both"));
+  multi.flush();
+  ASSERT_EQ(a.lines.size(), 1u);
+  ASSERT_EQ(b.lines.size(), 1u);
+  EXPECT_EQ(a.lines[0], b.lines[0]);
+  EXPECT_EQ(a.flushes, 1);
+  EXPECT_EQ(b.flushes, 1);
+}
+
+TEST(ScopedSpanTest, RecordsOnceAndIsIdempotent) {
+  Telemetry tel;
+  ScopedSpan span(&tel, "work");
+  const double first = span.stop();
+  const double second = span.stop();
+  EXPECT_GE(first, 0.0);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(tel.span_stats("work").count, 1u);
+}
+
+TEST(ScopedSpanTest, DestructionRecordsUnstoppedSpan) {
+  Telemetry tel;
+  { ScopedSpan span(&tel, "scoped"); }
+  EXPECT_EQ(tel.span_stats("scoped").count, 1u);
+}
+
+TEST(ScopedSpanTest, NullTelemetryIsANoOp) {
+  ScopedSpan span(nullptr, "ignored");
+  EXPECT_EQ(span.stop(), 0.0);
+}
+
+TEST(Telemetry, SummaryEventKeepsWallclockUnderTiming) {
+  Telemetry tel;
+  tel.count("measure.ok", 5);
+  tel.gauge("budget.remaining", 3.0);
+  tel.add_span("surrogate.fit", 0.5);
+  const json::Value summary = tel.summary_event().to_json();
+  EXPECT_EQ(summary.at("event").as_string(), "telemetry.summary");
+  EXPECT_EQ(summary.at("measure.ok").as_int(), 5);
+  EXPECT_DOUBLE_EQ(summary.at("budget.remaining").as_double(), 3.0);
+  EXPECT_EQ(summary.at("surrogate.fit.count").as_int(), 1);
+  // The only wall-clock value lives under `timing`; stripping it must
+  // leave a deterministic event.
+  EXPECT_DOUBLE_EQ(summary.at("timing").at("surrogate.fit.total_s")
+                       .as_double(),
+                   0.5);
+  json::Value stripped = summary;
+  stripped.remove_recursive("timing");
+  EXPECT_FALSE(stripped.contains("timing"));
+}
+
+TEST(Telemetry, SummaryTableListsEveryMetric) {
+  Telemetry tel;
+  tel.count("measure.ok", 2);
+  tel.gauge("g", 1.0);
+  tel.add_span("s", 0.1);
+  std::ostringstream os;
+  os << tel.summary_table();
+  const std::string out = os.str();
+  EXPECT_NE(out.find("measure.ok"), std::string::npos);
+  EXPECT_NE(out.find("counter"), std::string::npos);
+  EXPECT_NE(out.find("gauge"), std::string::npos);
+  EXPECT_NE(out.find("span"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ceal::telemetry

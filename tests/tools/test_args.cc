@@ -81,6 +81,19 @@ TEST(ArgsDeathTest, MalformedIntegerExits) {
               "expects an integer");
 }
 
+TEST(Args, QuietVerboseAndTraceCombine) {
+  // The ceal_tune observability flags: --quiet/--verbose are independent
+  // booleans and --trace carries a path; all must survive finish().
+  Argv a({"--quiet", "--verbose", "--trace", "out.jsonl",
+          "--metrics-summary"});
+  Args args(a.argc(), a.argv(), "usage");
+  EXPECT_TRUE(args.flag("quiet"));
+  EXPECT_TRUE(args.flag("verbose"));
+  EXPECT_TRUE(args.flag("metrics-summary"));
+  EXPECT_EQ(args.option("trace", ""), "out.jsonl");
+  args.finish();
+}
+
 TEST(Args, MultipleFlagsAndOptionsTogether) {
   Argv a({"--workflow", "GP", "--history", "--budget", "50", "--explain"});
   Args args(a.argc(), a.argv(), "usage");

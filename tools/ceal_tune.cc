@@ -9,8 +9,11 @@
 #include <algorithm>
 #include <cmath>
 #include <iostream>
+#include <memory>
+#include <optional>
 
 #include "core/table.h"
+#include "core/telemetry.h"
 #include "ml/serialize.h"
 #include "tools/args.h"
 #include "tools/common.h"
@@ -34,7 +37,11 @@ constexpr const char* kUsage =
     "  [--fault-rate P]         per-attempt failure probability (default 0)\n"
     "  [--outlier-rate P]       heavy-tail outlier probability (default 0)\n"
     "  [--deadline S]           censor runs longer than S seconds\n"
-    "  [--max-attempts N]       measurement retries per config (default 1)";
+    "  [--max-attempts N]       measurement retries per config (default 1)\n"
+    "  [--trace FILE]           stream JSONL trace events to FILE\n"
+    "  [--metrics-summary]      print the telemetry counter/span table\n"
+    "  [--quiet]                suppress the session report\n"
+    "  [--verbose]              echo trace events to stderr";
 
 }  // namespace
 
@@ -65,6 +72,10 @@ int main(int argc, char** argv) {
   const double deadline = args.real("deadline", 0.0);
   const auto max_attempts =
       static_cast<std::size_t>(args.integer("max-attempts", 1));
+  const auto trace_path = args.option("trace", "");
+  const bool metrics_summary = args.flag("metrics-summary");
+  const bool quiet = args.flag("quiet");
+  const bool verbose = args.flag("verbose");
   args.finish();
 
   if (budget == 0) {
@@ -94,6 +105,41 @@ int main(int argc, char** argv) {
   problem.measurement.max_attempts = std::max<std::size_t>(1, max_attempts);
   problem.measurement.faults.validate();
 
+  // Observability: any of --trace / --verbose / --metrics-summary attaches
+  // a Telemetry to the session. Tracing never writes to stdout, so seeded
+  // runs print byte-identical reports with tracing on or off (the tier-1
+  // gate checks this).
+  std::unique_ptr<telemetry::JsonlTraceSink> file_sink;
+  std::unique_ptr<telemetry::JsonlTraceSink> stderr_sink;
+  if (!trace_path.empty()) {
+    file_sink = std::make_unique<telemetry::JsonlTraceSink>(trace_path);
+  }
+  if (verbose) {
+    stderr_sink = std::make_unique<telemetry::JsonlTraceSink>(std::cerr);
+  }
+  std::vector<telemetry::TraceSink*> fanout;
+  if (file_sink) fanout.push_back(file_sink.get());
+  if (stderr_sink) fanout.push_back(stderr_sink.get());
+  std::optional<telemetry::MultiTraceSink> multi_sink;
+  telemetry::TraceSink* sink = nullptr;
+  if (fanout.size() == 1) {
+    sink = fanout.front();
+  } else if (fanout.size() > 1) {
+    multi_sink.emplace(fanout);
+    sink = &*multi_sink;
+  }
+  std::optional<telemetry::Telemetry> telemetry_store;
+  if (sink != nullptr || metrics_summary) {
+    telemetry_store.emplace(sink);
+    problem.telemetry = &*telemetry_store;
+  }
+  const auto finish_telemetry = [&] {
+    if (!telemetry_store) return;
+    telemetry_store->emit(telemetry_store->summary_event());
+    if (telemetry_store->sink() != nullptr) telemetry_store->sink()->flush();
+    if (metrics_summary) std::cout << telemetry_store->summary_table();
+  };
+
   if (replications > 1) {
     const auto s =
         tuner::evaluate(problem, *algo, budget, replications, seed);
@@ -114,7 +160,8 @@ int main(int argc, char** argv) {
                                             : Table::num(s.least_uses, 0)});
     table.add_row({"beats expert",
                    Table::num(100.0 * s.frac_beat_expert, 0) + "%"});
-    std::cout << table;
+    if (!quiet) std::cout << table;
+    finish_telemetry();
     return 0;
   }
 
@@ -123,36 +170,38 @@ int main(int argc, char** argv) {
   const auto& best = pool.configs[result.best_predicted_index];
   const auto perf = wl.workflow.expected(best);
 
-  std::cout << algo->name() << " on " << wl.workflow.name() << " ("
-            << tuner::objective_name(objective) << ", budget " << budget
-            << (history ? ", with histories" : "") << ")\n";
-  std::cout << "  measured " << result.measured_indices.size()
-            << " workflow configurations, " << result.runs_used
-            << " budget units used\n";
-  if (problem.measurement.faults.enabled()) {
-    std::size_t censored = 0;
-    for (const auto st : result.measured_statuses) {
-      if (st == sim::RunStatus::kCensored) ++censored;
+  if (!quiet) {
+    std::cout << algo->name() << " on " << wl.workflow.name() << " ("
+              << tuner::objective_name(objective) << ", budget " << budget
+              << (history ? ", with histories" : "") << ")\n";
+    std::cout << "  measured " << result.measured_indices.size()
+              << " workflow configurations, " << result.runs_used
+              << " budget units used\n";
+    if (problem.measurement.faults.enabled()) {
+      std::size_t censored = 0;
+      for (const auto st : result.measured_statuses) {
+        if (st == sim::RunStatus::kCensored) ++censored;
+      }
+      std::cout << "  faults: " << result.failed_runs << " failed, "
+                << censored << " censored attempts (fault-rate " << fault_rate
+                << ", max-attempts " << problem.measurement.max_attempts
+                << ")\n";
     }
-    std::cout << "  faults: " << result.failed_runs << " failed, " << censored
-              << " censored attempts (fault-rate " << fault_rate
-              << ", max-attempts " << problem.measurement.max_attempts
-              << ")\n";
+    std::cout << "  recommendation: " << config::to_string(best) << "\n";
+    std::cout << "  expected: " << Table::num(perf.exec_s, 2) << " s on "
+              << perf.nodes << " nodes = " << Table::num(perf.comp_ch, 3)
+              << " core-hours per run\n";
+    const auto& expert = objective == tuner::Objective::kExecTime
+                             ? wl.expert_exec
+                             : wl.expert_comp;
+    std::cout << "  expert config: "
+              << Table::num(tuner::metric(wl.workflow.expected(expert),
+                                          objective),
+                            3)
+              << (objective == tuner::Objective::kExecTime ? " s"
+                                                           : " core-hours")
+              << "\n";
   }
-  std::cout << "  recommendation: " << config::to_string(best) << "\n";
-  std::cout << "  expected: " << Table::num(perf.exec_s, 2) << " s on "
-            << perf.nodes << " nodes = " << Table::num(perf.comp_ch, 3)
-            << " core-hours per run\n";
-  const auto& expert = objective == tuner::Objective::kExecTime
-                           ? wl.expert_exec
-                           : wl.expert_comp;
-  std::cout << "  expert config: "
-            << Table::num(tuner::metric(wl.workflow.expected(expert),
-                                        objective),
-                          3)
-            << (objective == tuner::Objective::kExecTime ? " s"
-                                                         : " core-hours")
-            << "\n";
 
   if (explain) {
     const auto bd = wl.workflow.explain(best);
@@ -188,5 +237,6 @@ int main(int argc, char** argv) {
     ml::save_gbt_file(model, save_model, space.dimension());
     std::cout << "surrogate (log-time GBT) saved to " << save_model << "\n";
   }
+  finish_telemetry();
   return 0;
 }

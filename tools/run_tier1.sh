@@ -21,6 +21,24 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs" -L tier1
 
+echo "== tier-1: trace determinism gate =="
+# Two seeded runs at the fig5 configuration must (a) print the same
+# report whether or not tracing is on, and (b) produce traces that are
+# byte-identical once `timing` is stripped (docs/OBSERVABILITY.md).
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+fig5_args=(--workflow LV --objective exec --budget 50 --pool-seed 20211114
+           --seed 42)
+./build/tools/ceal_tune "${fig5_args[@]}" > "$trace_dir/plain.txt"
+./build/tools/ceal_tune "${fig5_args[@]}" \
+  --trace "$trace_dir/a.jsonl" > "$trace_dir/traced.txt"
+./build/tools/ceal_tune "${fig5_args[@]}" \
+  --trace "$trace_dir/b.jsonl" > /dev/null
+diff "$trace_dir/plain.txt" "$trace_dir/traced.txt" \
+  || { echo "tracing changed ceal_tune stdout"; exit 1; }
+./build/tools/ceal_trace --input "$trace_dir/a.jsonl" \
+  --check-determinism "$trace_dir/b.jsonl"
+
 if [[ "$skip_san" == 1 ]]; then
   echo "tier-1 OK (sanitizer stages skipped)"
   exit 0
