@@ -5,6 +5,8 @@
 // BENCH_micro_ml.json in the working directory (see docs/PERFORMANCE.md).
 #include <benchmark/benchmark.h>
 
+#include "bench/common.h"
+
 #include <string>
 #include <string_view>
 #include <vector>
@@ -162,29 +164,21 @@ BENCHMARK(BM_KnnPredict)->Arg(500)->Arg(2000);
 
 }  // namespace
 
-// Custom main: mirror the console output into BENCH_micro_ml.json by
-// default so scripts can diff runs without scraping the human-readable
-// table.  Explicit --benchmark_out flags still win.
+// Custom main (shared helper): mirror the console output into
+// BENCH_micro_ml.json with the common "ceal" metadata header by default.
+// Explicit --benchmark_out flags still win.
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]).starts_with("--benchmark_out")) {
-      has_out = true;
-    }
-  }
-  std::string out_flag = "--benchmark_out=BENCH_micro_ml.json";
-  std::string fmt_flag = "--benchmark_out_format=json";
-  if (!has_out) {
-    args.push_back(out_flag.data());
-    args.push_back(fmt_flag.data());
-  }
-  int args_count = static_cast<int>(args.size());
-  benchmark::Initialize(&args_count, args.data());
-  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+  auto bench_args =
+      ceal::bench::make_bench_args(argc, argv, "BENCH_micro_ml.json");
+  benchmark::Initialize(&bench_args.argc, bench_args.argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_args.argc,
+                                             bench_args.argv.data())) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!bench_args.json_path.empty()) {
+    ceal::bench::annotate_bench_json(bench_args.json_path);
+  }
   return 0;
 }

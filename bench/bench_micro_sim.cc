@@ -3,6 +3,8 @@
 // low-fidelity scoring throughput.
 #include <benchmark/benchmark.h>
 
+#include "bench/common.h"
+
 #include <memory>
 
 #include "core/rng.h"
@@ -76,4 +78,21 @@ BENCHMARK(BM_LowFidelityScorePool);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main (shared helper): mirror the console output into
+// BENCH_micro_sim.json with the common "ceal" metadata header by default.
+// Explicit --benchmark_out flags still win.
+int main(int argc, char** argv) {
+  auto bench_args =
+      ceal::bench::make_bench_args(argc, argv, "BENCH_micro_sim.json");
+  benchmark::Initialize(&bench_args.argc, bench_args.argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_args.argc,
+                                             bench_args.argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!bench_args.json_path.empty()) {
+    ceal::bench::annotate_bench_json(bench_args.json_path);
+  }
+  return 0;
+}

@@ -9,10 +9,16 @@
 // BENCH_micro_telemetry.json in the working directory.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "bench/common.h"
+#include "core/json.h"
 #include "core/rng.h"
 #include "core/telemetry.h"
 #include "sim/workloads.h"
@@ -119,31 +125,90 @@ void BM_EmitToNullSink(benchmark::State& state) {
 }
 BENCHMARK(BM_EmitToNullSink);
 
-}  // namespace
+// --- Overhead-contract gate over the written JSON. ---
 
-// Custom main: mirror the console output into BENCH_micro_telemetry.json
-// by default so scripts can diff runs without scraping the human-readable
-// table.  Explicit --benchmark_out flags still win.
-int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]).starts_with("--benchmark_out")) {
-      has_out = true;
+/// cpu_time of `name` from a google-benchmark JSON document, preferring
+/// the `median` aggregate when repetitions were run; -1 when absent.
+double bench_cpu_time(const json::Value& root, const std::string& name) {
+  const json::Value& benchmarks = root.at("benchmarks");
+  double plain = -1.0;
+  for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+    const json::Value& b = benchmarks.at(i);
+    const json::Value* cpu = b.find("cpu_time");
+    if (cpu == nullptr) continue;
+    if (const json::Value* agg = b.find("aggregate_name")) {
+      const json::Value* run_name = b.find("run_name");
+      if (agg->as_string() == "median" && run_name != nullptr &&
+          run_name->as_string() == name) {
+        return cpu->as_double();  // median wins outright
+      }
+      continue;
+    }
+    if (const json::Value* n = b.find("name");
+        n != nullptr && n->as_string() == name && plain < 0.0) {
+      plain = cpu->as_double();
     }
   }
-  std::string out_flag = "--benchmark_out=BENCH_micro_telemetry.json";
-  std::string fmt_flag = "--benchmark_out_format=json";
-  if (!has_out) {
-    args.push_back(out_flag.data());
-    args.push_back(fmt_flag.data());
+  return plain;
+}
+
+/// Disabled-vs-null-sink session delta must stay within
+/// CEAL_TELEMETRY_OVERHEAD_TOL (relative, default 0.01). Returns the
+/// process exit code.
+int check_overhead_contract(const std::string& json_path) {
+  std::ifstream in(json_path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const json::Value root = json::Value::parse(buffer.str());
+
+  const double disabled =
+      bench_cpu_time(root, "BM_CealSessionTelemetryDisabled");
+  const double null_sink =
+      bench_cpu_time(root, "BM_CealSessionTelemetryNullSink");
+  if (disabled <= 0.0 || null_sink <= 0.0) {
+    std::cout << "overhead gate skipped (session benchmarks not in this "
+                 "run)\n";
+    return 0;
   }
-  int args_count = static_cast<int>(args.size());
-  benchmark::Initialize(&args_count, args.data());
-  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+
+  double tolerance = 0.01;
+  if (const char* env = std::getenv("CEAL_TELEMETRY_OVERHEAD_TOL")) {
+    const double v = std::strtod(env, nullptr);
+    if (v > 0.0) tolerance = v;
+  }
+  const double rel = (null_sink - disabled) / disabled;
+  std::cout << "telemetry session overhead: disabled=" << disabled
+            << "ms null_sink=" << null_sink << "ms delta=" << rel * 100.0
+            << "% (tolerance " << tolerance * 100.0 << "%)\n";
+  if (rel > tolerance) {
+    std::cerr << "FAILED: disabled-path overhead contract broken ("
+              << rel * 100.0 << "% > " << tolerance * 100.0 << "%)\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+// Custom main (shared helper): write BENCH_micro_telemetry.json with the
+// common "ceal" metadata header, then enforce the disabled-path overhead
+// contract — the fully disabled session (null Telemetry pointer, one
+// branch per site) and the null-sink session must agree within
+// CEAL_TELEMETRY_OVERHEAD_TOL (relative, default 0.01 per
+// docs/OBSERVABILITY.md; CI loosens it because single-core container
+// wall clocks are noisy). A broken contract exits nonzero instead of
+// just printing numbers.
+int main(int argc, char** argv) {
+  auto bench_args =
+      ceal::bench::make_bench_args(argc, argv, "BENCH_micro_telemetry.json");
+  benchmark::Initialize(&bench_args.argc, bench_args.argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_args.argc,
+                                             bench_args.argv.data())) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  if (bench_args.json_path.empty()) return 0;
+  ceal::bench::annotate_bench_json(bench_args.json_path);
+  return check_overhead_contract(bench_args.json_path);
 }

@@ -1,10 +1,17 @@
 #include "bench/common.h"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string_view>
 
 #include "core/error.h"
+#include "core/json.h"
+#include "core/parallel.h"
 #include "core/table.h"
 #include "tuner/active_learning.h"
 #include "tuner/alph.h"
@@ -103,6 +110,85 @@ tuner::EvalSummary run_cell(const Env& env, const std::string& name,
 std::string fmt(double v, int precision) {
   if (std::isinf(v)) return "inf";
   return Table::num(v, precision);
+}
+
+BenchArgs make_bench_args(int argc, char** argv,
+                          const std::string& default_json) {
+  BenchArgs out;
+  out.argv.assign(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out")) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    // Function-local statics so the argv pointers stay valid however the
+    // returned struct is copied or moved (one call per process).
+    static std::string out_flag, fmt_flag;
+    out_flag = "--benchmark_out=" + default_json;
+    fmt_flag = "--benchmark_out_format=json";
+    out.argv.push_back(out_flag.data());
+    out.argv.push_back(fmt_flag.data());
+    out.json_path = default_json;
+  }
+  out.argc = static_cast<int>(out.argv.size());
+  return out;
+}
+
+namespace {
+
+/// `git describe --always --dirty`, or "unknown" outside a repo.
+std::string git_describe() {
+  FILE* pipe = popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  std::string out;
+  char buf[128];
+  while (fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+}  // namespace
+
+void annotate_bench_json(const std::string& path) {
+  std::ifstream in(path);
+  CEAL_EXPECT_MSG(in.good(), "cannot open bench output '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  json::Value root = json::Value::parse(buffer.str());
+  CEAL_EXPECT_MSG(root.is_object() && root.contains("benchmarks"),
+                  "'" + path + "' is not a google-benchmark JSON file");
+
+  json::Value meta = json::Value::object();
+  meta.set("git_describe", json::Value::string(git_describe()));
+#ifdef CEAL_BUILD_TYPE
+  meta.set("build_type", json::Value::string(CEAL_BUILD_TYPE));
+#else
+  meta.set("build_type", json::Value::string("unknown"));
+#endif
+  meta.set("threads", json::Value::number(
+                          static_cast<std::uint64_t>(global_thread_count())));
+  meta.set("timestamp", json::Value::string(utc_timestamp()));
+  root.set("ceal", std::move(meta));
+
+  std::ofstream out(path, std::ios::trunc);
+  CEAL_EXPECT_MSG(out.good(), "cannot rewrite bench output '" + path + "'");
+  root.write(out);
+  out << '\n';
 }
 
 void banner(const std::string& title, const std::string& paper_ref) {

@@ -72,4 +72,25 @@ tuner::EvalSummary run_cell(const Env& env, const std::string& name,
 /// Writes `header` and the bench name banner to stdout.
 void banner(const std::string& title, const std::string& paper_ref);
 
+// --- Standardised BENCH_*.json output for the bench_micro_* targets. ---
+
+/// argv for a google-benchmark main with `--benchmark_out=<default_json>
+/// --benchmark_out_format=json` injected unless the caller passed their
+/// own --benchmark_out flags. `json_path` is the file the run will write
+/// ("" when the caller overrode the output).
+struct BenchArgs {
+  std::vector<char*> argv;
+  int argc = 0;
+  std::string json_path;
+};
+BenchArgs make_bench_args(int argc, char** argv,
+                          const std::string& default_json);
+
+/// Rewrites a google-benchmark JSON output file in place, inserting a
+/// top-level "ceal" metadata object: git describe, build type, global
+/// thread-pool width, and a UTC timestamp — the common header
+/// ceal_report expects on every BENCH_*.json (docs/PERFORMANCE.md).
+/// Throws PreconditionError when the file is missing or malformed.
+void annotate_bench_json(const std::string& path);
+
 }  // namespace ceal::bench

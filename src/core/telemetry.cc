@@ -1,6 +1,7 @@
 #include "core/telemetry.h"
 
 #include <chrono>
+#include <functional>
 #include <ostream>
 
 #include "core/error.h"
@@ -90,11 +91,15 @@ JsonlTraceSink::JsonlTraceSink(const std::string& path) : file_(path) {
 JsonlTraceSink::~JsonlTraceSink() { flush(); }
 
 void JsonlTraceSink::write(const TraceEvent& event) {
+  std::lock_guard lock(mutex_);
   event.to_json().write(*os_);
   *os_ << '\n';
 }
 
-void JsonlTraceSink::flush() { os_->flush(); }
+void JsonlTraceSink::flush() {
+  std::lock_guard lock(mutex_);
+  os_->flush();
+}
 
 MultiTraceSink::MultiTraceSink(std::vector<TraceSink*> sinks)
     : sinks_(std::move(sinks)) {
@@ -109,39 +114,71 @@ void MultiTraceSink::flush() {
   for (TraceSink* s : sinks_) s->flush();
 }
 
+void BufferTraceSink::write(const TraceEvent& event) {
+  events_.push_back(event);
+}
+
+Telemetry::Shard& Telemetry::shard_for(std::string_view name) {
+  return shards_[std::hash<std::string_view>{}(name) % kShards];
+}
+
+const Telemetry::Shard& Telemetry::shard_for(std::string_view name) const {
+  return shards_[std::hash<std::string_view>{}(name) % kShards];
+}
+
 void Telemetry::emit(TraceEvent event) {
   if (sink_ == nullptr) return;
+  std::lock_guard lock(emit_mutex_);
   event.seq_ = seq_++;
   sink_->write(event);
 }
 
 void Telemetry::count(std::string_view name, std::uint64_t delta) {
-  auto it = counters_.find(name);
-  if (it == counters_.end()) {
-    counters_.emplace(std::string(name), delta);
+  Shard& shard = shard_for(name);
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.counters.find(name);
+  if (it == shard.counters.end()) {
+    shard.counters.emplace(std::string(name), delta);
   } else {
     it->second += delta;
   }
 }
 
 std::uint64_t Telemetry::counter(std::string_view name) const {
-  const auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  const Shard& shard = shard_for(name);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.counters.find(name);
+  return it == shard.counters.end() ? 0 : it->second;
 }
 
 void Telemetry::gauge(std::string_view name, double value) {
-  auto it = gauges_.find(name);
-  if (it == gauges_.end()) {
-    gauges_.emplace(std::string(name), value);
+  Shard& shard = shard_for(name);
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.gauges.find(name);
+  if (it == shard.gauges.end()) {
+    shard.gauges.emplace(std::string(name), value);
   } else {
     it->second = value;
   }
 }
 
+void Telemetry::gauge_max(std::string_view name, double value) {
+  Shard& shard = shard_for(name);
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.gauges.find(name);
+  if (it == shard.gauges.end()) {
+    shard.gauges.emplace(std::string(name), value);
+  } else if (value > it->second) {
+    it->second = value;
+  }
+}
+
 void Telemetry::add_span(std::string_view name, double seconds) {
-  auto it = spans_.find(name);
-  if (it == spans_.end()) {
-    spans_.emplace(std::string(name), SpanStats{1, seconds});
+  Shard& shard = shard_for(name);
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.spans.find(name);
+  if (it == shard.spans.end()) {
+    shard.spans.emplace(std::string(name), SpanStats{1, seconds});
   } else {
     ++it->second.count;
     it->second.total_s += seconds;
@@ -149,15 +186,67 @@ void Telemetry::add_span(std::string_view name, double seconds) {
 }
 
 SpanStats Telemetry::span_stats(std::string_view name) const {
-  const auto it = spans_.find(name);
-  return it == spans_.end() ? SpanStats{} : it->second;
+  const Shard& shard = shard_for(name);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.spans.find(name);
+  return it == shard.spans.end() ? SpanStats{} : it->second;
+}
+
+std::map<std::string, std::uint64_t, std::less<>> Telemetry::counters()
+    const {
+  std::map<std::string, std::uint64_t, std::less<>> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    out.insert(shard.counters.begin(), shard.counters.end());
+  }
+  return out;
+}
+
+std::map<std::string, double, std::less<>> Telemetry::gauges() const {
+  std::map<std::string, double, std::less<>> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    out.insert(shard.gauges.begin(), shard.gauges.end());
+  }
+  return out;
+}
+
+std::map<std::string, SpanStats, std::less<>> Telemetry::spans() const {
+  std::map<std::string, SpanStats, std::less<>> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    out.insert(shard.spans.begin(), shard.spans.end());
+  }
+  return out;
+}
+
+void Telemetry::merge(const Telemetry& child,
+                      std::span<const TraceEvent> events) {
+  CEAL_EXPECT_MSG(&child != this, "cannot merge a Telemetry into itself");
+  for (const auto& [name, value] : child.counters()) count(name, value);
+  for (const auto& [name, value] : child.gauges()) gauge(name, value);
+  for (const auto& [name, stats] : child.spans()) {
+    Shard& shard = shard_for(name);
+    std::lock_guard lock(shard.mutex);
+    auto it = shard.spans.find(name);
+    if (it == shard.spans.end()) {
+      shard.spans.emplace(name, stats);
+    } else {
+      it->second.count += stats.count;
+      it->second.total_s += stats.total_s;
+    }
+  }
+  // Replay the child's buffered events in order; emit() re-stamps each
+  // with this instance's next sequence number, so merging children in a
+  // fixed order reproduces the serial event stream exactly.
+  for (const TraceEvent& event : events) emit(event);
 }
 
 TraceEvent Telemetry::summary_event() const {
   TraceEvent event("telemetry.summary");
-  for (const auto& [name, value] : counters_) event.field(name, value);
-  for (const auto& [name, value] : gauges_) event.field(name, value);
-  for (const auto& [name, stats] : spans_) {
+  for (const auto& [name, value] : counters()) event.field(name, value);
+  for (const auto& [name, value] : gauges()) event.field(name, value);
+  for (const auto& [name, stats] : spans()) {
     event.field(name + ".count", stats.count);
     event.timing(name + ".total_s", stats.total_s);
   }
@@ -166,13 +255,13 @@ TraceEvent Telemetry::summary_event() const {
 
 Table Telemetry::summary_table() const {
   Table table({"kind", "name", "count/value", "total (s)"});
-  for (const auto& [name, value] : counters_) {
+  for (const auto& [name, value] : counters()) {
     table.add_row({"counter", name, std::to_string(value), ""});
   }
-  for (const auto& [name, value] : gauges_) {
+  for (const auto& [name, value] : gauges()) {
     table.add_row({"gauge", name, Table::num(value, 6), ""});
   }
-  for (const auto& [name, stats] : spans_) {
+  for (const auto& [name, stats] : spans()) {
     table.add_row({"span", name, std::to_string(stats.count),
                    Table::num(stats.total_s, 6)});
   }

@@ -5,26 +5,41 @@
 //    plus an optional TraceSink that receives structured TraceEvents.
 //  * TraceSink — where events go: JsonlTraceSink writes one JSON object
 //    per line, NullTraceSink swallows everything (for overhead tests),
-//    MultiTraceSink fans out to several sinks (file + live progress).
+//    MultiTraceSink fans out to several sinks, BufferTraceSink keeps
+//    events in memory for a deterministic merge into a parent.
 //  * ScopedSpan — RAII wall-clock timer charging a named span
 //    accumulator; a no-op when constructed with a null Telemetry.
+//
+// Thread-safety contract: one Telemetry may be shared by any number of
+// concurrent writers. Counters, gauges, and spans live in name-sharded
+// accumulators (one mutex per shard); emit() serialises sequence-number
+// stamping and the sink write behind a single mutex, so a sink's write()
+// is never entered concurrently. Snapshot accessors (counters(),
+// gauges(), spans(), summary_*) merge the shards into one sorted map, so
+// their output is independent of shard layout and thread interleaving.
 //
 // Determinism contract: every event field except the `timing` sub-object
 // must be a deterministic function of the tuning session's seed. All
 // wall-clock values live exclusively under `timing`, so two traces of
 // the same seeded session are byte-identical once `timing` is stripped
 // (`ceal_trace --check-determinism` and tests/tuner/test_trace.cc hold
-// the instrumentation to this).
+// the instrumentation to this). Concurrent emitters interleave
+// nondeterministically — when event *order* must stay a function of the
+// seed (parallel replications), give each concurrent unit its own child
+// Telemetry with a BufferTraceSink and merge() the children in a fixed
+// order afterwards (tuner::evaluate does exactly this).
 //
 // Overhead contract: code under instrumentation holds a nullable
 // `Telemetry*`; with no telemetry attached every instrumentation site
 // reduces to one branch on that pointer (bench_micro_telemetry measures
-// the residual cost at < 1%).
+// the residual cost and fails when the session delta breaks the bound).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -74,7 +89,10 @@ class TraceEvent {
 };
 
 /// Receives trace events. Implementations must tolerate events of any
-/// name — the schema is open (docs/OBSERVABILITY.md).
+/// name — the schema is open (docs/OBSERVABILITY.md). A sink attached to
+/// a Telemetry has its write() serialised by the emit lock, so write()
+/// itself does not need to be re-entrant; a sink shared by several
+/// Telemetry instances must synchronise internally.
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -91,6 +109,8 @@ class NullTraceSink final : public TraceSink {
 
 /// One compact JSON object per line. The file constructor owns the
 /// stream and flushes on destruction; the ostream constructor borrows.
+/// An internal mutex serialises writes, so one JsonlTraceSink may be
+/// shared by several Telemetry instances without interleaving lines.
 class JsonlTraceSink final : public TraceSink {
  public:
   explicit JsonlTraceSink(std::ostream& os) : os_(&os) {}
@@ -102,6 +122,7 @@ class JsonlTraceSink final : public TraceSink {
   void flush() override;
 
  private:
+  std::mutex mutex_;
   std::ofstream file_;
   std::ostream* os_ = nullptr;
 };
@@ -117,47 +138,83 @@ class MultiTraceSink final : public TraceSink {
   std::vector<TraceSink*> sinks_;
 };
 
+/// Keeps every event in memory, in arrival order. The building block of
+/// the deterministic parallel-tracing pattern: each concurrent unit
+/// (replication, worker) emits into its own child Telemetry backed by a
+/// BufferTraceSink, and the parent replays the buffers in a fixed order
+/// via Telemetry::merge once the parallel section is over.
+class BufferTraceSink final : public TraceSink {
+ public:
+  void write(const TraceEvent& event) override;
+
+  /// The buffered events, in emission order. Only call after the
+  /// producing session finished (no concurrent write()).
+  std::span<const TraceEvent> events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
 struct SpanStats {
   std::uint64_t count = 0;
   double total_s = 0.0;
 };
 
 /// Registry of counters, gauges, and span accumulators, with an optional
-/// trace sink. Not thread-safe: one Telemetry instruments one serial
-/// tuning session (the evaluation harness runs replications serially
-/// whenever telemetry is attached).
+/// trace sink. Safe under concurrent writers: accumulator updates are
+/// sharded by name, and emit() serialises the sequence stamp + sink
+/// write. See the file header for how to keep event *order*
+/// deterministic across threads (child instances + merge()).
 class Telemetry {
  public:
   explicit Telemetry(TraceSink* sink = nullptr) : sink_(sink) {}
 
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  /// Not synchronised with concurrent emit(); set the sink before the
+  /// instrumented session starts.
   void set_sink(TraceSink* sink) { sink_ = sink; }
   TraceSink* sink() const { return sink_; }
   bool tracing() const { return sink_ != nullptr; }
 
   /// Stamps the event with the next sequence number and forwards it to
-  /// the sink; drops it (cheaply) when no sink is attached.
+  /// the sink; drops it (cheaply) when no sink is attached. Concurrent
+  /// calls serialise: sequence numbers are unique and the sink never
+  /// sees two writes at once.
   void emit(TraceEvent event);
 
   void count(std::string_view name, std::uint64_t delta = 1);
   /// 0 for a counter never incremented.
   std::uint64_t counter(std::string_view name) const;
 
+  /// Last-write-wins gauge.
   void gauge(std::string_view name, double value);
+  /// High-water gauge: keeps the maximum of all values ever set.
+  void gauge_max(std::string_view name, double value);
 
   /// Adds one timed interval to the named span accumulator (ScopedSpan
   /// calls this; direct use is fine for externally measured intervals).
   void add_span(std::string_view name, double seconds);
   SpanStats span_stats(std::string_view name) const;
 
-  const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
-    return counters_;
-  }
-  const std::map<std::string, double, std::less<>>& gauges() const {
-    return gauges_;
-  }
-  const std::map<std::string, SpanStats, std::less<>>& spans() const {
-    return spans_;
-  }
+  /// Snapshots: the shards merged into one name-sorted map. The result
+  /// is independent of shard layout; taking a snapshot while writers are
+  /// active yields some consistent intermediate state.
+  std::map<std::string, std::uint64_t, std::less<>> counters() const;
+  std::map<std::string, double, std::less<>> gauges() const;
+  std::map<std::string, SpanStats, std::less<>> spans() const;
+
+  /// Deterministic merge of a child's accumulators into this instance:
+  /// counters and span stats add, gauges take the child's value. When
+  /// `events` is non-empty (a BufferTraceSink's buffer) each event is
+  /// re-emitted through this instance in order, acquiring fresh sequence
+  /// numbers — so merging children in a fixed order reproduces the exact
+  /// event stream a serial run would have produced.
+  void merge(const Telemetry& child,
+             std::span<const TraceEvent> events = {});
 
   /// "telemetry.summary" event: counters and gauges as deterministic
   /// fields, span call counts as fields, span totals under `timing`.
@@ -168,11 +225,25 @@ class Telemetry {
   Table summary_table() const;
 
  private:
+  // Accumulators are sharded by a hash of the metric name so concurrent
+  // writers on different names rarely contend; one name always maps to
+  // one shard, which keeps gauge last-write-wins and counter addition
+  // race-free under the shard mutex.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, std::uint64_t, std::less<>> counters;
+    std::map<std::string, double, std::less<>> gauges;
+    std::map<std::string, SpanStats, std::less<>> spans;
+  };
+  static constexpr std::size_t kShards = 8;
+
+  Shard& shard_for(std::string_view name);
+  const Shard& shard_for(std::string_view name) const;
+
   TraceSink* sink_;
+  std::mutex emit_mutex_;          // guards seq_ and the sink write
   std::uint64_t seq_ = 0;
-  std::map<std::string, std::uint64_t, std::less<>> counters_;
-  std::map<std::string, double, std::less<>> gauges_;
-  std::map<std::string, SpanStats, std::less<>> spans_;
+  std::array<Shard, kShards> shards_;
 };
 
 /// RAII wall-clock span: charges `telemetry->add_span(name, elapsed)` on

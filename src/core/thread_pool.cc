@@ -1,8 +1,10 @@
 #include "core/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "core/error.h"
+#include "core/telemetry.h"
 
 namespace ceal {
 
@@ -10,9 +12,10 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  stats_.resize(threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -25,7 +28,30 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+std::vector<ThreadPool::ThreadStats> ThreadPool::thread_stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+std::uint64_t ThreadPool::tasks_submitted() const {
+  std::lock_guard lock(mutex_);
+  return submitted_;
+}
+
+std::size_t ThreadPool::max_queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return max_queue_depth_;
+}
+
+void ThreadPool::note_submit(std::size_t queue_depth) {
+  telemetry::Telemetry* tel = telemetry_;
+  if (tel == nullptr) return;
+  tel->count("pool.tasks");
+  tel->gauge("pool.queue_depth", static_cast<double>(queue_depth));
+  tel->gauge_max("pool.queue_depth.max", static_cast<double>(queue_depth));
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
   for (;;) {
     std::function<void()> task;
     {
@@ -35,7 +61,19 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
+    const auto start = std::chrono::steady_clock::now();
     task();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_[worker_index].tasks;
+      stats_[worker_index].busy_s += elapsed;
+    }
+    if (telemetry::Telemetry* tel = telemetry_; tel != nullptr) {
+      tel->add_span("pool.task", elapsed);
+    }
   }
 }
 
@@ -59,10 +97,24 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
+  // Every chunk must finish before returning — even on failure. The
+  // worker tasks capture `fn` by reference, so rethrowing while a chunk
+  // is still queued or running would unwind state the workers use.
+  std::exception_ptr first_error;
   const std::size_t first_hi = std::min(end, begin + chunk);
-  for (std::size_t i = begin; i < first_hi; ++i) fn(i);
-
-  for (auto& f : futures) f.get();  // rethrows the first failure
+  try {
+    for (std::size_t i = begin; i < first_hi; ++i) fn(i);
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 }  // namespace ceal

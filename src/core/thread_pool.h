@@ -5,6 +5,13 @@
 // evaluation harness use this to exploit whatever cores the host offers;
 // with a single hardware thread everything degrades gracefully to serial
 // execution without code changes.
+//
+// Observability: attach a (concurrency-safe) telemetry::Telemetry with
+// set_telemetry to record task counts, queue-depth gauges, and busy-time
+// spans; thread_stats() exposes per-worker task/busy tallies either way.
+// Queue-depth gauges reflect scheduling, not the tuning seed — attach a
+// dedicated Telemetry instance to a pool rather than the one tracing a
+// seeded tuning session (docs/OBSERVABILITY.md).
 #pragma once
 
 #include <condition_variable>
@@ -18,8 +25,18 @@
 
 namespace ceal {
 
+namespace telemetry {
+class Telemetry;
+}
+
 class ThreadPool {
  public:
+  /// Per-worker execution tally (thread_stats()).
+  struct ThreadStats {
+    std::uint64_t tasks = 0;
+    double busy_s = 0.0;
+  };
+
   /// Creates `threads` workers; 0 means std::thread::hardware_concurrency()
   /// (at least 1).
   explicit ThreadPool(std::size_t threads = 0);
@@ -32,6 +49,24 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  /// Attaches (or detaches, with nullptr) a telemetry registry. Not
+  /// owned; must outlive the pool or be detached first. Counters/gauges
+  /// recorded: "pool.tasks" (submissions), "pool.queue_depth" (depth
+  /// after the latest submit), "pool.queue_depth.max" (high-water), and
+  /// the "pool.task" span (per-task busy wall-clock). Call while no
+  /// tasks are in flight.
+  void set_telemetry(telemetry::Telemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
+  telemetry::Telemetry* telemetry() const { return telemetry_; }
+
+  /// Per-worker task counts and busy seconds, indexed like the workers.
+  std::vector<ThreadStats> thread_stats() const;
+
+  /// Tasks ever submitted / largest queue depth observed at submit time.
+  std::uint64_t tasks_submitted() const;
+  std::size_t max_queue_depth() const;
+
   /// Enqueue a task; the returned future observes its completion and
   /// propagates exceptions.
   template <typename F>
@@ -40,30 +75,45 @@ class ThreadPool {
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
+    std::size_t depth = 0;
     {
       std::lock_guard lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool is shutting down");
       queue_.emplace([task] { (*task)(); });
+      depth = queue_.size();
+      ++submitted_;
+      if (depth > max_queue_depth_) max_queue_depth_ = depth;
     }
+    note_submit(depth);
     cv_.notify_one();
     return fut;
   }
 
   /// Runs fn(i) for i in [begin, end) across the pool, blocking until all
   /// iterations finish. Work is split into contiguous chunks, one per
-  /// worker (plus the calling thread participates). Exceptions from any
-  /// iteration are rethrown (first one wins).
+  /// worker (plus the calling thread participates). On failure every
+  /// chunk still runs to completion (or its own failure) before the
+  /// first exception is rethrown — fn is borrowed by the worker tasks,
+  /// so no chunk may outlive the call.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
+  /// Telemetry hook for a submission (one null branch when detached).
+  void note_submit(std::size_t queue_depth);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  std::uint64_t submitted_ = 0;     // guarded by mutex_
+  std::size_t max_queue_depth_ = 0;  // guarded by mutex_
+
+  telemetry::Telemetry* telemetry_ = nullptr;
+  mutable std::mutex stats_mutex_;
+  std::vector<ThreadStats> stats_;  // one slot per worker
 };
 
 }  // namespace ceal

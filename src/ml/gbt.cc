@@ -8,6 +8,7 @@
 #include "core/error.h"
 #include "core/parallel.h"
 #include "core/stats.h"
+#include "core/telemetry.h"
 
 namespace ceal::ml {
 
@@ -71,8 +72,11 @@ void GradientBoostedTrees::fit(const Dataset& data, ceal::Rng& rng) {
     hist_cache.emplace(data, params_.tree.max_bins);
   }
 
+  if (telemetry_ != nullptr) telemetry_->count("gbt.fits");
   trees_.reserve(params_.n_rounds);
   for (std::size_t round = 0; round < params_.n_rounds; ++round) {
+    telemetry::ScopedSpan round_span(telemetry_, "gbt.round");
+    if (telemetry_ != nullptr) telemetry_->count("gbt.rounds");
     for (std::size_t i = 0; i < n; ++i) grad[i] = pred[i] - data.target(i);
 
     std::vector<std::size_t> rows;
@@ -88,7 +92,7 @@ void GradientBoostedTrees::fit(const Dataset& data, ceal::Rng& rng) {
       std::fill(leaf_values.begin(), leaf_values.end(), kUntrained);
     }
     tree.fit_gradients(data, rows, grad, hess, rng, &leaf_values,
-                       hist_cache ? &*hist_cache : nullptr);
+                       hist_cache ? &*hist_cache : nullptr, telemetry_);
     for (std::size_t i = 0; i < n; ++i) {
       const double value = std::isnan(leaf_values[i])
                                ? tree.predict(data.row(i))
@@ -153,6 +157,11 @@ std::vector<double> predict_rows(const GradientBoostedTrees& model,
 std::vector<double> GradientBoostedTrees::predict_all(
     const Dataset& data) const {
   CEAL_EXPECT_MSG(fitted_, "predict_all() before fit()");
+  telemetry::ScopedSpan span(telemetry_, "gbt.predict");
+  if (telemetry_ != nullptr) {
+    telemetry_->count("gbt.predict.batches");
+    telemetry_->count("gbt.predict.rows", data.size());
+  }
   return predict_rows(*this, data.size(), trees_.size(),
                       [&](std::size_t i) { return data.row(i); });
 }
@@ -160,6 +169,11 @@ std::vector<double> GradientBoostedTrees::predict_all(
 std::vector<double> GradientBoostedTrees::predict_matrix(
     const FeatureMatrix& rows) const {
   CEAL_EXPECT_MSG(fitted_, "predict_matrix() before fit()");
+  telemetry::ScopedSpan span(telemetry_, "gbt.predict");
+  if (telemetry_ != nullptr) {
+    telemetry_->count("gbt.predict.batches");
+    telemetry_->count("gbt.predict.rows", rows.size());
+  }
   return predict_rows(*this, rows.size(), trees_.size(),
                       [&](std::size_t i) { return rows.row(i); });
 }

@@ -8,6 +8,10 @@
 #include "ml/model.h"
 #include "ml/tree.h"
 
+namespace ceal::telemetry {
+class Telemetry;
+}
+
 namespace ceal::ml {
 
 struct GbtParams {
@@ -39,6 +43,18 @@ class GradientBoostedTrees final : public Regressor {
   /// the pool-scoring hot path of the tuners.
   std::vector<double> predict_matrix(const FeatureMatrix& rows) const;
 
+  /// Attaches (or detaches, with nullptr) a concurrency-safe telemetry
+  /// registry; not owned, must outlive the model's fits/predictions.
+  /// fit() records "gbt.fits"/"gbt.rounds" counters and the "gbt.round"
+  /// span (per-round wall clock); batch prediction records
+  /// "gbt.predict.batches"/"gbt.predict.rows" and the "gbt.predict"
+  /// span. Counter values are deterministic functions of the inputs;
+  /// only span seconds carry wall-clock nondeterminism.
+  void set_telemetry(ceal::telemetry::Telemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
+  ceal::telemetry::Telemetry* telemetry() const { return telemetry_; }
+
   std::size_t tree_count() const { return trees_.size(); }
   double base_score() const { return base_score_; }
   const GbtParams& params() const { return params_; }
@@ -55,6 +71,7 @@ class GradientBoostedTrees final : public Regressor {
   double base_score_ = 0.0;
   std::vector<RegressionTree> trees_;
   bool fitted_ = false;
+  ceal::telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace ceal::ml

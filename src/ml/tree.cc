@@ -8,6 +8,7 @@
 
 #include "core/error.h"
 #include "core/parallel.h"
+#include "core/telemetry.h"
 
 namespace ceal::ml {
 
@@ -112,7 +113,8 @@ class HistTreeBuilder {
                   std::span<const std::size_t> row_indices,
                   std::span<const double> g, std::span<const double> h,
                   std::vector<std::size_t> feature_pool,
-                  const HistogramCache& cache)
+                  const HistogramCache& cache,
+                  ceal::telemetry::Telemetry* telemetry)
       : tree_(tree),
         data_(data),
         g_(g),
@@ -121,7 +123,8 @@ class HistTreeBuilder {
         n_(row_indices.size()),
         rows_(row_indices.begin(), row_indices.end()),
         pos_(row_indices.size()),
-        cache_(cache) {
+        cache_(cache),
+        telemetry_(telemetry) {
     // Ascending feature order makes the reduction's tie-break "lowest
     // feature index" regardless of the pool's sampling order.
     std::sort(pool_.begin(), pool_.end());
@@ -227,8 +230,15 @@ class HistTreeBuilder {
     }
 
     const double parent_score = score(g_sum, h_sum, prm.lambda);
+    if (telemetry_ != nullptr) telemetry_->count("tree.split_search.nodes");
     std::vector<Candidate> cands(pool_.size());
+    // The per-feature counter increments run on pool workers — the
+    // telemetry registry is concurrency-safe, and the final total is a
+    // deterministic function of the fit inputs either way.
     const auto eval = [&](std::size_t s) {
+      if (telemetry_ != nullptr) {
+        telemetry_->count("tree.split_search.features");
+      }
       cands[s] = best_for_slot(s, lo, hi, g_sum, h_sum, parent_score);
     };
     if (pool_.size() > 1 && pool_.size() * (hi - lo) >= kParallelSplitWork) {
@@ -283,6 +293,7 @@ class HistTreeBuilder {
   std::vector<std::size_t> rows_;  // slot k -> dataset row index
   std::vector<std::uint32_t> pos_;  // partitionable permutation of slots
   const HistogramCache& cache_;    // shared pre-binned features
+  ceal::telemetry::Telemetry* telemetry_;  // nullable
 };
 
 RegressionTree::RegressionTree(TreeParams params) : params_(params) {
@@ -300,7 +311,8 @@ void RegressionTree::fit_gradients(const Dataset& data,
                                    std::span<const double> hessians,
                                    ceal::Rng& rng,
                                    std::vector<double>* out_leaf_values,
-                                   const HistogramCache* hist_cache) {
+                                   const HistogramCache* hist_cache,
+                                   ceal::telemetry::Telemetry* telemetry) {
   CEAL_EXPECT(!row_indices.empty());
   CEAL_EXPECT(gradients.size() == data.size());
   CEAL_EXPECT(hessians.size() == data.size());
@@ -322,23 +334,33 @@ void RegressionTree::fit_gradients(const Dataset& data,
     feature_pool = rng.sample_without_replacement(d, keep);
   }
 
+  if (telemetry != nullptr) telemetry->count("tree.fits");
   if (params_.method == TreeMethod::kHist) {
     CEAL_EXPECT(hist_cache == nullptr ||
                 (hist_cache->n_rows() == data.size() &&
                  hist_cache->n_features() == data.n_features()));
+    if (telemetry != nullptr) {
+      telemetry->count(hist_cache != nullptr ? "tree.hist_cache.hit"
+                                             : "tree.hist_cache.miss");
+    }
     std::optional<HistogramCache> local;
     if (hist_cache == nullptr) {
       local.emplace(data, params_.max_bins);
       hist_cache = &*local;
     }
     HistTreeBuilder builder(*this, data, row_indices, gradients, hessians,
-                            std::move(feature_pool), *hist_cache);
+                            std::move(feature_pool), *hist_cache, telemetry);
     builder.run(out_leaf_values);
   } else {
     std::vector<std::size_t> rows(row_indices.begin(), row_indices.end());
-    build(data, rows, gradients, hessians, feature_pool, 0, out_leaf_values);
+    build(data, rows, gradients, hessians, feature_pool, 0, out_leaf_values,
+          telemetry);
   }
   CEAL_ENSURE(!nodes_.empty());
+  if (telemetry != nullptr) {
+    telemetry->count("tree.nodes", nodes_.size());
+    telemetry->count("tree.leaves", leaf_count());
+  }
 }
 
 std::int32_t RegressionTree::build(const Dataset& data,
@@ -347,7 +369,8 @@ std::int32_t RegressionTree::build(const Dataset& data,
                                    std::span<const double> h,
                                    std::span<const std::size_t> feature_pool,
                                    std::size_t depth,
-                                   std::vector<double>* out_leaf_values) {
+                                   std::vector<double>* out_leaf_values,
+                                   ceal::telemetry::Telemetry* telemetry) {
   double g_sum = 0.0, h_sum = 0.0;
   for (const std::size_t r : rows) {
     g_sum += g[r];
@@ -369,7 +392,8 @@ std::int32_t RegressionTree::build(const Dataset& data,
     return make_leaf();
   }
 
-  const Split split = best_split(data, rows, g, h, feature_pool, g_sum, h_sum);
+  const Split split =
+      best_split(data, rows, g, h, feature_pool, g_sum, h_sum, telemetry);
   if (!split.found) return make_leaf();
 
   // Partition rows in place.
@@ -390,10 +414,10 @@ std::int32_t RegressionTree::build(const Dataset& data,
   // Reserve this node's slot before children are appended.
   nodes_.emplace_back();
   const auto self = static_cast<std::int32_t>(nodes_.size() - 1);
-  const std::int32_t left =
-      build(data, left_rows, g, h, feature_pool, depth + 1, out_leaf_values);
-  const std::int32_t right =
-      build(data, right_rows, g, h, feature_pool, depth + 1, out_leaf_values);
+  const std::int32_t left = build(data, left_rows, g, h, feature_pool,
+                                  depth + 1, out_leaf_values, telemetry);
+  const std::int32_t right = build(data, right_rows, g, h, feature_pool,
+                                   depth + 1, out_leaf_values, telemetry);
   nodes_[static_cast<std::size_t>(self)].feature = split.feature;
   nodes_[static_cast<std::size_t>(self)].threshold = split.threshold;
   nodes_[static_cast<std::size_t>(self)].left = left;
@@ -405,8 +429,12 @@ RegressionTree::Split RegressionTree::best_split(
     const Dataset& data, std::span<const std::size_t> rows,
     std::span<const double> g, std::span<const double> h,
     std::span<const std::size_t> feature_pool, double g_total,
-    double h_total) const {
+    double h_total, ceal::telemetry::Telemetry* telemetry) const {
   const double parent_score = score(g_total, h_total, params_.lambda);
+  if (telemetry != nullptr) {
+    telemetry->count("tree.split_search.nodes");
+    telemetry->count("tree.split_search.features", feature_pool.size());
+  }
 
   Split best;
   std::vector<std::size_t> order(rows.begin(), rows.end());

@@ -18,6 +18,10 @@
 #include "core/rng.h"
 #include "ml/dataset.h"
 
+namespace ceal::telemetry {
+class Telemetry;
+}
+
 namespace ceal::ml {
 
 /// Split-finding strategy.
@@ -115,12 +119,21 @@ class RegressionTree {
   /// `hist_cache` (kHist only) shares pre-binned features across the
   /// trees of an ensemble; it must have been built on `data` with this
   /// tree's max_bins. When null, kHist bins `data` transiently.
+  ///
+  /// `telemetry` (optional, concurrency-safe) receives split-search
+  /// counters: "tree.fits", "tree.split_search.nodes" (one per node whose
+  /// split was searched), "tree.split_search.features" (features scanned,
+  /// incremented from pool workers on the kHist path),
+  /// "tree.hist_cache.hit"/"tree.hist_cache.miss" (shared vs transient
+  /// binning), and "tree.nodes"/"tree.leaves" (grown totals). All are
+  /// deterministic functions of the fit inputs.
   void fit_gradients(const Dataset& data,
                      std::span<const std::size_t> row_indices,
                      std::span<const double> gradients,
                      std::span<const double> hessians, ceal::Rng& rng,
                      std::vector<double>* out_leaf_values = nullptr,
-                     const HistogramCache* hist_cache = nullptr);
+                     const HistogramCache* hist_cache = nullptr,
+                     ceal::telemetry::Telemetry* telemetry = nullptr);
 
   /// Leaf weight for one feature vector.
   double predict(std::span<const double> features) const;
@@ -158,11 +171,13 @@ class RegressionTree {
   std::int32_t build(const Dataset& data, std::vector<std::size_t>& rows,
                      std::span<const double> g, std::span<const double> h,
                      std::span<const std::size_t> feature_pool,
-                     std::size_t depth, std::vector<double>* out_leaf_values);
+                     std::size_t depth, std::vector<double>* out_leaf_values,
+                     ceal::telemetry::Telemetry* telemetry);
   Split best_split(const Dataset& data, std::span<const std::size_t> rows,
                    std::span<const double> g, std::span<const double> h,
                    std::span<const std::size_t> feature_pool, double g_total,
-                   double h_total) const;
+                   double h_total,
+                   ceal::telemetry::Telemetry* telemetry) const;
   std::size_t depth_of(std::int32_t node) const;
 
   friend class HistTreeBuilder;

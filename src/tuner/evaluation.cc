@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "core/error.h"
 #include "core/stats.h"
+#include "core/telemetry.h"
 #include "ml/metrics.h"
 
 namespace ceal::tuner {
@@ -52,11 +54,40 @@ EvalSummary evaluate(const TuningProblem& problem, const AutoTuner& algorithm,
              std::llround(0.02 * static_cast<double>(measured.size()))));
   const auto top2 = ml::top_indices(measured, top2_count);
 
+  // Parallel replications with telemetry attached: each replication runs
+  // against its own child Telemetry (backed by a BufferTraceSink when the
+  // parent traces), so concurrent tuners never interleave events. The
+  // children are merged into the parent in replication order afterwards,
+  // which re-stamps sequence numbers and reproduces the exact event
+  // stream of a serial run — stripped traces compare byte-identical
+  // (tests/tuner/test_trace.cc).
+  const bool child_tracing = pool != nullptr && problem.telemetry != nullptr;
+  std::vector<std::unique_ptr<telemetry::BufferTraceSink>> buffers;
+  std::vector<std::unique_ptr<telemetry::Telemetry>> children;
+  std::vector<TuningProblem> rep_problems;
+  if (child_tracing) {
+    const bool tracing = problem.telemetry->tracing();
+    buffers.reserve(replications);
+    children.reserve(replications);
+    rep_problems.assign(replications, problem);
+    for (std::size_t rep = 0; rep < replications; ++rep) {
+      buffers.push_back(std::make_unique<telemetry::BufferTraceSink>());
+      children.push_back(std::make_unique<telemetry::Telemetry>(
+          tracing ? buffers.back().get() : nullptr));
+      rep_problems[rep].telemetry = children[rep].get();
+    }
+  }
+
   std::vector<RepOutcome> outcomes(replications);
   const auto run_one = [&](std::size_t rep) {
+    const TuningProblem& rep_problem =
+        child_tracing ? rep_problems[rep] : problem;
+    telemetry::Telemetry* tel = rep_problem.telemetry;
+    if (tel != nullptr) tel->count("evaluate.replications");
+    telemetry::ScopedSpan rep_span(tel, "evaluate.replication");
     ceal::Rng rng(seed * 0x9e3779b97f4a7c15ULL + rep * 0xda942042e4dd58b5ULL +
                   1);
-    const TuneResult result = algorithm.tune(problem, budget, rng);
+    const TuneResult result = algorithm.tune(rep_problem, budget, rng);
 
     RepOutcome& out = outcomes[rep];
     out.norm_perf = truth[result.best_predicted_index] / best_truth;
@@ -81,6 +112,11 @@ EvalSummary evaluate(const TuningProblem& problem, const AutoTuner& algorithm,
     pool->parallel_for(0, replications, run_one);
   } else {
     for (std::size_t rep = 0; rep < replications; ++rep) run_one(rep);
+  }
+  if (child_tracing) {
+    for (std::size_t rep = 0; rep < replications; ++rep) {
+      problem.telemetry->merge(*children[rep], buffers[rep]->events());
+    }
   }
 
   EvalSummary summary;

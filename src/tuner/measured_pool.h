@@ -108,8 +108,10 @@ struct TuningProblem {
   /// trace events into it. Null (the default) disables all
   /// instrumentation at the cost of one pointer branch per site; the
   /// tuning session's results are identical either way. Not owned; must
-  /// outlive the session. Attach only to serial sessions — Telemetry is
-  /// not thread-safe across parallel replications.
+  /// outlive the session. The registry is safe under concurrent writers;
+  /// for parallel replications tuner::evaluate gives each replication a
+  /// child instance and merges them in replication order, so trace event
+  /// order stays a deterministic function of the seed (core/telemetry.h).
   telemetry::Telemetry* telemetry = nullptr;
 };
 

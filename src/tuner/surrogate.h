@@ -45,6 +45,13 @@ class Surrogate {
   /// (bitwise equal to predict() per row for any worker count).
   std::vector<double> predict_many(const ml::FeatureMatrix& rows) const;
 
+  /// Forwards a (concurrency-safe, nullable) telemetry registry to the
+  /// underlying boosted-tree model, which records per-round fit spans,
+  /// split-search counters, and batch-predict throughput (ml/gbt.h).
+  void set_telemetry(ceal::telemetry::Telemetry* telemetry) {
+    model_.set_telemetry(telemetry);
+  }
+
  private:
   ml::GradientBoostedTrees model_;
   bool log_targets_;

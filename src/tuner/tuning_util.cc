@@ -76,6 +76,10 @@ double fit_on_measured(Surrogate& surrogate, const Collector& collector,
   for (const std::size_t idx : indices) configs.push_back(pool.configs[idx]);
   telemetry::Telemetry* tel = collector.problem().telemetry;
   if (tel != nullptr) tel->count("surrogate.fits");
+  // Push the registry down into the GBT so the fit below (and every
+  // later predict through this surrogate) records per-round spans and
+  // split-search counters.
+  surrogate.set_telemetry(tel);
   telemetry::ScopedSpan span(tel, "surrogate.fit");
   surrogate.fit(collector.problem().workload->workflow.joint_space(),
                 configs, values, rng);

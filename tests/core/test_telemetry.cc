@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/error.h"
@@ -68,6 +72,128 @@ TEST(Telemetry, EmitWithoutSinkIsDropped) {
   tel.emit(TraceEvent("lost"));  // must not crash
   tel.count("still.counts");
   EXPECT_EQ(tel.counter("still.counts"), 1u);
+}
+
+TEST(Telemetry, GaugeMaxKeepsTheHighWaterMark) {
+  Telemetry tel;
+  tel.gauge_max("pool.queue_depth.max", 3.0);
+  tel.gauge_max("pool.queue_depth.max", 9.0);
+  tel.gauge_max("pool.queue_depth.max", 5.0);
+  EXPECT_DOUBLE_EQ(tel.gauges().at("pool.queue_depth.max"), 9.0);
+}
+
+// The thread-safety contract (telemetry.h header): one Telemetry shared
+// by any number of concurrent writers loses no updates, and concurrent
+// emit() stamps unique, dense sequence numbers. Run under the sanitizer
+// stages of run_tier1.sh (asan/ubsan, and tsan with --with-tsan) this is
+// also the data-race probe for the sharded accumulators.
+TEST(Telemetry, ConcurrentWritersLoseNothing) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kOpsPerThread = 2000;
+  RecordingSink sink;
+  Telemetry tel(&sink);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tel, t] {
+      // Mix shared names (every shard contended) with per-thread names.
+      const std::string own = "thread." + std::to_string(t);
+      for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+        tel.count("stress.shared");
+        tel.count(own);
+        tel.add_span("stress.span", 0.001);
+        tel.gauge_max("stress.peak", static_cast<double>(i));
+        if (i % 100 == 0) {
+          TraceEvent event("stress.tick");
+          event.field("thread", static_cast<std::uint64_t>(t));
+          tel.emit(std::move(event));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(tel.counter("stress.shared"), kThreads * kOpsPerThread);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(tel.counter("thread." + std::to_string(t)), kOpsPerThread);
+  }
+  const SpanStats span = tel.span_stats("stress.span");
+  EXPECT_EQ(span.count, kThreads * kOpsPerThread);
+  EXPECT_NEAR(span.total_s, 0.001 * static_cast<double>(span.count), 1e-6);
+  EXPECT_DOUBLE_EQ(tel.gauges().at("stress.peak"),
+                   static_cast<double>(kOpsPerThread - 1));
+
+  // Every emitted event carries a distinct seq, and together they are
+  // dense: 0..n-1 with no gaps (nothing was dropped or double-stamped).
+  std::set<std::int64_t> seqs;
+  for (const auto& line : sink.lines) {
+    seqs.insert(json::Value::parse(line).at("seq").as_int());
+  }
+  ASSERT_EQ(sink.lines.size(), kThreads * (kOpsPerThread / 100));
+  EXPECT_EQ(seqs.size(), sink.lines.size());
+  EXPECT_EQ(*seqs.begin(), 0);
+  EXPECT_EQ(*seqs.rbegin(),
+            static_cast<std::int64_t>(sink.lines.size()) - 1);
+}
+
+TEST(BufferTraceSinkTest, KeepsEventsInEmissionOrder) {
+  BufferTraceSink buffer;
+  Telemetry tel(&buffer);
+  for (int i = 0; i < 5; ++i) {
+    TraceEvent event("buffered");
+    event.field("i", i);
+    tel.emit(std::move(event));
+  }
+  ASSERT_EQ(buffer.size(), 5u);
+  for (std::size_t i = 0; i < buffer.events().size(); ++i) {
+    const json::Value v = buffer.events()[i].to_json();
+    EXPECT_EQ(v.at("i").as_int(), static_cast<std::int64_t>(i));
+    EXPECT_EQ(v.at("seq").as_int(), static_cast<std::int64_t>(i));
+  }
+  buffer.clear();
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(Telemetry, MergeAddsAccumulatorsAndReplaysBufferedEvents) {
+  RecordingSink parent_sink;
+  Telemetry parent(&parent_sink);
+  parent.count("shared.counter", 2);
+  parent.add_span("shared.span", 0.5);
+  parent.gauge("g", 1.0);
+  parent.emit(TraceEvent("parent.before"));  // takes seq 0
+
+  BufferTraceSink buffer;
+  Telemetry child(&buffer);
+  child.count("shared.counter", 3);
+  child.count("child.only");
+  child.add_span("shared.span", 0.25);
+  child.gauge("g", 7.0);
+  child.emit(TraceEvent("child.a"));
+  child.emit(TraceEvent("child.b"));
+
+  parent.merge(child, buffer.events());
+
+  EXPECT_EQ(parent.counter("shared.counter"), 5u);
+  EXPECT_EQ(parent.counter("child.only"), 1u);
+  const SpanStats span = parent.span_stats("shared.span");
+  EXPECT_EQ(span.count, 2u);
+  EXPECT_DOUBLE_EQ(span.total_s, 0.75);
+  EXPECT_DOUBLE_EQ(parent.gauges().at("g"), 7.0);  // child wins
+
+  // The buffered events were replayed through the parent in order and
+  // re-stamped with the parent's sequence numbers.
+  ASSERT_EQ(parent_sink.lines.size(), 3u);
+  EXPECT_EQ(parent_sink.lines[1], "{\"event\":\"child.a\",\"seq\":1}");
+  EXPECT_EQ(parent_sink.lines[2], "{\"event\":\"child.b\",\"seq\":2}");
+}
+
+TEST(Telemetry, MergeWithoutEventsOnlyFoldsAccumulators) {
+  Telemetry parent;
+  Telemetry child;
+  child.count("c", 4);
+  parent.merge(child);
+  EXPECT_EQ(parent.counter("c"), 4u);
 }
 
 TEST(TraceEventTest, FieldsSerialiseInOrderWithTimingLast) {

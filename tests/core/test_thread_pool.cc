@@ -3,9 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <functional>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
+
+#include "core/telemetry.h"
 
 namespace ceal {
 namespace {
@@ -81,6 +86,68 @@ TEST(ThreadPool, SingleWorkerPoolStillCompletes) {
   for (std::size_t i = 0; i < out.size(); ++i) {
     EXPECT_EQ(out[i], static_cast<int>(i) * 2);
   }
+}
+
+// A task's future completes inside the task body; the worker records
+// per-thread stats and the pool.task span just after. Poll briefly for
+// that bookkeeping instead of racing it.
+std::uint64_t tasks_ran(const ThreadPool& pool) {
+  std::uint64_t ran = 0;
+  for (const auto& stats : pool.thread_stats()) ran += stats.tasks;
+  return ran;
+}
+
+void wait_for(const std::function<bool()>& done) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!done() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(ThreadPool, InstrumentationCountsEveryTask) {
+  constexpr std::uint64_t kTasks = 64;
+  telemetry::Telemetry tel;  // dedicated instance (thread_pool.h header)
+  ThreadPool pool(3);
+  pool.set_telemetry(&tel);
+  EXPECT_EQ(pool.telemetry(), &tel);
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (std::uint64_t i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.submit([] {}));
+  }
+  for (auto& f : futures) f.get();
+  wait_for([&] {
+    return tasks_ran(pool) == kTasks &&
+           tel.span_stats("pool.task").count == kTasks;
+  });
+
+  EXPECT_EQ(pool.tasks_submitted(), kTasks);
+  EXPECT_EQ(tel.counter("pool.tasks"), kTasks);
+  EXPECT_EQ(tel.span_stats("pool.task").count, kTasks);
+  // The queue-depth high-water gauge saw at least the deepest backlog,
+  // which is at least 1 (the first submit observes its own entry).
+  EXPECT_GE(tel.gauges().at("pool.queue_depth.max"), 1.0);
+  EXPECT_GE(pool.max_queue_depth(), 1u);
+
+  // Per-thread busy stats cover exactly the submitted tasks.
+  std::uint64_t ran = 0;
+  for (const auto& stats : pool.thread_stats()) {
+    ran += stats.tasks;
+    EXPECT_GE(stats.busy_s, 0.0);
+  }
+  EXPECT_EQ(ran, kTasks);
+}
+
+TEST(ThreadPool, UninstrumentedPoolStillTracksItsOwnStats) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.telemetry(), nullptr);
+  auto fut = pool.submit([] { return 1; });
+  EXPECT_EQ(fut.get(), 1);
+  EXPECT_EQ(pool.tasks_submitted(), 1u);
+  wait_for([&] { return tasks_ran(pool) == 1; });
+  EXPECT_EQ(tasks_ran(pool), 1u);
 }
 
 TEST(ThreadPool, NestedSubmitFromParallelForDoesNotDeadlock) {

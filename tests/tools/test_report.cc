@@ -1,0 +1,161 @@
+// Metric extraction and regression logic of ceal_report
+// (tools/report_core.h): trace summaries sum across files and grow the
+// derived metrics, bench JSON prefers the median aggregate, and
+// compare() flags regressions by each metric's direction of goodness.
+#include "tools/report_core.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/json.h"
+
+namespace ceal::tools::report {
+namespace {
+
+std::vector<json::Value> events_of(const std::vector<std::string>& lines) {
+  std::vector<json::Value> out;
+  out.reserve(lines.size());
+  for (const auto& line : lines) out.push_back(json::Value::parse(line));
+  return out;
+}
+
+TEST(TraceAccumulator, SumsSummariesAcrossFilesAndDerivesRates) {
+  TraceAccumulator acc;
+  EXPECT_TRUE(acc.empty());
+  acc.add(events_of({
+      R"({"event":"ceal.switch","iteration":10})",
+      R"({"event":"telemetry.summary","seq":9,"measure.requests":20,)"
+      R"("measure.failed":2,"gbt.rounds":100,)"
+      R"("timing":{"gbt.round.total_s":0.5}})",
+  }));
+  acc.add(events_of({
+      R"({"event":"ceal.switch","iteration":14})",
+      R"({"event":"telemetry.summary","seq":3,"measure.requests":10,)"
+      R"("measure.censored":1,"gbt.rounds":100,)"
+      R"("timing":{"gbt.round.total_s":0.5}})",
+  }));
+  EXPECT_FALSE(acc.empty());
+
+  const MetricMap m = acc.finish();
+  EXPECT_DOUBLE_EQ(m.at("trace.measure.requests"), 30.0);
+  EXPECT_DOUBLE_EQ(m.at("trace.gbt.rounds"), 200.0);
+  EXPECT_DOUBLE_EQ(m.at("trace.gbt.round.total_s"), 1.0);
+  // Derived: switch mean over both traces, failure rate over the sums,
+  // fit throughput from rounds / round seconds.
+  EXPECT_DOUBLE_EQ(m.at("trace.ceal.switch_iteration.mean"), 12.0);
+  EXPECT_DOUBLE_EQ(m.at("trace.measure.failure_rate"), 3.0 / 30.0);
+  EXPECT_DOUBLE_EQ(m.at("trace.gbt.fit_rounds_per_s"), 200.0);
+  // seq is bookkeeping, not a metric.
+  EXPECT_EQ(m.count("trace.seq"), 0u);
+}
+
+TEST(TraceAccumulator, NoDerivedMetricsWithoutTheirInputs) {
+  TraceAccumulator acc;
+  acc.add(events_of({R"({"event":"telemetry.summary","tune.sessions":1})"}));
+  const MetricMap m = acc.finish();
+  EXPECT_EQ(m.count("trace.measure.failure_rate"), 0u);
+  EXPECT_EQ(m.count("trace.gbt.fit_rounds_per_s"), 0u);
+  EXPECT_EQ(m.count("trace.ceal.switch_iteration.mean"), 0u);
+}
+
+TEST(BenchMetrics, PlainEntriesWhenNoAggregates) {
+  const json::Value root = json::Value::parse(
+      R"({"benchmarks":[)"
+      R"({"name":"BM_Fit","cpu_time":12.5,"real_time":13.0}]})");
+  ASSERT_TRUE(is_bench_json(root));
+  MetricMap m;
+  add_bench_metrics(root, m);
+  EXPECT_DOUBLE_EQ(m.at("bench.BM_Fit.cpu_time"), 12.5);
+  EXPECT_DOUBLE_EQ(m.at("bench.BM_Fit.real_time"), 13.0);
+}
+
+TEST(BenchMetrics, MedianAggregateSuppressesPerRepetitionEntries) {
+  const json::Value root = json::Value::parse(
+      R"({"benchmarks":[)"
+      R"({"name":"BM_Fit/repeats:3","run_name":"BM_Fit","cpu_time":11.0},)"
+      R"({"name":"BM_Fit/repeats:3","run_name":"BM_Fit","cpu_time":99.0},)"
+      R"({"name":"BM_Fit_mean","run_name":"BM_Fit",)"
+      R"("aggregate_name":"mean","cpu_time":55.0},)"
+      R"({"name":"BM_Fit_median","run_name":"BM_Fit",)"
+      R"("aggregate_name":"median","cpu_time":12.0,"real_time":12.5}]})");
+  MetricMap m;
+  add_bench_metrics(root, m);
+  ASSERT_EQ(m.size(), 2u);  // only the median's two times
+  EXPECT_DOUBLE_EQ(m.at("bench.BM_Fit.cpu_time"), 12.0);
+  EXPECT_DOUBLE_EQ(m.at("bench.BM_Fit.real_time"), 12.5);
+}
+
+TEST(BenchMetrics, NonBenchDocumentsAreRecognised) {
+  EXPECT_FALSE(is_bench_json(json::Value::parse(R"({"event":"x"})")));
+  EXPECT_FALSE(is_bench_json(json::Value::parse("[1]")));
+}
+
+TEST(Compare, DirectionDependsOnTheMetricName) {
+  // Times are lower-better: +30% is a regression at 10% tolerance.
+  // Throughputs are higher-better: -30% is the regression there.
+  const MetricMap base{{"trace.fit.total_s", 1.0},
+                       {"trace.gbt.fit_rounds_per_s", 100.0}};
+  const MetricMap slower{{"trace.fit.total_s", 1.3},
+                         {"trace.gbt.fit_rounds_per_s", 70.0}};
+  const auto rows = compare(base, slower, 0.1);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(rows[0].regression);  // total_s up
+  EXPECT_TRUE(rows[1].regression);  // per_s down
+  EXPECT_FALSE(rows[0].improvement);
+
+  const MetricMap faster{{"trace.fit.total_s", 0.7},
+                         {"trace.gbt.fit_rounds_per_s", 130.0}};
+  for (const auto& row : compare(base, faster, 0.1)) {
+    EXPECT_FALSE(row.regression) << row.name;
+    EXPECT_TRUE(row.improvement) << row.name;
+  }
+}
+
+TEST(Compare, WithinToleranceIsNeither) {
+  const MetricMap base{{"m.total_s", 1.0}};
+  const MetricMap cur{{"m.total_s", 1.05}};
+  const auto rows = compare(base, cur, 0.1);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_FALSE(rows[0].regression);
+  EXPECT_FALSE(rows[0].improvement);
+  EXPECT_NEAR(rows[0].rel_delta, 0.05, 1e-12);
+}
+
+TEST(Compare, OneSidedMetricsAreReportedButNeverRegress) {
+  const MetricMap base{{"gone.total_s", 1.0}};
+  const MetricMap cur{{"new.total_s", 2.0}};
+  const auto rows = compare(base, cur, 0.1);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(rows[0].in_baseline);
+  EXPECT_FALSE(rows[0].in_current);
+  EXPECT_FALSE(rows[1].in_baseline);
+  EXPECT_TRUE(rows[1].in_current);
+  for (const auto& row : rows) EXPECT_FALSE(row.regression);
+}
+
+TEST(Compare, TinyBaselinesAreNotCompared) {
+  const MetricMap base{{"m.count", 0.0}};
+  const MetricMap cur{{"m.count", 5.0}};
+  const auto rows = compare(base, cur, 0.1);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_FALSE(rows[0].regression);
+  EXPECT_DOUBLE_EQ(rows[0].rel_delta, 0.0);
+}
+
+TEST(Compare, MergeWalkCoversDisjointAndSharedNamesInOrder) {
+  const MetricMap base{{"a", 1.0}, {"c", 1.0}, {"d", 1.0}};
+  const MetricMap cur{{"b", 1.0}, {"c", 2.0}, {"d", 1.0}};
+  const auto rows = compare(base, cur, 0.5);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].name, "a");
+  EXPECT_EQ(rows[1].name, "b");
+  EXPECT_EQ(rows[2].name, "c");
+  EXPECT_EQ(rows[3].name, "d");
+  EXPECT_TRUE(rows[2].in_baseline && rows[2].in_current);
+  EXPECT_TRUE(rows[2].regression);  // +100% > 50%, lower-better
+}
+
+}  // namespace
+}  // namespace ceal::tools::report

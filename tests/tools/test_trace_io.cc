@@ -1,0 +1,84 @@
+// Strict trace-reading contract (tools/trace_io.h): every defect —
+// malformed line, non-object line, empty trace, unreadable file — is a
+// TraceReadError whose message is one printable "<name>:<line>: why"
+// line. ceal_trace and ceal_report rely on this to turn bad input into
+// a one-line error and a nonzero exit.
+#include "tools/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace ceal::tools {
+namespace {
+
+TEST(TraceIo, ReadsOneObjectPerLine) {
+  std::istringstream in(
+      "{\"event\":\"tune.start\",\"seq\":0}\n"
+      "{\"event\":\"tune.finish\",\"seq\":1}\n");
+  const auto events = read_trace_stream(in, "t.jsonl");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("event").as_string(), "tune.start");
+  EXPECT_EQ(events[1].at("event").as_string(), "tune.finish");
+}
+
+TEST(TraceIo, BlankAndWhitespaceLinesAreSkipped) {
+  std::istringstream in(
+      "\n"
+      "{\"event\":\"a\"}\n"
+      "   \t\r\n"
+      "{\"event\":\"b\"}\n"
+      "\n");
+  EXPECT_EQ(read_trace_stream(in, "t.jsonl").size(), 2u);
+}
+
+TEST(TraceIo, TruncatedLineReportsFileAndLineNumber) {
+  std::istringstream in(
+      "{\"event\":\"a\"}\n"
+      "{\"event\":\"b\",\"seq\":\n");
+  try {
+    read_trace_stream(in, "trunc.jsonl");
+    FAIL() << "expected TraceReadError";
+  } catch (const TraceReadError& e) {
+    const std::string what = e.what();
+    EXPECT_TRUE(what.starts_with("trunc.jsonl:2: malformed trace line"))
+        << what;
+    EXPECT_EQ(what.find('\n'), std::string::npos) << "multi-line message";
+  }
+}
+
+TEST(TraceIo, NonObjectLineIsRejected) {
+  std::istringstream in("[1,2,3]\n");
+  try {
+    read_trace_stream(in, "t.jsonl");
+    FAIL() << "expected TraceReadError";
+  } catch (const TraceReadError& e) {
+    EXPECT_STREQ(e.what(), "t.jsonl:1: trace line is not a JSON object");
+  }
+}
+
+TEST(TraceIo, EmptyTraceIsAnError) {
+  std::istringstream empty("");
+  EXPECT_THROW(read_trace_stream(empty, "empty.jsonl"), TraceReadError);
+  std::istringstream blank("\n  \n");
+  try {
+    read_trace_stream(blank, "blank.jsonl");
+    FAIL() << "expected TraceReadError";
+  } catch (const TraceReadError& e) {
+    EXPECT_STREQ(e.what(), "blank.jsonl: empty trace (no events)");
+  }
+}
+
+TEST(TraceIo, MissingFileIsAnError) {
+  try {
+    read_trace_file("/nonexistent-dir/trace.jsonl");
+    FAIL() << "expected TraceReadError";
+  } catch (const TraceReadError& e) {
+    EXPECT_STREQ(e.what(),
+                 "cannot open trace file '/nonexistent-dir/trace.jsonl'");
+  }
+}
+
+}  // namespace
+}  // namespace ceal::tools

@@ -9,9 +9,11 @@
 
 #include "core/json.h"
 #include "core/telemetry.h"
+#include "core/thread_pool.h"
 #include "sim/workloads.h"
 #include "tuner/active_learning.h"
 #include "tuner/ceal.h"
+#include "tuner/evaluation.h"
 #include "tuner/random_search.h"
 
 namespace ceal::tuner {
@@ -181,6 +183,53 @@ TEST_F(TraceTest, FaultRunFailureCountsMatchTheResult) {
   EXPECT_EQ(tel.counter("measure.failed"), failed_events);
   EXPECT_EQ(tel.counter("measure.ok"), ok_events);
   EXPECT_GT(failed_events, 0u);
+}
+
+// The deterministic parallel-tracing pattern (telemetry.h header):
+// pooled replications each trace into a child Telemetry whose buffer is
+// merged in replication order, so the pooled trace must be
+// byte-identical to the serial one once `timing` is stripped — and the
+// evaluation metrics must agree exactly.
+TEST_F(TraceTest, PooledEvaluateMatchesSerialTraceAndSummary) {
+  constexpr std::size_t kBudget = 20;
+  constexpr std::size_t kReps = 4;
+  constexpr std::uint64_t kSeed = 17;
+  Ceal ceal(CealParams::with_history());
+
+  RecordingSink serial_sink;
+  telemetry::Telemetry serial_tel(&serial_sink);
+  auto serial_prob = problem(true);
+  serial_prob.telemetry = &serial_tel;
+  const EvalSummary serial =
+      evaluate(serial_prob, ceal, kBudget, kReps, kSeed);
+
+  RecordingSink pooled_sink;
+  telemetry::Telemetry pooled_tel(&pooled_sink);
+  auto pooled_prob = problem(true);
+  pooled_prob.telemetry = &pooled_tel;
+  ceal::ThreadPool eval_pool(4);
+  const EvalSummary pooled =
+      evaluate(pooled_prob, ceal, kBudget, kReps, kSeed, &eval_pool);
+
+  const auto serial_lines = strip_timing(serial_sink.lines);
+  const auto pooled_lines = strip_timing(pooled_sink.lines);
+  ASSERT_EQ(serial_lines.size(), pooled_lines.size());
+  for (std::size_t i = 0; i < serial_lines.size(); ++i) {
+    EXPECT_EQ(serial_lines[i], pooled_lines[i])
+        << "pooled trace diverged at event " << i;
+  }
+
+  EXPECT_EQ(serial.replications, pooled.replications);
+  EXPECT_EQ(serial.mean_norm_perf, pooled.mean_norm_perf);
+  EXPECT_EQ(serial.median_norm_perf, pooled.median_norm_perf);
+  EXPECT_EQ(serial.mean_recall, pooled.mean_recall);
+  EXPECT_EQ(serial.mean_mdape_all, pooled.mean_mdape_all);
+  EXPECT_EQ(serial.mean_runs_used, pooled.mean_runs_used);
+  EXPECT_EQ(serial.mean_improvement, pooled.mean_improvement);
+
+  // The merged counters match the serial accumulators exactly.
+  EXPECT_EQ(serial_tel.counters(), pooled_tel.counters());
+  EXPECT_EQ(serial_tel.counter("evaluate.replications"), kReps);
 }
 
 TEST_F(TraceTest, SimpleTunersEmitIterationEvents) {

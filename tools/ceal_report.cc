@@ -1,0 +1,202 @@
+// ceal_report — aggregate trace/bench artifacts and gate on regressions.
+//
+//   ceal_report --current DIR                      per-run summary
+//   ceal_report --current DIR --baseline DIR       compare, exit 1 on
+//                                                  regression
+//   ceal_report --current a.jsonl --baseline b.jsonl --tolerance 0.25
+//
+// Inputs may be files or directories; directories are scanned (non-
+// recursively) for *.jsonl traces (`ceal_tune --trace`) and *.json
+// google-benchmark outputs (`BENCH_*.json` from bench/). Trace metrics
+// are summed across files; see tools/report_core.h for the metric
+// namespace and docs/PERFORMANCE.md for the regression-gate workflow.
+//
+// Exit codes: 0 ok, 1 regression beyond tolerance, 2 bad input
+// (unreadable, malformed, or empty — always with a one-line error).
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/json.h"
+#include "core/table.h"
+#include "tools/args.h"
+#include "tools/report_core.h"
+#include "tools/trace_io.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using ceal::Table;
+using ceal::json::Value;
+namespace report = ceal::tools::report;
+
+constexpr const char* kUsage =
+    "--current PATH [--baseline PATH] [--tolerance R] [--csv]\n"
+    "  --current PATH    trace .jsonl / bench .json file, or a directory\n"
+    "                    of them (scanned non-recursively)\n"
+    "  [--baseline PATH] same; compare and exit 1 on regression\n"
+    "  [--tolerance R]   relative tolerance for regressions (default 0.1)\n"
+    "  [--csv]           emit tables as CSV";
+
+/// All metrics harvested from one --current / --baseline argument.
+struct Inputs {
+  report::MetricMap metrics;
+  std::size_t trace_files = 0;
+  std::size_t bench_files = 0;
+};
+
+/// Raised with a printable one-line message on any input defect.
+class InputError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+Value parse_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InputError("cannot open file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return Value::parse(buffer.str());
+  } catch (const std::exception& e) {
+    throw InputError(path + ": malformed JSON: " + std::string(e.what()));
+  }
+}
+
+void ingest_file(const fs::path& path, Inputs& inputs,
+                 report::TraceAccumulator& traces) {
+  const std::string ext = path.extension().string();
+  if (ext == ".jsonl") {
+    traces.add(ceal::tools::read_trace_file(path.string()));
+    ++inputs.trace_files;
+    return;
+  }
+  if (ext == ".json") {
+    const Value root = parse_json_file(path.string());
+    if (!report::is_bench_json(root)) {
+      throw InputError(path.string() +
+                       ": not a google-benchmark JSON file "
+                       "(no \"benchmarks\" array)");
+    }
+    report::add_bench_metrics(root, inputs.metrics);
+    ++inputs.bench_files;
+    return;
+  }
+  throw InputError(path.string() +
+                   ": unsupported input (expect .jsonl trace or .json "
+                   "bench output)");
+}
+
+Inputs collect(const std::string& arg) {
+  Inputs inputs;
+  report::TraceAccumulator traces;
+  if (fs::is_directory(arg)) {
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(arg)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".jsonl" || ext == ".json") files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+      throw InputError("no .jsonl/.json inputs in directory '" + arg + "'");
+    }
+    for (const fs::path& f : files) ingest_file(f, inputs, traces);
+  } else if (fs::exists(arg)) {
+    ingest_file(arg, inputs, traces);
+  } else {
+    throw InputError("no such file or directory: '" + arg + "'");
+  }
+  if (!traces.empty()) {
+    for (const auto& [name, value] : traces.finish()) {
+      inputs.metrics[name] += value;
+    }
+  }
+  return inputs;
+}
+
+void print_table(const Table& table, bool csv) {
+  if (csv) {
+    table.to_csv(std::cout);
+  } else {
+    std::cout << table;
+  }
+}
+
+void print_summary(const Inputs& inputs, bool csv) {
+  Table table({"metric", "value"});
+  for (const auto& [name, value] : inputs.metrics) {
+    table.add_row({name, Table::num(value, 6)});
+  }
+  print_table(table, csv);
+}
+
+std::string percent(double rel) {
+  return Table::num(100.0 * rel, 2) + "%";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ceal::tools::Args args(argc, argv, kUsage);
+  const auto current_arg = args.required("current");
+  const auto baseline_arg = args.option("baseline", "");
+  const double tolerance = args.real("tolerance", 0.1);
+  const bool csv = args.flag("csv");
+  args.finish();
+
+  if (tolerance < 0.0) {
+    std::cerr << "--tolerance must be >= 0\n";
+    return 2;
+  }
+
+  Inputs current, baseline;
+  try {
+    current = collect(current_arg);
+    if (!baseline_arg.empty()) baseline = collect(baseline_arg);
+  } catch (const std::exception& e) {
+    std::cerr << "ceal_report: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::cout << (csv ? "# " : "") << "current: " << current.trace_files
+            << " trace file(s), " << current.bench_files
+            << " bench file(s), " << current.metrics.size()
+            << " metric(s)\n";
+  print_summary(current, csv);
+
+  if (baseline_arg.empty()) return 0;
+
+  const auto comparisons =
+      report::compare(baseline.metrics, current.metrics, tolerance);
+  Table table({"metric", "baseline", "current", "delta", "status"});
+  std::size_t regressions = 0, improvements = 0;
+  for (const auto& c : comparisons) {
+    std::string status = "ok";
+    if (!c.in_baseline) {
+      status = "new";
+    } else if (!c.in_current) {
+      status = "gone";
+    } else if (c.regression) {
+      status = "REGRESSION";
+      ++regressions;
+    } else if (c.improvement) {
+      status = "improved";
+      ++improvements;
+    }
+    table.add_row({c.name,
+                   c.in_baseline ? Table::num(c.baseline, 6) : "",
+                   c.in_current ? Table::num(c.current, 6) : "",
+                   c.in_baseline && c.in_current ? percent(c.rel_delta) : "",
+                   status});
+  }
+  print_table(table, csv);
+  std::cout << (csv ? "# " : "") << "regressions: " << regressions
+            << ", improvements: " << improvements << " (tolerance "
+            << percent(tolerance) << ")\n";
+  return regressions > 0 ? 1 : 0;
+}

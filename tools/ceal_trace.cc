@@ -9,7 +9,6 @@
 // docs/OBSERVABILITY.md), re-serialises, and compares event by event;
 // any divergence exits 1. Two runs of the same seeded session must pass.
 #include <algorithm>
-#include <fstream>
 #include <iostream>
 #include <limits>
 #include <string>
@@ -18,6 +17,7 @@
 #include "core/json.h"
 #include "core/table.h"
 #include "tools/args.h"
+#include "tools/trace_io.h"
 
 namespace {
 
@@ -31,26 +31,15 @@ constexpr const char* kUsage =
     "  [--check-determinism F2]  compare two traces modulo `timing`;\n"
     "                            exits 1 when they diverge";
 
+/// Strict shared reader (tools/trace_io.h): malformed lines and empty
+/// traces print one line and exit 2.
 std::vector<Value> read_trace(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    std::cerr << "cannot open trace file '" << path << "'\n";
+  try {
+    return ceal::tools::read_trace_file(path);
+  } catch (const ceal::tools::TraceReadError& e) {
+    std::cerr << "ceal_trace: " << e.what() << "\n";
     std::exit(2);
   }
-  std::vector<Value> events;
-  std::string line;
-  std::size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    if (line.empty()) continue;
-    try {
-      events.push_back(Value::parse(line));
-    } catch (const std::exception& e) {
-      std::cerr << path << ":" << lineno << ": " << e.what() << "\n";
-      std::exit(2);
-    }
-  }
-  return events;
 }
 
 /// The event re-serialised with every `timing` sub-object removed — the
@@ -277,10 +266,6 @@ int main(int argc, char** argv) {
   if (!other.empty()) return check_determinism(input, other);
 
   const auto events = read_trace(input);
-  if (events.empty()) {
-    std::cout << "empty trace\n";
-    return 0;
-  }
   std::cout << (csv ? "# " : "") << input << ": " << events.size()
             << " events\n";
   const auto sessions = split_sessions(events);

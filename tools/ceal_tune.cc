@@ -28,6 +28,7 @@ constexpr const char* kUsage =
     "  [--algorithm CEAL|AL|RS|GEIST|ALpH|BO|BO-CEAL]  (default CEAL)\n"
     "  [--history]              treat component samples as free history\n"
     "  [--replications N]       N>1: evaluate instead of one session\n"
+    "  [--threads N]            run replications on an N-thread pool\n"
     "  [--pool-size N]          default 2000\n"
     "  [--component-samples N]  default 500\n"
     "  [--pool-seed S] [--seed S]\n"
@@ -56,6 +57,8 @@ int main(int argc, char** argv) {
   const bool history = args.flag("history");
   const auto replications =
       static_cast<std::size_t>(args.integer("replications", 1));
+  const auto eval_threads =
+      static_cast<std::size_t>(args.integer("threads", 0));
   const auto pool_size =
       static_cast<std::size_t>(args.integer("pool-size", 2000));
   const auto comp_samples =
@@ -141,8 +144,14 @@ int main(int argc, char** argv) {
   };
 
   if (replications > 1) {
+    // Replications run on a pool when --threads is given; trace output is
+    // byte-identical to the serial path (per-replication child telemetry,
+    // merged in replication order — see tuner::evaluate).
+    std::optional<ceal::ThreadPool> eval_pool;
+    if (eval_threads > 0) eval_pool.emplace(eval_threads);
     const auto s =
-        tuner::evaluate(problem, *algo, budget, replications, seed);
+        tuner::evaluate(problem, *algo, budget, replications, seed,
+                        eval_pool ? &*eval_pool : nullptr);
     Table table({"metric", "value"});
     table.add_row({"algorithm", s.algorithm});
     table.add_row({"normalized performance", Table::num(s.mean_norm_perf)});

@@ -1,20 +1,32 @@
 #!/usr/bin/env bash
 # Tier-1 verification: every test labelled tier1 (unit, system, and
-# example smoke tests — see tests/CMakeLists.txt), then the same label
-# set rebuilt and rerun under AddressSanitizer and
+# example smoke tests — see tests/CMakeLists.txt), trace determinism
+# gates (serial and 4-thread pooled), the micro benches + ceal_report
+# regression gate against .ceal-bench/baseline, then the same tier1
+# label set rebuilt and rerun under AddressSanitizer and
 # UndefinedBehaviorSanitizer (CEAL_SANITIZE, see the root
 # CMakeLists.txt). Sanitizer builds go to build-address/ and
 # build-undefined/ so they never disturb the primary build/ tree.
 # Slow stress sweeps carry the `slow` label instead and are not part of
 # tier 1; run them with `ctest --test-dir build -L slow`.
 #
-# Usage: tools/run_tier1.sh [--skip-sanitizers]
+# Usage: tools/run_tier1.sh [--skip-sanitizers] [--with-tsan]
+#   --skip-sanitizers  stop after the plain build stages
+#   --with-tsan        additionally rebuild with CEAL_SANITIZE=thread and
+#                      run the concurrency-sensitive tier1 tests under it
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || echo 2)"
 skip_san=0
-[[ "${1:-}" == "--skip-sanitizers" ]] && skip_san=1
+with_tsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitizers) skip_san=1 ;;
+    --with-tsan) with_tsan=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier-1: plain build + ctest -L tier1 =="
 cmake -B build -S . >/dev/null
@@ -39,6 +51,60 @@ diff "$trace_dir/plain.txt" "$trace_dir/traced.txt" \
 ./build/tools/ceal_trace --input "$trace_dir/a.jsonl" \
   --check-determinism "$trace_dir/b.jsonl"
 
+echo "== tier-1: pooled-replication determinism gate =="
+# A 4-thread evaluation must produce the same stripped trace as the
+# serial path (per-replication child telemetry, merged in order).
+rep_args=(--workflow LV --objective exec --budget 25 --pool-size 400
+          --pool-seed 21 --component-samples 120 --seed 7 --replications 4
+          --quiet)
+./build/tools/ceal_tune "${rep_args[@]}" --trace "$trace_dir/serial.jsonl"
+./build/tools/ceal_tune "${rep_args[@]}" --threads 4 \
+  --trace "$trace_dir/pooled.jsonl"
+./build/tools/ceal_trace --input "$trace_dir/serial.jsonl" \
+  --check-determinism "$trace_dir/pooled.jsonl"
+
+echo "== tier-1: micro benches + ceal_report regression gate =="
+# Cheap micro benches write BENCH_*.json (with the common metadata
+# header) into .ceal-bench/current alongside the fig5 trace; ceal_report
+# summarises and — when .ceal-bench/baseline exists from an earlier pass
+# — gates span totals and bench times against it. Wall clocks on a
+# loaded single-core box are noisy, so the bench gate uses repetition
+# medians and generous tolerances; the deterministic counters in the
+# trace metrics are what regressions usually show up in first.
+bench_dir=".ceal-bench"
+rm -rf "$bench_dir/current"
+mkdir -p "$bench_dir/current"
+export CEAL_TELEMETRY_OVERHEAD_TOL="${CEAL_TELEMETRY_OVERHEAD_TOL:-0.15}"
+(cd "$bench_dir/current" \
+  && ../../build/bench/bench_micro_ml --benchmark_min_time=0.05 \
+       --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+       > bench_micro_ml.log \
+  && ../../build/bench/bench_micro_telemetry --benchmark_min_time=0.05 \
+       --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+       > bench_micro_telemetry.log)
+cp "$trace_dir/a.jsonl" "$bench_dir/current/fig5_trace.jsonl"
+if [[ -d "$bench_dir/baseline" ]]; then
+  ./build/tools/ceal_report --current "$bench_dir/current" \
+    --baseline "$bench_dir/baseline" --tolerance 0.5
+else
+  ./build/tools/ceal_report --current "$bench_dir/current"
+  echo "(no $bench_dir/baseline yet — summary only)"
+fi
+# Self-check: identical inputs must pass, a degraded fixture must not.
+./build/tools/ceal_report --current "$bench_dir/current" \
+  --baseline "$bench_dir/current" > /dev/null
+printf '{"event":"telemetry.summary","seq":0,"x.count":2,"timing":{"x.total_s":1.0}}\n' \
+  > "$trace_dir/gate_base.jsonl"
+printf '{"event":"telemetry.summary","seq":0,"x.count":2,"timing":{"x.total_s":9.0}}\n' \
+  > "$trace_dir/gate_cur.jsonl"
+if ./build/tools/ceal_report --current "$trace_dir/gate_cur.jsonl" \
+     --baseline "$trace_dir/gate_base.jsonl" --tolerance 0.5 > /dev/null; then
+  echo "ceal_report failed to flag a degraded span fixture"; exit 1
+fi
+# Rotate: this pass becomes the next pass's baseline.
+rm -rf "$bench_dir/baseline"
+cp -r "$bench_dir/current" "$bench_dir/baseline"
+
 if [[ "$skip_san" == 1 ]]; then
   echo "tier-1 OK (sanitizer stages skipped)"
   exit 0
@@ -53,4 +119,13 @@ for san in address undefined; do
   ctest --test-dir "$dir" --output-on-failure -j "$jobs" -L tier1
 done
 
-echo "tier-1 OK (plain + asan + ubsan)"
+if [[ "$with_tsan" == 1 ]]; then
+  echo "== tier-1: concurrency telemetry tests under ThreadSanitizer =="
+  dir="build-thread"
+  cmake -B "$dir" -S . -DCEAL_SANITIZE=thread >/dev/null
+  cmake --build "$dir" -j "$jobs" --target unit_tests system_tests
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs" -L tier1 \
+    -R 'Telemetry|ThreadPool|Trace|Parallel'
+fi
+
+echo "tier-1 OK (plain + asan + ubsan$([[ "$with_tsan" == 1 ]] && echo ' + tsan'))"

@@ -1,0 +1,68 @@
+// Strict JSONL trace reading shared by ceal_trace and ceal_report.
+//
+// A trace file is one JSON object per line (`ceal_tune --trace`). The
+// readers here turn every defect — unreadable file, truncated/malformed
+// line, non-object line, or a file with no events at all — into a
+// TraceReadError whose message is a single "<path>:<line>: why" line, so
+// the tools can print it and exit nonzero instead of crashing on an
+// unhandled parse throw.
+#pragma once
+
+#include <fstream>
+#include <istream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/json.h"
+
+namespace ceal::tools {
+
+/// Raised on any malformed trace input; what() is one printable line.
+class TraceReadError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Reads JSONL events from `in`, reporting defects against `name`.
+/// Blank lines are tolerated (a trailing newline is not an event); every
+/// non-blank line must parse to a JSON object. A stream with zero events
+/// is an error — an empty trace always means something went wrong
+/// upstream, and silently reporting "nothing" hides it.
+inline std::vector<json::Value> read_trace_stream(std::istream& in,
+                                                  const std::string& name) {
+  std::vector<json::Value> events;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    json::Value event;
+    try {
+      event = json::Value::parse(line);
+    } catch (const std::exception& e) {
+      throw TraceReadError(name + ":" + std::to_string(lineno) +
+                           ": malformed trace line: " + e.what());
+    }
+    if (!event.is_object()) {
+      throw TraceReadError(name + ":" + std::to_string(lineno) +
+                           ": trace line is not a JSON object");
+    }
+    events.push_back(std::move(event));
+  }
+  if (events.empty()) {
+    throw TraceReadError(name + ": empty trace (no events)");
+  }
+  return events;
+}
+
+/// Opens `path` and reads it with read_trace_stream.
+inline std::vector<json::Value> read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw TraceReadError("cannot open trace file '" + path + "'");
+  }
+  return read_trace_stream(in, path);
+}
+
+}  // namespace ceal::tools
