@@ -1,0 +1,92 @@
+#include "core/atomic_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace ceal {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+void fsync_path(const std::string& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) fail("cannot open for fsync", path);
+  const int rc = ::fsync(fd);
+  // EINVAL/EROFS: the filesystem cannot sync this object (e.g. some
+  // tmpfs directories); the rename is still ordered after the data write.
+  if (rc != 0 && errno != EINVAL && errno != EROFS) {
+    ::close(fd);
+    fail("fsync failure on", path);
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+AtomicFile::AtomicFile(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  os_.open(tmp_path_, std::ios::binary | std::ios::trunc);
+  if (!os_) {
+    throw std::runtime_error("cannot open '" + tmp_path_ + "' for writing");
+  }
+}
+
+AtomicFile::~AtomicFile() {
+  if (!committed_) discard();
+}
+
+void AtomicFile::discard() noexcept {
+  if (os_.is_open()) os_.close();
+  std::remove(tmp_path_.c_str());
+}
+
+void AtomicFile::commit() {
+  if (committed_) {
+    throw std::runtime_error("commit() called twice on '" + path_ + "'");
+  }
+  os_.flush();
+  const bool ok = static_cast<bool>(os_);
+  os_.close();
+  if (!ok) {
+    discard();
+    throw std::runtime_error("write failure on '" + tmp_path_ + "'");
+  }
+  try {
+    fsync_path(tmp_path_, O_WRONLY);
+  } catch (...) {
+    discard();
+    throw;
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    const int saved = errno;
+    discard();
+    errno = saved;
+    fail("cannot rename temp file onto", path_);
+  }
+  committed_ = true;
+  // Persist the directory entry: without this a crash can forget the
+  // rename even though the data blocks are on disk.
+  const std::size_t slash = path_.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path_.substr(0, slash == 0 ? 1 : slash);
+  fsync_path(dir, O_RDONLY | O_DIRECTORY);
+}
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  AtomicFile file(path);
+  file.stream().write(contents.data(),
+                      static_cast<std::streamsize>(contents.size()));
+  file.commit();
+}
+
+}  // namespace ceal

@@ -1,0 +1,51 @@
+// Atomic whole-file writes: write-temp -> fsync -> rename.
+//
+// A crash (or thrown exception) at any point leaves either the complete
+// old file or the complete new file at the target path — never a
+// truncated half-written one. This is the persistence primitive under
+// every artifact a session may need to trust later: pool CSVs, result
+// CSVs, and checkpoint metadata. The temp file lives next to the target
+// (same directory, "<target>.tmp") so the final rename(2) stays within
+// one filesystem and is atomic; after the rename the directory entry is
+// fsynced so the new name itself survives a power cut.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+
+namespace ceal {
+
+/// Streaming atomic writer. Write through stream(), then commit(); a
+/// destructor without commit() (error paths, exceptions) removes the
+/// temp file and leaves any existing target untouched.
+class AtomicFile {
+ public:
+  /// Opens "<path>.tmp" for writing. Throws std::runtime_error when the
+  /// temp file cannot be created.
+  explicit AtomicFile(std::string path);
+  ~AtomicFile();
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  std::ostream& stream() { return os_; }
+
+  /// Flushes, fsyncs, and renames the temp file onto the target path,
+  /// then fsyncs the directory. Throws std::runtime_error on any
+  /// failure (the temp file is cleaned up and the target is untouched).
+  void commit();
+
+ private:
+  void discard() noexcept;
+
+  std::string path_;
+  std::string tmp_path_;
+  std::ofstream os_;
+  bool committed_ = false;
+};
+
+/// Convenience: atomically replaces `path` with `contents`.
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+}  // namespace ceal

@@ -1,0 +1,234 @@
+#include "core/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace ceal {
+
+namespace {
+
+constexpr std::string_view kMagic = "J1";
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+[[noreturn]] void fail(const std::string& name, std::uint64_t record,
+                       const std::string& why) {
+  throw JournalError(name + ":record " + std::to_string(record + 1) + ": " +
+                     why);
+}
+
+std::string hex8(std::uint32_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// Parses a decimal u64 from [p, end); advances p past the digits.
+/// Returns false when no digit is present or the value overflows.
+bool parse_decimal(const char*& p, const char* end, std::uint64_t& out) {
+  if (p == end || *p < '0' || *p > '9') return false;
+  std::uint64_t v = 0;
+  while (p != end && *p >= '0' && *p <= '9') {
+    const std::uint64_t digit = static_cast<std::uint64_t>(*p - '0');
+    if (v > (~std::uint64_t{0} - digit) / 10) return false;
+    v = v * 10 + digit;
+    ++p;
+  }
+  out = v;
+  return true;
+}
+
+bool parse_hex32(const char*& p, const char* end, std::uint32_t& out) {
+  std::uint32_t v = 0;
+  int digits = 0;
+  while (p != end && digits < 8) {
+    const char c = *p;
+    std::uint32_t nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<std::uint32_t>(c - 'a') + 10;
+    } else {
+      break;
+    }
+    v = (v << 4) | nibble;
+    ++digits;
+    ++p;
+  }
+  if (digits != 8) return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xffffffffu;
+  for (const char ch : data) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+std::string frame_journal_record(std::uint64_t seq, std::string_view payload) {
+  std::string line;
+  line.reserve(payload.size() + 32);
+  line += kMagic;
+  line += ' ';
+  line += std::to_string(seq);
+  line += ' ';
+  line += std::to_string(payload.size());
+  line += ' ';
+  line += hex8(crc32(payload));
+  line += ' ';
+  line += payload;
+  line += '\n';
+  return line;
+}
+
+JournalReadResult read_journal_text(std::string_view data,
+                                    const std::string& name) {
+  JournalReadResult result;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::size_t nl = data.find('\n', off);
+    if (nl == std::string_view::npos) {
+      // No terminating newline: the partial final write a kill leaves
+      // behind. Drop it; everything before this line stays valid.
+      result.torn_tail = true;
+      break;
+    }
+    const std::uint64_t rec = result.records.size();
+    const std::string_view line = data.substr(off, nl - off);
+    const char* p = line.data();
+    const char* end = line.data() + line.size();
+    if (line.size() < kMagic.size() ||
+        std::string_view(p, kMagic.size()) != kMagic) {
+      fail(name, rec, "bad record magic (not a journal line)");
+    }
+    p += kMagic.size();
+    std::uint64_t seq = 0;
+    std::uint64_t len = 0;
+    std::uint32_t crc = 0;
+    if (p == end || *p != ' ' || (++p, !parse_decimal(p, end, seq))) {
+      fail(name, rec, "malformed sequence number");
+    }
+    if (seq != rec) {
+      fail(name, rec,
+           "duplicate or out-of-order sequence number (got " +
+               std::to_string(seq) + ", want " + std::to_string(rec) + ")");
+    }
+    if (p == end || *p != ' ' || (++p, !parse_decimal(p, end, len))) {
+      fail(name, rec, "malformed length field");
+    }
+    if (p == end || *p != ' ' || (++p, !parse_hex32(p, end, crc))) {
+      fail(name, rec, "malformed CRC field");
+    }
+    if (p == end || *p != ' ') fail(name, rec, "malformed record head");
+    ++p;
+    const std::size_t have = static_cast<std::size_t>(end - p);
+    if (have != len) {
+      fail(name, rec,
+           "declared payload length " + std::to_string(len) +
+               " does not match the " + std::to_string(have) +
+               " bytes present");
+    }
+    const std::string_view payload(p, have);
+    if (crc32(payload) != crc) fail(name, rec, "payload CRC mismatch");
+    json::Value value;
+    try {
+      value = json::Value::parse(payload);
+    } catch (const std::exception& e) {
+      fail(name, rec, std::string("malformed JSON payload: ") + e.what());
+    }
+    if (!value.is_object()) fail(name, rec, "payload is not a JSON object");
+    result.records.push_back(std::move(value));
+    off = nl + 1;
+    result.valid_bytes = off;
+  }
+  return result;
+}
+
+JournalReadResult read_journal_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw JournalError("cannot open journal '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throw JournalError("read failure on journal '" + path + "'");
+  const std::string data = buffer.str();
+  return read_journal_text(data, path);
+}
+
+JournalWriter::JournalWriter(std::string path, std::uint64_t next_seq,
+                             bool fsync_each)
+    : path_(std::move(path)), next_seq_(next_seq), fsync_each_(fsync_each) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw JournalError("cannot open journal '" + path_ +
+                       "' for appending: " + std::strerror(errno));
+  }
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint64_t JournalWriter::append(const json::Value& payload) {
+  CEAL_EXPECT_MSG(payload.is_object(),
+                  "journal payloads must be JSON objects");
+  const std::string line = frame_journal_record(next_seq_, payload.dump());
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ::ssize_t n =
+        ::write(fd_, line.data() + written, line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw JournalError("write failure on journal '" + path_ +
+                         "': " + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (fsync_each_) sync();
+  bytes_written_ += line.size();
+  return next_seq_++;
+}
+
+void JournalWriter::sync() {
+  if (::fsync(fd_) != 0 && errno != EINVAL && errno != EROFS) {
+    throw JournalError("fsync failure on journal '" + path_ +
+                       "': " + std::strerror(errno));
+  }
+}
+
+void truncate_journal_file(const std::string& path, std::uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<::off_t>(size)) != 0) {
+    throw JournalError("cannot truncate journal '" + path +
+                       "': " + std::strerror(errno));
+  }
+}
+
+}  // namespace ceal

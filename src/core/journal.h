@@ -1,0 +1,109 @@
+// Crash-safe session journal: CRC32-framed, length-prefixed JSONL.
+//
+// A journal is an append-only record log that survives SIGKILL at any
+// byte: each record is one line
+//
+//   J1 <seq> <len> <crc32> <payload>\n
+//
+// where `J1` is the format magic+version, `seq` is the 0-based record
+// number (decimal), `len` is the byte length of `payload` (decimal),
+// `crc32` is the IEEE CRC-32 of the payload bytes as 8 lowercase hex
+// digits, and `payload` is one compact JSON object (core/json.h, so the
+// bytes are deterministic). The writer emits every record with a single
+// O_APPEND write(2) followed by fsync(2), which makes the only possible
+// post-crash defect a *torn tail*: a partial final line with no
+// terminating newline.
+//
+// The reader enforces exactly that failure model. A final line without a
+// newline is truncated away (reported, not fatal — that is what a kill
+// mid-write leaves behind). Every *complete* line must check out
+// end-to-end — magic, in-order sequence number, exact declared length,
+// CRC, well-formed JSON object — and any violation raises JournalError
+// whose what() is a single "<path>:record <n>: why" line, never a crash
+// or an accepted corrupt record. tests/core/test_journal.cc holds the
+// reader to this with exhaustive truncation and bit-flip sweeps.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/json.h"
+
+namespace ceal {
+
+/// Raised on any malformed journal; what() is one printable line.
+class JournalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// IEEE 802.3 CRC-32 (the zlib polynomial) of `data`.
+std::uint32_t crc32(std::string_view data);
+
+/// Frames one record as the exact bytes the writer appends (including
+/// the trailing newline). Exposed so tests can craft corrupt journals.
+std::string frame_journal_record(std::uint64_t seq, std::string_view payload);
+
+struct JournalReadResult {
+  /// Every validated record payload, in sequence order.
+  std::vector<json::Value> records;
+  /// Byte length of the valid prefix (= file size when tail is intact).
+  std::uint64_t valid_bytes = 0;
+  /// True when a partial final record (no terminating newline) was
+  /// dropped. Resuming writers must truncate the file to valid_bytes
+  /// before appending.
+  bool torn_tail = false;
+};
+
+/// Parses journal bytes; `name` labels errors. An empty input is a valid
+/// empty journal — whether that is acceptable is the caller's contract.
+JournalReadResult read_journal_text(std::string_view data,
+                                    const std::string& name);
+
+/// Reads and parses the journal at `path`. Throws JournalError when the
+/// file cannot be opened or any complete record is corrupt.
+JournalReadResult read_journal_file(const std::string& path);
+
+/// Appends framed records to a journal file. Each append is one write(2)
+/// on an O_APPEND descriptor followed (by default) by fsync(2), so a
+/// record is either fully durable or a torn tail the reader drops.
+class JournalWriter {
+ public:
+  /// Opens `path` for appending (created if absent). `next_seq` is the
+  /// number of records already in the file — pass the record count a
+  /// read returned when resuming. Throws JournalError on open failure.
+  explicit JournalWriter(std::string path, std::uint64_t next_seq = 0,
+                         bool fsync_each = true);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Appends one record; returns its sequence number. `payload` must be
+  /// a JSON object. Throws JournalError on I/O failure.
+  std::uint64_t append(const json::Value& payload);
+
+  std::uint64_t records() const { return next_seq_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  const std::string& path() const { return path_; }
+
+  /// Forces written records to stable storage (no-op when every append
+  /// already syncs).
+  void sync();
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  bool fsync_each_ = true;
+};
+
+/// Truncates `path` to `size` bytes (used to drop a torn tail before
+/// appending). Throws JournalError on failure.
+void truncate_journal_file(const std::string& path, std::uint64_t size);
+
+}  // namespace ceal

@@ -7,6 +7,7 @@
 // Blackman & Vigna.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -70,6 +71,13 @@ class Rng {
   /// Derive an independent child generator; streams are decorrelated by
   /// hashing the parent's next output with the child index.
   Rng split(std::uint64_t stream);
+
+  /// The full generator state, for checkpointing. Restoring a saved
+  /// state with set_state() resumes the stream exactly where state()
+  /// captured it — the journal layer persists these four words so a
+  /// resumed tuning session replays the identical draw sequence.
+  std::array<std::uint64_t, 4> state() const;
+  void set_state(const std::array<std::uint64_t, 4>& state);
 
  private:
   std::uint64_t s_[4];

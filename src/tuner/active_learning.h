@@ -21,6 +21,7 @@ class ActiveLearning final : public AutoTuner {
 
   std::string name() const override { return "AL"; }
 
+  using AutoTuner::tune;  // keep the checkpointable overload visible
   TuneResult tune(const TuningProblem& problem, std::size_t budget_runs,
                   ceal::Rng& rng) const override;
 

@@ -25,6 +25,7 @@ class Alph final : public AutoTuner {
 
   std::string name() const override { return "ALpH"; }
 
+  using AutoTuner::tune;  // keep the checkpointable overload visible
   TuneResult tune(const TuningProblem& problem, std::size_t budget_runs,
                   ceal::Rng& rng) const override;
 

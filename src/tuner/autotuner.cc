@@ -1,0 +1,24 @@
+#include "tuner/autotuner.h"
+
+#include "tuner/checkpoint.h"
+
+namespace ceal::tuner {
+
+TuneResult AutoTuner::tune(const TuningProblem& problem,
+                           std::size_t budget_runs, ceal::Rng& rng,
+                           CheckpointSession* checkpoint) const {
+  if (checkpoint == nullptr) return tune(problem, budget_runs, rng);
+  // The header captures the rng state *before* any draw (the Collector
+  // splits the fault stream off it first thing), so resume can verify
+  // the caller reseeded identically.
+  checkpoint->set_telemetry(problem.telemetry);
+  checkpoint->begin_session(
+      make_checkpoint_header(problem, *this, budget_runs, rng));
+  TuningProblem journaled = problem;
+  journaled.checkpoint = checkpoint;
+  TuneResult result = tune(journaled, budget_runs, rng);
+  checkpoint->finish_session(result);
+  return result;
+}
+
+}  // namespace ceal::tuner

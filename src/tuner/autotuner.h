@@ -13,6 +13,8 @@
 
 namespace ceal::tuner {
 
+class CheckpointSession;
+
 struct TuneResult {
   /// Final-model scores for every pool configuration (lower = better).
   std::vector<double> model_scores;
@@ -44,6 +46,18 @@ class AutoTuner {
   /// run equivalents. Deterministic given `rng`'s state.
   virtual TuneResult tune(const TuningProblem& problem,
                           std::size_t budget_runs, ceal::Rng& rng) const = 0;
+
+  /// Crash-safe overload: journals the session into `checkpoint` so a
+  /// killed process can resume it (tuner/checkpoint.h). With a null
+  /// checkpoint this is exactly the plain overload — existing callers
+  /// are untouched. When `checkpoint` was opened in resume mode the
+  /// journaled prefix of the session is replayed (measurements are
+  /// served from the journal, free of machine time) and the session
+  /// continues live from the crash point; the returned TuneResult is
+  /// bitwise identical to an uninterrupted run. Throws CheckpointError
+  /// when the journal does not match (problem, budget_runs, rng).
+  TuneResult tune(const TuningProblem& problem, std::size_t budget_runs,
+                  ceal::Rng& rng, CheckpointSession* checkpoint) const;
 };
 
 }  // namespace ceal::tuner

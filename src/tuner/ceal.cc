@@ -8,6 +8,7 @@
 #include "core/stats.h"
 #include "core/telemetry.h"
 #include "ml/metrics.h"
+#include "tuner/checkpoint.h"
 #include "tuner/collector.h"
 #include "tuner/low_fidelity.h"
 #include "tuner/pool_features.h"
@@ -225,6 +226,20 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
           c_meas.insert(c_meas.end(), randoms.begin(), randoms.end());
           m0_used += extra;  // line 22
           topup_injected = randoms.size();
+          // The top-up draws come off the tuner rng, so journal the
+          // stream position alongside the decision: a resumed session
+          // must land on exactly the same random injections.
+          if (problem.checkpoint != nullptr) {
+            checkpoint_decision(
+                problem, "ceal.topup",
+                {{"iteration",
+                  json::Value::number(static_cast<std::uint64_t>(i))},
+                 {"injected", json::Value::number(static_cast<std::uint64_t>(
+                                  randoms.size()))},
+                 {"m0_used",
+                  json::Value::number(static_cast<std::uint64_t>(m0_used))},
+                 {"rng", rng_state_to_json(rng.state())}});
+          }
           if (tel != nullptr) {
             tel->count("ceal.topups");
             telemetry::TraceEvent event("ceal.topup");
@@ -241,6 +256,14 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
         switched_now = true;
         if (i < params.iterations) {
           m_b += (m0 - m0_used) / (params.iterations - i);
+        }
+        if (problem.checkpoint != nullptr) {
+          checkpoint_decision(
+              problem, "ceal.switch",
+              {{"iteration",
+                json::Value::number(static_cast<std::uint64_t>(i))},
+               {"m_b",
+                json::Value::number(static_cast<std::uint64_t>(m_b))}});
         }
         if (tel != nullptr) {
           tel->count("ceal.switched");

@@ -63,6 +63,7 @@ class Ceal final : public AutoTuner {
 
   std::string name() const override { return "CEAL"; }
 
+  using AutoTuner::tune;  // keep the checkpointable overload visible
   TuneResult tune(const TuningProblem& problem, std::size_t budget_runs,
                   ceal::Rng& rng) const override;
 

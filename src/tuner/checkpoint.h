@@ -1,0 +1,205 @@
+// Checkpoint/resume for tuning sessions: a write-ahead journal of every
+// decision the session's expensive state depends on, replayed to
+// reconstruct mid-session tuner state after a crash.
+//
+// The design exploits the library's determinism contract: a tuner is a
+// deterministic function of (problem, budget, rng seed) *and* the
+// measurement outcomes the Collector hands it. Measurements are the only
+// expensive part (on real hardware each one is a workflow run costing
+// minutes to hours), so the journal records
+//
+//   * a session header — algorithm, workflow, objective, budget,
+//     measurement policy, a pool fingerprint, and the tuner rng state at
+//     entry — that resume validates field-by-field against the current
+//     invocation (version or configuration skew is a one-line error);
+//   * one record per Collector measurement — pool index, RunStatus,
+//     value, attempts, charged budget units, charged wall-clock /
+//     core-hour deltas (hex floats, so they restore bitwise), and the
+//     fault-rng state after the attempt sequence;
+//   * validation records for the tuner's decision points — batch
+//     selections, CEAL's M_L -> M_H switch, random top-ups, component
+//     acquisitions — cheap to recompute but cross-checked on resume so
+//     a divergent replay fails loudly instead of silently forking.
+//
+// Resume re-executes the tuner from the same seed; the Collector serves
+// journaled measurements from the log (free — no machine time is
+// re-spent, counted in `resume.replayed_runs`) and restores the
+// fault-rng stream position from the last replayed record, so the first
+// live measurement after the crash point draws exactly what the
+// uninterrupted session would have drawn. Killing a session at *any*
+// journal record boundary and resuming therefore produces a bitwise
+// identical TuneResult (tests/integration/test_crash_matrix.cc sweeps
+// every boundary; tools/run_tier1.sh SIGKILLs a real ceal_tune process
+// and diffs the artifacts). See docs/RELIABILITY.md.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "core/journal.h"
+#include "core/rng.h"
+#include "sim/fault_model.h"
+
+namespace ceal::telemetry {
+class Telemetry;
+}
+
+namespace ceal::tuner {
+
+struct MeasuredPool;
+struct TuningProblem;
+struct TuneResult;
+class AutoTuner;
+
+/// On-disk journal schema version; bumped on incompatible changes.
+/// Resume rejects any other version with a one-line error.
+inline constexpr std::int64_t kCheckpointVersion = 1;
+
+/// Raised on journal/session mismatch (configuration skew, replay
+/// divergence, version skew); what() is one printable line.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Session identity, written as the first journal record and validated
+/// field-by-field on resume.
+struct CheckpointHeader {
+  std::string algorithm;
+  std::string workflow;
+  std::string objective;
+  std::size_t budget_runs = 0;
+  bool history = false;
+  std::size_t pool_size = 0;
+  /// Order-sensitive FNV-1a hash over the pool's configurations and
+  /// measured values — catches resuming against a different pool.
+  std::uint64_t pool_fingerprint = 0;
+  // Measurement policy (must match exactly; the fault stream depends on
+  // every knob).
+  double fail_prob = 0.0;
+  double outlier_prob = 0.0;
+  double outlier_tail = 2.0;
+  double deadline_s = 0.0;
+  std::size_t max_attempts = 1;
+  bool charge_retries = true;
+  /// Tuner rng state at tune() entry.
+  std::array<std::uint64_t, 4> rng_state{};
+};
+
+/// Fingerprint used in CheckpointHeader::pool_fingerprint.
+std::uint64_t pool_fingerprint(const MeasuredPool& pool);
+
+/// Rng state as a 4-element array of "0x..." hex words, the journal's
+/// encoding for stream positions (JSON numbers only carry 53 exact
+/// bits).
+json::Value rng_state_to_json(const std::array<std::uint64_t, 4>& state);
+
+/// One Collector measurement as journaled and replayed. The ledger
+/// fields are the *totals after* the measurement, not deltas: restoring
+/// a total is bitwise exact, while re-adding a rounded delta would not
+/// be (float subtraction loses the low bits of the accumulator).
+struct MeasureRecord {
+  std::size_t pool_index = 0;
+  sim::RunStatus status = sim::RunStatus::kOk;
+  /// Objective value; 0 when status != kOk (failed runs have no value).
+  double value = 0.0;
+  std::size_t attempts = 0;
+  /// Collector ledger totals after this measurement was charged.
+  std::size_t budget_used = 0;
+  double cost_exec_s = 0.0;
+  double cost_comp_ch = 0.0;
+  /// Fault-rng state *after* this measurement's attempt sequence; the
+  /// resume handoff restores it so post-crash draws continue the stream.
+  std::array<std::uint64_t, 4> fault_rng_state{};
+};
+
+/// A live checkpointed (or resuming) session. Attached to a
+/// TuningProblem the same way telemetry is: every journaling site in the
+/// Collector and the tuners is one null-pointer branch, so sessions
+/// without checkpointing are bitwise identical to the pre-checkpoint
+/// library.
+class CheckpointSession {
+ public:
+  enum class Mode {
+    kStart,   ///< fresh journal (file is created; must be empty/absent)
+    kResume,  ///< load an existing journal, truncate a torn tail, replay
+  };
+
+  /// Opens (kStart) or loads (kResume) the journal at `journal_path`.
+  /// kStart throws CheckpointError when a non-empty journal already
+  /// exists (refuse to silently fork a session); kResume throws when the
+  /// journal is missing/empty or any complete record is corrupt. A torn
+  /// tail is physically truncated away before appending resumes.
+  CheckpointSession(std::string journal_path, Mode mode);
+
+  CheckpointSession(const CheckpointSession&) = delete;
+  CheckpointSession& operator=(const CheckpointSession&) = delete;
+
+  /// Counters/spans are charged here when set (checkpoint.records,
+  /// checkpoint.bytes, checkpoint.flush, resume.replayed_runs).
+  void set_telemetry(telemetry::Telemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
+
+  /// Writes (fresh) or validates (resume) the session header. Must be
+  /// the first record call of a session; AutoTuner::tune does this.
+  void begin_session(const CheckpointHeader& header);
+
+  /// True while journaled records remain to be replayed.
+  bool replaying() const { return cursor_ < records_.size(); }
+
+  /// Number of measurements served from the journal so far.
+  std::uint64_t replayed_runs() const { return replayed_runs_; }
+  /// Records appended live (not replayed) so far, header included.
+  std::uint64_t appended_records() const;
+
+  /// Replay side of Collector::try_measure: when the next journal record
+  /// is a measurement, validates it targets `pool_index`, fills `out`,
+  /// advances, and returns true. Returns false when the journal is
+  /// exhausted (measure live, then call record_measure). Throws
+  /// CheckpointError when the next record is a different kind or a
+  /// different index — the replay diverged from the journaled session.
+  bool replay_measure(std::size_t pool_index, MeasureRecord& out);
+
+  /// Journals one live measurement.
+  void record_measure(const MeasureRecord& record);
+
+  /// Journals (live) or validates (replay) a tuner decision record.
+  /// `payload` must carry a "kind" member; byte-equality of the compact
+  /// JSON serialisation is the replay check.
+  void decision(json::Value payload);
+
+  /// Journals/validates the terminal record summarising the TuneResult.
+  void finish_session(const TuneResult& result);
+
+ private:
+  void append(const json::Value& payload);
+  [[noreturn]] void mismatch(const std::string& why) const;
+
+  std::string path_;
+  std::optional<JournalWriter> writer_;
+  std::vector<json::Value> records_;  // loaded journal (resume), else empty
+  std::size_t cursor_ = 0;            // next record to replay/validate
+  std::uint64_t replayed_runs_ = 0;
+  std::uint64_t loaded_records_ = 0;
+  bool header_done_ = false;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  /// Test/CI hook: when the environment variable
+  /// CEAL_CRASH_AFTER_RECORDS=N is set, the session raises SIGKILL
+  /// immediately after the N-th record (header included) reaches the
+  /// journal — a real, deterministic mid-session kill for the
+  /// kill-resume gate in tools/run_tier1.sh.
+  std::uint64_t crash_after_records_ = 0;
+};
+
+/// Builds the header for a session about to start: captures `rng`'s
+/// current state, the pool fingerprint, and the measurement policy.
+CheckpointHeader make_checkpoint_header(const TuningProblem& problem,
+                                        const AutoTuner& algorithm,
+                                        std::size_t budget_runs,
+                                        const ceal::Rng& rng);
+
+}  // namespace ceal::tuner

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
 
 #include "core/error.h"
 #include "core/telemetry.h"
+#include "tuner/checkpoint.h"
 
 namespace ceal::tuner {
 
@@ -83,42 +85,76 @@ MeasureOutcome Collector::try_measure(std::size_t pool_index) {
   const double exec = pool.exec_s[pool_index];
   const double comp = pool.comp_ch[pool_index];
 
+  CheckpointSession* checkpoint = problem_->checkpoint;
   MeasureOutcome out;
   const std::size_t used_before = runs_used_;
   const double exec_before = cost_exec_s_;
-  charge(1);  // the first attempt always costs one unit (throws when dry)
-  out.attempts = 1;
-  if (!faults_enabled_) {
-    out.status = sim::RunStatus::kOk;
-    out.value = value;
-    cost_exec_s_ += exec;
-    cost_comp_ch_ += comp;
+  MeasureRecord journaled;
+  bool replayed = false;
+  if (checkpoint != nullptr &&
+      checkpoint->replay_measure(pool_index, journaled)) {
+    // Served from the journal: the run's machine time was already spent
+    // before the crash, so restore the recorded outcome and ledger
+    // totals instead of re-running. The fault stream position is handed
+    // across the crash point so the first live attempt afterwards draws
+    // exactly what the uninterrupted session would have drawn.
+    replayed = true;
+    CEAL_EXPECT_MSG(journaled.budget_used >= runs_used_ &&
+                        journaled.budget_used <= budget_,
+                    "journaled measurement does not fit the budget ledger");
+    runs_used_ = journaled.budget_used;
+    cost_exec_s_ = journaled.cost_exec_s;
+    cost_comp_ch_ = journaled.cost_comp_ch;
+    out.status = journaled.status;
+    out.value = journaled.value;
+    out.attempts = journaled.attempts;
+    if (faults_enabled_) fault_rng_.set_state(journaled.fault_rng_state);
   } else {
-    const MeasurementPolicy& policy = problem_->measurement;
-    for (;;) {
-      const sim::FaultOutcome fo =
-          sim::apply_faults(policy.faults, exec, fault_rng_);
-      // Bill the wall-clock the attempt actually held the allocation;
-      // core-hours scale with the same fraction of the run.
-      cost_exec_s_ += fo.elapsed_s;
-      cost_comp_ch_ += comp * (fo.elapsed_s / exec);
-      if (fo.status == sim::RunStatus::kOk) {
-        out.status = sim::RunStatus::kOk;
-        out.value = value * fo.value_factor;
-        break;
+    charge(1);  // the first attempt always costs one unit (throws when dry)
+    out.attempts = 1;
+    if (!faults_enabled_) {
+      out.status = sim::RunStatus::kOk;
+      out.value = value;
+      cost_exec_s_ += exec;
+      cost_comp_ch_ += comp;
+    } else {
+      const MeasurementPolicy& policy = problem_->measurement;
+      for (;;) {
+        const sim::FaultOutcome fo =
+            sim::apply_faults(policy.faults, exec, fault_rng_);
+        // Bill the wall-clock the attempt actually held the allocation;
+        // core-hours scale with the same fraction of the run.
+        cost_exec_s_ += fo.elapsed_s;
+        cost_comp_ch_ += comp * (fo.elapsed_s / exec);
+        if (fo.status == sim::RunStatus::kOk) {
+          out.status = sim::RunStatus::kOk;
+          out.value = value * fo.value_factor;
+          break;
+        }
+        out.status = fo.status;
+        if (out.attempts >= policy.max_attempts) break;
+        if (policy.charge_retries) {
+          // A retry that the budget cannot cover is not taken: the entry
+          // keeps its failure status and the ledger stays exactly spent.
+          if (remaining() == 0) break;
+          charge(1);
+        }
+        ++out.attempts;
       }
-      out.status = fo.status;
-      if (out.attempts >= policy.max_attempts) break;
-      if (policy.charge_retries) {
-        // A retry that the budget cannot cover is not taken: the entry
-        // keeps its failure status and the ledger stays exactly spent.
-        if (remaining() == 0) break;
-        charge(1);
-      }
-      ++out.attempts;
     }
   }
   record(pool_index, out);
+  if (checkpoint != nullptr && !replayed) {
+    journaled.pool_index = pool_index;
+    journaled.status = out.status;
+    journaled.value = out.status == sim::RunStatus::kOk ? out.value : 0.0;
+    journaled.attempts = out.attempts;
+    journaled.budget_used = runs_used_;
+    journaled.cost_exec_s = cost_exec_s_;
+    journaled.cost_comp_ch = cost_comp_ch_;
+    if (faults_enabled_) journaled.fault_rng_state = fault_rng_.state();
+    checkpoint->record_measure(journaled);
+  }
   if (telemetry::Telemetry* tel = problem_->telemetry) {
     tel->count("measure.requests");
     switch (out.status) {
@@ -169,6 +205,7 @@ Collector::acquire_component_samples(std::size_t rounds, ceal::Rng& rng) {
   if (!problem_->components_are_history) charge(effective);
 
   const auto& samples = *problem_->component_samples;
+  std::vector<std::vector<std::size_t>> drawn(samples.size());
   for (std::size_t j = 0; j < samples.size(); ++j) {
     auto& unused = component_unused_[j];
     const std::size_t take = std::min(effective, unused.size());
@@ -178,9 +215,32 @@ Collector::acquire_component_samples(std::size_t rounds, ceal::Rng& rng) {
       unused[pick] = unused.back();
       unused.pop_back();
       component_indices_[j].push_back(idx);
+      drawn[j].push_back(idx);
       cost_exec_s_ += samples[j].exec_s[idx];
       cost_comp_ch_ += samples[j].comp_ch[idx];
     }
+  }
+  if (CheckpointSession* checkpoint = problem_->checkpoint) {
+    // Component draws come off the caller's rng and are recomputed on
+    // resume; the record cross-checks the replayed draws (and the rng
+    // stream position they imply) against the journaled session.
+    json::Value payload = json::Value::object();
+    payload.set("kind", json::Value::string("components"));
+    payload.set("rounds",
+                json::Value::number(static_cast<std::uint64_t>(effective)));
+    payload.set("budget_used",
+                json::Value::number(static_cast<std::uint64_t>(runs_used_)));
+    payload.set("rng", rng_state_to_json(rng.state()));
+    json::Value indices = json::Value::array();
+    for (const auto& per_component : drawn) {
+      json::Value one = json::Value::array();
+      for (const std::size_t idx : per_component) {
+        one.push(json::Value::number(static_cast<std::uint64_t>(idx)));
+      }
+      indices.push(std::move(one));
+    }
+    payload.set("drawn", std::move(indices));
+    checkpoint->decision(std::move(payload));
   }
   if (telemetry::Telemetry* tel = problem_->telemetry) {
     tel->count("components.rounds", effective);

@@ -23,6 +23,8 @@ class Telemetry;
 
 namespace ceal::tuner {
 
+class CheckpointSession;
+
 struct MeasuredPool {
   std::vector<config::Configuration> configs;
   std::vector<double> exec_s;   ///< one noisy measurement per config
@@ -113,6 +115,15 @@ struct TuningProblem {
   /// child instance and merges them in replication order, so trace event
   /// order stays a deterministic function of the seed (core/telemetry.h).
   telemetry::Telemetry* telemetry = nullptr;
+  /// Optional crash-safety hook (tuner/checkpoint.h): when set, the
+  /// collector journals every measurement outcome and the tuners journal
+  /// their decision points, and a resumed session replays the journal to
+  /// reconstruct mid-session state. Null (the default) disables
+  /// checkpointing at the cost of one pointer branch per site; results
+  /// are bitwise identical either way. Not owned; must outlive the
+  /// session. Normally set through AutoTuner's resumable tune overload
+  /// rather than by hand.
+  CheckpointSession* checkpoint = nullptr;
 };
 
 }  // namespace ceal::tuner

@@ -2,9 +2,11 @@
 
 #include <charconv>
 #include <fstream>
+#include <ostream>
 #include <sstream>
 #include <vector>
 
+#include "core/atomic_file.h"
 #include "core/error.h"
 
 namespace ceal::tuner {
@@ -20,24 +22,38 @@ std::vector<std::string> split_csv(const std::string& line) {
   return cells;
 }
 
-double parse_double(const std::string& token) {
+// Loader errors follow the one-line "<path>:<lineno>: why" convention of
+// trace_io.h, so a bad row in a 2000-line pool file points straight at
+// itself. `where` is the already-formatted "<path>:<lineno>" prefix.
+
+[[noreturn]] void fail_row(const std::string& where, const std::string& why) {
+  throw PreconditionError(where + ": " + why);
+}
+
+double parse_double(const std::string& token, const std::string& where) {
   char* end = nullptr;
   const double v = std::strtod(token.c_str(), &end);
-  CEAL_EXPECT_MSG(end != nullptr && end != token.c_str() && *end == '\0',
-                  "malformed number in pool file: '" + token + "'");
+  if (end == token.c_str() || *end != '\0') {
+    fail_row(where, "malformed number '" + token + "'");
+  }
   return v;
 }
 
-int parse_int(const std::string& token) {
+int parse_int(const std::string& token, const std::string& where) {
   int v = 0;
   const auto [ptr, ec] =
       std::from_chars(token.data(), token.data() + token.size(), v);
-  CEAL_EXPECT_MSG(ec == std::errc{} && ptr == token.data() + token.size(),
-                  "malformed integer in pool file: '" + token + "'");
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    fail_row(where, "malformed integer '" + token + "'");
+  }
   return v;
 }
 
-void write_header(std::ofstream& os, const config::ConfigSpace& space,
+std::string location(const std::string& path, std::size_t lineno) {
+  return path + ':' + std::to_string(lineno);
+}
+
+void write_header(std::ostream& os, const config::ConfigSpace& space,
                   bool with_truth) {
   for (std::size_t j = 0; j < space.dimension(); ++j) {
     os << space.parameter(j).name() << ',';
@@ -47,7 +63,7 @@ void write_header(std::ofstream& os, const config::ConfigSpace& space,
   os << '\n';
 }
 
-void write_row(std::ofstream& os, const config::Configuration& c,
+void write_row(std::ostream& os, const config::Configuration& c,
                double exec_s, double comp_ch, const double* true_exec,
                const double* true_comp) {
   for (const int v : c) os << v << ',';
@@ -67,23 +83,31 @@ struct ParsedRow {
 };
 
 ParsedRow parse_row(const std::vector<std::string>& cells,
-                    const config::ConfigSpace& space) {
+                    const config::ConfigSpace& space,
+                    const std::string& where) {
   const std::size_t d = space.dimension();
-  CEAL_EXPECT_MSG(cells.size() == d + 2 || cells.size() == d + 4,
-                  "pool row has wrong column count");
+  if (cells.size() != d + 2 && cells.size() != d + 4) {
+    fail_row(where, "row has " + std::to_string(cells.size()) +
+                        " columns, expected " + std::to_string(d + 2) +
+                        " or " + std::to_string(d + 4));
+  }
   ParsedRow row;
   row.config.resize(d);
-  for (std::size_t j = 0; j < d; ++j) row.config[j] = parse_int(cells[j]);
-  CEAL_EXPECT_MSG(space.is_valid(row.config),
-                  "pool row is not a valid configuration: " +
-                      config::to_string(row.config));
-  row.exec_s = parse_double(cells[d]);
-  row.comp_ch = parse_double(cells[d + 1]);
-  CEAL_EXPECT_MSG(row.exec_s > 0.0 && row.comp_ch > 0.0,
-                  "pool row has non-positive measurements");
+  for (std::size_t j = 0; j < d; ++j) {
+    row.config[j] = parse_int(cells[j], where);
+  }
+  if (!space.is_valid(row.config)) {
+    fail_row(where, "not a valid configuration: " +
+                        config::to_string(row.config));
+  }
+  row.exec_s = parse_double(cells[d], where);
+  row.comp_ch = parse_double(cells[d + 1], where);
+  if (!(row.exec_s > 0.0 && row.comp_ch > 0.0)) {
+    fail_row(where, "non-positive measurements");
+  }
   if (cells.size() == d + 4) {
-    row.true_exec_s = parse_double(cells[d + 2]);
-    row.true_comp_ch = parse_double(cells[d + 3]);
+    row.true_exec_s = parse_double(cells[d + 2], where);
+    row.true_comp_ch = parse_double(cells[d + 3], where);
     row.has_truth = true;
   } else {
     row.true_exec_s = row.exec_s;
@@ -99,15 +123,16 @@ void save_pool_csv(const MeasuredPool& pool,
                    const std::string& path) {
   CEAL_EXPECT(pool.size() > 0);
   const bool with_truth = pool.true_exec_s.size() == pool.size();
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
-  write_header(os, space, with_truth);
+  // Atomic replace: a crash mid-save leaves the old pool file (or none),
+  // never a truncated one that a later session would half-load.
+  AtomicFile file(path);
+  write_header(file.stream(), space, with_truth);
   for (std::size_t i = 0; i < pool.size(); ++i) {
-    write_row(os, pool.configs[i], pool.exec_s[i], pool.comp_ch[i],
+    write_row(file.stream(), pool.configs[i], pool.exec_s[i], pool.comp_ch[i],
               with_truth ? &pool.true_exec_s[i] : nullptr,
               with_truth ? &pool.true_comp_ch[i] : nullptr);
   }
-  if (!os) throw std::runtime_error("write failure on " + path);
+  file.commit();
 }
 
 MeasuredPool load_pool_csv(const config::ConfigSpace& space,
@@ -115,19 +140,26 @@ MeasuredPool load_pool_csv(const config::ConfigSpace& space,
   std::ifstream is(path);
   if (!is) throw std::runtime_error("cannot open " + path);
   std::string line;
-  CEAL_EXPECT_MSG(static_cast<bool>(std::getline(is, line)),
-                  "pool file is empty");
+  if (!std::getline(is, line)) {
+    throw PreconditionError(location(path, 1) + ": pool file is empty");
+  }
   MeasuredPool pool;
+  std::size_t lineno = 1;
   while (std::getline(is, line)) {
+    ++lineno;
     if (line.empty()) continue;
-    const ParsedRow row = parse_row(split_csv(line), space);
+    const ParsedRow row =
+        parse_row(split_csv(line), space, location(path, lineno));
     pool.configs.push_back(row.config);
     pool.exec_s.push_back(row.exec_s);
     pool.comp_ch.push_back(row.comp_ch);
     pool.true_exec_s.push_back(row.true_exec_s);
     pool.true_comp_ch.push_back(row.true_comp_ch);
   }
-  CEAL_EXPECT_MSG(pool.size() > 0, "pool file has no rows");
+  if (pool.size() == 0) {
+    throw PreconditionError(location(path, lineno) +
+                            ": pool file has no rows");
+  }
   return pool;
 }
 
@@ -135,14 +167,13 @@ void save_component_csv(const ComponentSamples& samples,
                         const config::ConfigSpace& space,
                         const std::string& path) {
   CEAL_EXPECT(samples.size() > 0);
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
-  write_header(os, space, /*with_truth=*/false);
+  AtomicFile file(path);
+  write_header(file.stream(), space, /*with_truth=*/false);
   for (std::size_t i = 0; i < samples.size(); ++i) {
-    write_row(os, samples.configs[i], samples.exec_s[i], samples.comp_ch[i],
-              nullptr, nullptr);
+    write_row(file.stream(), samples.configs[i], samples.exec_s[i],
+              samples.comp_ch[i], nullptr, nullptr);
   }
-  if (!os) throw std::runtime_error("write failure on " + path);
+  file.commit();
 }
 
 ComponentSamples load_component_csv(const config::ConfigSpace& space,
@@ -150,17 +181,24 @@ ComponentSamples load_component_csv(const config::ConfigSpace& space,
   std::ifstream is(path);
   if (!is) throw std::runtime_error("cannot open " + path);
   std::string line;
-  CEAL_EXPECT_MSG(static_cast<bool>(std::getline(is, line)),
-                  "component file is empty");
+  if (!std::getline(is, line)) {
+    throw PreconditionError(location(path, 1) + ": component file is empty");
+  }
   ComponentSamples samples;
+  std::size_t lineno = 1;
   while (std::getline(is, line)) {
+    ++lineno;
     if (line.empty()) continue;
-    const ParsedRow row = parse_row(split_csv(line), space);
+    const ParsedRow row =
+        parse_row(split_csv(line), space, location(path, lineno));
     samples.configs.push_back(row.config);
     samples.exec_s.push_back(row.exec_s);
     samples.comp_ch.push_back(row.comp_ch);
   }
-  CEAL_EXPECT_MSG(samples.size() > 0, "component file has no rows");
+  if (samples.size() == 0) {
+    throw PreconditionError(location(path, lineno) +
+                            ": component file has no rows");
+  }
   return samples;
 }
 

@@ -18,19 +18,22 @@
 
 namespace ceal::tuner {
 
-/// Writes `pool` to `path`. Throws std::runtime_error on I/O failure.
+/// Writes `pool` to `path` atomically (write-temp -> fsync -> rename):
+/// a crash mid-save leaves the previous file intact, never a truncated
+/// one. Throws std::runtime_error on I/O failure.
 void save_pool_csv(const MeasuredPool& pool,
                    const config::ConfigSpace& space,
                    const std::string& path);
 
 /// Reads a pool written by save_pool_csv. Every configuration is
 /// validated against `space`; truth columns are optional and fall back
-/// to the measured values when absent. Throws ceal::PreconditionError on
-/// malformed content.
+/// to the measured values when absent. Throws ceal::PreconditionError
+/// with a one-line "<path>:<lineno>: why" message on malformed content.
 MeasuredPool load_pool_csv(const config::ConfigSpace& space,
                            const std::string& path);
 
-/// Writes one component's samples (same row format, component space).
+/// Writes one component's samples (same row format, component space),
+/// atomically like save_pool_csv.
 void save_component_csv(const ComponentSamples& samples,
                         const config::ConfigSpace& space,
                         const std::string& path);

@@ -10,6 +10,7 @@ class RandomSearch final : public AutoTuner {
  public:
   std::string name() const override { return "RS"; }
 
+  using AutoTuner::tune;  // keep the checkpointable overload visible
   TuneResult tune(const TuningProblem& problem, std::size_t budget_runs,
                   ceal::Rng& rng) const override;
 };

@@ -6,6 +6,7 @@
 #include "core/error.h"
 #include "core/stats.h"
 #include "core/telemetry.h"
+#include "tuner/checkpoint.h"
 
 namespace ceal::tuner {
 
@@ -44,6 +45,21 @@ std::size_t measure_batch(Collector& collector,
                           std::span<const std::size_t> batch,
                           std::span<const double> topup_scores,
                           std::size_t want_ok) {
+  if (CheckpointSession* checkpoint = collector.problem().checkpoint) {
+    // Journal the batch selection before the first run: a resumed
+    // session re-derives the batch from the same model state and the
+    // record proves it landed on the same configurations.
+    json::Value indices = json::Value::array();
+    for (const std::size_t idx : batch) {
+      indices.push(json::Value::number(static_cast<std::uint64_t>(idx)));
+    }
+    json::Value payload = json::Value::object();
+    payload.set("kind", json::Value::string("batch"));
+    payload.set("batch", std::move(indices));
+    payload.set("want_ok",
+                json::Value::number(static_cast<std::uint64_t>(want_ok)));
+    checkpoint->decision(std::move(payload));
+  }
   std::size_t ok = 0;
   for (const std::size_t idx : batch) {
     if (collector.remaining() == 0) break;
@@ -170,6 +186,17 @@ void emit_iteration_event(const TuningProblem& problem, const char* name,
       .timing("fit_s", fit_s)
       .timing("predict_s", predict_s);
   tel->emit(std::move(event));
+}
+
+void checkpoint_decision(
+    const TuningProblem& problem, const char* kind,
+    std::initializer_list<std::pair<const char*, json::Value>> fields) {
+  CheckpointSession* checkpoint = problem.checkpoint;
+  if (checkpoint == nullptr) return;
+  json::Value payload = json::Value::object();
+  payload.set("kind", json::Value::string(kind));
+  for (const auto& [key, value] : fields) payload.set(key, value);
+  checkpoint->decision(std::move(payload));
 }
 
 }  // namespace ceal::tuner

@@ -1,9 +1,12 @@
 // Small helpers shared by the auto-tuning algorithms.
 #pragma once
 
+#include <initializer_list>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "core/json.h"
 #include "core/rng.h"
 #include "tuner/autotuner.h"
 #include "tuner/collector.h"
@@ -31,6 +34,8 @@ std::vector<std::size_t> random_unmeasured(const Collector& collector,
 /// until `want_ok` measurements succeeded, the budget is spent, or the
 /// pool is exhausted. Returns the number of *successful* measurements
 /// gained (equal to the number measured on the fault-free path).
+/// With a checkpoint attached the batch selection is journaled (and
+/// validated on resume) before the first measurement runs.
 std::size_t measure_batch(Collector& collector,
                           std::span<const std::size_t> batch,
                           std::span<const double> topup_scores = {},
@@ -68,5 +73,13 @@ void emit_iteration_event(const TuningProblem& problem, const char* name,
                           std::size_t iteration, const Collector& collector,
                           std::size_t req_start, std::size_t ok_start,
                           double fit_s, double predict_s);
+
+/// Journals (live) or validates (resume) one tuner decision record with
+/// the given kind and fields; a single pointer branch without a
+/// checkpoint. `fields` are (key, value) pairs appended after "kind";
+/// every value must be a deterministic function of the session seed.
+void checkpoint_decision(
+    const TuningProblem& problem, const char* kind,
+    std::initializer_list<std::pair<const char*, json::Value>> fields);
 
 }  // namespace ceal::tuner

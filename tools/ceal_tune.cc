@@ -8,20 +8,36 @@
 //             --load-pool pool.csv --save-model surrogate.gbt
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <optional>
 
+#include "core/atomic_file.h"
+#include "core/error.h"
+#include "core/journal.h"
 #include "core/table.h"
 #include "core/telemetry.h"
 #include "ml/serialize.h"
 #include "tools/args.h"
 #include "tools/common.h"
+#include "tuner/checkpoint.h"
 #include "tuner/evaluation.h"
 #include "tuner/measured_pool.h"
 #include "tuner/pool_io.h"
 
 namespace {
+
+/// C99 hex-float: exact bitwise round-trip through text, so the result
+/// CSV diffs byte-for-byte between an uninterrupted session and a
+/// killed-and-resumed one.
+std::string hex(double v) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%a", v);
+  return buffer;
+}
 
 constexpr const char* kUsage =
     "--workflow LV|HS|GP --objective exec|comp --budget N\n"
@@ -39,6 +55,9 @@ constexpr const char* kUsage =
     "  [--outlier-rate P]       heavy-tail outlier probability (default 0)\n"
     "  [--deadline S]           censor runs longer than S seconds\n"
     "  [--max-attempts N]       measurement retries per config (default 1)\n"
+    "  [--checkpoint DIR]       journal the session to DIR/journal.cealj\n"
+    "  [--resume]               resume the journaled session in DIR\n"
+    "  [--save-result FILE]     write an exact (hex-float) result CSV\n"
     "  [--trace FILE]           stream JSONL trace events to FILE\n"
     "  [--metrics-summary]      print the telemetry counter/span table\n"
     "  [--quiet]                suppress the session report\n"
@@ -75,6 +94,9 @@ int main(int argc, char** argv) {
   const double deadline = args.real("deadline", 0.0);
   const auto max_attempts =
       static_cast<std::size_t>(args.integer("max-attempts", 1));
+  const auto checkpoint_dir = args.option("checkpoint", "");
+  const bool resume = args.flag("resume");
+  const auto save_result = args.option("save-result", "");
   const auto trace_path = args.option("trace", "");
   const bool metrics_summary = args.flag("metrics-summary");
   const bool quiet = args.flag("quiet");
@@ -85,14 +107,29 @@ int main(int argc, char** argv) {
     std::cerr << "--budget must be >= 1\n" << args.usage_text();
     return 2;
   }
+  if (resume && checkpoint_dir.empty()) {
+    std::cerr << "--resume requires --checkpoint DIR\n";
+    return 2;
+  }
+  if (!checkpoint_dir.empty() && replications > 1) {
+    std::cerr << "--checkpoint covers a single session; it cannot be "
+                 "combined with --replications\n";
+    return 2;
+  }
 
   sim::Workload wl = tools::workload_by_name(wl_name);
   const auto& space = wl.workflow.joint_space();
 
-  const tuner::MeasuredPool pool =
-      load_pool.empty()
-          ? tuner::measure_pool(wl.workflow, pool_size, pool_seed)
-          : tuner::load_pool_csv(space, load_pool);
+  const tuner::MeasuredPool pool = [&] {
+    try {
+      return load_pool.empty()
+                 ? tuner::measure_pool(wl.workflow, pool_size, pool_seed)
+                 : tuner::load_pool_csv(space, load_pool);
+    } catch (const PreconditionError& e) {
+      std::cerr << "ceal_tune: " << e.what() << "\n";
+      std::exit(2);
+    }
+  }();
   if (!save_pool.empty()) {
     tuner::save_pool_csv(pool, space, save_pool);
     std::cout << "pool saved to " << save_pool << " (" << pool.size()
@@ -174,8 +211,44 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Checkpointing: the session journal lives inside the checkpoint
+  // directory. Resume re-executes the tuner from the same seed with
+  // journaled measurements served for free, so the report on stdout is
+  // byte-identical to an uninterrupted run (the kill-resume gate in
+  // tools/run_tier1.sh diffs it); resume bookkeeping goes to stderr.
+  std::optional<tuner::CheckpointSession> checkpoint;
+  if (!checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(checkpoint_dir, ec);
+    const std::string journal_path =
+        (std::filesystem::path(checkpoint_dir) / "journal.cealj").string();
+    try {
+      checkpoint.emplace(journal_path,
+                         resume ? tuner::CheckpointSession::Mode::kResume
+                                : tuner::CheckpointSession::Mode::kStart);
+    } catch (const std::exception& e) {
+      std::cerr << "ceal_tune: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
   Rng rng(seed);
-  const auto result = algo->tune(problem, budget, rng);
+  tuner::TuneResult result;
+  try {
+    result = algo->tune(problem, budget, rng,
+                        checkpoint ? &*checkpoint : nullptr);
+  } catch (const tuner::CheckpointError& e) {
+    std::cerr << "ceal_tune: " << e.what() << "\n";
+    return 2;
+  } catch (const JournalError& e) {
+    std::cerr << "ceal_tune: " << e.what() << "\n";
+    return 2;
+  }
+  if (checkpoint && resume) {
+    std::cerr << "resumed session: " << checkpoint->replayed_runs()
+              << " measurements replayed from the journal, "
+              << checkpoint->appended_records() << " records appended\n";
+  }
   const auto& best = pool.configs[result.best_predicted_index];
   const auto perf = wl.workflow.expected(best);
 
@@ -245,6 +318,35 @@ int main(int argc, char** argv) {
     model.fit(data, model_rng);
     ml::save_gbt_file(model, save_model, space.dimension());
     std::cout << "surrogate (log-time GBT) saved to " << save_model << "\n";
+  }
+
+  if (!save_result.empty()) {
+    // Exact result artifact (atomic replace, doubles as hex floats): two
+    // sessions produced identical TuneResults iff these files are
+    // byte-identical.
+    AtomicFile file(save_result);
+    auto& os = file.stream();
+    os << "key,value\n";
+    os << "algorithm," << algo->name() << '\n';
+    os << "workflow," << wl.workflow.name() << '\n';
+    os << "objective," << tuner::objective_name(objective) << '\n';
+    os << "budget," << budget << '\n';
+    os << "seed," << seed << '\n';
+    os << "runs_used," << result.runs_used << '\n';
+    os << "measured," << result.measured_indices.size() << '\n';
+    os << "failed_runs," << result.failed_runs << '\n';
+    os << "best_predicted_index," << result.best_predicted_index << '\n';
+    os << "best_measured_index," << result.best_measured_index << '\n';
+    os << "cost_exec_s," << hex(result.cost_exec_s) << '\n';
+    os << "cost_comp_ch," << hex(result.cost_comp_ch) << '\n';
+    for (std::size_t s = 0; s < result.measured_indices.size(); ++s) {
+      os << "measured." << s << ',' << result.measured_indices[s] << ':'
+         << sim::run_status_name(result.measured_statuses[s]) << '\n';
+    }
+    for (std::size_t i = 0; i < result.model_scores.size(); ++i) {
+      os << "score." << i << ',' << hex(result.model_scores[i]) << '\n';
+    }
+    file.commit();
   }
   finish_telemetry();
   return 0;

@@ -63,6 +63,45 @@ rep_args=(--workflow LV --objective exec --budget 25 --pool-size 400
 ./build/tools/ceal_trace --input "$trace_dir/serial.jsonl" \
   --check-determinism "$trace_dir/pooled.jsonl"
 
+echo "== tier-1: kill-resume determinism gate =="
+# Crash-safety end to end (docs/RELIABILITY.md): a checkpointed
+# ceal_tune SIGKILLed mid-session (CEAL_CRASH_AFTER_RECORDS makes the
+# session kill itself right after the Nth journal record is durable)
+# and then resumed must print byte-identical stdout and write a
+# byte-identical hex-exact result CSV to an uninterrupted run.
+kill_args=(--workflow LV --objective exec --budget 20 --pool-size 300
+           --pool-seed 31 --component-samples 100 --seed 5
+           --fault-rate 0.15 --max-attempts 2)
+./build/tools/ceal_tune "${kill_args[@]}" \
+  --save-result "$trace_dir/uninterrupted.csv" \
+  > "$trace_dir/uninterrupted.txt"
+rc=0
+CEAL_CRASH_AFTER_RECORDS=12 ./build/tools/ceal_tune "${kill_args[@]}" \
+  --checkpoint "$trace_dir/ckpt" > "$trace_dir/killed.txt" 2>/dev/null || rc=$?
+if [[ "$rc" -ne 137 ]]; then
+  echo "expected the checkpointed session to die with SIGKILL (137), got $rc"
+  exit 1
+fi
+./build/tools/ceal_tune "${kill_args[@]}" --checkpoint "$trace_dir/ckpt" \
+  --resume --save-result "$trace_dir/resumed.csv" \
+  > "$trace_dir/resumed.txt" 2> "$trace_dir/resume_info.txt"
+diff "$trace_dir/uninterrupted.txt" "$trace_dir/resumed.txt" \
+  || { echo "kill+resume changed ceal_tune stdout"; exit 1; }
+diff "$trace_dir/uninterrupted.csv" "$trace_dir/resumed.csv" \
+  || { echo "kill+resume changed the tuning result"; exit 1; }
+grep -q "measurements replayed" "$trace_dir/resume_info.txt" \
+  || { echo "resume did not report replayed measurements"; exit 1; }
+# Torn tail: chop the journal mid-record (as a kill mid-append would)
+# and resume again — the fragment must be dropped, not rejected.
+journal="$trace_dir/ckpt/journal.cealj"
+full_size=$(wc -c < "$journal")
+truncate -s "$((full_size - 7))" "$journal"
+./build/tools/ceal_tune "${kill_args[@]}" --checkpoint "$trace_dir/ckpt" \
+  --resume --save-result "$trace_dir/torn.csv" \
+  > "$trace_dir/torn.txt" 2>/dev/null
+diff "$trace_dir/uninterrupted.csv" "$trace_dir/torn.csv" \
+  || { echo "torn-tail resume changed the tuning result"; exit 1; }
+
 echo "== tier-1: micro benches + ceal_report regression gate =="
 # Cheap micro benches write BENCH_*.json (with the common metadata
 # header) into .ceal-bench/current alongside the fig5 trace; ceal_report
