@@ -77,9 +77,25 @@ void BM_GbtPredictPool(benchmark::State& state) {
 BENCHMARK(BM_GbtPredictPool);
 
 // ---------------------------------------------------------------------
-// Exact vs histogram trainer, at the workload from docs/PERFORMANCE.md:
-// n = 512 rows, 150 boosting rounds, depth-5 trees.  state.range(0)
-// selects the TreeMethod so both variants share one body.
+// Exact vs histogram vs quantized trainer, at the workload from
+// docs/PERFORMANCE.md: n = 512 rows, 150 boosting rounds, depth-5 trees.
+// state.range(0) selects the TreeMethod so all variants share one body.
+
+ml::TreeMethod method_arg(std::int64_t arg) {
+  switch (arg) {
+    case 0: return ml::TreeMethod::kExact;
+    case 1: return ml::TreeMethod::kHist;
+    default: return ml::TreeMethod::kQuantized;
+  }
+}
+
+const char* method_label(std::int64_t arg) {
+  switch (arg) {
+    case 0: return "exact";
+    case 1: return "hist";
+    default: return "quantized";
+  }
+}
 
 ml::GbtParams deep_fit_params(ml::TreeMethod method) {
   ml::GbtParams p;
@@ -93,8 +109,7 @@ ml::GbtParams deep_fit_params(ml::TreeMethod method) {
 void BM_GbtFit512(benchmark::State& state) {
   Rng rng(8);
   const auto data = synth(512, 7, rng);
-  const auto params = deep_fit_params(
-      state.range(0) == 0 ? ml::TreeMethod::kExact : ml::TreeMethod::kHist);
+  const auto params = deep_fit_params(method_arg(state.range(0)));
   for (auto _ : state) {
     ml::GradientBoostedTrees model(params);
     Rng fit_rng(9);
@@ -102,9 +117,9 @@ void BM_GbtFit512(benchmark::State& state) {
     benchmark::DoNotOptimize(model);
   }
   state.SetItemsProcessed(state.iterations() * 512);
-  state.SetLabel(state.range(0) == 0 ? "exact" : "hist");
+  state.SetLabel(method_label(state.range(0)));
 }
-BENCHMARK(BM_GbtFit512)->Arg(0)->Arg(1);
+BENCHMARK(BM_GbtFit512)->Arg(0)->Arg(1)->Arg(2);
 
 // Scoring a 2000-configuration pool: one predict() call per row (the
 // pre-cache tuner loop) vs the batched predict_all path.
@@ -137,6 +152,23 @@ void BM_GbtPredictPoolBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2000);
 }
 BENCHMARK(BM_GbtPredictPoolBatch);
+
+// Same batch scoring through the flattened CompiledForest (bitwise
+// identical output, branch-light contiguous layout).
+void BM_GbtPredictPoolCompiled(benchmark::State& state) {
+  Rng rng(10);
+  const auto train = synth(512, 7, rng);
+  const auto pool = synth(2000, 7, rng);
+  auto params = deep_fit_params(ml::TreeMethod::kExact);
+  params.compile_predictor = true;
+  ml::GradientBoostedTrees model(params);
+  model.fit(train, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_all(pool));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_GbtPredictPoolCompiled);
 
 void BM_RandomForestFit(benchmark::State& state) {
   Rng rng(5);

@@ -1,5 +1,7 @@
 #include "bench/common.h"
 
+#include <sys/resource.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -182,6 +184,7 @@ void annotate_bench_json(const std::string& path) {
 #endif
   meta.set("threads", json::Value::number(
                           static_cast<std::uint64_t>(global_thread_count())));
+  meta.set("peak_rss_mb", json::Value::number(peak_rss_mb()));
   meta.set("timestamp", json::Value::string(utc_timestamp()));
   root.set("ceal", std::move(meta));
 
@@ -189,6 +192,17 @@ void annotate_bench_json(const std::string& path) {
   CEAL_EXPECT_MSG(out.good(), "cannot rewrite bench output '" + path + "'");
   root.write(out);
   out << '\n';
+}
+
+double peak_rss_mb() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#ifdef __APPLE__
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
 }
 
 void banner(const std::string& title, const std::string& paper_ref) {

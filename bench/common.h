@@ -88,9 +88,14 @@ BenchArgs make_bench_args(int argc, char** argv,
 
 /// Rewrites a google-benchmark JSON output file in place, inserting a
 /// top-level "ceal" metadata object: git describe, build type, global
-/// thread-pool width, and a UTC timestamp — the common header
+/// thread-pool width, peak RSS, and a UTC timestamp — the common header
 /// ceal_report expects on every BENCH_*.json (docs/PERFORMANCE.md).
 /// Throws PreconditionError when the file is missing or malformed.
 void annotate_bench_json(const std::string& path);
+
+/// Peak resident set size of this process in MiB (getrusage ru_maxrss),
+/// or 0 when the platform does not report it. A high-water mark: it
+/// never decreases, so sample it after the workload of interest.
+double peak_rss_mb();
 
 }  // namespace ceal::bench

@@ -10,6 +10,11 @@ Dataset::Dataset(std::size_t n_features) : n_features_(n_features) {
   CEAL_EXPECT(n_features > 0);
 }
 
+void Dataset::reserve(std::size_t n_rows) {
+  x_.reserve(n_rows * n_features_);
+  targets_.reserve(n_rows);
+}
+
 void Dataset::add(std::span<const double> features, double target) {
   CEAL_EXPECT(features.size() == n_features_);
   x_.insert(x_.end(), features.begin(), features.end());
@@ -41,6 +46,7 @@ void Dataset::append(const Dataset& other) {
 
 Dataset Dataset::subset(std::span<const std::size_t> indices) const {
   Dataset out(n_features_);
+  out.reserve(indices.size());
   for (const std::size_t i : indices) out.add(row(i), target(i));
   return out;
 }

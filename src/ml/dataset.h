@@ -19,6 +19,10 @@ class Dataset {
   /// Appends one example. `features.size()` must equal n_features().
   void add(std::span<const double> features, double target);
 
+  /// Pre-allocates storage for `n_rows` total rows so a known-size
+  /// add() loop performs one allocation instead of log2(n) regrowths.
+  void reserve(std::size_t n_rows);
+
   /// Feature row i as a span (valid until the next mutation).
   std::span<const double> row(std::size_t i) const;
 

@@ -9,6 +9,8 @@
 #include "core/parallel.h"
 #include "core/stats.h"
 #include "core/telemetry.h"
+#include "ml/compiled_forest.h"
+#include "ml/quantized.h"
 
 namespace ceal::ml {
 
@@ -48,6 +50,7 @@ void GradientBoostedTrees::fit(const Dataset& data, ceal::Rng& rng) {
     }
   }
   trees_.clear();
+  compiled_.reset();
   base_score_ = ceal::mean(data.targets());
 
   const std::size_t n = data.size();
@@ -65,11 +68,19 @@ void GradientBoostedTrees::fit(const Dataset& data, ceal::Rng& rng) {
   constexpr double kUntrained = std::numeric_limits<double>::quiet_NaN();
   std::vector<double> leaf_values(n);
 
-  // Feature binning depends only on the data, so the histogram trainer
-  // bins once here and every round reuses the cache.
+  // Feature binning depends only on the data, so the histogram and
+  // quantized trainers bin once here and every round reuses the cache.
   std::optional<HistogramCache> hist_cache;
+  std::optional<QuantizedMatrix> quantized_cache;
+  // Tree-builder scratch (histogram buffers, reciprocal table) also
+  // survives across rounds; each round's builder reuses it in place.
+  std::optional<QuantizedWorkspace> quantized_ws;
   if (params_.tree.method == TreeMethod::kHist) {
     hist_cache.emplace(data, params_.tree.max_bins);
+  } else if (params_.tree.method == TreeMethod::kQuantized) {
+    telemetry::ScopedSpan span(telemetry_, "gbt.quantize");
+    quantized_cache.emplace(data, params_.tree.max_bins);
+    quantized_ws.emplace();
   }
 
   if (telemetry_ != nullptr) telemetry_->count("gbt.fits");
@@ -92,7 +103,9 @@ void GradientBoostedTrees::fit(const Dataset& data, ceal::Rng& rng) {
       std::fill(leaf_values.begin(), leaf_values.end(), kUntrained);
     }
     tree.fit_gradients(data, rows, grad, hess, rng, &leaf_values,
-                       hist_cache ? &*hist_cache : nullptr, telemetry_);
+                       hist_cache ? &*hist_cache : nullptr, telemetry_,
+                       quantized_cache ? &*quantized_cache : nullptr,
+                       quantized_ws ? &*quantized_ws : nullptr);
     for (std::size_t i = 0; i < n; ++i) {
       const double value = std::isnan(leaf_values[i])
                                ? tree.predict(data.row(i))
@@ -102,6 +115,10 @@ void GradientBoostedTrees::fit(const Dataset& data, ceal::Rng& rng) {
     trees_.push_back(std::move(tree));
   }
   fitted_ = true;
+  if (params_.compile_predictor) {
+    compiled_ = std::make_shared<const CompiledForest>(
+        CompiledForest::compile(*this));
+  }
 }
 
 const std::vector<RegressionTree>& GradientBoostedTrees::trees() const {
@@ -120,11 +137,16 @@ GradientBoostedTrees GradientBoostedTrees::from_parts(
   model.base_score_ = base_score;
   model.trees_ = std::move(trees);
   model.fitted_ = true;
+  if (params.compile_predictor) {
+    model.compiled_ = std::make_shared<const CompiledForest>(
+        CompiledForest::compile(model));
+  }
   return model;
 }
 
 double GradientBoostedTrees::predict(std::span<const double> features) const {
   CEAL_EXPECT_MSG(fitted_, "predict() before fit()");
+  if (compiled_ != nullptr) return compiled_->predict(features);
   double out = base_score_;
   for (const auto& tree : trees_) {
     out += params_.learning_rate * tree.predict(features);
@@ -162,6 +184,9 @@ std::vector<double> GradientBoostedTrees::predict_all(
     telemetry_->count("gbt.predict.batches");
     telemetry_->count("gbt.predict.rows", data.size());
   }
+  if (compiled_ != nullptr) {
+    return compiled_->predict_dataset(data, telemetry_);
+  }
   return predict_rows(*this, data.size(), trees_.size(),
                       [&](std::size_t i) { return data.row(i); });
 }
@@ -173,6 +198,9 @@ std::vector<double> GradientBoostedTrees::predict_matrix(
   if (telemetry_ != nullptr) {
     telemetry_->count("gbt.predict.batches");
     telemetry_->count("gbt.predict.rows", rows.size());
+  }
+  if (compiled_ != nullptr) {
+    return compiled_->predict_matrix(rows, telemetry_);
   }
   return predict_rows(*this, rows.size(), trees_.size(),
                       [&](std::size_t i) { return rows.row(i); });

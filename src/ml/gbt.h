@@ -3,6 +3,7 @@
 // the surrogate model in every auto-tuning algorithm (§7.3).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "ml/model.h"
@@ -14,11 +15,19 @@ class Telemetry;
 
 namespace ceal::ml {
 
+class CompiledForest;
+
 struct GbtParams {
   std::size_t n_rounds = 100;
   double learning_rate = 0.1;
   /// Fraction of rows sampled per round (0 < subsample <= 1).
   double subsample = 1.0;
+  /// When true, fit() flattens the trained trees into a CompiledForest
+  /// (ml/compiled_forest.h) and every later prediction — single-row and
+  /// batch — runs over the contiguous node array instead of walking the
+  /// per-tree tables. Results are bitwise identical either way; the
+  /// compiled layout only changes constant factors.
+  bool compile_predictor = false;
   TreeParams tree;
 };
 
@@ -62,15 +71,22 @@ class GradientBoostedTrees final : public Regressor {
   const std::vector<RegressionTree>& trees() const;
 
   /// Reassembles a fitted model from persisted parts (ml::load_gbt).
+  /// Compiles the flat predictor when params.compile_predictor is set.
   static GradientBoostedTrees from_parts(GbtParams params,
                                          double base_score,
                                          std::vector<RegressionTree> trees);
+
+  /// The flattened predictor, or nullptr when compile_predictor is off
+  /// (or before fit()). Shared so copies of a fitted model alias one
+  /// immutable node array instead of re-flattening.
+  const CompiledForest* compiled() const { return compiled_.get(); }
 
  private:
   GbtParams params_;
   double base_score_ = 0.0;
   std::vector<RegressionTree> trees_;
   bool fitted_ = false;
+  std::shared_ptr<const CompiledForest> compiled_;
   ceal::telemetry::Telemetry* telemetry_ = nullptr;
 };
 

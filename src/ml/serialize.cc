@@ -50,13 +50,40 @@ std::string next_line(std::istream& is) {
 
 }  // namespace
 
+std::string method_name(TreeMethod m) {
+  switch (m) {
+    case TreeMethod::kExact: return "exact";
+    case TreeMethod::kHist: return "hist";
+    case TreeMethod::kQuantized: return "quantized";
+  }
+  CEAL_EXPECT_MSG(false, "unknown tree method");
+  return {};
+}
+
+TreeMethod parse_method(const std::string& name) {
+  if (name == "exact") return TreeMethod::kExact;
+  if (name == "hist") return TreeMethod::kHist;
+  if (name == "quantized") return TreeMethod::kQuantized;
+  CEAL_EXPECT_MSG(false, "unknown tree method in model file: " + name);
+  return TreeMethod::kExact;
+}
+
 void save_gbt(const GradientBoostedTrees& model, std::ostream& os,
               std::size_t n_features) {
   CEAL_EXPECT_MSG(model.is_fitted(), "cannot save an unfitted model");
   CEAL_EXPECT(n_features > 0);
-  os << "gbt v1 " << n_features << ' ' << model.tree_count() << ' '
-     << hex_double(model.params().learning_rate) << ' '
+  // Models that only use v1 features keep writing v1 files, so existing
+  // default-path artifacts stay byte-identical across this change.
+  const GbtParams& p = model.params();
+  const bool needs_v2 =
+      p.tree.method != TreeMethod::kExact || p.compile_predictor;
+  os << "gbt " << (needs_v2 ? "v2 " : "v1 ") << n_features << ' '
+     << model.tree_count() << ' ' << hex_double(p.learning_rate) << ' '
      << hex_double(model.base_score()) << '\n';
+  if (needs_v2) {
+    os << "params " << method_name(p.tree.method) << ' ' << p.tree.max_bins
+       << ' ' << (p.compile_predictor ? 1 : 0) << '\n';
+  }
   for (const auto& tree : model.trees()) {
     const auto nodes = tree.export_nodes();
     os << "tree " << nodes.size() << '\n';
@@ -76,8 +103,8 @@ LoadedGbt load_gbt(std::istream& is) {
   std::string lr_token, base_token;
   header >> magic >> version >> n_features >> n_trees >> lr_token >>
       base_token;
-  CEAL_EXPECT_MSG(magic == "gbt" && version == "v1",
-                  "not a CEAL gbt v1 model file");
+  CEAL_EXPECT_MSG(magic == "gbt" && (version == "v1" || version == "v2"),
+                  "not a CEAL gbt v1/v2 model file");
   CEAL_EXPECT_MSG(n_features > 0 && n_trees > 0,
                   "model file declares an empty model");
 
@@ -85,6 +112,20 @@ LoadedGbt load_gbt(std::istream& is) {
   params.n_rounds = n_trees;
   params.learning_rate = parse_hex_double(lr_token);
   const double base_score = parse_hex_double(base_token);
+
+  if (version == "v2") {
+    std::istringstream params_line(next_line(is));
+    std::string tag, method;
+    std::size_t max_bins = 0;
+    int compiled = -1;
+    params_line >> tag >> method >> max_bins >> compiled;
+    CEAL_EXPECT_MSG(tag == "params" && !params_line.fail() &&
+                        (compiled == 0 || compiled == 1),
+                    "malformed params line in model file");
+    params.tree.method = parse_method(method);
+    params.tree.max_bins = max_bins;
+    params.compile_predictor = compiled == 1;
+  }
 
   std::vector<RegressionTree> trees;
   trees.reserve(n_trees);

@@ -10,6 +10,15 @@
 //   node <feature> <threshold(hex)> <left> <right> <weight(hex)>
 //   ...
 //
+// v2 adds one optional line directly after the header, emitted only when
+// the model departs from the v1 defaults (so default-path files stay
+// byte-identical v1):
+//
+//   params <exact|hist|quantized> <max_bins> <compiled 0|1>
+//
+// The loader accepts both versions; a v2 params line reconstructs the
+// training method and recompiles the flat predictor on load.
+//
 // Only GradientBoostedTrees is serialisable — it is the model every
 // tuner ships. Trees expose their node tables through
 // RegressionTree::export_nodes()/import_nodes().

@@ -9,6 +9,7 @@
 #include "core/error.h"
 #include "core/parallel.h"
 #include "core/telemetry.h"
+#include "ml/quantized.h"
 
 namespace ceal::ml {
 
@@ -36,6 +37,52 @@ constexpr std::size_t kParallelSplitWork = 2048;
 // ---------------------------------------------------------------------------
 // Histogram split finding (TreeMethod::kHist).
 
+FeatureQuantiles quantile_bins(std::span<const double> sorted_vals,
+                               std::size_t max_bins) {
+  const std::size_t n = sorted_vals.size();
+  FeatureQuantiles fb;
+  std::size_t distinct = n == 0 ? 0 : 1;
+  for (std::size_t k = 1; k < n; ++k) {
+    if (sorted_vals[k] != sorted_vals[k - 1]) ++distinct;
+  }
+  if (distinct <= max_bins) {
+    // One bin per distinct value: the candidate set (midpoints between
+    // adjacent values) matches the exact-greedy search.
+    fb.bin_max.reserve(distinct);
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k == 0 || sorted_vals[k] != sorted_vals[k - 1]) {
+        fb.bin_max.push_back(sorted_vals[k]);
+      }
+    }
+  } else {
+    // Quantile cuts: bin edges at ranks b*n/max_bins, deduplicated so
+    // heavy duplicates collapse into one bin.
+    fb.bin_max.reserve(max_bins);
+    for (std::size_t b = 1; b < max_bins; ++b) {
+      const double edge = sorted_vals[(b * n) / max_bins];
+      if (fb.bin_max.empty() || edge != fb.bin_max.back()) {
+        fb.bin_max.push_back(edge);
+      }
+    }
+    if (fb.bin_max.empty() || sorted_vals.back() != fb.bin_max.back()) {
+      fb.bin_max.push_back(sorted_vals.back());
+    }
+  }
+
+  fb.split_value.resize(fb.bin_max.empty() ? 0 : fb.bin_max.size() - 1);
+  for (std::size_t b = 0; b + 1 < fb.bin_max.size(); ++b) {
+    const double lo = fb.bin_max[b];
+    // Smallest training value of the next bin: the first sorted value
+    // above this bin's edge.
+    const double hi = *std::upper_bound(sorted_vals.begin(),
+                                        sorted_vals.end(), lo);
+    double mid = lo + 0.5 * (hi - lo);
+    if (!(mid < hi)) mid = lo;  // rounding collapse: stay left of hi
+    fb.split_value[b] = mid;
+  }
+  return fb;
+}
+
 HistogramCache::HistogramCache(const Dataset& data, std::size_t max_bins)
     : n_rows_(data.size()),
       features_(data.n_features()),
@@ -47,43 +94,8 @@ HistogramCache::HistogramCache(const Dataset& data, std::size_t max_bins)
     for (std::size_t k = 0; k < n; ++k) vals[k] = data.feature(k, j);
     std::sort(vals.begin(), vals.end());
 
-    FeatureBins& fb = features_[j];
-    std::size_t distinct = n == 0 ? 0 : 1;
-    for (std::size_t k = 1; k < n; ++k) {
-      if (vals[k] != vals[k - 1]) ++distinct;
-    }
-    if (distinct <= max_bins) {
-      // One bin per distinct value: the candidate set (midpoints between
-      // adjacent values) matches the exact-greedy search.
-      fb.bin_max.reserve(distinct);
-      for (std::size_t k = 0; k < n; ++k) {
-        if (k == 0 || vals[k] != vals[k - 1]) fb.bin_max.push_back(vals[k]);
-      }
-    } else {
-      // Quantile cuts: bin edges at ranks b*n/max_bins, deduplicated so
-      // heavy duplicates collapse into one bin.
-      fb.bin_max.reserve(max_bins);
-      for (std::size_t b = 1; b < max_bins; ++b) {
-        const double edge = vals[(b * n) / max_bins];
-        if (fb.bin_max.empty() || edge != fb.bin_max.back()) {
-          fb.bin_max.push_back(edge);
-        }
-      }
-      if (fb.bin_max.empty() || vals.back() != fb.bin_max.back()) {
-        fb.bin_max.push_back(vals.back());
-      }
-    }
-
-    fb.split_value.resize(fb.bin_max.empty() ? 0 : fb.bin_max.size() - 1);
-    for (std::size_t b = 0; b + 1 < fb.bin_max.size(); ++b) {
-      const double lo = fb.bin_max[b];
-      // Smallest training value of the next bin: the first sorted value
-      // above this bin's edge.
-      const double hi = *std::upper_bound(vals.begin(), vals.end(), lo);
-      double mid = lo + 0.5 * (hi - lo);
-      if (!(mid < hi)) mid = lo;  // rounding collapse: stay left of hi
-      fb.split_value[b] = mid;
-    }
+    FeatureQuantiles& fb = features_[j];
+    fb = quantile_bins(vals, max_bins);
 
     std::uint16_t* col = binned_.data() + j * n;
     for (std::size_t k = 0; k < n; ++k) {
@@ -158,7 +170,7 @@ class HistTreeBuilder {
                           double g_sum, double h_sum,
                           double parent_score) const {
     Candidate best;
-    const HistogramCache::FeatureBins& fb = cache_.features_[pool_[s]];
+    const FeatureQuantiles& fb = cache_.features_[pool_[s]];
     const std::size_t n_bins = fb.bin_max.size();
     if (n_bins < 2) return best;
 
@@ -312,7 +324,9 @@ void RegressionTree::fit_gradients(const Dataset& data,
                                    ceal::Rng& rng,
                                    std::vector<double>* out_leaf_values,
                                    const HistogramCache* hist_cache,
-                                   ceal::telemetry::Telemetry* telemetry) {
+                                   ceal::telemetry::Telemetry* telemetry,
+                                   const QuantizedMatrix* quantized_cache,
+                                   QuantizedWorkspace* quantized_ws) {
   CEAL_EXPECT(!row_indices.empty());
   CEAL_EXPECT(gradients.size() == data.size());
   CEAL_EXPECT(hessians.size() == data.size());
@@ -350,6 +364,24 @@ void RegressionTree::fit_gradients(const Dataset& data,
     }
     HistTreeBuilder builder(*this, data, row_indices, gradients, hessians,
                             std::move(feature_pool), *hist_cache, telemetry);
+    builder.run(out_leaf_values);
+  } else if (params_.method == TreeMethod::kQuantized) {
+    CEAL_EXPECT(quantized_cache == nullptr ||
+                (quantized_cache->n_rows() == data.size() &&
+                 quantized_cache->n_features() == data.n_features()));
+    if (telemetry != nullptr) {
+      telemetry->count(quantized_cache != nullptr
+                           ? "tree.quantized_cache.hit"
+                           : "tree.quantized_cache.miss");
+    }
+    std::optional<QuantizedMatrix> local;
+    if (quantized_cache == nullptr) {
+      local.emplace(data, params_.max_bins);
+      quantized_cache = &*local;
+    }
+    QuantizedTreeBuilder builder(*this, row_indices, gradients, hessians,
+                                 std::move(feature_pool), *quantized_cache,
+                                 telemetry, quantized_ws);
     builder.run(out_leaf_values);
   } else {
     std::vector<std::size_t> rows(row_indices.begin(), row_indices.end());

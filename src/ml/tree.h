@@ -37,7 +37,15 @@ namespace ceal::ml {
 ///     feature decomposition, reduction in feature order, ties broken on
 ///     the lowest feature index), but differ from kExact when a feature
 ///     has more distinct values than bins.
-enum class TreeMethod { kExact, kHist };
+///   kQuantized: the same quantile-cut candidate set as kHist (bins
+///     capped at 256 so indices pack into uint8), but trained over a
+///     structure-of-arrays QuantizedMatrix (ml/quantized.h): contiguous
+///     per-feature bin columns, fused gradient/count accumulation,
+///     level-order growth with histogram subtraction, and node-level
+///     parallelism. Same determinism contract as kHist; predictions
+///     agree with kHist within the float error of histogram subtraction
+///     whenever max_bins <= 256.
+enum class TreeMethod { kExact, kHist, kQuantized };
 
 struct TreeParams {
   std::size_t max_depth = 6;
@@ -53,12 +61,31 @@ struct TreeParams {
   double colsample = 1.0;
   /// Split-finding strategy (see TreeMethod).
   TreeMethod method = TreeMethod::kExact;
-  /// Maximum histogram bins per feature (kHist only). 2 <= max_bins <=
-  /// 65536. When a feature has fewer distinct values than bins, each
-  /// value gets its own bin and kHist considers exactly the kExact
-  /// candidate set.
+  /// Maximum histogram bins per feature (kHist/kQuantized). 2 <=
+  /// max_bins <= 65536; kQuantized additionally caps the effective bin
+  /// count at 256 so indices fit a uint8. When a feature has fewer
+  /// distinct values than bins, each value gets its own bin and the
+  /// binned methods consider exactly the kExact candidate set.
   std::size_t max_bins = 256;
 };
+
+/// Quantile binning of one feature: `bin_max[b]` is the largest training
+/// value of bin b (ascending) and `split_value[b]` the candidate
+/// threshold between bins b and b+1, satisfying
+/// max(bin b) <= split_value[b] < min(bin b+1) — so partitioning by bin
+/// index equals partitioning by `value <= split_value[b]`.
+struct FeatureQuantiles {
+  std::vector<double> split_value;  ///< size bin_max.size() - 1
+  std::vector<double> bin_max;
+};
+
+/// Quantile cuts of one feature's sorted values into at most `max_bins`
+/// bins — the single binning rule shared by HistogramCache (kHist) and
+/// QuantizedMatrix (kQuantized), so both methods see the same candidate
+/// thresholds. When the feature has <= max_bins distinct values every
+/// value gets its own bin (the kExact candidate set).
+FeatureQuantiles quantile_bins(std::span<const double> sorted_vals,
+                               std::size_t max_bins);
 
 /// Flattened node for persistence: leaves have left == right == -1 and
 /// carry `weight`; internal nodes carry feature/threshold/children.
@@ -87,21 +114,14 @@ class HistogramCache {
  private:
   friend class HistTreeBuilder;
 
-  struct FeatureBins {
-    /// Candidate threshold between bin b and b+1 (size bin_count - 1).
-    /// Satisfies max(bin b) <= split_value[b] < min(bin b+1), so
-    /// partitioning by bin index equals partitioning by
-    /// `value <= split_value[b]`.
-    std::vector<double> split_value;
-    /// Upper edge (largest training value) of each bin, ascending.
-    std::vector<double> bin_max;
-  };
-
   std::size_t n_rows_ = 0;
-  std::vector<FeatureBins> features_;
+  std::vector<FeatureQuantiles> features_;
   /// Bin index per value, feature-major: binned_[j * n_rows_ + row].
   std::vector<std::uint16_t> binned_;
 };
+
+class QuantizedMatrix;
+struct QuantizedWorkspace;
 
 class RegressionTree {
  public:
@@ -119,6 +139,11 @@ class RegressionTree {
   /// `hist_cache` (kHist only) shares pre-binned features across the
   /// trees of an ensemble; it must have been built on `data` with this
   /// tree's max_bins. When null, kHist bins `data` transiently.
+  /// `quantized_cache` plays the same role for kQuantized
+  /// (ml/quantized.h); when null, kQuantized quantizes `data`
+  /// transiently. `quantized_ws` (kQuantized only) carries the builder's
+  /// scratch buffers across the trees of an ensemble fit; when null each
+  /// tree allocates transient scratch.
   ///
   /// `telemetry` (optional, concurrency-safe) receives split-search
   /// counters: "tree.fits", "tree.split_search.nodes" (one per node whose
@@ -133,7 +158,9 @@ class RegressionTree {
                      std::span<const double> hessians, ceal::Rng& rng,
                      std::vector<double>* out_leaf_values = nullptr,
                      const HistogramCache* hist_cache = nullptr,
-                     ceal::telemetry::Telemetry* telemetry = nullptr);
+                     ceal::telemetry::Telemetry* telemetry = nullptr,
+                     const QuantizedMatrix* quantized_cache = nullptr,
+                     QuantizedWorkspace* quantized_ws = nullptr);
 
   /// Leaf weight for one feature vector.
   double predict(std::span<const double> features) const;
@@ -181,6 +208,7 @@ class RegressionTree {
   std::size_t depth_of(std::int32_t node) const;
 
   friend class HistTreeBuilder;
+  friend class QuantizedTreeBuilder;
 
   TreeParams params_;
   std::vector<Node> nodes_;  // nodes_[0] is the root when fitted

@@ -6,7 +6,7 @@
 #include "core/error.h"
 #include "core/telemetry.h"
 #include "tuner/collector.h"
-#include "tuner/pool_features.h"
+#include "tuner/pool_scorer.h"
 #include "tuner/surrogate.h"
 #include "tuner/tuning_util.h"
 
@@ -25,9 +25,10 @@ TuneResult ActiveLearning::tune(const TuningProblem& problem,
   emit_tune_start(problem, *this, budget_runs);
   telemetry::Telemetry* tel = problem.telemetry;
   const auto& space = problem.workload->workflow.joint_space();
-  // The pool is rescored every iteration; featurize it once.
-  const ml::FeatureMatrix pool_features =
-      featurize_joint(space, problem.pool->configs);
+  // The pool is rescored every iteration: featurized once in the default
+  // cached mode, streamed in blocks when pool_chunk_rows opts in.
+  const PoolScorer pool_scorer(space, problem.pool->configs,
+                               problem.pool_chunk_rows, tel);
 
   const auto warmup = std::max<std::size_t>(
       2, static_cast<std::size_t>(std::llround(
@@ -37,7 +38,7 @@ TuneResult ActiveLearning::tune(const TuningProblem& problem,
   const std::size_t batch_size = std::max<std::size_t>(
       1, (budget_runs - std::min(warmup, budget_runs)) / params_.iterations);
 
-  Surrogate surrogate;
+  Surrogate surrogate(problem.surrogate_gbt);
   std::size_t iteration = 0;
   while (collector.remaining() > 0) {
     const std::size_t req_start = collector.measured_indices().size();
@@ -54,7 +55,7 @@ TuneResult ActiveLearning::tune(const TuningProblem& problem,
     }
     const double fit_s = fit_on_measured(surrogate, collector, rng);
     telemetry::ScopedSpan predict_span(tel, "surrogate.predict");
-    const auto scores = surrogate.predict_many(pool_features);
+    const auto scores = pool_scorer.surrogate_scores(surrogate);
     const double predict_s = predict_span.stop();
     const auto batch = top_unmeasured(scores, collector, batch_size);
     if (batch.empty()) break;
@@ -65,7 +66,7 @@ TuneResult ActiveLearning::tune(const TuningProblem& problem,
 
   fit_on_measured(surrogate, collector, rng);
   telemetry::ScopedSpan final_span(tel, "surrogate.predict");
-  auto scores = surrogate.predict_many(pool_features);
+  auto scores = pool_scorer.surrogate_scores(surrogate);
   final_span.stop();
   return finalize_result(collector, std::move(scores));
 }

@@ -11,7 +11,7 @@
 #include "tuner/checkpoint.h"
 #include "tuner/collector.h"
 #include "tuner/low_fidelity.h"
-#include "tuner/pool_features.h"
+#include "tuner/pool_scorer.h"
 #include "tuner/surrogate.h"
 #include "tuner/tuning_util.h"
 
@@ -45,10 +45,12 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
   telemetry::Telemetry* tel = problem.telemetry;
   emit_tune_start(problem, *this, budget_runs);
 
-  // Every model evaluation below scores the same fixed pool; featurize
-  // it (joint + per-component slices) exactly once.
-  const PoolFeatures pool_features =
-      featurize_pool(workflow, problem.pool->configs);
+  // Every model evaluation below scores the same fixed pool. The scorer
+  // featurizes it (joint + per-component slices) exactly once in the
+  // default cached mode, or streams fixed-size blocks per scoring pass
+  // when the problem opts into bounded memory (pool_chunk_rows > 0).
+  const PoolScorer pool_scorer(workflow, problem.pool->configs,
+                               problem.pool_chunk_rows, tel);
 
   // ---- Phase 1: low-fidelity model via component combination (lines
   // 1-6). Historical samples are free; otherwise m_R is charged.
@@ -64,13 +66,13 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
   telemetry::ScopedSpan components_span(tel, "components.fit");
   auto components = std::make_shared<const ComponentModelSet>(
       workflow, problem.objective, *problem.component_samples,
-      *component_indices, rng);
+      *component_indices, rng, problem.surrogate_gbt);
   const double components_fit_s = components_span.stop();
   const LowFidelityModel low_fidelity(workflow, problem.objective,
                                       components);
   telemetry::ScopedSpan low_score_span(tel, "low_fidelity.score");
   const std::vector<double> low_scores =
-      low_fidelity.score_many(pool_features);
+      pool_scorer.low_fidelity_scores(low_fidelity);
   const double low_score_s = low_score_span.stop();
 
   // ---- Phase 2: high-fidelity model via dynamic ensemble active
@@ -108,8 +110,8 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
     c_meas.insert(c_meas.end(), top.begin(), top.end());
   }
 
-  bool using_high_fidelity = false;  // M = M_L (line 11)
-  Surrogate high_fidelity;           // M_H (line 12)
+  bool using_high_fidelity = false;          // M = M_L (line 11)
+  Surrogate high_fidelity(problem.surrogate_gbt);  // M_H (line 12)
   // Scores that queued the pending batch; fault top-up re-selects from
   // them so each iteration still gains its intended number of usable
   // measurements.
@@ -193,7 +195,7 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
       for (std::size_t b = 0; b < batch_len; ++b) {
         const std::size_t idx = all_indices[batch_start + b];
         batch_high[b] =
-            high_fidelity.predict_features(pool_features.joint.row(idx));
+            high_fidelity.predict_features(pool_scorer.joint_row(idx));
         batch_low[b] = low_scores[idx];
         batch_meas[b] = all_values[batch_start + b];
       }
@@ -206,7 +208,7 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
       std::vector<double> meas_high(all_indices.size());
       for (std::size_t s = 0; s < all_indices.size(); ++s) {
         meas_high[s] = high_fidelity.predict_features(
-            pool_features.joint.row(all_indices[s]));
+            pool_scorer.joint_row(all_indices[s]));
       }
       const std::size_t top_n = std::min<std::size_t>(3, meas_high.size());
       const std::size_t half =
@@ -289,7 +291,7 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
     // Lines 26-27: evaluate the pool with M and queue the next batch.
     if (using_high_fidelity) {
       telemetry::ScopedSpan predict_span(tel, "surrogate.predict");
-      auto high_scores = high_fidelity.predict_many(pool_features.joint);
+      auto high_scores = pool_scorer.surrogate_scores(high_fidelity);
       predict_s = predict_span.stop();
       const auto top = top_unmeasured(high_scores, collector, m_b);
       c_meas.insert(c_meas.end(), top.begin(), top.end());
@@ -335,8 +337,7 @@ TuneResult Ceal::tune(const TuningProblem& problem, std::size_t budget_runs,
   // its single most optimistic extrapolation error wins the argmin; the
   // conjunction suppresses errors that are not shared by both models.
   telemetry::ScopedSpan final_span(tel, "surrogate.predict");
-  std::vector<double> scores =
-      high_fidelity.predict_many(pool_features.joint);
+  std::vector<double> scores = pool_scorer.surrogate_scores(high_fidelity);
   final_span.stop();
   if (params.ensemble_final) {
     for (std::size_t i = 0; i < scores.size(); ++i) {

@@ -161,7 +161,7 @@ TuneResult Geist::tune(const TuningProblem& problem, std::size_t budget_runs,
 
   // Final surrogate for the searcher, trained on everything measured —
   // the same model family all algorithms use (§7.3).
-  Surrogate surrogate;
+  Surrogate surrogate(problem.surrogate_gbt);
   fit_on_measured(surrogate, collector, rng);
   telemetry::ScopedSpan predict_span(tel, "surrogate.predict");
   auto scores = surrogate.predict_many(space, problem.pool->configs);

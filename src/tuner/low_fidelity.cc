@@ -11,7 +11,7 @@ ComponentModelSet::ComponentModelSet(
     const sim::InSituWorkflow& workflow, Objective objective,
     const std::vector<ComponentSamples>& samples,
     const std::vector<std::vector<std::size_t>>& sample_indices,
-    ceal::Rng& rng)
+    ceal::Rng& rng, const ml::GbtParams& gbt)
     : workflow_(&workflow) {
   CEAL_EXPECT(samples.size() == workflow.component_count());
   CEAL_EXPECT(sample_indices.size() == samples.size());
@@ -31,7 +31,7 @@ ComponentModelSet::ComponentModelSet(
       configs.push_back(samples[j].configs[idx]);
       targets.push_back(values[idx]);
     }
-    Surrogate model;
+    Surrogate model(gbt);
     model.fit(space, configs, targets, rng);
     models_.push_back(std::move(model));
   }

@@ -26,12 +26,14 @@ class ComponentModelSet {
   /// Trains a model per component for `objective`, using the component
   /// samples selected by `sample_indices` (one index list per component;
   /// indices address the ComponentSamples arrays). Every component needs
-  /// at least one sample.
-  ComponentModelSet(const sim::InSituWorkflow& workflow, Objective objective,
-                    const std::vector<ComponentSamples>& samples,
-                    const std::vector<std::vector<std::size_t>>&
-                        sample_indices,
-                    ceal::Rng& rng);
+  /// at least one sample. `gbt` configures the per-component boosted
+  /// trees (TuningProblem::surrogate_gbt).
+  ComponentModelSet(
+      const sim::InSituWorkflow& workflow, Objective objective,
+      const std::vector<ComponentSamples>& samples,
+      const std::vector<std::vector<std::size_t>>& sample_indices,
+      ceal::Rng& rng,
+      const ml::GbtParams& gbt = ml::GradientBoostedTrees::surrogate_defaults());
 
   std::size_t component_count() const { return models_.size(); }
 

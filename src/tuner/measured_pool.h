@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "config/config_space.h"
+#include "ml/gbt.h"
 #include "sim/fault_model.h"
 #include "sim/workflow.h"
 #include "sim/workloads.h"
@@ -124,6 +125,17 @@ struct TuningProblem {
   /// session. Normally set through AutoTuner's resumable tune overload
   /// rather than by hand.
   CheckpointSession* checkpoint = nullptr;
+  /// Boosted-tree parameters for every surrogate the tuners train (the
+  /// high-fidelity model and the per-component models). The default is
+  /// the exact trainer the reproduction results are pinned to; large
+  /// pools opt into the quantized trainer and the compiled predictor
+  /// here (`ceal_tune --gbt-backend quantized --compiled-predictor`).
+  ml::GbtParams surrogate_gbt = ml::GradientBoostedTrees::surrogate_defaults();
+  /// When > 0, pool scoring streams featurization in blocks of this
+  /// many rows (tuner/pool_scorer.h) instead of caching the whole
+  /// pool's feature matrices — bounded memory for million-entry pools,
+  /// bitwise-identical scores. 0 (the default) keeps the cached path.
+  std::size_t pool_chunk_rows = 0;
 };
 
 }  // namespace ceal::tuner

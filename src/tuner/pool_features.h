@@ -10,12 +10,17 @@
 // later scoring pass is a pure read of a row-major array.
 #pragma once
 
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "config/config_space.h"
 #include "ml/dataset.h"
 #include "sim/workflow.h"
+
+namespace ceal::telemetry {
+class Telemetry;
+}
 
 namespace ceal::tuner {
 
@@ -41,5 +46,27 @@ PoolFeatures featurize_pool(const sim::InSituWorkflow& workflow,
 ml::FeatureMatrix featurize_joint(
     const config::ConfigSpace& space,
     std::span<const config::Configuration> configs);
+
+/// Streaming counterpart of featurize_pool for pools too large to hold
+/// as one feature matrix: featurizes consecutive blocks of at most
+/// `chunk_rows` configurations (chunk_rows >= 1) into a reusable block
+/// and calls `fn(first, block)` for each, where `first` is the pool
+/// index of the block's row 0. Block rows are bitwise identical to the
+/// corresponding monolithic featurize_pool rows for any thread count.
+/// `telemetry` (nullable) receives the "pool.chunk" span plus
+/// "pool.chunks"/"pool.chunk.rows" counters per block.
+void featurize_pool_chunked(
+    const sim::InSituWorkflow& workflow,
+    std::span<const config::Configuration> configs, std::size_t chunk_rows,
+    const std::function<void(std::size_t, const PoolFeatures&)>& fn,
+    telemetry::Telemetry* telemetry = nullptr);
+
+/// Joint-space-only streaming featurization (same contract as
+/// featurize_pool_chunked, without the per-component slices).
+void featurize_joint_chunked(
+    const config::ConfigSpace& space,
+    std::span<const config::Configuration> configs, std::size_t chunk_rows,
+    const std::function<void(std::size_t, const ml::FeatureMatrix&)>& fn,
+    telemetry::Telemetry* telemetry = nullptr);
 
 }  // namespace ceal::tuner

@@ -34,7 +34,7 @@ TuneResult RandomSearch::tune(const TuningProblem& problem,
                          ok_start, 0.0, 0.0);
   }
 
-  Surrogate surrogate;
+  Surrogate surrogate(problem.surrogate_gbt);
   fit_on_measured(surrogate, collector, rng);
   telemetry::ScopedSpan predict_span(problem.telemetry, "surrogate.predict");
   auto scores = surrogate.predict_many(

@@ -16,6 +16,7 @@ void Surrogate::fit(const config::ConfigSpace& space,
   CEAL_EXPECT(!configs.empty());
   CEAL_EXPECT(configs.size() == targets.size());
   ml::Dataset data(space.dimension());
+  data.reserve(configs.size());
   for (std::size_t i = 0; i < configs.size(); ++i) {
     double y = targets[i];
     CEAL_EXPECT_MSG(std::isfinite(y),

@@ -10,18 +10,55 @@
 
 namespace ceal::tuner {
 
+TopKSelector::TopKSelector(std::size_t k) : k_(k) { heap_.reserve(k); }
+
+void TopKSelector::push(double score, std::size_t index) {
+  if (k_ == 0) return;
+  if (heap_.size() < k_) {
+    heap_.emplace_back(score, index);
+    std::push_heap(heap_.begin(), heap_.end());
+    return;
+  }
+  // (score, index) lexicographic: strictly better than the worst keeper
+  // replaces it; an exact tie keeps the incumbent, matching the stable
+  // argsort's preference for the index seen first.
+  if (std::pair(score, index) < heap_.front()) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.back() = {score, index};
+    std::push_heap(heap_.begin(), heap_.end());
+  }
+}
+
+std::vector<std::size_t> TopKSelector::take() {
+  std::sort(heap_.begin(), heap_.end());
+  std::vector<std::size_t> out;
+  out.reserve(heap_.size());
+  for (const auto& [score, index] : heap_) out.push_back(index);
+  heap_.clear();
+  return out;
+}
+
+std::vector<std::size_t> smallest_k(std::span<const double> scores,
+                                    std::size_t k) {
+  TopKSelector selector(k);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    selector.push(scores[i], i);
+  }
+  return selector.take();
+}
+
 std::vector<std::size_t> top_unmeasured(std::span<const double> scores,
                                         const Collector& collector,
                                         std::size_t count) {
   CEAL_EXPECT(scores.size() == collector.problem().pool->size());
-  const auto order = ceal::argsort(scores);
-  std::vector<std::size_t> out;
-  out.reserve(count);
-  for (const std::size_t idx : order) {
-    if (out.size() == count) break;
-    if (!collector.is_measured(idx)) out.push_back(idx);
+  // The k best unmeasured scores are the first k unmeasured entries of
+  // the full ascending order, so filtering before the bounded selection
+  // matches the old argsort-then-filter walk exactly.
+  TopKSelector selector(count);
+  for (std::size_t idx = 0; idx < scores.size(); ++idx) {
+    if (!collector.is_measured(idx)) selector.push(scores[idx], idx);
   }
-  return out;
+  return selector.take();
 }
 
 std::vector<std::size_t> random_unmeasured(const Collector& collector,

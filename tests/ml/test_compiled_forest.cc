@@ -1,0 +1,161 @@
+// CompiledForest: the flattened predictor must be bitwise identical to
+// the per-tree walk — single rows, batches, any thread-pool width — and
+// the compile_predictor flag must thread through fit(), from_parts(),
+// and the serialized v2 format.
+#include "ml/compiled_forest.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "core/telemetry.h"
+#include "ml/gbt.h"
+#include "ml/serialize.h"
+
+namespace ceal::ml {
+namespace {
+
+Dataset grid_like(std::size_t n, ceal::Rng& rng) {
+  Dataset d(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = static_cast<double>(rng.uniform_int(1, 32));
+    const double b = static_cast<double>(rng.uniform_int(0, 7));
+    const double c = rng.uniform(0.0, 10.0);
+    const double e = rng.uniform(-1.0, 1.0);
+    d.add(std::vector<double>{a, b, c, e},
+          100.0 / a + 5.0 * b + c * c + rng.normal(0.0, 0.3));
+  }
+  return d;
+}
+
+FeatureMatrix matrix_of(const Dataset& d) {
+  FeatureMatrix m(d.n_features(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m.set_row(i, d.row(i));
+  return m;
+}
+
+TEST(CompiledForest, BitwiseEqualToTreeWalk) {
+  ceal::Rng rng(31);
+  const Dataset train = grid_like(200, rng);
+  const Dataset pool = grid_like(400, rng);
+
+  GradientBoostedTrees model(GradientBoostedTrees::surrogate_defaults());
+  ceal::Rng fit_rng(8);
+  model.fit(train, fit_rng);
+  ASSERT_EQ(model.compiled(), nullptr);  // flag off: no compilation
+
+  const CompiledForest forest = CompiledForest::compile(model);
+  EXPECT_EQ(forest.tree_count(), model.tree_count());
+  EXPECT_GT(forest.node_count(), forest.tree_count());
+
+  const auto walk = model.predict_all(pool);
+  const auto flat = forest.predict_dataset(pool);
+  ASSERT_EQ(walk.size(), flat.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    ASSERT_EQ(walk[i], flat[i]) << "row " << i;
+    ASSERT_EQ(model.predict(pool.row(i)), forest.predict(pool.row(i)));
+  }
+
+  const FeatureMatrix m = matrix_of(pool);
+  const auto batched = forest.predict_matrix(m);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    ASSERT_EQ(walk[i], batched[i]);
+  }
+}
+
+TEST(CompiledForest, FitPathCompilesAndRoutesPredictions) {
+  ceal::Rng rng(5);
+  const Dataset train = grid_like(150, rng);
+  const Dataset pool = grid_like(300, rng);
+
+  GbtParams plain_params = GradientBoostedTrees::surrogate_defaults();
+  GbtParams compiled_params = plain_params;
+  compiled_params.compile_predictor = true;
+
+  GradientBoostedTrees plain(plain_params), compiled(compiled_params);
+  ceal::Rng r1(3), r2(3);
+  plain.fit(train, r1);
+  compiled.fit(train, r2);
+  ASSERT_NE(compiled.compiled(), nullptr);
+
+  const auto a = plain.predict_all(pool);
+  const auto b = compiled.predict_all(pool);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "row " << i;
+    ASSERT_EQ(plain.predict(pool.row(i)), compiled.predict(pool.row(i)));
+  }
+
+  // Batch inference over the compiled path reports its own telemetry.
+  telemetry::Telemetry tel;
+  compiled.set_telemetry(&tel);
+  const FeatureMatrix m = matrix_of(pool);
+  const auto c = compiled.predict_matrix(m);
+  for (std::size_t i = 0; i < pool.size(); ++i) ASSERT_EQ(a[i], c[i]);
+  EXPECT_EQ(tel.counter("compiled.predict.rows"), pool.size());
+  EXPECT_EQ(tel.counter("gbt.predict.rows"), pool.size());
+}
+
+TEST(CompiledForest, ThreadCountDeterminism) {
+  ceal::Rng rng(77);
+  const Dataset train = grid_like(150, rng);
+  const Dataset pool = grid_like(2000, rng);  // large enough to fan out
+
+  GbtParams p = GradientBoostedTrees::surrogate_defaults();
+  p.compile_predictor = true;
+  GradientBoostedTrees model(p);
+  ceal::Rng fit_rng(6);
+  model.fit(train, fit_rng);
+
+  ceal::set_global_thread_pool_threads(1);
+  const auto serial = model.predict_all(pool);
+  ceal::set_global_thread_pool_threads(4);
+  const auto pooled = model.predict_all(pool);
+  ceal::set_global_thread_pool_threads(0);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    ASSERT_EQ(serial[i], pooled[i]) << "row " << i;
+  }
+}
+
+TEST(CompiledForest, SerializeRoundTripKeepsCompiledFlag) {
+  ceal::Rng rng(13);
+  const Dataset train = grid_like(120, rng);
+  GbtParams p = GradientBoostedTrees::surrogate_defaults();
+  p.compile_predictor = true;
+  p.tree.method = TreeMethod::kQuantized;
+  GradientBoostedTrees model(p);
+  ceal::Rng fit_rng(2);
+  model.fit(train, fit_rng);
+
+  std::stringstream ss;
+  save_gbt(model, ss, train.n_features());
+  EXPECT_NE(ss.str().find("gbt v2"), std::string::npos);
+  EXPECT_NE(ss.str().find("params quantized"), std::string::npos);
+
+  const LoadedGbt loaded = load_gbt(ss);
+  EXPECT_EQ(loaded.n_features, train.n_features());
+  EXPECT_EQ(loaded.model.params().tree.method, TreeMethod::kQuantized);
+  EXPECT_TRUE(loaded.model.params().compile_predictor);
+  ASSERT_NE(loaded.model.compiled(), nullptr);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    ASSERT_EQ(model.predict(train.row(i)),
+              loaded.model.predict(train.row(i)));
+  }
+}
+
+TEST(CompiledForest, DefaultModelsStillSerializeAsV1) {
+  ceal::Rng rng(14);
+  const Dataset train = grid_like(60, rng);
+  GradientBoostedTrees model(GradientBoostedTrees::surrogate_defaults());
+  ceal::Rng fit_rng(1);
+  model.fit(train, fit_rng);
+  std::stringstream ss;
+  save_gbt(model, ss, train.n_features());
+  EXPECT_NE(ss.str().find("gbt v1"), std::string::npos);
+  EXPECT_EQ(ss.str().find("params "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ceal::ml

@@ -1,0 +1,262 @@
+// Quantized trainer (TreeMethod::kQuantized): equivalence with the kHist
+// trainer within binning tolerance (both search the same ml::quantile_bins
+// candidate set when max_bins <= 256; histogram subtraction introduces at
+// most last-ulp float error), bitwise thread-count determinism, and the
+// shared-cache fast path of the ensemble fit.
+#include "ml/quantized.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/error.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "core/stats.h"
+#include "core/telemetry.h"
+#include "ml/gbt.h"
+#include "ml/metrics.h"
+#include "ml/tree.h"
+
+namespace ceal::ml {
+namespace {
+
+/// Surrogate-shaped synthetic task: features on tuning-parameter-like
+/// grids, target with multiplicative structure plus noise.
+Dataset tuning_like(std::size_t n, ceal::Rng& rng) {
+  Dataset d(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double procs = static_cast<double>(rng.uniform_int(1, 64));
+    const double ppn = static_cast<double>(rng.uniform_int(1, 8));
+    const double freq = static_cast<double>(rng.uniform_int(1, 10));
+    const double block = static_cast<double>(rng.uniform_int(16, 256));
+    const double aux = rng.uniform(0.0, 1.0);
+    const double y = 800.0 / procs + 12.0 * freq + 0.05 * block +
+                     3.0 * ppn + aux + rng.normal(0.0, 0.5);
+    d.add(std::vector<double>{procs, ppn, freq, block, aux}, y);
+  }
+  return d;
+}
+
+GbtParams method_params(TreeMethod method) {
+  GbtParams p = GradientBoostedTrees::surrogate_defaults();
+  p.tree.method = method;
+  return p;
+}
+
+TEST(QuantizedMatrix, BinsMatchHistCandidateSet) {
+  ceal::Rng rng(5);
+  Dataset d(3);
+  for (std::size_t i = 0; i < 400; ++i) {
+    d.add(std::vector<double>{rng.uniform(-2.0, 2.0),
+                              static_cast<double>(rng.uniform_int(0, 9)),
+                              rng.uniform(0.0, 100.0)},
+          0.0);
+  }
+  const QuantizedMatrix qm(d, 64);
+  for (std::size_t j = 0; j < d.n_features(); ++j) {
+    // Recompute the reference cuts straight from ml::quantile_bins.
+    std::vector<double> vals(d.size());
+    for (std::size_t k = 0; k < d.size(); ++k) vals[k] = d.feature(k, j);
+    std::sort(vals.begin(), vals.end());
+    const FeatureQuantiles fq = quantile_bins(vals, 64);
+    ASSERT_EQ(qm.bin_count(j), fq.bin_max.size());
+    for (std::size_t b = 0; b + 1 < fq.bin_max.size(); ++b) {
+      EXPECT_EQ(qm.split_value(j, b), fq.split_value[b]);
+    }
+    // Sandwich property: partitioning by bin index equals partitioning
+    // by value <= split_value[b].
+    const std::uint8_t* col = qm.column(j);
+    for (std::size_t k = 0; k < d.size(); ++k) {
+      const double v = d.feature(k, j);
+      for (std::size_t b = 0; b + 1 < fq.bin_max.size(); ++b) {
+        EXPECT_EQ(col[k] <= b, v <= fq.split_value[b])
+            << "feature " << j << " row " << k << " bin " << b;
+      }
+    }
+  }
+}
+
+TEST(QuantizedMatrix, CapsBinsAt256) {
+  ceal::Rng rng(17);
+  Dataset d(1);
+  for (std::size_t i = 0; i < 2000; ++i) {
+    d.add(std::vector<double>{rng.uniform(0.0, 1.0)}, 0.0);
+  }
+  const QuantizedMatrix qm(d, 4096);  // uint8 columns cap at 256 bins
+  EXPECT_LE(qm.bin_count(0), 256u);
+  EXPECT_GE(qm.bin_count(0), 200u);
+}
+
+TEST(TreeQuantized, MatchesHistWithinBinningTolerance) {
+  // Same candidate thresholds (shared quantile_bins) + same gain/tie
+  // rules means the two trainers grow the same trees up to the last-ulp
+  // differences histogram subtraction introduces in g sums.
+  ceal::Rng rng(42);
+  const Dataset train = tuning_like(300, rng);
+  const Dataset pool = tuning_like(500, rng);
+
+  GradientBoostedTrees hist(method_params(TreeMethod::kHist));
+  GradientBoostedTrees quant(method_params(TreeMethod::kQuantized));
+  ceal::Rng r1(7), r2(7);
+  hist.fit(train, r1);
+  quant.fit(train, r2);
+
+  const auto hist_pred = hist.predict_all(pool);
+  const auto quant_pred = quant.predict_all(pool);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const double scale = std::max(1.0, std::abs(hist_pred[i]));
+    EXPECT_NEAR(hist_pred[i], quant_pred[i], 1e-6 * scale) << "row " << i;
+  }
+
+  // And the ranking quality the tuners consume must be indistinguishable
+  // from kHist (the kHist suite separately pins hist against exact).
+  const auto truth = pool.targets();
+  EXPECT_EQ(recall_score_percent(10, hist_pred, truth),
+            recall_score_percent(10, quant_pred, truth));
+  EXPECT_LE(std::abs(ceal::mdape_percent(truth, hist_pred) -
+                     ceal::mdape_percent(truth, quant_pred)),
+            0.1);
+}
+
+TEST(TreeQuantized, SubsampleAndColsamplePathsStayConsistent) {
+  ceal::Rng rng(9);
+  const Dataset train = tuning_like(250, rng);
+
+  GbtParams p = method_params(TreeMethod::kQuantized);
+  p.subsample = 0.7;       // exercises the untrained-row NaN path
+  p.tree.colsample = 0.6;  // exercises the sampled feature pool
+
+  GradientBoostedTrees model(p);
+  ceal::Rng fit_rng(3);
+  model.fit(train, fit_rng);
+  const auto batched = model.predict_all(train);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    ASSERT_EQ(batched[i], model.predict(train.row(i)));
+    ASSERT_TRUE(std::isfinite(batched[i]));
+  }
+  // The fitted model explains the training data far better than the
+  // constant baseline.
+  EXPECT_LT(ceal::rmse(train.targets(), batched),
+            0.5 * ceal::stddev(train.targets()));
+}
+
+TEST(TreeQuantized, LeafValuesMatchPredictions) {
+  ceal::Rng rng(21);
+  const Dataset train = tuning_like(120, rng);
+  std::vector<double> g(train.size()), h(train.size(), 1.0);
+  std::vector<std::size_t> rows(train.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    g[i] = -train.target(i);
+    rows[i] = i;
+  }
+  TreeParams p;
+  p.method = TreeMethod::kQuantized;
+  p.max_depth = 4;
+  RegressionTree tree(p);
+  ceal::Rng fit_rng(2);
+  std::vector<double> leaf_values(train.size(),
+                                  std::numeric_limits<double>::quiet_NaN());
+  tree.fit_gradients(train, rows, g, h, fit_rng, &leaf_values);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    ASSERT_EQ(leaf_values[i], tree.predict(train.row(i))) << "row " << i;
+  }
+}
+
+TEST(TreeQuantized, NonUnitHessiansUseTheGeneralPath) {
+  // h != 1 disables the count-as-hessian shortcut; the grown tree must
+  // still satisfy min_child_weight against the true hessian sums.
+  ceal::Rng rng(33);
+  const Dataset train = tuning_like(150, rng);
+  std::vector<double> g(train.size()), h(train.size());
+  std::vector<std::size_t> rows(train.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    g[i] = -train.target(i);
+    h[i] = 0.5 + 0.01 * static_cast<double>(i % 7);
+    rows[i] = i;
+  }
+  TreeParams p;
+  p.method = TreeMethod::kQuantized;
+  p.min_child_weight = 5.0;
+  RegressionTree tree(p);
+  ceal::Rng fit_rng(4);
+  tree.fit_gradients(train, rows, g, h, fit_rng);
+  EXPECT_GT(tree.leaf_count(), 1u);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(tree.predict(train.row(i))));
+  }
+}
+
+TEST(TreeQuantized, SharedCacheMatchesTransientAndCountsHits) {
+  ceal::Rng rng(12);
+  const Dataset train = tuning_like(100, rng);
+  std::vector<double> g(train.size()), h(train.size(), 1.0);
+  std::vector<std::size_t> rows(train.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    g[i] = -train.target(i);
+    rows[i] = i;
+  }
+  TreeParams p;
+  p.method = TreeMethod::kQuantized;
+
+  const QuantizedMatrix cache(train, p.max_bins);
+  telemetry::Telemetry tel;
+  RegressionTree cached(p), transient(p);
+  ceal::Rng r1(6), r2(6);
+  cached.fit_gradients(train, rows, g, h, r1, nullptr, nullptr, &tel,
+                       &cache);
+  transient.fit_gradients(train, rows, g, h, r2, nullptr, nullptr, &tel);
+  EXPECT_EQ(tel.counter("tree.quantized_cache.hit"), 1u);
+  EXPECT_EQ(tel.counter("tree.quantized_cache.miss"), 1u);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    ASSERT_EQ(cached.predict(train.row(i)), transient.predict(train.row(i)));
+  }
+}
+
+TEST(TreeQuantized, ConstantFeaturesAndTinyDataStayValid) {
+  Dataset d(2);
+  d.add(std::vector<double>{1.0, 5.0}, 2.0);
+  d.add(std::vector<double>{1.0, 5.0}, 4.0);
+  GbtParams p = method_params(TreeMethod::kQuantized);
+  p.n_rounds = 5;
+  GradientBoostedTrees model(p);
+  ceal::Rng rng(2);
+  model.fit(d, rng);  // no split possible anywhere: all-leaf trees
+  EXPECT_NEAR(model.predict(d.row(0)), 3.0, 1.0);
+}
+
+TEST(TreeQuantized, ThreadCountDeterminism) {
+  ceal::Rng data_rng(123);
+  const Dataset train = tuning_like(300, data_rng);
+  const Dataset pool = tuning_like(500, data_rng);
+
+  GbtParams params = method_params(TreeMethod::kQuantized);
+  params.subsample = 0.8;
+
+  std::vector<std::vector<double>> results;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ceal::set_global_thread_pool_threads(threads);
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      GradientBoostedTrees model(params);
+      ceal::Rng fit_rng(99);
+      model.fit(train, fit_rng);
+      std::vector<double> batched = model.predict_all(pool);
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        ASSERT_EQ(batched[i], model.predict(pool.row(i)));
+      }
+      results.push_back(std::move(batched));
+    }
+  }
+  ceal::set_global_thread_pool_threads(0);
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    for (std::size_t i = 0; i < results[0].size(); ++i) {
+      ASSERT_EQ(results[0][i], results[r][i])
+          << "row " << i << " differs between run 0 and run " << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ceal::ml

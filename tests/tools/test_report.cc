@@ -87,6 +87,44 @@ TEST(BenchMetrics, MedianAggregateSuppressesPerRepetitionEntries) {
   EXPECT_DOUBLE_EQ(m.at("bench.BM_Fit.real_time"), 12.5);
 }
 
+TEST(BenchMetrics, CustomCountersBecomeMetricsButBookkeepingDoesNot) {
+  const json::Value root = json::Value::parse(
+      R"({"benchmarks":[)"
+      R"({"name":"BM_Pool/1024","run_type":"iteration",)"
+      R"("repetitions":1,"repetition_index":0,"threads":1,)"
+      R"("family_index":0,"per_family_instance_index":0,)"
+      R"("iterations":50,"real_time":9.0,"cpu_time":8.0,)"
+      R"("time_unit":"ms","items_per_second":113777.0,)"
+      R"("recall_at_64":0.984,"peak_rss_mb":91.5}]})");
+  MetricMap m;
+  add_bench_metrics(root, m);
+  // The two times plus the three custom counters; iterations, thread
+  // counts, and family indices are bookkeeping, not metrics.
+  EXPECT_EQ(m.size(), 5u);
+  EXPECT_DOUBLE_EQ(m.at("bench.BM_Pool/1024.items_per_second"), 113777.0);
+  EXPECT_DOUBLE_EQ(m.at("bench.BM_Pool/1024.recall_at_64"), 0.984);
+  EXPECT_DOUBLE_EQ(m.at("bench.BM_Pool/1024.peak_rss_mb"), 91.5);
+  EXPECT_EQ(m.count("bench.BM_Pool/1024.iterations"), 0u);
+  EXPECT_EQ(m.count("bench.BM_Pool/1024.threads"), 0u);
+}
+
+TEST(BenchMetrics, CealHeaderPeakRssIsMaxAcrossFiles) {
+  MetricMap m;
+  add_bench_metrics(json::Value::parse(
+                        R"({"ceal":{"peak_rss_mb":120.0},"benchmarks":[]})"),
+                    m);
+  add_bench_metrics(json::Value::parse(
+                        R"({"ceal":{"peak_rss_mb":80.0},"benchmarks":[]})"),
+                    m);
+  EXPECT_DOUBLE_EQ(m.at("bench.ceal.peak_rss_mb"), 120.0);
+  // Platforms without getrusage report 0: no metric then.
+  MetricMap none;
+  add_bench_metrics(json::Value::parse(
+                        R"({"ceal":{"peak_rss_mb":0.0},"benchmarks":[]})"),
+                    none);
+  EXPECT_EQ(none.count("bench.ceal.peak_rss_mb"), 0u);
+}
+
 TEST(BenchMetrics, NonBenchDocumentsAreRecognised) {
   EXPECT_FALSE(is_bench_json(json::Value::parse(R"({"event":"x"})")));
   EXPECT_FALSE(is_bench_json(json::Value::parse("[1]")));
@@ -111,6 +149,30 @@ TEST(Compare, DirectionDependsOnTheMetricName) {
     EXPECT_FALSE(row.regression) << row.name;
     EXPECT_TRUE(row.improvement) << row.name;
   }
+}
+
+TEST(Compare, BenchCountersAreDirectionAware) {
+  // Throughput (configs/sec) and recall are higher-better: a drop is
+  // the regression. Peak RSS is lower-better: growth is the regression.
+  const MetricMap base{{"bench.BM_Pool/1024.items_per_second", 100000.0},
+                       {"bench.BM_Pool/1024.recall_at_64", 1.0},
+                       {"bench.ceal.peak_rss_mb", 100.0}};
+  const MetricMap worse{{"bench.BM_Pool/1024.items_per_second", 70000.0},
+                        {"bench.BM_Pool/1024.recall_at_64", 0.5},
+                        {"bench.ceal.peak_rss_mb", 140.0}};
+  for (const auto& row : compare(base, worse, 0.1)) {
+    EXPECT_TRUE(row.regression) << row.name;
+    EXPECT_FALSE(row.improvement) << row.name;
+  }
+  const MetricMap better{{"bench.BM_Pool/1024.items_per_second", 140000.0},
+                         {"bench.BM_Pool/1024.recall_at_64", 1.0},
+                         {"bench.ceal.peak_rss_mb", 60.0}};
+  std::size_t improved = 0;
+  for (const auto& row : compare(base, better, 0.1)) {
+    EXPECT_FALSE(row.regression) << row.name;
+    improved += row.improvement ? 1 : 0;
+  }
+  EXPECT_EQ(improved, 2u);  // recall was already at its ceiling
 }
 
 TEST(Compare, WithinToleranceIsNeither) {

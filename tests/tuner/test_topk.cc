@@ -1,0 +1,129 @@
+// Bounded top-k selection (tuner/tuning_util.h) versus the full-sort
+// reference it replaced: smallest_k must equal the first k entries of
+// ceal::argsort for any score vector — including heavy ties, where the
+// stable sort's lower-index preference is the contract — and
+// top_unmeasured must equal the old argsort-then-filter walk.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/stats.h"
+#include "sim/workloads.h"
+#include "tuner/collector.h"
+#include "tuner/tuning_util.h"
+
+namespace ceal::tuner {
+namespace {
+
+/// The reference the bounded path must reproduce bit for bit.
+std::vector<std::size_t> argsort_prefix(const std::vector<double>& scores,
+                                        std::size_t k) {
+  auto order = ceal::argsort(scores);
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+TEST(SmallestK, MatchesArgsortPrefixOnRandomScores) {
+  ceal::Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> scores(200);
+    for (double& s : scores) s = rng.uniform(0.0, 1.0);
+    for (const std::size_t k : {std::size_t{1}, std::size_t{7},
+                                std::size_t{64}, scores.size(),
+                                scores.size() + 10}) {
+      EXPECT_EQ(smallest_k(scores, k), argsort_prefix(scores, k))
+          << "trial " << trial << " k " << k;
+    }
+  }
+}
+
+TEST(SmallestK, HeavyTiesBreakTowardsTheLowerIndex) {
+  // Only three distinct values over 300 entries: almost every comparison
+  // the heap makes is a tie, so any deviation from the stable sort's
+  // lower-index preference shows up immediately.
+  ceal::Rng rng(5);
+  std::vector<double> scores(300);
+  for (double& s : scores) {
+    s = static_cast<double>(rng.uniform_u64(3));
+  }
+  for (const std::size_t k : {std::size_t{1}, std::size_t{50},
+                              std::size_t{299}, scores.size()}) {
+    EXPECT_EQ(smallest_k(scores, k), argsort_prefix(scores, k)) << "k " << k;
+  }
+}
+
+TEST(SmallestK, AllEqualScoresSelectTheFirstKIndices) {
+  const std::vector<double> scores(64, 1.5);
+  const auto got = smallest_k(scores, 8);
+  const std::vector<std::size_t> expected{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(TopKSelector, ZeroKKeepsNothing) {
+  TopKSelector selector(0);
+  selector.push(1.0, 0);
+  selector.push(0.0, 1);
+  EXPECT_EQ(selector.size(), 0u);
+  EXPECT_TRUE(selector.take().empty());
+}
+
+TEST(TopKSelector, StreamedPushesInAnyOrderSortByScoreThenIndex) {
+  // Indices arrive shuffled (a chunked pool scan visits chunks in order
+  // but a test may not); the kept set and its ordering must not depend
+  // on arrival order as long as each index arrives once.
+  ceal::Rng rng(99);
+  std::vector<double> scores(150);
+  for (double& s : scores) {
+    s = static_cast<double>(rng.uniform_u64(5));
+  }
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto arrival = rng.permutation(scores.size());
+    TopKSelector selector(20);
+    for (const std::size_t i : arrival) selector.push(scores[i], i);
+    EXPECT_EQ(selector.take(), argsort_prefix(scores, 20)) << trial;
+  }
+}
+
+TEST(TopKSelector, TakeLeavesTheSelectorReusable) {
+  TopKSelector selector(2);
+  selector.push(3.0, 0);
+  selector.push(1.0, 1);
+  selector.push(2.0, 2);
+  const std::vector<std::size_t> first{1, 2};
+  EXPECT_EQ(selector.take(), first);
+  selector.push(5.0, 7);
+  const std::vector<std::size_t> second{7};
+  EXPECT_EQ(selector.take(), second);
+}
+
+TEST(TopUnmeasured, EqualsArgsortThenFilterWithTies) {
+  sim::Workload wl = sim::make_lv();
+  MeasuredPool pool = measure_pool(wl.workflow, 60, 1);
+  auto comps = measure_components(wl.workflow, 10, 2);
+  TuningProblem problem{&wl, Objective::kExecTime, &pool, &comps, false, {}};
+  Collector col(problem, 20);
+  for (const std::size_t idx : {0, 3, 4, 10, 59}) col.measure(idx);
+
+  ceal::Rng rng(7);
+  std::vector<double> scores(pool.size());
+  for (double& s : scores) {
+    s = static_cast<double>(rng.uniform_u64(4));
+  }
+  for (const std::size_t count : {std::size_t{1}, std::size_t{8},
+                                  pool.size()}) {
+    // Reference: full stable argsort, then drop measured indices.
+    std::vector<std::size_t> expected;
+    for (const std::size_t idx : ceal::argsort(scores)) {
+      if (!col.is_measured(idx)) expected.push_back(idx);
+      if (expected.size() == count) break;
+    }
+    EXPECT_EQ(top_unmeasured(scores, col, count), expected)
+        << "count " << count;
+  }
+}
+
+}  // namespace
+}  // namespace ceal::tuner

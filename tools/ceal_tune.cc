@@ -20,6 +20,7 @@
 #include "core/journal.h"
 #include "core/table.h"
 #include "core/telemetry.h"
+#include "ml/gbt.h"
 #include "ml/serialize.h"
 #include "tools/args.h"
 #include "tools/common.h"
@@ -41,6 +42,8 @@ std::string hex(double v) {
 
 constexpr const char* kUsage =
     "--workflow LV|HS|GP --objective exec|comp --budget N\n"
+    "\n"
+    "tuning:\n"
     "  [--algorithm CEAL|AL|RS|GEIST|ALpH|BO|BO-CEAL]  (default CEAL)\n"
     "  [--history]              treat component samples as free history\n"
     "  [--replications N]       N>1: evaluate instead of one session\n"
@@ -51,17 +54,40 @@ constexpr const char* kUsage =
     "  [--load-pool FILE] [--save-pool FILE]  pool CSV persistence\n"
     "  [--save-model FILE]      persist a surrogate fitted on the session\n"
     "  [--explain]              print the recommendation's cost breakdown\n"
+    "\n"
+    "fault model:\n"
     "  [--fault-rate P]         per-attempt failure probability (default 0)\n"
     "  [--outlier-rate P]       heavy-tail outlier probability (default 0)\n"
     "  [--deadline S]           censor runs longer than S seconds\n"
     "  [--max-attempts N]       measurement retries per config (default 1)\n"
+    "\n"
+    "checkpoint:\n"
     "  [--checkpoint DIR]       journal the session to DIR/journal.cealj\n"
     "  [--resume]               resume the journaled session in DIR\n"
     "  [--save-result FILE]     write an exact (hex-float) result CSV\n"
+    "\n"
+    "observability:\n"
     "  [--trace FILE]           stream JSONL trace events to FILE\n"
     "  [--metrics-summary]      print the telemetry counter/span table\n"
     "  [--quiet]                suppress the session report\n"
-    "  [--verbose]              echo trace events to stderr";
+    "  [--verbose]              echo trace events to stderr\n"
+    "\n"
+    "performance (docs/PERFORMANCE.md):\n"
+    "  [--gbt-backend exact|hist|quantized]  surrogate trainer\n"
+    "                           (default exact, the pinned-results path)\n"
+    "  [--gbt-bins N]           histogram/quantized bins (default 256)\n"
+    "  [--compiled-predictor]   flatten trained trees for batch inference\n"
+    "  [--pool-chunk N]         stream pool scoring in N-row blocks\n"
+    "                           (bounded memory; default 0 = cache)";
+
+ceal::ml::TreeMethod backend_by_name(const std::string& name) {
+  if (name == "exact") return ceal::ml::TreeMethod::kExact;
+  if (name == "hist") return ceal::ml::TreeMethod::kHist;
+  if (name == "quantized") return ceal::ml::TreeMethod::kQuantized;
+  std::cerr << "unknown --gbt-backend: " << name
+            << " (expected exact|hist|quantized)\n";
+  std::exit(2);
+}
 
 }  // namespace
 
@@ -101,6 +127,11 @@ int main(int argc, char** argv) {
   const bool metrics_summary = args.flag("metrics-summary");
   const bool quiet = args.flag("quiet");
   const bool verbose = args.flag("verbose");
+  const auto gbt_backend = args.option("gbt-backend", "exact");
+  const auto gbt_bins = static_cast<std::size_t>(args.integer("gbt-bins", 256));
+  const bool compiled_predictor = args.flag("compiled-predictor");
+  const auto pool_chunk =
+      static_cast<std::size_t>(args.integer("pool-chunk", 0));
   args.finish();
 
   if (budget == 0) {
@@ -144,6 +175,17 @@ int main(int argc, char** argv) {
   problem.measurement.faults.deadline_s = deadline;
   problem.measurement.max_attempts = std::max<std::size_t>(1, max_attempts);
   problem.measurement.faults.validate();
+
+  // Performance knobs (all default to the pinned reproduction path: exact
+  // trainer, tree-walk predictor, cached pool featurization).
+  if (gbt_bins == 0) {
+    std::cerr << "--gbt-bins must be >= 1\n";
+    return 2;
+  }
+  problem.surrogate_gbt.tree.method = backend_by_name(gbt_backend);
+  problem.surrogate_gbt.tree.max_bins = gbt_bins;
+  problem.surrogate_gbt.compile_predictor = compiled_predictor;
+  problem.pool_chunk_rows = pool_chunk;
 
   // Observability: any of --trace / --verbose / --metrics-summary attaches
   // a Telemetry to the session. Tracing never writes to stdout, so seeded
@@ -312,8 +354,7 @@ int main(int argc, char** argv) {
       data.add(space.features(pool.configs[i]),
                std::log(pool.measured(objective)[i]));
     }
-    ml::GradientBoostedTrees model(
-        ml::GradientBoostedTrees::surrogate_defaults());
+    ml::GradientBoostedTrees model(problem.surrogate_gbt);
     Rng model_rng(seed + 1);
     model.fit(data, model_rng);
     ml::save_gbt_file(model, save_model, space.dimension());

@@ -11,8 +11,12 @@
 //    are computed from those sums.
 //  * google-benchmark JSON files (`BENCH_*.json` from bench/): each
 //    benchmark's cpu/real time becomes "bench.<name>.cpu_time" /
-//    ".real_time", preferring the `_median` aggregate when repetitions
-//    were run.
+//    ".real_time", and every custom numeric counter (state.counters,
+//    items_per_second, ...) becomes "bench.<name>.<counter>",
+//    preferring the `_median` aggregate when repetitions were run.
+//    The "ceal" metadata header annotate_bench_json() adds contributes
+//    "bench.ceal.peak_rss_mb" (max across files — RSS is a high-water
+//    mark, so the max is the honest aggregate).
 //
 // compare() evaluates current vs baseline per metric with a relative
 // tolerance; whether a delta is a regression depends on the metric's
@@ -21,6 +25,7 @@
 // never regressions — runs may legitimately differ in coverage.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <map>
@@ -36,12 +41,14 @@ namespace ceal::tools::report {
 using MetricMap = std::map<std::string, double>;
 
 /// Direction of goodness, by naming convention: throughputs
-/// ("*_per_s") improve upward, everything else (counts, seconds,
-/// rates) is treated as lower-better. Pure-count metrics rarely
-/// regress meaningfully, but treating growth as suspect errs on the
-/// loud side.
+/// (trace "*_per_s", google-benchmark "*_per_second") and recall
+/// fractions (bench_pool_scale's recall_at_64) improve upward,
+/// everything else (counts, seconds, bytes, rates) is treated as
+/// lower-better. Pure-count metrics rarely regress meaningfully, but
+/// treating growth as suspect errs on the loud side.
 inline bool higher_is_better(std::string_view name) {
-  return name.ends_with("_per_s");
+  return name.ends_with("_per_s") || name.ends_with("_per_second") ||
+         name.find("recall") != std::string_view::npos;
 }
 
 /// Baselines smaller than this are noise; comparing against them would
@@ -134,10 +141,22 @@ inline bool is_bench_json(const json::Value& root) {
   return root.is_object() && root.contains("benchmarks");
 }
 
-/// Extracts "bench.<name>.cpu_time" / ".real_time" metrics. With
+/// Bookkeeping keys google-benchmark writes on every entry; numeric
+/// members outside this set are the benchmark's own counters
+/// (state.counters, items_per_second from SetItemsProcessed, ...).
+inline bool is_standard_bench_key(std::string_view key) {
+  return key == "repetitions" || key == "repetition_index" ||
+         key == "threads" || key == "iterations" || key == "family_index" ||
+         key == "per_family_instance_index";
+}
+
+/// Extracts "bench.<name>.cpu_time" / ".real_time" plus one
+/// "bench.<name>.<counter>" metric per custom numeric counter. With
 /// --benchmark_repetitions the file carries per-repetition entries plus
 /// aggregates; only the `median` aggregate is used then (repetition
-/// noise is exactly what the median is there to suppress).
+/// noise is exactly what the median is there to suppress). The
+/// top-level "ceal" header (bench/common.h annotate_bench_json)
+/// contributes "bench.ceal.peak_rss_mb" as a max across ingested files.
 inline void add_bench_metrics(const json::Value& root, MetricMap& out) {
   const json::Value& benchmarks = root.at("benchmarks");
   bool has_median = false;
@@ -156,11 +175,19 @@ inline void add_bench_metrics(const json::Value& root, MetricMap& out) {
     const json::Value* name = b.find(has_median ? "run_name" : "name");
     if (name == nullptr) name = b.find("name");
     if (name == nullptr) continue;
-    if (const json::Value* t = b.find("cpu_time")) {
-      out["bench." + name->as_string() + ".cpu_time"] = t->as_double();
+    for (const auto& [key, value] : b.members()) {
+      if (value.kind() != json::Value::Kind::kNumber) continue;
+      if (is_standard_bench_key(key)) continue;
+      out["bench." + name->as_string() + "." + key] = value.as_double();
     }
-    if (const json::Value* t = b.find("real_time")) {
-      out["bench." + name->as_string() + ".real_time"] = t->as_double();
+  }
+  if (const json::Value* meta = root.find("ceal")) {
+    if (const json::Value* rss = meta->find("peak_rss_mb")) {
+      if (rss->kind() == json::Value::Kind::kNumber &&
+          rss->as_double() > 0.0) {
+        double& slot = out["bench.ceal.peak_rss_mb"];
+        slot = std::max(slot, rss->as_double());
+      }
     }
   }
 }

@@ -106,7 +106,11 @@ echo "== tier-1: micro benches + ceal_report regression gate =="
 # Cheap micro benches write BENCH_*.json (with the common metadata
 # header) into .ceal-bench/current alongside the fig5 trace; ceal_report
 # summarises and — when .ceal-bench/baseline exists from an earlier pass
-# — gates span totals and bench times against it. Wall clocks on a
+# — gates span totals, bench times, and the custom counters
+# (configs/sec, recall_at_64, peak RSS) against it. The pool-scale
+# sweep is capped at 16k configs here (CEAL_POOL_SCALE_MAX) so the
+# stage stays seconds, not minutes; a full 1M-row validation run is a
+# manual `bench_pool_scale` invocation (docs/PERFORMANCE.md). Wall clocks on a
 # loaded single-core box are noisy, so the bench gate uses repetition
 # medians and generous tolerances; the deterministic counters in the
 # trace metrics are what regressions usually show up in first.
@@ -120,7 +124,11 @@ export CEAL_TELEMETRY_OVERHEAD_TOL="${CEAL_TELEMETRY_OVERHEAD_TOL:-0.15}"
        > bench_micro_ml.log \
   && ../../build/bench/bench_micro_telemetry --benchmark_min_time=0.05 \
        --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
-       > bench_micro_telemetry.log)
+       > bench_micro_telemetry.log \
+  && CEAL_POOL_SCALE_MAX="${CEAL_POOL_SCALE_MAX:-16384}" \
+     ../../build/bench/bench_pool_scale --benchmark_min_time=0.05 \
+       --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+       > bench_pool_scale.log)
 cp "$trace_dir/a.jsonl" "$bench_dir/current/fig5_trace.jsonl"
 if [[ -d "$bench_dir/baseline" ]]; then
   ./build/tools/ceal_report --current "$bench_dir/current" \
@@ -164,7 +172,7 @@ if [[ "$with_tsan" == 1 ]]; then
   cmake -B "$dir" -S . -DCEAL_SANITIZE=thread >/dev/null
   cmake --build "$dir" -j "$jobs" --target unit_tests system_tests
   ctest --test-dir "$dir" --output-on-failure -j "$jobs" -L tier1 \
-    -R 'Telemetry|ThreadPool|Trace|Parallel'
+    -R 'Telemetry|ThreadPool|Trace|Parallel|Quantized|Compiled|PoolScorer'
 fi
 
 echo "tier-1 OK (plain + asan + ubsan$([[ "$with_tsan" == 1 ]] && echo ' + tsan'))"
