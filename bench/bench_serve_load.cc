@@ -1,0 +1,154 @@
+// Load benchmark of the serving layer: hundreds of interleaved tuning
+// sessions multiplexed through one ServerCore, stepped round-robin the
+// way a real `ceal_serve` deployment interleaves clients. Reports the
+// p50/p99 latency of a single `session.step` request (including the
+// protocol parse) and the sustained stepping throughput as custom
+// counters, which ceal_report extracts as bench.<name>.step_p50_ms etc.
+//
+// The acceptance bar for the serving layer is that it sustains >= 200
+// concurrently open sessions; the benchmark opens 240.
+//
+// Besides the console table, the run writes machine-readable results to
+// BENCH_serve_load.json in the working directory.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/json.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace ceal;
+
+// Small per-session problems: the benchmark stresses the multiplexing
+// layer, not the tuners. Every 8th session runs CEAL (surrogate fits
+// make its steps much heavier than RS measurement steps), so the
+// p50/p99 spread reflects a realistically mixed session population.
+constexpr std::size_t kBudget = 6;
+constexpr std::size_t kPoolSize = 60;
+constexpr std::size_t kComponentSamples = 30;
+
+std::string create_line(std::size_t i) {
+  std::ostringstream os;
+  os << "{\"op\":\"session.create\",\"id\":\"load-" << i
+     << "\",\"workflow\":\"LV\",\"objective\":\"exec\",\"budget\":"
+     << kBudget << ",\"algorithm\":\"" << (i % 8 == 0 ? "CEAL" : "RS")
+     << "\",\"seed\":" << 1000 + i << ",\"pool_size\":" << kPoolSize
+     << ",\"pool_seed\":1,\"component_samples\":" << kComponentSamples
+     << "}";
+  return os.str();
+}
+
+/// Nearest-rank percentile of an unsorted sample (p in [0, 100]).
+double percentile(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const double rank = std::ceil(p / 100.0 * sample.size());
+  const std::size_t index =
+      std::min(sample.size() - 1,
+               static_cast<std::size_t>(std::max(rank - 1.0, 0.0)));
+  return sample[index];
+}
+
+void expect_ok(const std::string& response_line) {
+  const json::Value response = json::Value::parse(response_line);
+  if (!response.at("ok").as_bool()) {
+    throw std::runtime_error("serve request failed: " + response_line);
+  }
+}
+
+void BM_ServeInterleavedSessions(benchmark::State& state) {
+  const std::size_t sessions = static_cast<std::size_t>(state.range(0));
+  std::vector<double> step_ms;
+  std::size_t total_steps = 0;
+  double stepping_seconds = 0.0;
+  for (auto _ : state) {
+    serve::ServerCore core{serve::ServerOptions{}};
+    for (std::size_t i = 0; i < sessions; ++i) {
+      expect_ok(core.handle_line(create_line(i)));
+    }
+    // Round-robin single steps until every session has consumed its
+    // budget (one extra round observes the done state, as clients do).
+    for (std::size_t round = 0; round <= kBudget; ++round) {
+      for (std::size_t i = 0; i < sessions; ++i) {
+        const std::string request =
+            "{\"op\":\"session.step\",\"id\":\"load-" + std::to_string(i) +
+            "\"}";
+        const auto start = std::chrono::steady_clock::now();
+        expect_ok(core.handle_line(request));
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        step_ms.push_back(elapsed.count() * 1e3);
+        stepping_seconds += elapsed.count();
+        ++total_steps;
+      }
+    }
+  }
+  state.counters["sessions"] = static_cast<double>(sessions);
+  state.counters["step_p50_ms"] = percentile(step_ms, 50.0);
+  state.counters["step_p99_ms"] = percentile(step_ms, 99.0);
+  state.counters["steps_per_second"] =
+      stepping_seconds > 0.0 ? total_steps / stepping_seconds : 0.0;
+}
+BENCHMARK(BM_ServeInterleavedSessions)
+    ->Arg(240)
+    ->Unit(benchmark::kMillisecond);
+
+// The same interleaved script pushed through serve_stream (the real
+// daemon loop: reader, per-session strands on the thread pool, ordered
+// writer) at 1 and 4 threads — the wall-clock ratio is the
+// multiplexing speedup a threaded deployment buys.
+void BM_ServeStreamThreads(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kStreamSessions = 240;
+  std::ostringstream script;
+  for (std::size_t i = 0; i < kStreamSessions; ++i) {
+    script << create_line(i) << "\n";
+  }
+  for (std::size_t round = 0; round <= kBudget; ++round) {
+    for (std::size_t i = 0; i < kStreamSessions; ++i) {
+      script << "{\"op\":\"session.step\",\"id\":\"load-" << i << "\"}\n";
+    }
+  }
+  script << "{\"op\":\"server.stats\"}\n";
+  const std::string input = script.str();
+  for (auto _ : state) {
+    serve::ServerCore core{serve::ServerOptions{}};
+    std::istringstream in(input);
+    std::ostringstream out;
+    serve::serve_stream(core, in, out, threads);
+    benchmark::DoNotOptimize(out.str());
+  }
+  state.counters["sessions"] = static_cast<double>(kStreamSessions);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_ServeStreamThreads)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto bench_args =
+      ceal::bench::make_bench_args(argc, argv, "BENCH_serve_load.json");
+  benchmark::Initialize(&bench_args.argc, bench_args.argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_args.argc,
+                                             bench_args.argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!bench_args.json_path.empty()) {
+    ceal::bench::annotate_bench_json(bench_args.json_path);
+  }
+  return 0;
+}

@@ -1,0 +1,242 @@
+#include "serve/protocol.h"
+
+#include <charconv>
+#include <initializer_list>
+
+namespace ceal::serve {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& where, const std::string& why) {
+  throw ProtocolError(where + ": " + why);
+}
+
+const json::Value& require(const json::Value& obj, const std::string& key,
+                           const std::string& where) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) fail(where + ":" + key, "missing required field");
+  return *v;
+}
+
+std::string get_string(const json::Value& v, const std::string& where) {
+  if (v.kind() != json::Value::Kind::kString) fail(where, "expected a string");
+  return v.as_string();
+}
+
+bool get_bool(const json::Value& v, const std::string& where) {
+  if (v.kind() != json::Value::Kind::kBool) fail(where, "expected a boolean");
+  return v.as_bool();
+}
+
+// Unsigned integers (seeds, counts) go through from_chars on the exact
+// number lexeme: 1.5, -1, and 1e3 are all rejected rather than rounded.
+std::uint64_t get_u64(const json::Value& v, const std::string& where) {
+  if (v.kind() != json::Value::Kind::kNumber)
+    fail(where, "expected an unsigned integer");
+  const std::string& lexeme = v.number_lexeme();
+  std::uint64_t out = 0;
+  const char* end = lexeme.data() + lexeme.size();
+  auto [ptr, ec] = std::from_chars(lexeme.data(), end, out);
+  if (ec != std::errc() || ptr != end)
+    fail(where, "expected an unsigned integer, got " + lexeme);
+  return out;
+}
+
+std::size_t get_size(const json::Value& v, const std::string& where,
+                     std::size_t min_value) {
+  const std::uint64_t raw = get_u64(v, where);
+  if (raw < min_value) fail(where, "must be >= " + std::to_string(min_value));
+  return static_cast<std::size_t>(raw);
+}
+
+double get_nonnegative(const json::Value& v, const std::string& where) {
+  if (v.kind() != json::Value::Kind::kNumber) fail(where, "expected a number");
+  const double value = v.as_double();
+  if (!(value >= 0.0)) fail(where, "must be >= 0, got " + v.number_lexeme());
+  return value;
+}
+
+double get_rate(const json::Value& v, const std::string& where) {
+  const double value = get_nonnegative(v, where);
+  if (value > 1.0) fail(where, "must be in [0, 1], got " + v.number_lexeme());
+  return value;
+}
+
+std::string check_choice(std::string value,
+                         std::initializer_list<std::string_view> choices,
+                         const std::string& where) {
+  std::string expected;
+  for (std::string_view choice : choices) {
+    if (value == choice) return value;
+    if (!expected.empty()) expected += '|';
+    expected += choice;
+  }
+  fail(where, "unknown value \"" + value + "\" (expected " + expected + ")");
+}
+
+// Strictness first: any field outside the op's schema is an error, so a
+// typo'd knob can never silently fall back to its default.
+void reject_unknown(const json::Value& obj,
+                    std::initializer_list<std::string_view> allowed,
+                    const std::string& where) {
+  for (const auto& [key, value] : obj.members()) {
+    bool known = false;
+    for (std::string_view candidate : allowed) {
+      if (key == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) fail(where + ":" + key, "unknown field");
+  }
+}
+
+// Session ids double as journal/manifest file stems, so they are held to
+// a filename-safe alphabet.
+std::string get_session_id(const json::Value& obj, const std::string& where) {
+  const std::string id =
+      get_string(require(obj, "id", where), where + ":id");
+  if (id.empty()) fail(where + ":id", "must not be empty");
+  if (id.size() > 64) fail(where + ":id", "must be at most 64 characters");
+  for (char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+    if (!ok) fail(where + ":id", "may contain only [A-Za-z0-9._-]");
+  }
+  if (id.front() == '.') fail(where + ":id", "must not start with '.'");
+  return id;
+}
+
+const std::initializer_list<std::string_view> kCreateKeys = {
+    "op",          "id",          "workflow",     "objective",
+    "algorithm",   "budget",      "seed",         "pool_size",
+    "pool_seed",   "component_samples",           "history",
+    "fault_rate",  "outlier_rate", "deadline",    "max_attempts"};
+
+// The session.create fields minus op/id — shared verbatim with the
+// durable manifest, so a request and a resumed manifest cannot drift.
+CreateParams parse_create_fields(const json::Value& obj,
+                                 const std::string& where) {
+  CreateParams p;
+  p.workflow = check_choice(
+      get_string(require(obj, "workflow", where), where + ":workflow"),
+      {"LV", "HS", "GP"}, where + ":workflow");
+  p.objective = check_choice(
+      get_string(require(obj, "objective", where), where + ":objective"),
+      {"exec", "comp"}, where + ":objective");
+  if (const json::Value* v = obj.find("algorithm")) {
+    p.algorithm = check_choice(get_string(*v, where + ":algorithm"),
+                               {"CEAL", "AL", "RS", "GEIST", "ALpH", "BO",
+                                "BO-CEAL"},
+                               where + ":algorithm");
+  }
+  p.budget = get_size(require(obj, "budget", where), where + ":budget", 1);
+  if (const json::Value* v = obj.find("seed"))
+    p.seed = get_u64(*v, where + ":seed");
+  if (const json::Value* v = obj.find("pool_size"))
+    p.pool_size = get_size(*v, where + ":pool_size", 1);
+  if (const json::Value* v = obj.find("pool_seed"))
+    p.pool_seed = get_u64(*v, where + ":pool_seed");
+  if (const json::Value* v = obj.find("component_samples"))
+    p.component_samples = get_size(*v, where + ":component_samples", 1);
+  if (const json::Value* v = obj.find("history"))
+    p.history = get_bool(*v, where + ":history");
+  if (const json::Value* v = obj.find("fault_rate"))
+    p.fault_rate = get_rate(*v, where + ":fault_rate");
+  if (const json::Value* v = obj.find("outlier_rate"))
+    p.outlier_rate = get_rate(*v, where + ":outlier_rate");
+  if (const json::Value* v = obj.find("deadline"))
+    p.deadline_s = get_nonnegative(*v, where + ":deadline");
+  if (const json::Value* v = obj.find("max_attempts"))
+    p.max_attempts = get_size(*v, where + ":max_attempts", 1);
+  return p;
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  json::Value doc;
+  try {
+    doc = json::Value::parse(line);
+  } catch (const std::exception& e) {
+    fail("request", std::string("invalid JSON: ") + e.what());
+  }
+  if (!doc.is_object()) fail("request", "expected a JSON object");
+
+  const std::string op =
+      get_string(require(doc, "op", "request"), "request:op");
+
+  Request req;
+  if (op == "session.create") {
+    req.op = Op::kCreate;
+    reject_unknown(doc, kCreateKeys, "request");
+    req.session_id = get_session_id(doc, "request");
+    req.create = parse_create_fields(doc, "request");
+  } else if (op == "session.step") {
+    req.op = Op::kStep;
+    reject_unknown(doc, {"op", "id", "steps"}, "request");
+    req.session_id = get_session_id(doc, "request");
+    if (const json::Value* v = doc.find("steps"))
+      req.steps = get_size(*v, "request:steps", 1);
+  } else if (op == "session.query") {
+    req.op = Op::kQuery;
+    reject_unknown(doc, {"op", "id", "save_result"}, "request");
+    req.session_id = get_session_id(doc, "request");
+    if (const json::Value* v = doc.find("save_result")) {
+      req.save_result = get_string(*v, "request:save_result");
+      if (req.save_result.empty())
+        fail("request:save_result", "must not be empty");
+    }
+  } else if (op == "session.cancel") {
+    req.op = Op::kCancel;
+    reject_unknown(doc, {"op", "id"}, "request");
+    req.session_id = get_session_id(doc, "request");
+  } else if (op == "server.stats") {
+    req.op = Op::kStats;
+    reject_unknown(doc, {"op"}, "request");
+  } else {
+    fail("request:op", "unknown op \"" + op + "\"");
+  }
+  return req;
+}
+
+json::Value error_response(std::string message) {
+  json::Value response = json::Value::object();
+  response.set("ok", json::Value::boolean(false));
+  response.set("error", json::Value::string(std::move(message)));
+  return response;
+}
+
+json::Value to_manifest(const std::string& id, const CreateParams& params) {
+  json::Value m = json::Value::object();
+  m.set("id", json::Value::string(id));
+  m.set("workflow", json::Value::string(params.workflow));
+  m.set("objective", json::Value::string(params.objective));
+  m.set("algorithm", json::Value::string(params.algorithm));
+  m.set("budget",
+        json::Value::number(static_cast<std::uint64_t>(params.budget)));
+  m.set("seed", json::Value::number(params.seed));
+  m.set("pool_size",
+        json::Value::number(static_cast<std::uint64_t>(params.pool_size)));
+  m.set("pool_seed", json::Value::number(params.pool_seed));
+  m.set("component_samples",
+        json::Value::number(
+            static_cast<std::uint64_t>(params.component_samples)));
+  m.set("history", json::Value::boolean(params.history));
+  m.set("fault_rate", json::Value::number(params.fault_rate));
+  m.set("outlier_rate", json::Value::number(params.outlier_rate));
+  m.set("deadline", json::Value::number(params.deadline_s));
+  m.set("max_attempts",
+        json::Value::number(static_cast<std::uint64_t>(params.max_attempts)));
+  return m;
+}
+
+CreateParams create_from_manifest(const json::Value& manifest,
+                                  const std::string& where) {
+  if (!manifest.is_object()) fail(where, "expected a JSON object");
+  reject_unknown(manifest, kCreateKeys, where);
+  get_session_id(manifest, where);  // validates the embedded id
+  return parse_create_fields(manifest, where);
+}
+
+}  // namespace ceal::serve

@@ -1,0 +1,89 @@
+// Wire protocol of the tuning-as-a-service daemon (tools/ceal_serve):
+// newline-delimited JSON, one request object per line in, one response
+// object per line out, in request order.
+//
+//   {"op":"session.create","id":"s1","workflow":"LV","objective":"exec",
+//    "budget":20,"seed":5}                          -> {"ok":true,...}
+//   {"op":"session.step","id":"s1","steps":4}       -> {"ok":true,...}
+//   {"op":"session.query","id":"s1"}                -> {"ok":true,...}
+//   {"op":"session.cancel","id":"s1"}               -> {"ok":true,...}
+//   {"op":"server.stats"}                           -> {"ok":true,...}
+//
+// Validation is strict and reuses src/core/json: unknown fields, wrong
+// types, and out-of-range values are rejected before any session state
+// changes, each with a one-line "request:<field>: why" error (the same
+// "<where>: why" convention the pool loader and trace reader use). A
+// malformed request NEVER takes the server down — the daemon answers
+// {"ok":false,"error":"..."} and keeps serving (tests/serve/
+// test_protocol.cc holds it to this). docs/SERVING.md is the full
+// reference.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "core/json.h"
+
+namespace ceal::serve {
+
+/// Raised on an invalid request (or manifest); what() is one printable
+/// line of the form "<where>: why".
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class Op {
+  kCreate,   ///< session.create
+  kStep,     ///< session.step
+  kQuery,    ///< session.query
+  kCancel,   ///< session.cancel
+  kStats,    ///< server.stats
+};
+
+/// The session parameters of session.create — deliberately the same
+/// knobs (and defaults) as the ceal_tune command line, so a served
+/// session's result CSV is byte-comparable to a `ceal_tune
+/// --save-result` run with the matching flags.
+struct CreateParams {
+  std::string workflow;            ///< LV | HS | GP (required)
+  std::string objective;           ///< exec | comp (required)
+  std::string algorithm = "CEAL";  ///< CEAL|AL|RS|GEIST|ALpH|BO|BO-CEAL
+  std::size_t budget = 0;          ///< required, >= 1
+  std::uint64_t seed = 42;
+  std::size_t pool_size = 2000;
+  std::uint64_t pool_seed = 1;
+  std::size_t component_samples = 500;
+  bool history = false;
+  // Fault model (per-attempt; same semantics as ceal_tune).
+  double fault_rate = 0.0;
+  double outlier_rate = 0.0;
+  double deadline_s = 0.0;
+  std::size_t max_attempts = 1;
+};
+
+/// One parsed, validated request.
+struct Request {
+  Op op = Op::kStats;
+  std::string session_id;      ///< empty only for server.stats
+  std::size_t steps = 1;       ///< session.step: slices to run (>= 1)
+  std::string save_result;     ///< session.query: optional result CSV path
+  CreateParams create;         ///< session.create payload
+};
+
+/// Parses and strictly validates one request line. Throws ProtocolError
+/// ("request:<field>: why") on anything malformed; never mutates state.
+Request parse_request(const std::string& line);
+
+/// {"ok":false,"error":message}
+json::Value error_response(std::string message);
+
+/// CreateParams <-> manifest JSON (the durable "<id>.session.json" the
+/// daemon writes next to a session's journal so `--resume` can rebuild
+/// the session). `where` prefixes field errors with the manifest path.
+json::Value to_manifest(const std::string& id, const CreateParams& params);
+CreateParams create_from_manifest(const json::Value& manifest,
+                                  const std::string& where);
+
+}  // namespace ceal::serve

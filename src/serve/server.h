@@ -1,0 +1,105 @@
+// The ceal_serve daemon core: many concurrent tuning sessions
+// multiplexed over newline-delimited JSON (serve/protocol.h).
+//
+// Two layers:
+//  * ServerCore — the session registry and request handler. handle()
+//    never throws; every failure becomes {"ok":false,"error":"..."}.
+//    Same-session requests must be serialised by the caller (sessions
+//    are strand-serialised by serve_stream; a single-threaded caller —
+//    the tests — just calls handle_line in order).
+//  * serve_stream — the transport loop: reads one request per line,
+//    shards session work over a ThreadPool (one logical strand per
+//    session id keeps same-session requests in request order), and
+//    writes responses strictly in request order. Responses carry no
+//    wall-clock values, so the output stream is byte-identical across
+//    thread counts (tests/serve/test_session_matrix.cc).
+//
+// Durability: with a checkpoint directory configured every session gets
+// a manifest ("<id>.session.json") and a write-ahead journal
+// ("<id>.cealj", tuner/checkpoint.h). A daemon SIGKILLed at any journal
+// record boundary restarts with --resume, rebuilds each session from
+// its manifest, replays the journal while the client steps, and
+// finishes with a bitwise-identical result (tests/integration/
+// test_serve_kill_resume.cc; tools/run_tier1.sh kills a real daemon).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/session.h"
+
+namespace ceal::serve {
+
+struct ServerOptions {
+  /// Session manifests + journals live here; empty disables durability.
+  std::string checkpoint_dir;
+  /// Per-session trace sinks ("<id>.trace.jsonl"); empty disables.
+  std::string trace_dir;
+  /// Server metrics (serve.* counters, serve.sessions_active gauge,
+  /// serve.step span). Not owned; may be null.
+  telemetry::Telemetry* telemetry = nullptr;
+};
+
+class ServerCore {
+ public:
+  explicit ServerCore(ServerOptions options);
+
+  /// Rebuilds every session found in checkpoint_dir (sorted manifest
+  /// order) for a restarted daemon; journals replay as the client
+  /// steps. Returns the number of sessions resumed. Throws on a corrupt
+  /// manifest or journal — a daemon must refuse to start on bad durable
+  /// state rather than silently fork sessions.
+  std::size_t resume_sessions();
+
+  /// Parses and handles one request line; never throws.
+  std::string handle_line(const std::string& line);
+
+  /// Handles one parsed request; never throws. Thread-safe for
+  /// different sessions; same-session calls must be serialised.
+  json::Value handle(const Request& request);
+
+  /// Counts a request that failed before dispatch (parse error) and
+  /// returns its error response. serve_stream uses this for lines that
+  /// never became a Request.
+  json::Value handle_error(const std::string& message);
+
+  std::size_t session_count() const;
+  json::Value stats_json() const;
+
+ private:
+  json::Value create_session(const Request& request);
+  std::shared_ptr<ServeSession> find_session(const std::string& id) const;
+  std::string manifest_path(const std::string& id) const;
+  std::string journal_path(const std::string& id) const;
+  std::string trace_path(const std::string& id) const;
+  /// Recomputes the serve.sessions_active gauge after a state change.
+  void update_active_gauge();
+
+  ServerOptions options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<ServeSession>> sessions_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+};
+
+/// Serves newline-delimited JSON requests from `in` until EOF, writing
+/// one response per line to `out` in request order. Session work runs
+/// on a `threads`-sized ThreadPool (0 = hardware concurrency), one
+/// strand per session id. A server.stats request is a barrier: it
+/// waits for every earlier request to complete, so its counts are
+/// deterministic too.
+void serve_stream(ServerCore& core, std::istream& in, std::ostream& out,
+                  std::size_t threads);
+
+/// Listens on a Unix stream socket, serving one connection at a time
+/// through serve_stream. Replaces any stale socket file. Runs until the
+/// process dies; throws on socket setup failure.
+void serve_unix_socket(ServerCore& core, const std::string& socket_path,
+                       std::size_t threads);
+
+}  // namespace ceal::serve

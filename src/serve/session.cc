@@ -1,0 +1,175 @@
+#include "serve/session.h"
+
+#include "tuner/active_learning.h"
+#include "tuner/alph.h"
+#include "tuner/bayes_opt.h"
+#include "tuner/ceal.h"
+#include "tuner/geist.h"
+#include "tuner/objective.h"
+#include "tuner/random_search.h"
+#include "tuner/result_io.h"
+
+namespace ceal::serve {
+
+namespace {
+
+// The same name tables as tools/common.h, but throwing instead of
+// std::exit — a daemon must survive a bad request. Names were already
+// validated by the protocol layer, so the terminal throws are
+// unreachable belt-and-braces.
+sim::Workload workload_by_name(const std::string& name) {
+  if (name == "LV") return sim::make_lv();
+  if (name == "HS") return sim::make_hs();
+  if (name == "GP") return sim::make_gp();
+  throw ProtocolError("request:workflow: unknown workflow '" + name + "'");
+}
+
+tuner::Objective objective_by_name(const std::string& name) {
+  if (name == "exec") return tuner::Objective::kExecTime;
+  if (name == "comp") return tuner::Objective::kComputerTime;
+  throw ProtocolError("request:objective: unknown objective '" + name + "'");
+}
+
+std::unique_ptr<tuner::AutoTuner> algorithm_by_name(const std::string& name) {
+  if (name == "CEAL") return std::make_unique<tuner::Ceal>();
+  if (name == "AL") return std::make_unique<tuner::ActiveLearning>();
+  if (name == "RS") return std::make_unique<tuner::RandomSearch>();
+  if (name == "GEIST") return std::make_unique<tuner::Geist>();
+  if (name == "ALpH") return std::make_unique<tuner::Alph>();
+  if (name == "BO") return std::make_unique<tuner::BayesOpt>();
+  if (name == "BO-CEAL") {
+    tuner::BayesOptParams params;
+    params.bootstrap_with_low_fidelity = true;
+    return std::make_unique<tuner::BayesOpt>(params);
+  }
+  throw ProtocolError("request:algorithm: unknown algorithm '" + name + "'");
+}
+
+}  // namespace
+
+const char* session_state_name(SessionState state) {
+  switch (state) {
+    case SessionState::kRunning:
+      return "running";
+    case SessionState::kDone:
+      return "done";
+    case SessionState::kCancelled:
+      return "cancelled";
+    case SessionState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+ServeSession::ServeSession(std::string id, CreateParams params,
+                           const std::string& journal_path, bool resume,
+                           const std::string& trace_path)
+    : id_(std::move(id)),
+      params_(std::move(params)),
+      workload_(workload_by_name(params_.workflow)),
+      pool_(tuner::measure_pool(workload_.workflow, params_.pool_size,
+                                params_.pool_seed)),
+      comps_(tuner::measure_components(workload_.workflow,
+                                       params_.component_samples,
+                                       params_.pool_seed + 1)),
+      rng_(params_.seed) {
+  if (!trace_path.empty()) {
+    trace_sink_ = std::make_unique<telemetry::JsonlTraceSink>(trace_path);
+    telemetry_ = std::make_unique<telemetry::Telemetry>(trace_sink_.get());
+  }
+  if (!journal_path.empty()) {
+    checkpoint_ = std::make_unique<tuner::CheckpointSession>(
+        journal_path, resume ? tuner::CheckpointSession::Mode::kResume
+                             : tuner::CheckpointSession::Mode::kStart);
+    if (telemetry_ != nullptr) checkpoint_->set_telemetry(telemetry_.get());
+  }
+  algorithm_ = algorithm_by_name(params_.algorithm);
+  problem_.workload = &workload_;
+  problem_.objective = objective_by_name(params_.objective);
+  problem_.pool = &pool_;
+  problem_.component_samples = &comps_;
+  problem_.components_are_history = params_.history;
+  problem_.measurement.faults.fail_prob = params_.fault_rate;
+  problem_.measurement.faults.outlier_prob = params_.outlier_rate;
+  problem_.measurement.faults.deadline_s = params_.deadline_s;
+  problem_.measurement.max_attempts = params_.max_attempts;
+  problem_.measurement.faults.validate();
+  problem_.telemetry = telemetry_.get();
+  // Writes (or, on resume, validates) the session header immediately;
+  // journaled records then replay as the session is stepped.
+  stepper_ = algorithm_->make_stepper(problem_, params_.budget, rng_,
+                                      checkpoint_.get());
+}
+
+void ServeSession::step(std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    if (state() != SessionState::kRunning) return;
+    try {
+      if (!stepper_->step())
+        state_.store(SessionState::kDone, std::memory_order_release);
+    } catch (const std::exception& e) {
+      error_ = e.what();
+      state_.store(SessionState::kFailed, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+void ServeSession::cancel() {
+  if (state() != SessionState::kRunning) {
+    throw ProtocolError("session " + id_ + ": cannot cancel a " +
+                        std::string(session_state_name(state())) +
+                        " session");
+  }
+  state_.store(SessionState::kCancelled, std::memory_order_release);
+}
+
+json::Value ServeSession::status_json() const {
+  json::Value status = json::Value::object();
+  status.set("ok", json::Value::boolean(true));
+  status.set("id", json::Value::string(id_));
+  status.set("state", json::Value::string(session_state_name(state())));
+  status.set("algorithm", json::Value::string(params_.algorithm));
+  status.set("workflow", json::Value::string(params_.workflow));
+  status.set("objective", json::Value::string(params_.objective));
+  status.set("budget", json::Value::number(
+                           static_cast<std::uint64_t>(params_.budget)));
+  status.set("seed", json::Value::number(params_.seed));
+  status.set("steps", json::Value::number(static_cast<std::uint64_t>(
+                          stepper_->steps_taken())));
+  if (state() == SessionState::kDone) {
+    const tuner::TuneResult& result = stepper_->result();
+    status.set("runs_used", json::Value::number(static_cast<std::uint64_t>(
+                                result.runs_used)));
+    status.set("measured", json::Value::number(static_cast<std::uint64_t>(
+                               result.measured_indices.size())));
+    status.set("failed_runs", json::Value::number(static_cast<std::uint64_t>(
+                                  result.failed_runs)));
+    status.set("best_predicted_index",
+               json::Value::number(static_cast<std::uint64_t>(
+                   result.best_predicted_index)));
+    status.set("best_measured_index",
+               json::Value::number(static_cast<std::uint64_t>(
+                   result.best_measured_index)));
+    status.set("cost_exec_s",
+               json::Value::string(tuner::hex_double(result.cost_exec_s)));
+    status.set("cost_comp_ch",
+               json::Value::string(tuner::hex_double(result.cost_comp_ch)));
+  }
+  if (state() == SessionState::kFailed)
+    status.set("error", json::Value::string(error_));
+  return status;
+}
+
+void ServeSession::save_result(const std::string& path) const {
+  if (state() != SessionState::kDone) {
+    throw ProtocolError("session " + id_ + ": no result yet (state " +
+                        std::string(session_state_name(state())) + ")");
+  }
+  tuner::save_result_csv(path, stepper_->result(), algorithm_->name(),
+                         workload_.workflow.name(),
+                         tuner::objective_name(problem_.objective),
+                         params_.budget, params_.seed);
+}
+
+}  // namespace ceal::serve

@@ -1,0 +1,102 @@
+// One served tuning session: the exact object graph a `ceal_tune`
+// invocation builds (workload, measured pool, component samples,
+// TuningProblem, seeded rng, tuner), wrapped around a resumable
+// TunerStepper so the daemon can advance it one slice at a time.
+//
+// Determinism contract: a session is a function of its CreateParams
+// alone — the pool and component measurements are seeded draws, the
+// stepper is the tuner's exact operation sequence — so a served
+// session's result CSV is byte-identical to `ceal_tune --save-result`
+// with the matching flags (tests/serve/test_session_matrix.cc holds it
+// there). status_json() carries no wall-clock values, so response
+// streams are byte-stable across thread counts.
+//
+// Thread-safety: step()/cancel()/status_json()/save_result() must be
+// serialised by the caller (the server's per-session strand does this);
+// state() alone is safe to read concurrently (server.stats snapshots).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "core/rng.h"
+#include "core/telemetry.h"
+#include "serve/protocol.h"
+#include "tuner/autotuner.h"
+#include "tuner/checkpoint.h"
+#include "tuner/stepper.h"
+
+namespace ceal::serve {
+
+enum class SessionState {
+  kRunning,    ///< stepper has work left
+  kDone,       ///< finished; result available
+  kCancelled,  ///< cancelled before finishing; no result
+  kFailed,     ///< tuning logic threw; error() carries the message
+};
+
+const char* session_state_name(SessionState state);
+
+class ServeSession {
+ public:
+  /// Builds the full session up front (pool + component measurements
+  /// included — deliberately identical to ceal_tune's construction
+  /// order). `journal_path` empty disables checkpointing; `resume`
+  /// selects kResume (replay an existing journal while stepping) over
+  /// kStart. `trace_path` empty disables the per-session trace sink.
+  /// Throws (CheckpointError, PreconditionError) on invalid
+  /// combinations; the server reports the error and drops the session.
+  ServeSession(std::string id, CreateParams params,
+               const std::string& journal_path, bool resume,
+               const std::string& trace_path);
+
+  ServeSession(const ServeSession&) = delete;
+  ServeSession& operator=(const ServeSession&) = delete;
+
+  const std::string& id() const { return id_; }
+  const CreateParams& params() const { return params_; }
+  SessionState state() const {
+    return state_.load(std::memory_order_acquire);
+  }
+
+  /// Runs up to `n` stepper slices. A session that already left
+  /// kRunning is not stepped — over-stepping is a no-op, not an error.
+  /// Exceptions from the tuning logic mark the session kFailed and are
+  /// captured in error().
+  void step(std::size_t n);
+
+  /// kRunning -> kCancelled. Throws ProtocolError otherwise (double
+  /// cancel, cancelling a finished session).
+  void cancel();
+
+  /// Message of the failure that moved the session to kFailed.
+  const std::string& error() const { return error_; }
+
+  /// Deterministic status object: id, state, session identity, steps
+  /// taken, and — once done — the result summary (hex-float costs).
+  /// Never contains wall-clock values.
+  json::Value status_json() const;
+
+  /// Writes the result CSV via tuner::save_result_csv — the byte format
+  /// of `ceal_tune --save-result`. Throws ProtocolError unless kDone.
+  void save_result(const std::string& path) const;
+
+ private:
+  std::string id_;
+  CreateParams params_;
+  sim::Workload workload_;
+  tuner::MeasuredPool pool_;
+  std::vector<tuner::ComponentSamples> comps_;
+  std::unique_ptr<telemetry::JsonlTraceSink> trace_sink_;
+  std::unique_ptr<telemetry::Telemetry> telemetry_;
+  std::unique_ptr<tuner::CheckpointSession> checkpoint_;
+  std::unique_ptr<tuner::AutoTuner> algorithm_;
+  tuner::TuningProblem problem_;
+  ceal::Rng rng_;
+  std::unique_ptr<tuner::TunerStepper> stepper_;
+  std::atomic<SessionState> state_{SessionState::kRunning};
+  std::string error_;
+};
+
+}  // namespace ceal::serve

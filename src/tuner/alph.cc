@@ -10,6 +10,7 @@
 #include "ml/gbt.h"
 #include "tuner/collector.h"
 #include "tuner/low_fidelity.h"
+#include "tuner/stepper.h"
 #include "tuner/tuning_util.h"
 
 namespace ceal::tuner {
@@ -36,99 +37,147 @@ Alph::Alph(AlphParams params) : params_(params) {
               params_.component_fraction < 1.0);
 }
 
-TuneResult Alph::tune(const TuningProblem& problem, std::size_t budget_runs,
-                      ceal::Rng& rng) const {
-  Collector collector(problem, budget_runs, &rng);
-  emit_tune_start(problem, *this, budget_runs);
-  telemetry::Telemetry* tel = problem.telemetry;
-  const auto& workflow = problem.workload->workflow;
+namespace {
 
-  // Component models: free history when available, otherwise charged runs.
-  const std::vector<std::vector<std::size_t>>* component_indices = nullptr;
-  if (problem.components_are_history) {
-    component_indices = &collector.all_component_samples();
-  } else {
-    const auto rounds = std::max<std::size_t>(
-        1, static_cast<std::size_t>(std::llround(
-               params_.component_fraction * static_cast<double>(budget_runs))));
-    component_indices = &collector.acquire_component_samples(rounds, rng);
+// ALpH sliced at its natural boundaries: component-model training plus
+// pool featurization first, the random warm-up, one fit/score/measure
+// refinement per step, the final fit.
+class AlphStepper final : public TunerStepper {
+ public:
+  AlphStepper(const Alph& algorithm, const AlphParams& params,
+              const TuningProblem& problem, std::size_t budget_runs,
+              ceal::Rng& rng)
+      : TunerStepper(problem, budget_runs, rng),
+        params_(params),
+        collector_(problem_, budget_runs, rng_),
+        model_(ml::GradientBoostedTrees::surrogate_defaults()) {
+    emit_tune_start(problem_, algorithm, budget_);
   }
-  const ComponentModelSet components(workflow, problem.objective,
-                                     *problem.component_samples,
-                                     *component_indices, rng);
 
-  // Pre-compute the augmented feature rows for the whole pool once.
-  const std::size_t pool_size = problem.pool->size();
-  const std::size_t width =
-      workflow.joint_space().dimension() + workflow.component_count();
-  std::vector<std::vector<double>> pool_features(pool_size);
-  for (std::size_t i = 0; i < pool_size; ++i) {
-    pool_features[i] =
-        augmented_features(workflow, components, problem.pool->configs[i]);
-  }
+ private:
+  enum class Phase { kComponents, kWarmup, kLoop, kFinal };
 
   // Same log-target treatment as Surrogate (times span decades). Only
   // successful measurements train the model — failed entries carry no
   // value, and the positivity guard keeps NaN/Inf out of the fit.
-  const auto fit = [&](ml::GradientBoostedTrees& model) {
+  double fit() {
+    telemetry::Telemetry* tel = problem_.telemetry;
     if (tel != nullptr) tel->count("surrogate.fits");
     telemetry::ScopedSpan span(tel, "surrogate.fit");
-    const auto& indices = collector.ok_indices();
-    const auto& values = collector.ok_values();
-    ml::Dataset data(width);
+    const auto& indices = collector_.ok_indices();
+    const auto& values = collector_.ok_values();
+    ml::Dataset data(width_);
     for (std::size_t s = 0; s < indices.size(); ++s) {
       CEAL_EXPECT(std::isfinite(values[s]) && values[s] > 0.0);
-      data.add(pool_features[indices[s]], std::log(values[s]));
+      data.add(pool_features_[indices[s]], std::log(values[s]));
     }
-    model.fit(data, rng);
+    model_.fit(data, *rng_);
     return span.stop();
-  };
-  const auto predict_pool = [&](const ml::GradientBoostedTrees& model,
-                                double* elapsed_s = nullptr) {
-    telemetry::ScopedSpan span(tel, "surrogate.predict");
+  }
+
+  std::vector<double> predict_pool(double* elapsed_s = nullptr) {
+    telemetry::ScopedSpan span(problem_.telemetry, "surrogate.predict");
+    const std::size_t pool_size = problem_.pool->size();
     std::vector<double> scores(pool_size);
     for (std::size_t i = 0; i < pool_size; ++i) {
-      scores[i] = std::exp(model.predict(pool_features[i]));
+      scores[i] = std::exp(model_.predict(pool_features_[i]));
     }
     const double s = span.stop();
     if (elapsed_s != nullptr) *elapsed_s = s;
     return scores;
-  };
-
-  const auto warmup = std::max<std::size_t>(
-      2, static_cast<std::size_t>(std::llround(
-             params_.init_fraction * static_cast<double>(budget_runs))));
-  measure_batch(collector, random_unmeasured(collector, warmup, rng));
-
-  const std::size_t batch_size = std::max<std::size_t>(
-      1, (budget_runs - std::min(warmup, budget_runs)) / params_.iterations);
-
-  ml::GradientBoostedTrees model(
-      ml::GradientBoostedTrees::surrogate_defaults());
-  std::size_t iteration = 0;
-  while (collector.remaining() > 0) {
-    const std::size_t req_start = collector.measured_indices().size();
-    const std::size_t ok_start = collector.ok_values().size();
-    if (collector.ok_indices().empty()) {
-      const auto batch = random_unmeasured(collector, batch_size, rng);
-      if (batch.empty()) break;
-      measure_batch(collector, batch);
-      emit_iteration_event(problem, "alph.iteration", iteration++, collector,
-                           req_start, ok_start, 0.0, 0.0);
-      continue;
-    }
-    const double fit_s = fit(model);
-    double predict_s = 0.0;
-    const auto scores = predict_pool(model, &predict_s);
-    const auto batch = top_unmeasured(scores, collector, batch_size);
-    if (batch.empty()) break;
-    measure_batch(collector, batch, scores, batch_size);
-    emit_iteration_event(problem, "alph.iteration", iteration++, collector,
-                         req_start, ok_start, fit_s, predict_s);
   }
 
-  fit(model);
-  return finalize_result(collector, predict_pool(model));
+  void do_step() override {
+    const auto& workflow = problem_.workload->workflow;
+    if (phase_ == Phase::kComponents) {
+      // Component models: free history when available, otherwise charged
+      // runs.
+      const std::vector<std::vector<std::size_t>>* component_indices =
+          nullptr;
+      if (problem_.components_are_history) {
+        component_indices = &collector_.all_component_samples();
+      } else {
+        const auto rounds = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::llround(params_.component_fraction *
+                                static_cast<double>(budget_))));
+        component_indices =
+            &collector_.acquire_component_samples(rounds, *rng_);
+      }
+      components_ = std::make_unique<ComponentModelSet>(
+          workflow, problem_.objective, *problem_.component_samples,
+          *component_indices, *rng_);
+
+      // Pre-compute the augmented feature rows for the whole pool once.
+      const std::size_t pool_size = problem_.pool->size();
+      width_ = workflow.joint_space().dimension() + workflow.component_count();
+      pool_features_.resize(pool_size);
+      for (std::size_t i = 0; i < pool_size; ++i) {
+        pool_features_[i] = augmented_features(workflow, *components_,
+                                               problem_.pool->configs[i]);
+      }
+      phase_ = Phase::kWarmup;
+      return;
+    }
+    if (phase_ == Phase::kWarmup) {
+      const auto warmup = std::max<std::size_t>(
+          2, static_cast<std::size_t>(std::llround(
+                 params_.init_fraction * static_cast<double>(budget_))));
+      measure_batch(collector_, random_unmeasured(collector_, warmup, *rng_));
+      batch_size_ = std::max<std::size_t>(
+          1, (budget_ - std::min(warmup, budget_)) / params_.iterations);
+      phase_ = Phase::kLoop;
+      return;
+    }
+    if (phase_ == Phase::kLoop) {
+      while (collector_.remaining() > 0) {
+        const std::size_t req_start = collector_.measured_indices().size();
+        const std::size_t ok_start = collector_.ok_values().size();
+        if (collector_.ok_indices().empty()) {
+          const auto batch =
+              random_unmeasured(collector_, batch_size_, *rng_);
+          if (batch.empty()) break;
+          measure_batch(collector_, batch);
+          emit_iteration_event(problem_, "alph.iteration", iteration_++,
+                               collector_, req_start, ok_start, 0.0, 0.0);
+          return;  // one iteration per step
+        }
+        const double fit_s = fit();
+        double predict_s = 0.0;
+        const auto scores = predict_pool(&predict_s);
+        const auto batch = top_unmeasured(scores, collector_, batch_size_);
+        if (batch.empty()) break;
+        measure_batch(collector_, batch, scores, batch_size_);
+        emit_iteration_event(problem_, "alph.iteration", iteration_++,
+                             collector_, req_start, ok_start, fit_s,
+                             predict_s);
+        return;  // one iteration per step
+      }
+      phase_ = Phase::kFinal;
+    }
+
+    fit();
+    finish(finalize_result(collector_, predict_pool()));
+  }
+
+  AlphParams params_;
+  Collector collector_;
+  ml::GradientBoostedTrees model_;
+  std::unique_ptr<ComponentModelSet> components_;
+  std::vector<std::vector<double>> pool_features_;
+  std::size_t width_ = 0;
+  Phase phase_ = Phase::kComponents;
+  std::size_t batch_size_ = 1;
+  std::size_t iteration_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<TunerStepper> Alph::make_stepper(const TuningProblem& problem,
+                                                 std::size_t budget_runs,
+                                                 ceal::Rng& rng) const {
+  return std::make_unique<AlphStepper>(*this, params_, problem, budget_runs,
+                                       rng);
 }
 
 }  // namespace ceal::tuner

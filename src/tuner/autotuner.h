@@ -11,9 +11,12 @@
 #include "core/rng.h"
 #include "tuner/measured_pool.h"
 
+#include <memory>
+
 namespace ceal::tuner {
 
 class CheckpointSession;
+class TunerStepper;
 
 struct TuneResult {
   /// Final-model scores for every pool configuration (lower = better).
@@ -42,10 +45,23 @@ class AutoTuner {
 
   virtual std::string name() const = 0;
 
+  /// Creates a resumable step-wise session (tuner/stepper.h): each
+  /// step() runs one bounded slice (a warm-up batch, one refinement
+  /// iteration, the finalisation pass) and yields, so a server can
+  /// multiplex many sessions over a shared thread pool. Driving the
+  /// stepper to completion is exactly tune() — same rng draws, same
+  /// telemetry events, same checkpoint records, bitwise-equal result.
+  /// `problem` is copied; the objects it points to and `rng` must
+  /// outlive the stepper.
+  virtual std::unique_ptr<TunerStepper> make_stepper(
+      const TuningProblem& problem, std::size_t budget_runs,
+      ceal::Rng& rng) const = 0;
+
   /// Runs one complete auto-tuning session within `budget_runs` workflow-
-  /// run equivalents. Deterministic given `rng`'s state.
-  virtual TuneResult tune(const TuningProblem& problem,
-                          std::size_t budget_runs, ceal::Rng& rng) const = 0;
+  /// run equivalents. Deterministic given `rng`'s state. Implemented by
+  /// driving make_stepper()'s session to completion.
+  TuneResult tune(const TuningProblem& problem, std::size_t budget_runs,
+                  ceal::Rng& rng) const;
 
   /// Crash-safe overload: journals the session into `checkpoint` so a
   /// killed process can resume it (tuner/checkpoint.h). With a null
@@ -58,6 +74,15 @@ class AutoTuner {
   /// when the journal does not match (problem, budget_runs, rng).
   TuneResult tune(const TuningProblem& problem, std::size_t budget_runs,
                   ceal::Rng& rng, CheckpointSession* checkpoint) const;
+
+  /// Checkpointable stepper: writes/validates the session header now
+  /// and attaches `checkpoint` to the stepper's problem, so the session
+  /// journals every measurement and decision as it is stepped and
+  /// writes the terminal record when it finishes. A null checkpoint is
+  /// exactly the plain overload.
+  std::unique_ptr<TunerStepper> make_stepper(
+      const TuningProblem& problem, std::size_t budget_runs, ceal::Rng& rng,
+      CheckpointSession* checkpoint) const;
 };
 
 }  // namespace ceal::tuner

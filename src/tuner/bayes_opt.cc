@@ -11,6 +11,7 @@
 #include "ml/gbt.h"
 #include "tuner/collector.h"
 #include "tuner/low_fidelity.h"
+#include "tuner/stepper.h"
 #include "tuner/tuning_util.h"
 
 namespace ceal::tuner {
@@ -78,99 +79,145 @@ BayesOpt::BayesOpt(BayesOptParams params) : params_(params) {
   CEAL_EXPECT(params_.mR_fraction >= 0.0 && params_.mR_fraction < 1.0);
 }
 
-TuneResult BayesOpt::tune(const TuningProblem& problem,
-                          std::size_t budget_runs, ceal::Rng& rng) const {
-  Collector collector(problem, budget_runs, &rng);
-  emit_tune_start(problem, *this, budget_runs);
-  telemetry::Telemetry* tel = problem.telemetry;
-  const auto& workflow = problem.workload->workflow;
-  const auto& space = workflow.joint_space();
-  const std::size_t pool_size = problem.pool->size();
+namespace {
 
-  // Initial design: random, or bootstrapped by the low-fidelity model.
-  const auto init = std::max<std::size_t>(
-      2, static_cast<std::size_t>(std::llround(
-             params_.init_fraction * static_cast<double>(budget_runs))));
-  if (params_.bootstrap_with_low_fidelity) {
-    const std::vector<std::vector<std::size_t>>* component_indices;
-    if (problem.components_are_history) {
-      component_indices = &collector.all_component_samples();
-    } else {
-      const auto m_r = std::clamp<std::size_t>(
-          static_cast<std::size_t>(std::llround(
-              params_.mR_fraction * static_cast<double>(budget_runs))),
-          1, budget_runs - 2);
-      component_indices = &collector.acquire_component_samples(m_r, rng);
-    }
-    auto components = std::make_shared<const ComponentModelSet>(
-        workflow, problem.objective, *problem.component_samples,
-        *component_indices, rng);
-    const LowFidelityModel low_fidelity(workflow, problem.objective,
-                                        components);
-    const auto low_scores = low_fidelity.score_many(problem.pool->configs);
-    measure_batch(collector,
-                  top_unmeasured(low_scores, collector,
-                                 std::min(init, collector.remaining())));
-  } else {
-    measure_batch(collector, random_unmeasured(collector, init, rng));
+// BO sliced at its natural boundaries: the initial design (random or
+// low-fidelity-seeded), one fit/acquire/measure refinement per step, the
+// final exploration-free ranking.
+class BayesOptStepper final : public TunerStepper {
+ public:
+  BayesOptStepper(const BayesOpt& algorithm, const BayesOptParams& params,
+                  const TuningProblem& problem, std::size_t budget_runs,
+                  ceal::Rng& rng)
+      : TunerStepper(problem, budget_runs, rng),
+        params_(params),
+        collector_(problem_, budget_runs, rng_),
+        ensemble_(params_.ensemble_size, *rng_) {
+    emit_tune_start(problem_, algorithm, budget_);
   }
 
-  const std::size_t batch_size = std::max<std::size_t>(
-      1, (budget_runs - std::min(init, budget_runs)) / params_.iterations);
+ private:
+  enum class Phase { kInit, kLoop, kFinal };
 
-  Ensemble ensemble(params_.ensemble_size, rng);
-  std::vector<config::Configuration> train_configs;
-  const auto refit = [&] {
+  double refit() {
+    telemetry::Telemetry* tel = problem_.telemetry;
     if (tel != nullptr) tel->count("surrogate.fits");
     telemetry::ScopedSpan span(tel, "surrogate.fit");
-    train_configs.clear();
-    for (const std::size_t i : collector.ok_indices()) {
-      train_configs.push_back(problem.pool->configs[i]);
+    train_configs_.clear();
+    for (const std::size_t i : collector_.ok_indices()) {
+      train_configs_.push_back(problem_.pool->configs[i]);
     }
-    ensemble.fit(space, train_configs, collector.ok_values());
+    ensemble_.fit(problem_.workload->workflow.joint_space(), train_configs_,
+                  collector_.ok_values());
     return span.stop();
-  };
+  }
 
-  std::size_t iteration = 0;
-  while (collector.remaining() > 0) {
-    const std::size_t req_start = collector.measured_indices().size();
-    const std::size_t ok_start = collector.ok_values().size();
-    if (collector.ok_indices().empty()) {
-      const auto batch = random_unmeasured(collector, batch_size, rng);
-      if (batch.empty()) break;
-      measure_batch(collector, batch);
-      emit_iteration_event(problem, "bo.iteration", iteration++, collector,
-                           req_start, ok_start, 0.0, 0.0);
-      continue;
+  void do_step() override {
+    telemetry::Telemetry* tel = problem_.telemetry;
+    const auto& workflow = problem_.workload->workflow;
+    const auto& space = workflow.joint_space();
+    const std::size_t pool_size = problem_.pool->size();
+    if (phase_ == Phase::kInit) {
+      // Initial design: random, or bootstrapped by the low-fidelity model.
+      const auto init = std::max<std::size_t>(
+          2, static_cast<std::size_t>(std::llround(
+                 params_.init_fraction * static_cast<double>(budget_))));
+      if (params_.bootstrap_with_low_fidelity) {
+        const std::vector<std::vector<std::size_t>>* component_indices;
+        if (problem_.components_are_history) {
+          component_indices = &collector_.all_component_samples();
+        } else {
+          const auto m_r = std::clamp<std::size_t>(
+              static_cast<std::size_t>(std::llround(
+                  params_.mR_fraction * static_cast<double>(budget_))),
+              1, budget_ - 2);
+          component_indices =
+              &collector_.acquire_component_samples(m_r, *rng_);
+        }
+        auto components = std::make_shared<const ComponentModelSet>(
+            workflow, problem_.objective, *problem_.component_samples,
+            *component_indices, *rng_);
+        const LowFidelityModel low_fidelity(workflow, problem_.objective,
+                                            components);
+        const auto low_scores =
+            low_fidelity.score_many(problem_.pool->configs);
+        measure_batch(collector_,
+                      top_unmeasured(low_scores, collector_,
+                                     std::min(init, collector_.remaining())));
+      } else {
+        measure_batch(collector_,
+                      random_unmeasured(collector_, init, *rng_));
+      }
+      batch_size_ = std::max<std::size_t>(
+          1, (budget_ - std::min(init, budget_)) / params_.iterations);
+      phase_ = Phase::kLoop;
+      return;
     }
-    const double fit_s = refit();
-    // LCB acquisition: optimistic lower bound, lower = more attractive.
-    telemetry::ScopedSpan predict_span(tel, "surrogate.predict");
-    std::vector<double> acquisition(pool_size);
+    if (phase_ == Phase::kLoop) {
+      while (collector_.remaining() > 0) {
+        const std::size_t req_start = collector_.measured_indices().size();
+        const std::size_t ok_start = collector_.ok_values().size();
+        if (collector_.ok_indices().empty()) {
+          const auto batch =
+              random_unmeasured(collector_, batch_size_, *rng_);
+          if (batch.empty()) break;
+          measure_batch(collector_, batch);
+          emit_iteration_event(problem_, "bo.iteration", iteration_++,
+                               collector_, req_start, ok_start, 0.0, 0.0);
+          return;  // one iteration per step
+        }
+        const double fit_s = refit();
+        // LCB acquisition: optimistic lower bound, lower = more
+        // attractive.
+        telemetry::ScopedSpan predict_span(tel, "surrogate.predict");
+        std::vector<double> acquisition(pool_size);
+        for (std::size_t i = 0; i < pool_size; ++i) {
+          double mu = 0.0, sigma = 0.0;
+          ensemble_.predict(space, problem_.pool->configs[i], mu, sigma);
+          acquisition[i] = mu - params_.kappa * sigma;
+        }
+        const double predict_s = predict_span.stop();
+        const auto batch =
+            top_unmeasured(acquisition, collector_, batch_size_);
+        if (batch.empty()) break;
+        measure_batch(collector_, batch, acquisition, batch_size_);
+        emit_iteration_event(problem_, "bo.iteration", iteration_++,
+                             collector_, req_start, ok_start, fit_s,
+                             predict_s);
+        return;  // one iteration per step
+      }
+      phase_ = Phase::kFinal;
+    }
+
+    // Final ranking uses the ensemble mean (no exploration bonus).
+    refit();
+    telemetry::ScopedSpan final_span(tel, "surrogate.predict");
+    std::vector<double> scores(pool_size);
     for (std::size_t i = 0; i < pool_size; ++i) {
       double mu = 0.0, sigma = 0.0;
-      ensemble.predict(space, problem.pool->configs[i], mu, sigma);
-      acquisition[i] = mu - params_.kappa * sigma;
+      ensemble_.predict(space, problem_.pool->configs[i], mu, sigma);
+      scores[i] = mu;
     }
-    const double predict_s = predict_span.stop();
-    const auto batch = top_unmeasured(acquisition, collector, batch_size);
-    if (batch.empty()) break;
-    measure_batch(collector, batch, acquisition, batch_size);
-    emit_iteration_event(problem, "bo.iteration", iteration++, collector,
-                         req_start, ok_start, fit_s, predict_s);
+    final_span.stop();
+    finish(finalize_result(collector_, std::move(scores)));
   }
 
-  // Final ranking uses the ensemble mean (no exploration bonus).
-  refit();
-  telemetry::ScopedSpan final_span(tel, "surrogate.predict");
-  std::vector<double> scores(pool_size);
-  for (std::size_t i = 0; i < pool_size; ++i) {
-    double mu = 0.0, sigma = 0.0;
-    ensemble.predict(space, problem.pool->configs[i], mu, sigma);
-    scores[i] = mu;
-  }
-  final_span.stop();
-  return finalize_result(collector, std::move(scores));
+  BayesOptParams params_;
+  Collector collector_;
+  Ensemble ensemble_;
+  std::vector<config::Configuration> train_configs_;
+  Phase phase_ = Phase::kInit;
+  std::size_t batch_size_ = 1;
+  std::size_t iteration_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<TunerStepper> BayesOpt::make_stepper(
+    const TuningProblem& problem, std::size_t budget_runs,
+    ceal::Rng& rng) const {
+  return std::make_unique<BayesOptStepper>(*this, params_, problem,
+                                           budget_runs, rng);
 }
 
 }  // namespace ceal::tuner

@@ -40,9 +40,9 @@ class BayesOpt final : public AutoTuner {
     return params_.bootstrap_with_low_fidelity ? "BO-CEAL" : "BO";
   }
 
-  using AutoTuner::tune;  // keep the checkpointable overload visible
-  TuneResult tune(const TuningProblem& problem, std::size_t budget_runs,
-                  ceal::Rng& rng) const override;
+  std::unique_ptr<TunerStepper> make_stepper(const TuningProblem& problem,
+                                             std::size_t budget_runs,
+                                             ceal::Rng& rng) const override;
 
  private:
   BayesOptParams params_;

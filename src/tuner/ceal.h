@@ -63,9 +63,9 @@ class Ceal final : public AutoTuner {
 
   std::string name() const override { return "CEAL"; }
 
-  using AutoTuner::tune;  // keep the checkpointable overload visible
-  TuneResult tune(const TuningProblem& problem, std::size_t budget_runs,
-                  ceal::Rng& rng) const override;
+  std::unique_ptr<TunerStepper> make_stepper(const TuningProblem& problem,
+                                             std::size_t budget_runs,
+                                             ceal::Rng& rng) const override;
 
  private:
   CealParams params_;

@@ -51,9 +51,9 @@ class Geist final : public AutoTuner {
 
   std::string name() const override { return "GEIST"; }
 
-  using AutoTuner::tune;  // keep the checkpointable overload visible
-  TuneResult tune(const TuningProblem& problem, std::size_t budget_runs,
-                  ceal::Rng& rng) const override;
+  std::unique_ptr<TunerStepper> make_stepper(const TuningProblem& problem,
+                                             std::size_t budget_runs,
+                                             ceal::Rng& rng) const override;
 
  private:
   GeistParams params_;

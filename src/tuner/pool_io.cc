@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <sstream>
 #include <vector>
@@ -145,11 +146,23 @@ MeasuredPool load_pool_csv(const config::ConfigSpace& space,
   }
   MeasuredPool pool;
   std::size_t lineno = 1;
+  // Every pool entry must be a distinct configuration: the pool doubles
+  // as the test set, and a duplicated row would let one configuration
+  // vote twice in the rank metrics (and desync resume fingerprints).
+  // Component samples are exempt — tiny component spaces legitimately
+  // repeat configurations across solo runs.
+  std::map<config::Configuration, std::size_t> first_seen;
   while (std::getline(is, line)) {
     ++lineno;
     if (line.empty()) continue;
     const ParsedRow row =
         parse_row(split_csv(line), space, location(path, lineno));
+    const auto [it, inserted] = first_seen.emplace(row.config, lineno);
+    if (!inserted) {
+      fail_row(location(path, lineno),
+               "duplicate configuration " + config::to_string(row.config) +
+                   " (first at line " + std::to_string(it->second) + ")");
+    }
     pool.configs.push_back(row.config);
     pool.exec_s.push_back(row.exec_s);
     pool.comp_ch.push_back(row.comp_ch);

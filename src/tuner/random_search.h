@@ -10,9 +10,9 @@ class RandomSearch final : public AutoTuner {
  public:
   std::string name() const override { return "RS"; }
 
-  using AutoTuner::tune;  // keep the checkpointable overload visible
-  TuneResult tune(const TuningProblem& problem, std::size_t budget_runs,
-                  ceal::Rng& rng) const override;
+  std::unique_ptr<TunerStepper> make_stepper(const TuningProblem& problem,
+                                             std::size_t budget_runs,
+                                             ceal::Rng& rng) const override;
 };
 
 }  // namespace ceal::tuner

@@ -1,0 +1,87 @@
+// Resumable, step-wise execution of a tuning session.
+//
+// Every auto-tuning algorithm is implemented as a TunerStepper: a
+// cooperative state machine whose step() runs one bounded slice of the
+// session (one warm-up batch, one refinement iteration, one
+// finalisation pass) and then yields. AutoTuner::tune simply drives a
+// stepper to completion, so the one-shot API is a thin loop over this
+// one — byte-identical results, identical rng/telemetry/checkpoint
+// sequences.
+//
+// The step-wise form exists for the serving layer (src/serve): a daemon
+// multiplexing hundreds of concurrent sessions steps each one in turn
+// on a shared thread pool instead of parking a thread per session for
+// its whole lifetime. A stepper never blocks between steps and owns no
+// thread; whoever holds it decides when (and on which thread) the next
+// slice runs. Steps of one stepper must be serialised by the caller —
+// the object itself is not thread-safe.
+//
+// Lifetimes: the stepper copies the TuningProblem struct but not the
+// objects it points to (workload, pool, component samples, telemetry,
+// checkpoint) — those must outlive the stepper, as must the Rng.
+#pragma once
+
+#include "tuner/autotuner.h"
+#include "tuner/measured_pool.h"
+
+namespace ceal::tuner {
+
+class CheckpointSession;
+
+class TunerStepper {
+ public:
+  TunerStepper(const TuningProblem& problem, std::size_t budget_runs,
+               ceal::Rng& rng)
+      : problem_(problem), budget_(budget_runs), rng_(&rng) {}
+  virtual ~TunerStepper() = default;
+
+  TunerStepper(const TunerStepper&) = delete;
+  TunerStepper& operator=(const TunerStepper&) = delete;
+
+  /// True once the session has produced its TuneResult; step() is a
+  /// no-op from then on.
+  bool done() const { return done_; }
+
+  /// Runs one slice of the session. Returns true while more steps
+  /// remain, false once the session is finished (including the call
+  /// that finished it). Exceptions from the tuning logic propagate —
+  /// the stepper is then in an unspecified state and must be discarded.
+  bool step();
+
+  /// Total step() calls that performed work.
+  std::size_t steps_taken() const { return steps_taken_; }
+
+  /// The finished session's result; requires done().
+  const TuneResult& result() const;
+  TuneResult take_result();
+
+  /// The problem copy this session runs against (checkpoint attached
+  /// when the stepper was made through the checkpointable overload).
+  const TuningProblem& problem() const { return problem_; }
+  std::size_t budget_runs() const { return budget_; }
+
+ protected:
+  /// One slice of algorithm work. Implementations call finish() from
+  /// the slice that completes the session.
+  virtual void do_step() = 0;
+
+  /// Stores the result, marks the session done, and writes the
+  /// checkpoint's terminal record when one is attached.
+  void finish(TuneResult result);
+
+  TuningProblem problem_;
+  std::size_t budget_;
+  ceal::Rng* rng_;
+
+ private:
+  friend class AutoTuner;
+
+  bool done_ = false;
+  std::size_t steps_taken_ = 0;
+  TuneResult result_;
+  /// Set by AutoTuner::make_stepper's checkpointable overload: the
+  /// session that must receive finish_session() when the run completes.
+  CheckpointSession* finishing_checkpoint_ = nullptr;
+};
+
+}  // namespace ceal::tuner

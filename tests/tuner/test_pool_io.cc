@@ -75,6 +75,31 @@ TEST_F(PoolIoTest, RejectsNonPositiveMeasurements) {
   EXPECT_THROW(load_pool_csv(space, path_), ceal::PreconditionError);
 }
 
+TEST_F(PoolIoTest, RejectsDuplicateConfigurationRows) {
+  const auto& space = wl_.workflow.joint_space();
+  save_pool_csv(pool_, space, path_);
+  // Re-append the first data row: same configuration, different values.
+  std::string first_row;
+  {
+    std::ifstream is(path_);
+    std::getline(is, first_row);  // header
+    std::getline(is, first_row);
+  }
+  std::ofstream(path_, std::ios::app) << first_row << "\n";
+  try {
+    load_pool_csv(space, path_);
+    FAIL() << "duplicate row was accepted";
+  } catch (const ceal::PreconditionError& e) {
+    const std::string what = e.what();
+    // One-line "<path>:<lineno>: why" pointing at the duplicate and its
+    // first occurrence.
+    const std::string lineno = std::to_string(pool_.size() + 2);
+    EXPECT_NE(what.find(path_ + ":" + lineno), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate configuration"), std::string::npos) << what;
+    EXPECT_NE(what.find("(first at line 2)"), std::string::npos) << what;
+  }
+}
+
 TEST_F(PoolIoTest, RejectsEmptyFile) {
   const auto& space = wl_.workflow.joint_space();
   std::ofstream os(path_);

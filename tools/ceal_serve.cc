@@ -1,0 +1,91 @@
+// ceal_serve — tuning-as-a-service: a long-lived daemon multiplexing
+// many concurrent tuning sessions over newline-delimited JSON
+// (docs/SERVING.md has the protocol reference).
+//
+//   ceal_serve                              # serve requests on stdio
+//   ceal_serve --socket /tmp/ceal.sock      # serve a Unix socket
+//   ceal_serve --checkpoint DIR             # journal every session
+//   ceal_serve --checkpoint DIR --resume    # rebuild sessions after a kill
+#include <iostream>
+#include <optional>
+
+#include "core/telemetry.h"
+#include "serve/server.h"
+#include "tools/args.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "[--socket PATH] [--checkpoint DIR [--resume]]\n"
+    "\n"
+    "server:\n"
+    "  [--socket PATH]          listen on a Unix stream socket instead of\n"
+    "                           serving requests from stdin to stdout\n"
+    "  [--threads N]            session worker threads (default: all cores)\n"
+    "\n"
+    "durability:\n"
+    "  [--checkpoint DIR]       journal every session to DIR/<id>.cealj\n"
+    "                           with a DIR/<id>.session.json manifest\n"
+    "  [--resume]               rebuild the sessions journaled in DIR; a\n"
+    "                           resumed session replays its journal while\n"
+    "                           the client steps it (bitwise-identical\n"
+    "                           results after a SIGKILL)\n"
+    "\n"
+    "observability:\n"
+    "  [--trace FILE]           stream server JSONL trace events to FILE\n"
+    "  [--trace-dir DIR]        per-session traces in DIR/<id>.trace.jsonl\n"
+    "  [--metrics-summary]      print the telemetry table to stderr on exit";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ceal;
+  tools::Args args(argc, argv, kUsage);
+
+  const auto socket_path = args.option("socket", "");
+  const auto threads = static_cast<std::size_t>(args.integer("threads", 0));
+  const auto checkpoint_dir = args.option("checkpoint", "");
+  const bool resume = args.flag("resume");
+  const auto trace_path = args.option("trace", "");
+  const auto trace_dir = args.option("trace-dir", "");
+  const bool metrics_summary = args.flag("metrics-summary");
+  args.finish();
+
+  if (resume && checkpoint_dir.empty()) {
+    std::cerr << "--resume requires --checkpoint DIR\n";
+    return 2;
+  }
+
+  // The protocol owns stdout; every diagnostic goes to stderr.
+  std::optional<telemetry::JsonlTraceSink> sink;
+  if (!trace_path.empty()) sink.emplace(trace_path);
+  telemetry::Telemetry telemetry(sink ? &*sink : nullptr);
+
+  serve::ServerOptions options;
+  options.checkpoint_dir = checkpoint_dir;
+  options.trace_dir = trace_dir;
+  options.telemetry = &telemetry;
+
+  try {
+    serve::ServerCore core(options);
+    if (resume) {
+      const std::size_t resumed = core.resume_sessions();
+      std::cerr << "resumed " << resumed << " session(s) from "
+                << checkpoint_dir << "\n";
+    }
+    if (!socket_path.empty()) {
+      std::cerr << "listening on " << socket_path << "\n";
+      serve::serve_unix_socket(core, socket_path, threads);
+    } else {
+      serve::serve_stream(core, std::cin, std::cout, threads);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  telemetry.emit(telemetry.summary_event());
+  if (sink) sink->flush();
+  if (metrics_summary) std::cerr << telemetry.summary_table();
+  return 0;
+}

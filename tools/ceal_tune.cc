@@ -28,17 +28,9 @@
 #include "tuner/evaluation.h"
 #include "tuner/measured_pool.h"
 #include "tuner/pool_io.h"
+#include "tuner/result_io.h"
 
 namespace {
-
-/// C99 hex-float: exact bitwise round-trip through text, so the result
-/// CSV diffs byte-for-byte between an uninterrupted session and a
-/// killed-and-resumed one.
-std::string hex(double v) {
-  char buffer[48];
-  std::snprintf(buffer, sizeof buffer, "%a", v);
-  return buffer;
-}
 
 constexpr const char* kUsage =
     "--workflow LV|HS|GP --objective exec|comp --budget N\n"
@@ -362,32 +354,11 @@ int main(int argc, char** argv) {
   }
 
   if (!save_result.empty()) {
-    // Exact result artifact (atomic replace, doubles as hex floats): two
-    // sessions produced identical TuneResults iff these files are
-    // byte-identical.
-    AtomicFile file(save_result);
-    auto& os = file.stream();
-    os << "key,value\n";
-    os << "algorithm," << algo->name() << '\n';
-    os << "workflow," << wl.workflow.name() << '\n';
-    os << "objective," << tuner::objective_name(objective) << '\n';
-    os << "budget," << budget << '\n';
-    os << "seed," << seed << '\n';
-    os << "runs_used," << result.runs_used << '\n';
-    os << "measured," << result.measured_indices.size() << '\n';
-    os << "failed_runs," << result.failed_runs << '\n';
-    os << "best_predicted_index," << result.best_predicted_index << '\n';
-    os << "best_measured_index," << result.best_measured_index << '\n';
-    os << "cost_exec_s," << hex(result.cost_exec_s) << '\n';
-    os << "cost_comp_ch," << hex(result.cost_comp_ch) << '\n';
-    for (std::size_t s = 0; s < result.measured_indices.size(); ++s) {
-      os << "measured." << s << ',' << result.measured_indices[s] << ':'
-         << sim::run_status_name(result.measured_statuses[s]) << '\n';
-    }
-    for (std::size_t i = 0; i < result.model_scores.size(); ++i) {
-      os << "score." << i << ',' << hex(result.model_scores[i]) << '\n';
-    }
-    file.commit();
+    // Exact result artifact (tuner/result_io.h): two sessions produced
+    // identical TuneResults iff these files are byte-identical.
+    tuner::save_result_csv(save_result, result, algo->name(),
+                           wl.workflow.name(),
+                           tuner::objective_name(objective), budget, seed);
   }
   finish_telemetry();
   return 0;

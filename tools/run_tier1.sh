@@ -102,6 +102,37 @@ truncate -s "$((full_size - 7))" "$journal"
 diff "$trace_dir/uninterrupted.csv" "$trace_dir/torn.csv" \
   || { echo "torn-tail resume changed the tuning result"; exit 1; }
 
+echo "== tier-1: serve kill-resume determinism gate =="
+# The daemon version of the same contract (docs/SERVING.md): a
+# ceal_serve session journaling to --checkpoint, SIGKILLed after the
+# 12th durable journal record, restarted with --resume and stepped to
+# completion must save a result CSV byte-identical to the solo
+# ceal_tune run above (the session.create mirrors kill_args exactly).
+serve_dir="$trace_dir/serve"
+mkdir -p "$serve_dir"
+serve_create='{"op":"session.create","id":"gate","workflow":"LV",'
+serve_create+='"objective":"exec","budget":20,"algorithm":"CEAL","seed":5,'
+serve_create+='"pool_size":300,"pool_seed":31,"component_samples":100,'
+serve_create+='"fault_rate":0.15,"max_attempts":2}'
+rc=0
+printf '%s\n{"op":"session.step","id":"gate","steps":1000}\n' "$serve_create" \
+  | CEAL_CRASH_AFTER_RECORDS=12 ./build/tools/ceal_serve \
+      --checkpoint "$serve_dir" >/dev/null 2>&1 || rc=$?
+if [[ "$rc" -ne 137 ]]; then
+  echo "expected ceal_serve to die with SIGKILL (137), got $rc"
+  exit 1
+fi
+printf '{"op":"session.step","id":"gate","steps":1000}\n{"op":"session.query","id":"gate","save_result":"%s"}\n' \
+    "$serve_dir/served.csv" \
+  | ./build/tools/ceal_serve --checkpoint "$serve_dir" --resume \
+      > "$serve_dir/responses.txt" 2> "$serve_dir/resume_info.txt"
+grep -q "resumed 1 session(s)" "$serve_dir/resume_info.txt" \
+  || { echo "ceal_serve --resume did not rebuild the killed session"; exit 1; }
+grep -q '"ok":false' "$serve_dir/responses.txt" \
+  && { echo "ceal_serve answered an error after resume"; exit 1; }
+diff "$trace_dir/uninterrupted.csv" "$serve_dir/served.csv" \
+  || { echo "daemon kill+resume changed the tuning result"; exit 1; }
+
 echo "== tier-1: micro benches + ceal_report regression gate =="
 # Cheap micro benches write BENCH_*.json (with the common metadata
 # header) into .ceal-bench/current alongside the fig5 trace; ceal_report
@@ -128,7 +159,10 @@ export CEAL_TELEMETRY_OVERHEAD_TOL="${CEAL_TELEMETRY_OVERHEAD_TOL:-0.15}"
   && CEAL_POOL_SCALE_MAX="${CEAL_POOL_SCALE_MAX:-16384}" \
      ../../build/bench/bench_pool_scale --benchmark_min_time=0.05 \
        --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
-       > bench_pool_scale.log)
+       > bench_pool_scale.log \
+  && ../../build/bench/bench_serve_load --benchmark_min_time=0.05 \
+       --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+       > bench_serve_load.log)
 cp "$trace_dir/a.jsonl" "$bench_dir/current/fig5_trace.jsonl"
 if [[ -d "$bench_dir/baseline" ]]; then
   ./build/tools/ceal_report --current "$bench_dir/current" \
@@ -162,7 +196,8 @@ for san in address undefined; do
   dir="build-${san}"
   cmake -B "$dir" -S . -DCEAL_SANITIZE="$san" >/dev/null
   cmake --build "$dir" -j "$jobs" --target unit_tests system_tests \
-    quickstart component_models miniapp_demo custom_workflow md_insitu
+    serve_tests quickstart component_models miniapp_demo custom_workflow \
+    md_insitu
   ctest --test-dir "$dir" --output-on-failure -j "$jobs" -L tier1
 done
 
@@ -170,9 +205,10 @@ if [[ "$with_tsan" == 1 ]]; then
   echo "== tier-1: concurrency telemetry tests under ThreadSanitizer =="
   dir="build-thread"
   cmake -B "$dir" -S . -DCEAL_SANITIZE=thread >/dev/null
-  cmake --build "$dir" -j "$jobs" --target unit_tests system_tests
+  cmake --build "$dir" -j "$jobs" --target unit_tests system_tests \
+    serve_tests
   ctest --test-dir "$dir" --output-on-failure -j "$jobs" -L tier1 \
-    -R 'Telemetry|ThreadPool|Trace|Parallel|Quantized|Compiled|PoolScorer'
+    -R 'Telemetry|ThreadPool|Trace|Parallel|Quantized|Compiled|PoolScorer|Serve'
 fi
 
 echo "tier-1 OK (plain + asan + ubsan$([[ "$with_tsan" == 1 ]] && echo ' + tsan'))"
