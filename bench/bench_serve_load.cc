@@ -22,6 +22,7 @@
 
 #include "bench/common.h"
 #include "core/json.h"
+#include "core/stats.h"
 #include "serve/server.h"
 
 namespace {
@@ -47,15 +48,12 @@ std::string create_line(std::size_t i) {
   return os.str();
 }
 
-/// Nearest-rank percentile of an unsorted sample (p in [0, 100]).
-double percentile(std::vector<double> sample, double p) {
+/// Sample quantile via the shared core/stats.h helper — the same rank
+/// definition server.metrics histogram quantiles use, so bench numbers
+/// and live exposition agree. Empty samples report 0.
+double sample_quantile(const std::vector<double>& sample, double q) {
   if (sample.empty()) return 0.0;
-  std::sort(sample.begin(), sample.end());
-  const double rank = std::ceil(p / 100.0 * sample.size());
-  const std::size_t index =
-      std::min(sample.size() - 1,
-               static_cast<std::size_t>(std::max(rank - 1.0, 0.0)));
-  return sample[index];
+  return ceal::quantile(sample, q);
 }
 
 void expect_ok(const std::string& response_line) {
@@ -93,8 +91,8 @@ void BM_ServeInterleavedSessions(benchmark::State& state) {
     }
   }
   state.counters["sessions"] = static_cast<double>(sessions);
-  state.counters["step_p50_ms"] = percentile(step_ms, 50.0);
-  state.counters["step_p99_ms"] = percentile(step_ms, 99.0);
+  state.counters["step_p50_ms"] = sample_quantile(step_ms, 0.50);
+  state.counters["step_p99_ms"] = sample_quantile(step_ms, 0.99);
   state.counters["steps_per_second"] =
       stepping_seconds > 0.0 ? total_steps / stepping_seconds : 0.0;
 }

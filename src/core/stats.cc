@@ -38,6 +38,44 @@ double quantile(std::span<const double> xs, double q) {
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
+double histogram_quantile(std::span<const std::uint64_t> counts,
+                          std::span<const double> upper_bounds, double q,
+                          double observed_min, double observed_max) {
+  CEAL_EXPECT(q >= 0.0 && q <= 1.0);
+  CEAL_EXPECT(!counts.empty());
+  CEAL_EXPECT(counts.size() == upper_bounds.size() ||
+              counts.size() == upper_bounds.size() + 1);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  CEAL_EXPECT_MSG(total > 0, "histogram_quantile of an empty histogram");
+  // Same rank definition as quantile(): the q-quantile sits at sorted
+  // position q*(n-1). Walk buckets to the one containing that rank and
+  // interpolate linearly across it, treating the bucket's mass as spread
+  // uniformly over [lower_edge, upper_edge].
+  const double pos = q * static_cast<double>(total - 1);
+  std::uint64_t before = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double first = static_cast<double>(before);
+    const double last = static_cast<double>(before + counts[i] - 1);
+    if (pos <= last) {
+      const double lower =
+          i == 0 ? observed_min : std::max(observed_min, upper_bounds[i - 1]);
+      const double upper = i < upper_bounds.size()
+                               ? std::min(observed_max, upper_bounds[i])
+                               : observed_max;
+      if (upper <= lower || counts[i] == 1) {
+        return std::clamp(upper, observed_min, observed_max);
+      }
+      const double frac = (pos - first) / (last - first);
+      return std::clamp(lower + frac * (upper - lower), observed_min,
+                        observed_max);
+    }
+    before += counts[i];
+  }
+  return observed_max;  // unreachable: total > 0 places pos in a bucket
+}
+
 double absolute_percentage_error(double y, double yhat) {
   CEAL_EXPECT(y != 0.0);
   return std::abs((y - yhat) / y);

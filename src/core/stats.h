@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -21,6 +22,18 @@ double median(std::span<const double> xs);
 
 /// Linear-interpolated quantile, q in [0,1]. Requires non-empty.
 double quantile(std::span<const double> xs, double q);
+
+/// Quantile estimated from a bucketed histogram, using the same rank
+/// definition as quantile(): pos = q * (count - 1), linearly
+/// interpolated within the containing bucket. `upper_bounds[i]` is the
+/// inclusive upper edge of bucket i (ascending); `counts` may carry one
+/// extra trailing overflow bucket. `observed_min`/`observed_max` clamp
+/// the estimate so it never leaves the observed range (and bound the
+/// otherwise edge-less first/overflow buckets). Requires a non-empty
+/// histogram (total count >= 1) and q in [0,1].
+double histogram_quantile(std::span<const std::uint64_t> counts,
+                          std::span<const double> upper_bounds, double q,
+                          double observed_min, double observed_max);
 
 /// Absolute percentage error |y - yhat| / |y| of one prediction.
 /// Requires y != 0.

@@ -1,10 +1,13 @@
 #include "core/telemetry.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <functional>
 #include <ostream>
 
 #include "core/error.h"
+#include "core/stats.h"
 
 namespace ceal::telemetry {
 
@@ -118,6 +121,70 @@ void BufferTraceSink::write(const TraceEvent& event) {
   events_.push_back(event);
 }
 
+std::span<const double> histogram_upper_bounds() {
+  static const std::array<double, kHistogramBounds> bounds = [] {
+    std::array<double, kHistogramBounds> b{};
+    for (std::size_t k = 0; k < kHistogramBounds; ++k) {
+      b[k] = std::pow(10.0, static_cast<double>(k) / 4.0 - 9.0);
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+namespace {
+
+/// Index of the bucket holding `value` under inclusive (`le`) edges:
+/// the first bound >= value, or the overflow bucket past the last bound.
+/// lower_bound on the precomputed edges gives exact boundary semantics
+/// (no log-arithmetic rounding surprises).
+std::size_t histogram_bucket_index(double value) {
+  const std::span<const double> bounds = histogram_upper_bounds();
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  return static_cast<std::size_t>(it - bounds.begin());
+}
+
+}  // namespace
+
+void HistogramStats::observe(double value) {
+  CEAL_EXPECT_MSG(std::isfinite(value),
+                  "histogram observation must be finite");
+  if (count == 0) {
+    min = value;
+    max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+  if (buckets.empty()) buckets.assign(kHistogramBuckets, 0);
+  ++buckets[histogram_bucket_index(value)];
+}
+
+void HistogramStats::merge(const HistogramStats& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  if (buckets.empty()) buckets.assign(kHistogramBuckets, 0);
+  for (std::size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+double HistogramStats::quantile(double q) const {
+  CEAL_EXPECT_MSG(count > 0, "quantile of an empty histogram");
+  return ceal::histogram_quantile(buckets, histogram_upper_bounds(), q, min,
+                                  max);
+}
+
 Telemetry::Shard& Telemetry::shard_for(std::string_view name) {
   return shards_[std::hash<std::string_view>{}(name) % kShards];
 }
@@ -192,6 +259,23 @@ SpanStats Telemetry::span_stats(std::string_view name) const {
   return it == shard.spans.end() ? SpanStats{} : it->second;
 }
 
+void Telemetry::observe(std::string_view name, double value) {
+  Shard& shard = shard_for(name);
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.histograms.find(name);
+  if (it == shard.histograms.end()) {
+    it = shard.histograms.emplace(std::string(name), HistogramStats{}).first;
+  }
+  it->second.observe(value);
+}
+
+HistogramStats Telemetry::histogram_stats(std::string_view name) const {
+  const Shard& shard = shard_for(name);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.histograms.find(name);
+  return it == shard.histograms.end() ? HistogramStats{} : it->second;
+}
+
 std::map<std::string, std::uint64_t, std::less<>> Telemetry::counters()
     const {
   std::map<std::string, std::uint64_t, std::less<>> out;
@@ -220,6 +304,16 @@ std::map<std::string, SpanStats, std::less<>> Telemetry::spans() const {
   return out;
 }
 
+std::map<std::string, HistogramStats, std::less<>> Telemetry::histograms()
+    const {
+  std::map<std::string, HistogramStats, std::less<>> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    out.insert(shard.histograms.begin(), shard.histograms.end());
+  }
+  return out;
+}
+
 void Telemetry::merge(const Telemetry& child,
                       std::span<const TraceEvent> events) {
   CEAL_EXPECT_MSG(&child != this, "cannot merge a Telemetry into itself");
@@ -236,6 +330,15 @@ void Telemetry::merge(const Telemetry& child,
       it->second.total_s += stats.total_s;
     }
   }
+  for (const auto& [name, stats] : child.histograms()) {
+    Shard& shard = shard_for(name);
+    std::lock_guard lock(shard.mutex);
+    auto it = shard.histograms.find(name);
+    if (it == shard.histograms.end()) {
+      it = shard.histograms.emplace(name, HistogramStats{}).first;
+    }
+    it->second.merge(stats);
+  }
   // Replay the child's buffered events in order; emit() re-stamps each
   // with this instance's next sequence number, so merging children in a
   // fixed order reproduces the serial event stream exactly.
@@ -249,6 +352,34 @@ TraceEvent Telemetry::summary_event() const {
   for (const auto& [name, stats] : spans()) {
     event.field(name + ".count", stats.count);
     event.timing(name + ".total_s", stats.total_s);
+  }
+  // Histograms of wall clocks (name starts with "timing.") put *every*
+  // stat — count included — inside the `timing` sub-object, so the
+  // determinism strip (remove members named "timing") drops the whole
+  // histogram; deterministic histograms stay in the byte-stable fields.
+  for (const auto& [name, stats] : histograms()) {
+    if (stats.count == 0) continue;
+    const bool wall_clock = name.starts_with("timing.");
+    const auto put = [&](const std::string& stat, double value) {
+      const std::string key = "hist." + name + "." + stat;
+      if (wall_clock) {
+        event.timing(key, value);
+      } else {
+        event.field(key, value);
+      }
+    };
+    if (wall_clock) {
+      event.timing("hist." + name + ".count",
+                   static_cast<double>(stats.count));
+    } else {
+      event.field("hist." + name + ".count", stats.count);
+    }
+    put("sum", stats.sum);
+    put("min", stats.min);
+    put("max", stats.max);
+    put("p50", stats.quantile(0.50));
+    put("p90", stats.quantile(0.90));
+    put("p99", stats.quantile(0.99));
   }
   return event;
 }
@@ -265,6 +396,10 @@ Table Telemetry::summary_table() const {
     table.add_row({"span", name, std::to_string(stats.count),
                    Table::num(stats.total_s, 6)});
   }
+  for (const auto& [name, stats] : histograms()) {
+    table.add_row({"histogram", name, std::to_string(stats.count),
+                   Table::num(stats.sum, 6)});
+  }
   return table;
 }
 
@@ -272,6 +407,15 @@ double ScopedSpan::stop() {
   if (telemetry_ != nullptr) {
     elapsed_ = monotonic_seconds() - start_;
     telemetry_->add_span(name_, elapsed_);
+    telemetry_ = nullptr;
+  }
+  return elapsed_;
+}
+
+double ScopedHistogramTimer::stop() {
+  if (telemetry_ != nullptr) {
+    elapsed_ = monotonic_seconds() - start_;
+    telemetry_->observe(name_, elapsed_);
     telemetry_ = nullptr;
   }
   return elapsed_;

@@ -162,6 +162,38 @@ struct SpanStats {
   double total_s = 0.0;
 };
 
+/// Shared bucket layout of every histogram: four log-spaced buckets per
+/// decade spanning [1e-9, 1e9] (upper_bounds[k] = 10^(k/4 - 9)), plus
+/// one overflow bucket. One fixed layout means any two histograms merge
+/// bucket-by-bucket and the Prometheus exposition needs no per-metric
+/// configuration.
+inline constexpr std::size_t kHistogramBounds = 73;
+inline constexpr std::size_t kHistogramBuckets = kHistogramBounds + 1;
+
+/// The inclusive (`le`) upper edges, ascending. Computed once.
+std::span<const double> histogram_upper_bounds();
+
+/// Distribution accumulator: exact count/sum/min/max plus the fixed
+/// log-spaced bucket counts above. `sum` of integer-valued observations
+/// is exact and order-independent (integers up to 2^53 add exactly in a
+/// double), so such histograms are deterministic under any merge order;
+/// wall-clock histograms are not, and must be named `timing.*` so the
+/// determinism gates strip them (see docs/OBSERVABILITY.md).
+struct HistogramStats {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< Meaningful only when count > 0.
+  double max = 0.0;
+  /// kHistogramBuckets entries; empty until the first observation.
+  std::vector<std::uint64_t> buckets;
+
+  void observe(double value);
+  void merge(const HistogramStats& other);
+  /// Bucket-interpolated quantile (stats.h histogram_quantile), clamped
+  /// to [min, max]. Requires count > 0.
+  double quantile(double q) const;
+};
+
 /// Registry of counters, gauges, and span accumulators, with an optional
 /// trace sink. Safe under concurrent writers: accumulator updates are
 /// sharded by name, and emit() serialises the sequence stamp + sink
@@ -200,15 +232,24 @@ class Telemetry {
   void add_span(std::string_view name, double seconds);
   SpanStats span_stats(std::string_view name) const;
 
+  /// Adds one observation to the named histogram. Wall-clock
+  /// observations must go to a `timing.*`-named histogram (determinism
+  /// contract); deterministic quantities (counts of things) may use any
+  /// other name.
+  void observe(std::string_view name, double value);
+  HistogramStats histogram_stats(std::string_view name) const;
+
   /// Snapshots: the shards merged into one name-sorted map. The result
   /// is independent of shard layout; taking a snapshot while writers are
   /// active yields some consistent intermediate state.
   std::map<std::string, std::uint64_t, std::less<>> counters() const;
   std::map<std::string, double, std::less<>> gauges() const;
   std::map<std::string, SpanStats, std::less<>> spans() const;
+  std::map<std::string, HistogramStats, std::less<>> histograms() const;
 
   /// Deterministic merge of a child's accumulators into this instance:
-  /// counters and span stats add, gauges take the child's value. When
+  /// counters, span stats, and histograms add, gauges take the child's
+  /// value. When
   /// `events` is non-empty (a BufferTraceSink's buffer) each event is
   /// re-emitted through this instance in order, acquiring fresh sequence
   /// numbers — so merging children in a fixed order reproduces the exact
@@ -218,6 +259,9 @@ class Telemetry {
 
   /// "telemetry.summary" event: counters and gauges as deterministic
   /// fields, span call counts as fields, span totals under `timing`.
+  /// Histograms surface as `hist.<name>.<stat>` (count, sum, min, max,
+  /// p50, p90, p99); every stat of a `timing.*`-named histogram goes
+  /// under `timing` so the determinism strip removes it whole.
   TraceEvent summary_event() const;
 
   /// Human-readable metrics table (kind, name, count/value, total
@@ -234,6 +278,7 @@ class Telemetry {
     std::map<std::string, std::uint64_t, std::less<>> counters;
     std::map<std::string, double, std::less<>> gauges;
     std::map<std::string, SpanStats, std::less<>> spans;
+    std::map<std::string, HistogramStats, std::less<>> histograms;
   };
   static constexpr std::size_t kShards = 8;
 
@@ -260,6 +305,31 @@ class ScopedSpan {
 
   /// Records the span once; further calls return the first elapsed time.
   /// Returns 0 when no telemetry is attached.
+  double stop();
+
+ private:
+  Telemetry* telemetry_;
+  const char* name_;
+  double start_ = 0.0;
+  double elapsed_ = 0.0;
+};
+
+/// RAII wall-clock timer feeding a histogram: charges
+/// `telemetry->observe(name, elapsed)` on stop()/destruction. `name`
+/// must be a `timing.*` histogram (wall clocks are nondeterministic).
+/// With a null Telemetry every member is one branch.
+class ScopedHistogramTimer {
+ public:
+  ScopedHistogramTimer(Telemetry* telemetry, const char* name)
+      : telemetry_(telemetry), name_(name) {
+    if (telemetry_ != nullptr) start_ = monotonic_seconds();
+  }
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+  ~ScopedHistogramTimer() { stop(); }
+
+  /// Records the observation once; further calls return the first
+  /// elapsed time. Returns 0 when no telemetry is attached.
   double stop();
 
  private:

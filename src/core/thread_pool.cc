@@ -73,6 +73,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     }
     if (telemetry::Telemetry* tel = telemetry_; tel != nullptr) {
       tel->add_span("pool.task", elapsed);
+      tel->observe("timing.pool.task_s", elapsed);
     }
   }
 }

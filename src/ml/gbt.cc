@@ -39,6 +39,7 @@ GbtParams GradientBoostedTrees::surrogate_defaults() {
 
 void GradientBoostedTrees::fit(const Dataset& data, ceal::Rng& rng) {
   CEAL_EXPECT_MSG(!data.empty(), "cannot fit on an empty dataset");
+  telemetry::ScopedHistogramTimer fit_timer(telemetry_, "timing.gbt.fit_s");
   // Hard guard: a single NaN target poisons every gradient (and a NaN
   // feature corrupts split search), so reject them up front instead of
   // training a silently broken model.
@@ -180,6 +181,8 @@ std::vector<double> GradientBoostedTrees::predict_all(
     const Dataset& data) const {
   CEAL_EXPECT_MSG(fitted_, "predict_all() before fit()");
   telemetry::ScopedSpan span(telemetry_, "gbt.predict");
+  telemetry::ScopedHistogramTimer predict_timer(telemetry_,
+                                                "timing.gbt.predict_s");
   if (telemetry_ != nullptr) {
     telemetry_->count("gbt.predict.batches");
     telemetry_->count("gbt.predict.rows", data.size());
@@ -195,6 +198,8 @@ std::vector<double> GradientBoostedTrees::predict_matrix(
     const FeatureMatrix& rows) const {
   CEAL_EXPECT_MSG(fitted_, "predict_matrix() before fit()");
   telemetry::ScopedSpan span(telemetry_, "gbt.predict");
+  telemetry::ScopedHistogramTimer predict_timer(telemetry_,
+                                                "timing.gbt.predict_s");
   if (telemetry_ != nullptr) {
     telemetry_->count("gbt.predict.batches");
     telemetry_->count("gbt.predict.rows", rows.size());

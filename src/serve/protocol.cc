@@ -194,10 +194,25 @@ Request parse_request(const std::string& line) {
   } else if (op == "server.stats") {
     req.op = Op::kStats;
     reject_unknown(doc, {"op"}, "request");
+  } else if (op == "server.metrics") {
+    req.op = Op::kMetrics;
+    reject_unknown(doc, {"op"}, "request");
   } else {
     fail("request:op", "unknown op \"" + op + "\"");
   }
   return req;
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kCreate: return "create";
+    case Op::kStep: return "step";
+    case Op::kQuery: return "query";
+    case Op::kCancel: return "cancel";
+    case Op::kStats: return "stats";
+    case Op::kMetrics: return "metrics";
+  }
+  return "unknown";
 }
 
 json::Value error_response(std::string message) {

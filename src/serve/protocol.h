@@ -8,6 +8,7 @@
 //   {"op":"session.query","id":"s1"}                -> {"ok":true,...}
 //   {"op":"session.cancel","id":"s1"}               -> {"ok":true,...}
 //   {"op":"server.stats"}                           -> {"ok":true,...}
+//   {"op":"server.metrics"}                         -> {"ok":true,...}
 //
 // Validation is strict and reuses src/core/json: unknown fields, wrong
 // types, and out-of-range values are rejected before any session state
@@ -40,7 +41,12 @@ enum class Op {
   kQuery,    ///< session.query
   kCancel,   ///< session.cancel
   kStats,    ///< server.stats
+  kMetrics,  ///< server.metrics
 };
+
+/// Wire name of the op ("create", "step", ...): the <name> in the
+/// serve.op.<name> and serve.op.<name>.errors metric families.
+const char* op_name(Op op);
 
 /// The session parameters of session.create — deliberately the same
 /// knobs (and defaults) as the ceal_tune command line, so a served

@@ -16,6 +16,7 @@
 
 #include "core/atomic_file.h"
 #include "core/thread_pool.h"
+#include "serve/metrics.h"
 
 #if !defined(_WIN32)
 #include <sys/socket.h>
@@ -151,20 +152,25 @@ json::Value ServerCore::handle_error(const std::string& message) {
 json::Value ServerCore::handle(const Request& request) {
   telemetry::Telemetry* t = options_.telemetry;
   requests_.fetch_add(1, std::memory_order_relaxed);
-  if (t != nullptr) t->count("serve.requests");
+  const auto op_index = static_cast<std::size_t>(request.op);
+  op_requests_[op_index].fetch_add(1, std::memory_order_relaxed);
+  if (t != nullptr) {
+    t->count("serve.requests");
+    t->count(std::string("serve.op.") + op_name(request.op));
+  }
   try {
     switch (request.op) {
       case Op::kCreate: {
-        if (t != nullptr) t->count("serve.op.create");
         return create_session(request);
       }
       case Op::kStep: {
-        if (t != nullptr) t->count("serve.op.step");
         auto session = find_session(request.session_id);
         const SessionState before = session->state();
         {
           telemetry::ScopedSpan span(t, "serve.step");
           session->step(request.steps);
+          if (t != nullptr)
+            t->observe("timing.serve.step_s", span.stop());
         }
         if (before == SessionState::kRunning &&
             session->state() != SessionState::kRunning) {
@@ -173,14 +179,12 @@ json::Value ServerCore::handle(const Request& request) {
         return session->status_json();
       }
       case Op::kQuery: {
-        if (t != nullptr) t->count("serve.op.query");
         auto session = find_session(request.session_id);
         if (!request.save_result.empty())
           session->save_result(request.save_result);
         return session->status_json();
       }
       case Op::kCancel: {
-        if (t != nullptr) t->count("serve.op.cancel");
         auto session = find_session(request.session_id);
         session->cancel();
         // A cancelled session must not be resurrected by --resume.
@@ -193,14 +197,20 @@ json::Value ServerCore::handle(const Request& request) {
         return session->status_json();
       }
       case Op::kStats: {
-        if (t != nullptr) t->count("serve.op.stats");
         return stats_json();
+      }
+      case Op::kMetrics: {
+        return metrics_json();
       }
     }
     throw ProtocolError("request:op: unknown op");
   } catch (const std::exception& e) {
     errors_.fetch_add(1, std::memory_order_relaxed);
-    if (t != nullptr) t->count("serve.errors");
+    op_errors_[op_index].fetch_add(1, std::memory_order_relaxed);
+    if (t != nullptr) {
+      t->count("serve.errors");
+      t->count(std::string("serve.op.") + op_name(request.op) + ".errors");
+    }
     return error_response(e.what());
   }
 }
@@ -295,7 +305,56 @@ json::Value ServerCore::stats_json() const {
                             requests_.load(std::memory_order_relaxed)));
   stats.set("errors",
             json::Value::number(errors_.load(std::memory_order_relaxed)));
+  // Per-op breakdown: requests and errors per protocol op, in enum
+  // order. Deterministic under the serve_stream quiescence barrier like
+  // every other field here.
+  json::Value ops = json::Value::object();
+  for (std::size_t i = 0; i < kOpCount; ++i) {
+    json::Value one = json::Value::object();
+    one.set("requests", json::Value::number(
+                            op_requests_[i].load(std::memory_order_relaxed)));
+    one.set("errors", json::Value::number(
+                          op_errors_[i].load(std::memory_order_relaxed)));
+    ops.set(op_name(static_cast<Op>(i)), std::move(one));
+  }
+  stats.set("ops", std::move(ops));
   return stats;
+}
+
+json::Value ServerCore::metrics_json() const {
+  json::Value metrics = json::Value::object();
+  metrics.set("ok", json::Value::boolean(true));
+  // The server block is stats_json minus its "ok" member.
+  const json::Value stats = stats_json();
+  json::Value server = json::Value::object();
+  for (const auto& [key, value] : stats.members()) {
+    if (key != "ok") server.set(key, value);
+  }
+  metrics.set("server", std::move(server));
+  const json::Value sections = telemetry_sections_json(options_.telemetry);
+  for (const auto& [key, value] : sections.members())
+    metrics.set(key, value);
+  // Per-session live progress, sorted by id (the registry map order).
+  std::vector<std::shared_ptr<ServeSession>> sessions;
+  {
+    std::lock_guard lock(mutex_);
+    sessions.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) sessions.push_back(session);
+  }
+  json::Value list = json::Value::array();
+  for (const auto& session : sessions) list.push(session->metrics_json());
+  metrics.set("sessions", std::move(list));
+  return metrics;
+}
+
+void ServerCore::flush_sinks() const {
+  std::vector<std::shared_ptr<ServeSession>> sessions;
+  {
+    std::lock_guard lock(mutex_);
+    sessions.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) sessions.push_back(session);
+  }
+  for (const auto& session : sessions) session->flush_trace();
 }
 
 void serve_stream(ServerCore& core, std::istream& in, std::ostream& out,
@@ -387,10 +446,10 @@ void serve_stream(ServerCore& core, std::istream& in, std::ostream& out,
       push_ready(core.handle_error(e.what()).dump());
       continue;
     }
-    if (request.op == Op::kStats) {
-      // Quiescence barrier: stats answers only after every earlier
-      // request finished, so its counts are deterministic under any
-      // thread count.
+    if (request.op == Op::kStats || request.op == Op::kMetrics) {
+      // Quiescence barrier: stats/metrics answer only after every
+      // earlier request finished, so their counts are deterministic
+      // under any thread count.
       {
         std::unique_lock lock(queue_mutex);
         queue_cv.wait(lock, [&] { return inflight == 0; });
@@ -465,7 +524,8 @@ class FdStreambuf final : public std::streambuf {
 }  // namespace
 
 void serve_unix_socket(ServerCore& core, const std::string& socket_path,
-                       std::size_t threads) {
+                       std::size_t threads,
+                       const std::function<bool()>& should_stop) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0)
     throw std::runtime_error("socket: " + std::string(std::strerror(errno)));
@@ -486,8 +546,12 @@ void serve_unix_socket(ServerCore& core, const std::string& socket_path,
     throw std::runtime_error(socket_path + ": " + why);
   }
   for (;;) {
+    if (should_stop && should_stop()) break;
     const int conn = ::accept(fd, nullptr, nullptr);
     if (conn < 0) {
+      // A signal (SIGTERM drain, handlers installed without SA_RESTART)
+      // interrupts accept; re-check the stop predicate and keep
+      // listening otherwise.
       if (errno == EINTR) continue;
       break;
     }
@@ -496,13 +560,15 @@ void serve_unix_socket(ServerCore& core, const std::string& socket_path,
     std::ostream conn_out(&buffer);
     serve_stream(core, conn_in, conn_out, threads);
     ::close(conn);
+    if (should_stop && should_stop()) break;
   }
   ::close(fd);
 }
 
 #else
 
-void serve_unix_socket(ServerCore&, const std::string&, std::size_t) {
+void serve_unix_socket(ServerCore&, const std::string&, std::size_t,
+                       const std::function<bool()>&) {
   throw std::runtime_error("unix sockets are not supported on this platform");
 }
 

@@ -23,8 +23,10 @@
 // test_serve_kill_resume.cc; tools/run_tier1.sh kills a real daemon).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -71,6 +73,22 @@ class ServerCore {
   std::size_t session_count() const;
   json::Value stats_json() const;
 
+  /// The server.metrics response: the server block of stats_json under
+  /// "server" (with the per-op request/error breakdown), every
+  /// telemetry counter/gauge/span/histogram snapshot, and one
+  /// per-session live-progress object (sorted by id). Unlike every
+  /// other response this one carries wall-clock values (span totals,
+  /// timing.* histograms) — consumers needing the byte-stable subset
+  /// drop them (`ceal_top --deterministic`). Safe to call from outside
+  /// the request path (the periodic metrics exporter does): sessions
+  /// synchronise internally.
+  json::Value metrics_json() const;
+
+  /// Flushes every attached trace sink (per-session sinks; the server
+  /// telemetry's sink is the caller's — flush it there). Used on
+  /// graceful shutdown/SIGTERM drain.
+  void flush_sinks() const;
+
  private:
   json::Value create_session(const Request& request);
   std::shared_ptr<ServeSession> find_session(const std::string& id) const;
@@ -80,26 +98,35 @@ class ServerCore {
   /// Recomputes the serve.sessions_active gauge after a state change.
   void update_active_gauge();
 
+  static constexpr std::size_t kOpCount = 6;  // matches enum Op
+
   ServerOptions options_;
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<ServeSession>> sessions_;
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> errors_{0};
+  /// Per-op request/error tallies (indexed by Op), mirrored into the
+  /// serve.op.<name> / serve.op.<name>.errors telemetry counters.
+  std::array<std::atomic<std::uint64_t>, kOpCount> op_requests_{};
+  std::array<std::atomic<std::uint64_t>, kOpCount> op_errors_{};
 };
 
 /// Serves newline-delimited JSON requests from `in` until EOF, writing
 /// one response per line to `out` in request order. Session work runs
 /// on a `threads`-sized ThreadPool (0 = hardware concurrency), one
-/// strand per session id. A server.stats request is a barrier: it
-/// waits for every earlier request to complete, so its counts are
-/// deterministic too.
+/// strand per session id. A server.stats or server.metrics request is
+/// a barrier: it waits for every earlier request to complete, so its
+/// counts are deterministic too.
 void serve_stream(ServerCore& core, std::istream& in, std::ostream& out,
                   std::size_t threads);
 
 /// Listens on a Unix stream socket, serving one connection at a time
-/// through serve_stream. Replaces any stale socket file. Runs until the
-/// process dies; throws on socket setup failure.
+/// through serve_stream. Replaces any stale socket file. Runs until
+/// `should_stop` (checked after every accept, including ones
+/// interrupted by a signal) returns true — pass {} to run until the
+/// process dies. Throws on socket setup failure.
 void serve_unix_socket(ServerCore& core, const std::string& socket_path,
-                       std::size_t threads);
+                       std::size_t threads,
+                       const std::function<bool()>& should_stop = {});
 
 }  // namespace ceal::serve

@@ -102,6 +102,7 @@ ServeSession::ServeSession(std::string id, CreateParams params,
 }
 
 void ServeSession::step(std::size_t n) {
+  std::lock_guard lock(mutex_);
   for (std::size_t k = 0; k < n; ++k) {
     if (state() != SessionState::kRunning) return;
     try {
@@ -116,6 +117,7 @@ void ServeSession::step(std::size_t n) {
 }
 
 void ServeSession::cancel() {
+  std::lock_guard lock(mutex_);
   if (state() != SessionState::kRunning) {
     throw ProtocolError("session " + id_ + ": cannot cancel a " +
                         std::string(session_state_name(state())) +
@@ -125,6 +127,7 @@ void ServeSession::cancel() {
 }
 
 json::Value ServeSession::status_json() const {
+  std::lock_guard lock(mutex_);
   json::Value status = json::Value::object();
   status.set("ok", json::Value::boolean(true));
   status.set("id", json::Value::string(id_));
@@ -162,6 +165,7 @@ json::Value ServeSession::status_json() const {
 }
 
 void ServeSession::save_result(const std::string& path) const {
+  std::lock_guard lock(mutex_);
   if (state() != SessionState::kDone) {
     throw ProtocolError("session " + id_ + ": no result yet (state " +
                         std::string(session_state_name(state())) + ")");
@@ -170,6 +174,48 @@ void ServeSession::save_result(const std::string& path) const {
                          workload_.workflow.name(),
                          tuner::objective_name(problem_.objective),
                          params_.budget, params_.seed);
+}
+
+json::Value ServeSession::metrics_json() const {
+  std::lock_guard lock(mutex_);
+  json::Value m = json::Value::object();
+  m.set("id", json::Value::string(id_));
+  m.set("state", json::Value::string(session_state_name(state())));
+  m.set("algorithm", json::Value::string(params_.algorithm));
+  m.set("workflow", json::Value::string(params_.workflow));
+  m.set("objective", json::Value::string(params_.objective));
+  m.set("budget",
+        json::Value::number(static_cast<std::uint64_t>(params_.budget)));
+  m.set("steps", json::Value::number(
+                     static_cast<std::uint64_t>(stepper_->steps_taken())));
+  const tuner::TunerProgress progress = stepper_->progress();
+  m.set("budget_used", json::Value::number(static_cast<std::uint64_t>(
+                           progress.budget_used)));
+  m.set("budget_remaining", json::Value::number(static_cast<std::uint64_t>(
+                                progress.budget_remaining)));
+  if (progress.has_best)
+    m.set("best_value", json::Value::number(progress.best_value));
+  if (progress.model != nullptr)
+    m.set("model", json::Value::string(progress.model));
+  if (progress.has_recalls) {
+    m.set("recall_low", json::Value::number(progress.recall_low));
+    m.set("recall_high", json::Value::number(progress.recall_high));
+  }
+  if (checkpoint_ != nullptr) {
+    m.set("checkpoint_records",
+          json::Value::number(checkpoint_->appended_records()));
+    m.set("checkpoint_replay_pending",
+          json::Value::number(
+              static_cast<std::uint64_t>(checkpoint_->replay_pending())));
+  }
+  if (state() == SessionState::kFailed)
+    m.set("error", json::Value::string(error_));
+  return m;
+}
+
+void ServeSession::flush_trace() {
+  std::lock_guard lock(mutex_);
+  if (trace_sink_ != nullptr) trace_sink_->flush();
 }
 
 }  // namespace ceal::serve

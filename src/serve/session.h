@@ -14,10 +14,14 @@
 // Thread-safety: step()/cancel()/status_json()/save_result() must be
 // serialised by the caller (the server's per-session strand does this);
 // state() alone is safe to read concurrently (server.stats snapshots).
+// An internal mutex additionally serialises those members against
+// metrics_json()/flush_trace(), which the daemon's periodic metrics
+// exporter calls from outside the strand.
 #pragma once
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/rng.h"
@@ -82,7 +86,20 @@ class ServeSession {
   /// of `ceal_tune --save-result`. Throws ProtocolError unless kDone.
   void save_result(const std::string& path) const;
 
+  /// Live-progress object for server.metrics: identity and state plus
+  /// the stepper's TunerProgress (budget used/remaining, best measured
+  /// value, model phase, last switch-detection recalls) and — with a
+  /// checkpoint attached — journal depth and replay lag. Safe to call
+  /// concurrently with step() (internal mutex); every field is a
+  /// deterministic function of the steps taken so far.
+  json::Value metrics_json() const;
+
+  /// Flushes the per-session trace sink, if any (graceful-shutdown
+  /// drain). Safe to call concurrently with step().
+  void flush_trace();
+
  private:
+  mutable std::mutex mutex_;  ///< serialises stepper access (see header)
   std::string id_;
   CreateParams params_;
   sim::Workload workload_;

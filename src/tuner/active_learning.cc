@@ -43,6 +43,10 @@ class ActiveLearningStepper final : public TunerStepper {
     emit_tune_start(problem_, algorithm, budget_);
   }
 
+  TunerProgress progress() const override {
+    return collector_progress(collector_);
+  }
+
  private:
   enum class Phase { kWarmup, kLoop, kFinal };
 

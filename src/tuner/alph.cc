@@ -54,6 +54,10 @@ class AlphStepper final : public TunerStepper {
     emit_tune_start(problem_, algorithm, budget_);
   }
 
+  TunerProgress progress() const override {
+    return collector_progress(collector_);
+  }
+
  private:
   enum class Phase { kComponents, kWarmup, kLoop, kFinal };
 

@@ -96,6 +96,10 @@ class BayesOptStepper final : public TunerStepper {
     emit_tune_start(problem_, algorithm, budget_);
   }
 
+  TunerProgress progress() const override {
+    return collector_progress(collector_);
+  }
+
  private:
   enum class Phase { kInit, kLoop, kFinal };
 

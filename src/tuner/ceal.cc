@@ -57,6 +57,15 @@ class CealStepper final : public TunerStepper {
     emit_tune_start(problem_, algorithm, budget_);
   }
 
+  TunerProgress progress() const override {
+    TunerProgress progress = collector_progress(collector_);
+    progress.model = using_high_fidelity_ ? "high" : "low";
+    progress.has_recalls = has_recalls_;
+    progress.recall_low = last_recall_low_;
+    progress.recall_high = last_recall_high_;
+    return progress;
+  }
+
  private:
   enum class Phase { kPhase1, kLoop, kFinal };
 
@@ -217,6 +226,9 @@ class CealStepper final : public TunerStepper {
           }
           s_high = ml::recall_sum_top123(batch_high, batch_meas);
           s_low = ml::recall_sum_top123(batch_low, batch_meas);
+          has_recalls_ = true;  // surfaced live via progress()
+          last_recall_low_ = s_low;
+          last_recall_high_ = s_high;
 
           // Line 20: bias check — M_H's three favourite measured configs
           // must fall within the better half of all measurements,
@@ -378,6 +390,9 @@ class CealStepper final : public TunerStepper {
   std::vector<double> queue_scores_;
   std::vector<std::size_t> c_meas_;
   bool using_high_fidelity_ = false;  // M = M_L (line 11)
+  bool has_recalls_ = false;          // a detection pass has run
+  double last_recall_low_ = 0.0;      // last s_low / s_high (line 17)
+  double last_recall_high_ = 0.0;
   std::size_t m0_ = 0;
   std::size_t m0_used_ = 0;
   std::size_t m_b_ = 0;

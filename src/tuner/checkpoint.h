@@ -155,6 +155,10 @@ class CheckpointSession {
   std::uint64_t replayed_runs() const { return replayed_runs_; }
   /// Records appended live (not replayed) so far, header included.
   std::uint64_t appended_records() const;
+  /// Journal records loaded on resume that have not been replayed yet —
+  /// the replay lag of a resumed session (0 once caught up, and always
+  /// 0 for a fresh session).
+  std::size_t replay_pending() const { return records_.size() - cursor_; }
 
   /// Replay side of Collector::try_measure: when the next journal record
   /// is a measurement, validates it targets `pool_index`, fills `out`,

@@ -60,6 +60,10 @@ void Collector::record(std::size_t pool_index,
   statuses_.push_back(outcome.status);
   if (outcome.status == sim::RunStatus::kOk) {
     values_.push_back(outcome.value);
+    if (ok_values_.empty() || outcome.value < best_ok_value_) {
+      best_ok_value_ = outcome.value;
+      best_ok_index_ = pool_index;
+    }
     ok_indices_.push_back(pool_index);
     ok_values_.push_back(outcome.value);
   } else {
@@ -164,6 +168,12 @@ MeasureOutcome Collector::try_measure(std::size_t pool_index) {
     }
     if (out.attempts > 1) tel->count("measure.retries", out.attempts - 1);
     tel->gauge("budget.remaining", static_cast<double>(remaining()));
+    // Deterministic distributions: attempts and charged units are
+    // integer-valued, so count/sum/buckets are exact and independent of
+    // merge order — they stay inside the byte-stability contract.
+    tel->observe("measure.attempts", static_cast<double>(out.attempts));
+    tel->observe("measure.charged_units",
+                 static_cast<double>(runs_used_ - used_before));
     telemetry::TraceEvent event("measure");
     event.field("pool_index", pool_index)
         .field("status", sim::run_status_name(out.status))

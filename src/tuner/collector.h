@@ -92,6 +92,16 @@ class Collector {
     return measured_.size() - ok_indices_.size();
   }
 
+  /// True once at least one request succeeded (ok_values() non-empty).
+  bool has_best_ok() const { return !ok_values_.empty(); }
+  /// Best (lowest) objective value measured so far. Requires
+  /// has_best_ok(). Tracked incrementally so live progress snapshots
+  /// (serve/session.h) cost O(1).
+  double best_ok_value() const { return best_ok_value_; }
+  /// Pool index of the best measured configuration. Requires
+  /// has_best_ok().
+  std::size_t best_ok_index() const { return best_ok_index_; }
+
   /// Acquires `rounds` additional solo samples per component application,
   /// drawn randomly without replacement from the pre-measured component
   /// pools. Charges one budget unit per *effective* round — rounds beyond
@@ -139,6 +149,8 @@ class Collector {
   std::vector<sim::RunStatus> statuses_;   // parallel to measured_
   std::vector<std::size_t> ok_indices_;    // successful subset
   std::vector<double> ok_values_;
+  double best_ok_value_ = 0.0;             // min over ok_values_
+  std::size_t best_ok_index_ = 0;
   std::vector<std::vector<std::size_t>> component_indices_;
   std::vector<std::vector<std::size_t>> component_unused_;
 };

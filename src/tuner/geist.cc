@@ -101,6 +101,10 @@ class GeistStepper final : public TunerStepper {
                     "pool graph does not match the pool");
   }
 
+  TunerProgress progress() const override {
+    return collector_progress(collector_);
+  }
+
  private:
   enum class Phase { kWarmup, kLoop, kFinal };
 

@@ -27,6 +27,10 @@ class RandomSearchStepper final : public TunerStepper {
     emit_tune_start(problem_, algorithm, budget_);
   }
 
+  TunerProgress progress() const override {
+    return collector_progress(collector_);
+  }
+
  private:
   enum class Phase { kSweep, kDrain, kFinal };
 

@@ -28,6 +28,27 @@ namespace ceal::tuner {
 
 class CheckpointSession;
 
+/// Live progress snapshot of a running session, read between steps by
+/// the serving layer's `server.metrics` exposition (docs/SERVING.md).
+/// Every field is a deterministic function of the steps taken so far.
+struct TunerProgress {
+  std::size_t budget_used = 0;
+  std::size_t budget_remaining = 0;
+  /// True once at least one measurement succeeded; best_value is the
+  /// lowest objective value measured so far.
+  bool has_best = false;
+  double best_value = 0.0;
+  /// Surrogate phase for model-switching tuners ("low" before the
+  /// M_L->M_H switch, "high" after); null when the algorithm has no
+  /// phase notion.
+  const char* model = nullptr;
+  /// True once a switch-detection pass ran; the recalls are then the
+  /// last recall@top-k sums the detector computed (paper fig11, live).
+  bool has_recalls = false;
+  double recall_low = 0.0;
+  double recall_high = 0.0;
+};
+
 class TunerStepper {
  public:
   TunerStepper(const TuningProblem& problem, std::size_t budget_runs,
@@ -59,6 +80,11 @@ class TunerStepper {
   /// when the stepper was made through the checkpointable overload).
   const TuningProblem& problem() const { return problem_; }
   std::size_t budget_runs() const { return budget_; }
+
+  /// Snapshot of the session's live progress. Cheap (O(1)); callers
+  /// must serialise it with step() like every other member. The base
+  /// returns an empty snapshot; every in-tree tuner overrides it.
+  virtual TunerProgress progress() const { return {}; }
 
  protected:
   /// One slice of algorithm work. Implementations call finish() from

@@ -208,6 +208,10 @@ void emit_iteration_event(const TuningProblem& problem, const char* name,
   if (tel == nullptr) return;
   tel->count("tuner.iterations");
   const auto& requested = collector.measured_indices();
+  // Deterministic distribution: successful measurements per batch is an
+  // integer, so the histogram is byte-stable (see collector.cc).
+  tel->observe("iteration.batch_ok",
+               static_cast<double>(collector.ok_values().size() - ok_start));
   const auto& ok_values = collector.ok_values();
   telemetry::TraceEvent event(name);
   event.field("iteration", iteration)
@@ -223,6 +227,17 @@ void emit_iteration_event(const TuningProblem& problem, const char* name,
       .timing("fit_s", fit_s)
       .timing("predict_s", predict_s);
   tel->emit(std::move(event));
+}
+
+TunerProgress collector_progress(const Collector& collector) {
+  TunerProgress progress;
+  progress.budget_used = collector.runs_used();
+  progress.budget_remaining = collector.remaining();
+  if (collector.has_best_ok()) {
+    progress.has_best = true;
+    progress.best_value = collector.best_ok_value();
+  }
+  return progress;
 }
 
 void checkpoint_decision(

@@ -10,6 +10,7 @@
 #include "core/rng.h"
 #include "tuner/autotuner.h"
 #include "tuner/collector.h"
+#include "tuner/stepper.h"
 #include "tuner/surrogate.h"
 
 namespace ceal::tuner {
@@ -106,6 +107,11 @@ void emit_iteration_event(const TuningProblem& problem, const char* name,
                           std::size_t iteration, const Collector& collector,
                           std::size_t req_start, std::size_t ok_start,
                           double fit_s, double predict_s);
+
+/// TunerProgress filled from the collector's ledger (budget and best
+/// measured value) — the shared part of every stepper's progress()
+/// override; model-switching tuners add their phase fields on top.
+TunerProgress collector_progress(const Collector& collector);
 
 /// Journals (live) or validates (resume) one tuner decision record with
 /// the given kind and fields; a single pointer branch without a

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "core/error.h"
@@ -115,6 +116,93 @@ TEST(Stats, SpearmanIsRankCorrelation) {
   const std::vector<double> b{1.0, 8.0, 27.0, 64.0, 125.0};
   EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
   EXPECT_LT(pearson(a, b), 1.0);
+}
+
+
+// --- histogram_quantile ---
+
+TEST(Stats, HistogramQuantileSingleBucketReturnsClampedEdge) {
+  // All mass in one bucket with one sample: the observed value itself.
+  const std::vector<std::uint64_t> counts{0, 1, 0};
+  const std::vector<double> bounds{1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(histogram_quantile(counts, bounds, 0.5, 1.7, 1.7), 1.7);
+}
+
+TEST(Stats, HistogramQuantileInterpolatesWithinBucket) {
+  // Four samples in bucket (1, 2]: positions 0..3 spread linearly over
+  // the clamped bucket [min, max] = [1.2, 1.8].
+  const std::vector<std::uint64_t> counts{0, 4};
+  const std::vector<double> bounds{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(histogram_quantile(counts, bounds, 0.0, 1.2, 1.8), 1.2);
+  EXPECT_DOUBLE_EQ(histogram_quantile(counts, bounds, 1.0, 1.8, 1.8), 1.8);
+  const double mid = histogram_quantile(counts, bounds, 0.5, 1.2, 1.8);
+  EXPECT_GT(mid, 1.2);
+  EXPECT_LT(mid, 1.8);
+}
+
+TEST(Stats, HistogramQuantileWalksBucketsByRank) {
+  // 10 samples below 1, 10 in (1, 2]: the median rank (pos = 9.5) sits
+  // astride the bucket edge; p90 is firmly in the second bucket.
+  const std::vector<std::uint64_t> counts{10, 10};
+  const std::vector<double> bounds{1.0, 2.0};
+  const double p90 = histogram_quantile(counts, bounds, 0.9, 0.1, 1.9);
+  EXPECT_GT(p90, 1.0);
+  EXPECT_LE(p90, 1.9);
+}
+
+TEST(Stats, HistogramQuantileAcceptsOverflowBucket) {
+  // counts may carry one extra overflow bucket beyond the bounds; its
+  // upper edge is the observed max.
+  const std::vector<std::uint64_t> counts{1, 1, 2};
+  const std::vector<double> bounds{1.0, 2.0};
+  const double p99 = histogram_quantile(counts, bounds, 0.99, 0.5, 7.0);
+  EXPECT_GT(p99, 2.0);
+  EXPECT_LE(p99, 7.0);
+}
+
+TEST(Stats, HistogramQuantileBracketsSampleQuantileWithinABucket) {
+  // Bucketing loses in-bucket detail but never more than one bucket
+  // width: the histogram quantile at rank pos = q*(n-1) stays within a
+  // 10^(1/4) log-spaced bucket of the order statistics bracketing pos.
+  const std::vector<double> sample{0.011, 0.013, 0.02, 0.04, 0.05,
+                                   0.08,  0.2,   0.3,  0.9,  2.5};
+  std::vector<double> bounds;
+  for (int k = -8; k <= 4; ++k) bounds.push_back(std::pow(10.0, k / 4.0));
+  std::vector<std::uint64_t> counts(bounds.size(), 0);
+  for (double x : sample) {
+    std::size_t i = 0;
+    while (i < bounds.size() && x > bounds[i]) ++i;
+    ++counts[i < counts.size() ? i : counts.size() - 1];
+  }
+  const double factor = std::pow(10.0, 0.25);
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    const double pos = q * static_cast<double>(sample.size() - 1);
+    const double lo = sample[static_cast<std::size_t>(std::floor(pos))];
+    const double hi = sample[static_cast<std::size_t>(std::ceil(pos))];
+    const double approx =
+        histogram_quantile(counts, bounds, q, 0.011, 2.5);
+    EXPECT_GE(approx, lo / factor) << "q=" << q;
+    EXPECT_LE(approx, hi * factor) << "q=" << q;
+  }
+}
+
+TEST(Stats, HistogramQuantileRejectsBadInput) {
+  const std::vector<std::uint64_t> counts{1};
+  const std::vector<double> bounds{1.0};
+  const std::vector<std::uint64_t> empty;
+  const std::vector<std::uint64_t> zero{0};
+  EXPECT_THROW(histogram_quantile(empty, bounds, 0.5, 0.0, 1.0),
+               PreconditionError);
+  EXPECT_THROW(histogram_quantile(zero, bounds, 0.5, 0.0, 1.0),
+               PreconditionError);
+  EXPECT_THROW(histogram_quantile(counts, bounds, -0.1, 0.0, 1.0),
+               PreconditionError);
+  EXPECT_THROW(histogram_quantile(counts, bounds, 1.1, 0.0, 1.0),
+               PreconditionError);
+  // counts must be bounds-sized or bounds+1 (overflow).
+  const std::vector<std::uint64_t> too_many{1, 1, 1};
+  EXPECT_THROW(histogram_quantile(too_many, bounds, 0.5, 0.0, 1.0),
+               PreconditionError);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -329,6 +330,170 @@ TEST(Telemetry, SummaryTableListsEveryMetric) {
   EXPECT_NE(out.find("counter"), std::string::npos);
   EXPECT_NE(out.find("gauge"), std::string::npos);
   EXPECT_NE(out.find("span"), std::string::npos);
+}
+
+
+// --- Histograms ---
+
+TEST(Telemetry, HistogramObservationsAccumulateExactStats) {
+  Telemetry tel;
+  tel.observe("measure.attempts", 1.0);
+  tel.observe("measure.attempts", 2.0);
+  tel.observe("measure.attempts", 4.0);
+  const HistogramStats stats = tel.histogram_stats("measure.attempts");
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_DOUBLE_EQ(stats.sum, 7.0);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 4.0);
+  EXPECT_EQ(stats.buckets.size(), kHistogramBuckets);
+  const double p50 = stats.quantile(0.5);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 4.0);
+  EXPECT_EQ(tel.histograms().size(), 1u);
+}
+
+TEST(Telemetry, HistogramUnknownNameIsEmpty) {
+  Telemetry tel;
+  const HistogramStats stats = tel.histogram_stats("never.observed");
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_TRUE(stats.buckets.empty());
+}
+
+TEST(Telemetry, HistogramRejectsNonFiniteObservations) {
+  Telemetry tel;
+  EXPECT_THROW(tel.observe("h", std::numeric_limits<double>::infinity()),
+               PreconditionError);
+  EXPECT_THROW(tel.observe("h", std::numeric_limits<double>::quiet_NaN()),
+               PreconditionError);
+}
+
+TEST(Telemetry, HistogramEightThreadStressKeepsExactCountAndSum) {
+  // Integer-valued observations sum exactly in a double, so the stress
+  // test can assert bitwise-exact count and sum across 8 writers.
+  Telemetry tel;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&tel, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        tel.observe("stress", static_cast<double>(1 + (t + i) % 7));
+        tel.observe("stress.other", 2.0);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const HistogramStats stats = tel.histogram_stats("stress");
+  EXPECT_EQ(stats.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  double expected_sum = 0.0;
+  std::uint64_t bucketed = 0;
+  for (int t = 0; t < kThreads; ++t)
+    for (int i = 0; i < kPerThread; ++i)
+      expected_sum += static_cast<double>(1 + (t + i) % 7);
+  EXPECT_DOUBLE_EQ(stats.sum, expected_sum);
+  for (std::uint64_t n : stats.buckets) bucketed += n;
+  EXPECT_EQ(bucketed, stats.count);
+  EXPECT_EQ(tel.histogram_stats("stress.other").count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Telemetry, HistogramMergeIsAssociativeAndMatchesSerial) {
+  // The same observations fed serially, or split over children merged
+  // in either grouping, must land on identical stats (integer values,
+  // so even the double sum is exact under any order).
+  const std::vector<double> values{1, 3, 3, 7, 20, 100, 5000, 2, 2, 41};
+  Telemetry serial;
+  for (double v : values) serial.observe("h", v);
+
+  Telemetry a, b, c;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).observe("h", values[i]);
+  }
+  // (a <- b) <- c
+  Telemetry left;
+  for (std::size_t i = 0; i < values.size(); i += 3)
+    left.observe("h", values[i]);
+  left.merge(b, {});
+  left.merge(c, {});
+  // a <- (b <- c)
+  Telemetry right;
+  for (std::size_t i = 0; i < values.size(); i += 3)
+    right.observe("h", values[i]);
+  Telemetry bc;
+  bc.merge(b, {});
+  bc.merge(c, {});
+  right.merge(bc, {});
+
+  const HistogramStats expect = serial.histogram_stats("h");
+  for (const Telemetry* tel : {&left, &right}) {
+    const HistogramStats got = tel->histogram_stats("h");
+    EXPECT_EQ(got.count, expect.count);
+    EXPECT_DOUBLE_EQ(got.sum, expect.sum);
+    EXPECT_DOUBLE_EQ(got.min, expect.min);
+    EXPECT_DOUBLE_EQ(got.max, expect.max);
+    EXPECT_EQ(got.buckets, expect.buckets);
+  }
+}
+
+TEST(Telemetry, SummaryEventNestsTimingHistogramsUnderTiming) {
+  Telemetry tel;
+  tel.observe("measure.attempts", 2.0);
+  tel.observe("timing.serve.step_s", 0.25);
+  const json::Value summary = tel.summary_event().to_json();
+  // Deterministic histogram stats are plain fields...
+  EXPECT_EQ(summary.at("hist.measure.attempts.count").as_int(), 1);
+  EXPECT_DOUBLE_EQ(summary.at("hist.measure.attempts.sum").as_double(),
+                   2.0);
+  EXPECT_TRUE(summary.contains("hist.measure.attempts.p99"));
+  // ...while every stat of a timing.* histogram lives under `timing`,
+  // so the determinism gates strip it with the other wall clocks.
+  EXPECT_FALSE(summary.contains("hist.timing.serve.step_s.count"));
+  const json::Value& timing = summary.at("timing");
+  EXPECT_TRUE(timing.contains("hist.timing.serve.step_s.count"));
+  EXPECT_TRUE(timing.contains("hist.timing.serve.step_s.p50"));
+  json::Value stripped = summary;
+  stripped.remove_recursive("timing");
+  EXPECT_FALSE(stripped.dump().find("step_s") != std::string::npos);
+}
+
+TEST(ScopedHistogramTimerTest, RecordsOnceAndNullIsANoOp) {
+  Telemetry tel;
+  {
+    ScopedHistogramTimer timer(&tel, "timing.unit_s");
+    const double elapsed = timer.stop();
+    EXPECT_GE(elapsed, 0.0);
+    EXPECT_EQ(timer.stop(), elapsed);  // idempotent: no second record
+  }
+  EXPECT_EQ(tel.histogram_stats("timing.unit_s").count, 1u);
+  ScopedHistogramTimer null_timer(nullptr, "ignored");
+  EXPECT_EQ(null_timer.stop(), 0.0);
+}
+
+// --- Flush propagation ---
+
+TEST(MultiTraceSinkTest, FlushPropagatesToEverySink) {
+  RecordingSink a, b;
+  MultiTraceSink multi({&a, &b});
+  multi.flush();
+  EXPECT_EQ(a.flushes, 1);
+  EXPECT_EQ(b.flushes, 1);
+}
+
+TEST(JsonlTraceSinkTest, FlushMakesLinesVisibleBeforeDestruction) {
+  const std::string path =
+      testing::TempDir() + "/telemetry_flush_test.jsonl";
+  JsonlTraceSink sink(path);
+  TraceEvent event("flush.probe");
+  event.field("n", std::uint64_t{1});
+  sink.write(event);
+  sink.flush();
+  // Read while the sink is still alive: flush alone must have pushed
+  // the bytes to the file.
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("flush.probe"), std::string::npos);
 }
 
 }  // namespace

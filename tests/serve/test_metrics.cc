@@ -1,0 +1,201 @@
+// The server.metrics exposition plane: response shape, per-op error
+// tallies, the Prometheus renderer round-tripping through the strict
+// validator, quantile agreement between the live exposition and the
+// shared offline helper, and trace-sink flushing on drain.
+#include "serve/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+#include "core/telemetry.h"
+#include "serve/server.h"
+
+namespace ceal::serve {
+namespace {
+
+// RS drains its whole budget in one step, so the shape test uses CEAL,
+// whose stepper advances one iteration at a time and stays kRunning
+// after a partial step.
+const char* kCreateLine =
+    "{\"op\":\"session.create\",\"id\":\"m1\",\"workflow\":\"LV\","
+    "\"objective\":\"exec\",\"budget\":30,\"algorithm\":\"CEAL\","
+    "\"pool_size\":40,\"component_samples\":20,\"seed\":1}";
+
+json::Value expect_ok(const std::string& response_line) {
+  json::Value response = json::Value::parse(response_line);
+  EXPECT_TRUE(response.at("ok").as_bool()) << response_line;
+  return response;
+}
+
+TEST(ServeMetricsTest, ResponseCarriesServerSectionsAndSessions) {
+  telemetry::Telemetry tel;
+  ServerOptions options;
+  options.telemetry = &tel;
+  ServerCore core(options);
+  expect_ok(core.handle_line(kCreateLine));
+  expect_ok(core.handle_line(
+      "{\"op\":\"session.step\",\"id\":\"m1\",\"steps\":2}"));
+
+  const json::Value metrics =
+      expect_ok(core.handle_line("{\"op\":\"server.metrics\"}"));
+  const json::Value& server = metrics.at("server");
+  EXPECT_EQ(server.at("sessions").as_int(), 1);
+  EXPECT_EQ(server.at("requests").as_int(), 3);
+  const json::Value& ops = server.at("ops");
+  EXPECT_EQ(ops.at("create").at("requests").as_int(), 1);
+  EXPECT_EQ(ops.at("step").at("requests").as_int(), 1);
+  EXPECT_EQ(ops.at("metrics").at("requests").as_int(), 1);
+  EXPECT_TRUE(metrics.contains("counters"));
+  EXPECT_TRUE(metrics.contains("gauges"));
+  EXPECT_TRUE(metrics.contains("spans"));
+  EXPECT_TRUE(metrics.contains("histograms"));
+  // Stepping through the server records the step-latency histogram.
+  EXPECT_TRUE(metrics.at("histograms").contains("timing.serve.step_s"));
+
+  const json::Value& sessions = metrics.at("sessions");
+  ASSERT_EQ(sessions.size(), 1u);
+  const json::Value& session = sessions.at(std::size_t{0});
+  EXPECT_EQ(session.at("id").as_string(), "m1");
+  EXPECT_EQ(session.at("state").as_string(), "running");
+  EXPECT_EQ(session.at("steps").as_int(), 2);
+  EXPECT_TRUE(session.contains("budget_used"));
+  EXPECT_TRUE(session.contains("budget_remaining"));
+  EXPECT_EQ(session.at("budget_used").as_int() +
+                session.at("budget_remaining").as_int(),
+            session.at("budget").as_int());
+}
+
+TEST(ServeMetricsTest, PerOpErrorTalliesCountFailures) {
+  telemetry::Telemetry tel;
+  ServerOptions options;
+  options.telemetry = &tel;
+  ServerCore core(options);
+  expect_ok(core.handle_line(kCreateLine));
+  // Cancel twice: the second is a per-op error charged to "cancel".
+  expect_ok(core.handle_line("{\"op\":\"session.cancel\",\"id\":\"m1\"}"));
+  const json::Value err = json::Value::parse(
+      core.handle_line("{\"op\":\"session.cancel\",\"id\":\"m1\"}"));
+  EXPECT_FALSE(err.at("ok").as_bool());
+
+  const json::Value metrics =
+      expect_ok(core.handle_line("{\"op\":\"server.metrics\"}"));
+  const json::Value& ops = metrics.at("server").at("ops");
+  EXPECT_EQ(ops.at("cancel").at("requests").as_int(), 2);
+  EXPECT_EQ(ops.at("cancel").at("errors").as_int(), 1);
+  EXPECT_EQ(ops.at("create").at("errors").as_int(), 0);
+  EXPECT_EQ(tel.counter("serve.op.cancel.errors"), 1u);
+}
+
+TEST(ServeMetricsTest, PrometheusRenderPassesStrictValidation) {
+  telemetry::Telemetry tel;
+  ServerOptions options;
+  options.telemetry = &tel;
+  ServerCore core(options);
+  expect_ok(core.handle_line(kCreateLine));
+  expect_ok(core.handle_line(
+      "{\"op\":\"session.step\",\"id\":\"m1\",\"steps\":8}"));
+
+  const std::string text = to_prometheus(core.metrics_json());
+  const std::size_t samples = validate_prometheus(text);
+  EXPECT_GT(samples, 10u);
+  EXPECT_NE(text.find("ceal_serve_op_requests_total{op=\"create\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ceal_timing_serve_step_s histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("ceal_session_budget_used{id=\"m1\"}"),
+            std::string::npos);
+}
+
+TEST(ServeMetricsTest, ValidatorRejectsMalformedExposition) {
+  // Sample without a TYPE declaration.
+  EXPECT_THROW(validate_prometheus("nope 1\n"), ProtocolError);
+  // Non-cumulative histogram buckets.
+  EXPECT_THROW(validate_prometheus("# TYPE h histogram\n"
+                                   "h_bucket{le=\"1\"} 5\n"
+                                   "h_bucket{le=\"2\"} 3\n"
+                                   "h_bucket{le=\"+Inf\"} 5\n"
+                                   "h_sum 4\nh_count 5\n"),
+               ProtocolError);
+  // +Inf bucket disagreeing with _count.
+  EXPECT_THROW(validate_prometheus("# TYPE h histogram\n"
+                                   "h_bucket{le=\"1\"} 2\n"
+                                   "h_bucket{le=\"+Inf\"} 2\n"
+                                   "h_sum 1\nh_count 3\n"),
+               ProtocolError);
+  // Histogram not ending in +Inf.
+  EXPECT_THROW(validate_prometheus("# TYPE h histogram\n"
+                                   "h_bucket{le=\"1\"} 2\n"
+                                   "h_sum 1\nh_count 2\n"),
+               ProtocolError);
+  // Garbage value.
+  EXPECT_THROW(validate_prometheus("# TYPE g gauge\ng banana\n"),
+               ProtocolError);
+  // A well-formed family passes and counts its samples.
+  EXPECT_EQ(validate_prometheus("# TYPE h histogram\n"
+                                "h_bucket{le=\"1\"} 2\n"
+                                "h_bucket{le=\"+Inf\"} 3\n"
+                                "h_sum 4.5\nh_count 3\n"),
+            4u);
+}
+
+TEST(ServeMetricsTest, ExpositionQuantilesMatchTheSharedOfflineHelper) {
+  // The live exposition computes p50/p90/p99 through the exact same
+  // core/stats.h histogram_quantile an offline consumer of the bucket
+  // array would use — the values must agree bit-for-bit.
+  telemetry::Telemetry tel;
+  const std::vector<double> values{1, 2, 2, 3, 5, 8, 13, 21, 34, 55};
+  for (double v : values) tel.observe("probe", v);
+
+  const json::Value sections = telemetry_sections_json(&tel);
+  const json::Value& hist = sections.at("histograms").at("probe");
+  const telemetry::HistogramStats stats = tel.histogram_stats("probe");
+  for (const auto& [key, q] :
+       std::vector<std::pair<const char*, double>>{
+           {"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}}) {
+    const double offline = histogram_quantile(
+        stats.buckets, telemetry::histogram_upper_bounds(), q, stats.min,
+        stats.max);
+    EXPECT_EQ(hist.at(key).number_lexeme(),
+              json::format_number(offline))
+        << key;
+  }
+  EXPECT_EQ(hist.at("count").as_int(),
+            static_cast<std::int64_t>(values.size()));
+}
+
+TEST(ServeMetricsTest, NullTelemetryYieldsEmptySections) {
+  const json::Value sections = telemetry_sections_json(nullptr);
+  EXPECT_EQ(sections.at("counters").members().size(), 0u);
+  EXPECT_EQ(sections.at("gauges").members().size(), 0u);
+  EXPECT_EQ(sections.at("spans").members().size(), 0u);
+  EXPECT_EQ(sections.at("histograms").members().size(), 0u);
+}
+
+TEST(ServeMetricsTest, FlushSinksMakesSessionTracesVisible) {
+  const std::string dir =
+      testing::TempDir() + "/serve_metrics_flush_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ServerOptions options;
+  options.trace_dir = dir;
+  ServerCore core(options);
+  expect_ok(core.handle_line(kCreateLine));
+  expect_ok(core.handle_line(
+      "{\"op\":\"session.step\",\"id\":\"m1\",\"steps\":2}"));
+  core.flush_sinks();
+  // The per-session sink must have pushed its bytes to disk while the
+  // server (and the sink) are still alive.
+  std::ifstream in(dir + "/m1.trace.jsonl");
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"event\""), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ceal::serve

@@ -60,6 +60,50 @@ TEST(TraceAccumulator, NoDerivedMetricsWithoutTheirInputs) {
   EXPECT_EQ(m.count("trace.ceal.switch_iteration.mean"), 0u);
 }
 
+TEST(TraceAccumulator, HistogramStatsAggregateByKindNotBySum) {
+  // hist.<name>.count/.sum add across files; order statistics do not:
+  // .max/.p50/.p90/.p99 take the max (loud-side), .min the min. The
+  // same rules apply inside the timing object (timing.* histograms).
+  TraceAccumulator acc;
+  acc.add(events_of({
+      R"({"event":"telemetry.summary","hist.measure.attempts.count":10,)"
+      R"("hist.measure.attempts.sum":14,"hist.measure.attempts.min":1,)"
+      R"("hist.measure.attempts.max":3,"hist.measure.attempts.p99":3,)"
+      R"("timing":{"hist.timing.serve.step_s.count":4,)"
+      R"("hist.timing.serve.step_s.p50":0.2}})",
+  }));
+  acc.add(events_of({
+      R"({"event":"telemetry.summary","hist.measure.attempts.count":5,)"
+      R"("hist.measure.attempts.sum":9,"hist.measure.attempts.min":2,)"
+      R"("hist.measure.attempts.max":5,"hist.measure.attempts.p99":2,)"
+      R"("timing":{"hist.timing.serve.step_s.count":2,)"
+      R"("hist.timing.serve.step_s.p50":0.1}})",
+  }));
+  const MetricMap m = acc.finish();
+  EXPECT_DOUBLE_EQ(m.at("trace.hist.measure.attempts.count"), 15.0);
+  EXPECT_DOUBLE_EQ(m.at("trace.hist.measure.attempts.sum"), 23.0);
+  EXPECT_DOUBLE_EQ(m.at("trace.hist.measure.attempts.min"), 1.0);
+  EXPECT_DOUBLE_EQ(m.at("trace.hist.measure.attempts.max"), 5.0);
+  EXPECT_DOUBLE_EQ(m.at("trace.hist.measure.attempts.p99"), 3.0);
+  EXPECT_DOUBLE_EQ(m.at("trace.hist.timing.serve.step_s.count"), 6.0);
+  EXPECT_DOUBLE_EQ(m.at("trace.hist.timing.serve.step_s.p50"), 0.2);
+}
+
+TEST(Compare, HistogramMetricsAreDirectionAware) {
+  // Latency quantiles regress upward; batch_ok (successes per
+  // iteration) regresses downward like recalls and throughputs.
+  MetricMap baseline{{"trace.hist.timing.serve.step_s.p99", 1.0},
+                     {"trace.hist.iteration.batch_ok.p50", 4.0}};
+  MetricMap current{{"trace.hist.timing.serve.step_s.p99", 2.0},
+                    {"trace.hist.iteration.batch_ok.p50", 2.0}};
+  const auto rows = compare(baseline, current, 0.10);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "trace.hist.iteration.batch_ok.p50");
+  EXPECT_TRUE(rows[0].regression);  // fewer batch successes is bad
+  EXPECT_EQ(rows[1].name, "trace.hist.timing.serve.step_s.p99");
+  EXPECT_TRUE(rows[1].regression);  // higher latency is bad
+}
+
 TEST(BenchMetrics, PlainEntriesWhenNoAggregates) {
   const json::Value root = json::Value::parse(
       R"({"benchmarks":[)"

@@ -6,10 +6,25 @@
 //   ceal_serve --socket /tmp/ceal.sock      # serve a Unix socket
 //   ceal_serve --checkpoint DIR             # journal every session
 //   ceal_serve --checkpoint DIR --resume    # rebuild sessions after a kill
+//   ceal_serve --metrics-export FILE        # periodic metrics snapshots
+//
+// SIGTERM/SIGINT drain: in --socket mode the handlers set a stop flag
+// (installed without SA_RESTART so a blocked accept returns EINTR), the
+// accept loop exits after the in-flight connection, every trace sink is
+// flushed, and a final metrics snapshot is written.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <ctime>
 #include <iostream>
+#include <mutex>
 #include <optional>
+#include <thread>
 
+#include "core/atomic_file.h"
 #include "core/telemetry.h"
+#include "serve/metrics.h"
 #include "serve/server.h"
 #include "tools/args.h"
 
@@ -34,7 +49,104 @@ constexpr const char* kUsage =
     "observability:\n"
     "  [--trace FILE]           stream server JSONL trace events to FILE\n"
     "  [--trace-dir DIR]        per-session traces in DIR/<id>.trace.jsonl\n"
+    "  [--metrics-export FILE]  atomically write the server.metrics\n"
+    "                           snapshot to FILE (JSON) and FILE.prom\n"
+    "                           (Prometheus text) every interval and once\n"
+    "                           at shutdown\n"
+    "  [--metrics-interval S]   export period in seconds (default: 5)\n"
     "  [--metrics-summary]      print the telemetry table to stderr on exit";
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop_signal(int) { g_stop = 1; }
+
+// Install without SA_RESTART so a blocked accept(2) sees EINTR and the
+// serve loop can observe the stop flag.
+void install_stop_handlers() {
+  struct sigaction action{};
+  action.sa_handler = handle_stop_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
+// Writes one snapshot pair: FILE (JSON, wall timestamp under the
+// top-level "timing" object so determinism filters strip it) and
+// FILE.prom (Prometheus text exposition). Both via atomic rename, so a
+// concurrent reader never sees a torn file.
+void export_snapshot(const ceal::serve::ServerCore& core,
+                     const std::string& path) {
+  namespace json = ceal::json;
+  json::Value snapshot = core.metrics_json();
+  json::Value timing = json::Value::object();
+  timing.set("exported_unix_s",
+             json::Value::number(static_cast<double>(std::time(nullptr))));
+  snapshot.set("timing", std::move(timing));
+  {
+    ceal::AtomicFile file(path);
+    file.stream() << snapshot.dump() << '\n';
+    file.commit();
+  }
+  {
+    ceal::AtomicFile file(path + ".prom");
+    file.stream() << ceal::serve::to_prometheus(snapshot);
+    file.commit();
+  }
+}
+
+// Periodic exporter thread: wakes every `interval_s`, or immediately on
+// shutdown (condition variable, not a sleep, so exit is prompt).
+class MetricsExporter {
+ public:
+  MetricsExporter(const ceal::serve::ServerCore& core, std::string path,
+                  double interval_s)
+      : core_(core), path_(std::move(path)), interval_s_(interval_s) {
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~MetricsExporter() { stop(); }
+
+  /// Stops the thread and writes one final snapshot.
+  void stop() {
+    {
+      std::lock_guard lock(mutex_);
+      if (done_) return;
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    try {
+      export_snapshot(core_, path_);
+    } catch (const std::exception& e) {
+      std::cerr << "metrics export failed: " << e.what() << "\n";
+    }
+  }
+
+ private:
+  void run() {
+    const auto period = std::chrono::duration<double>(interval_s_);
+    std::unique_lock lock(mutex_);
+    while (!done_) {
+      if (cv_.wait_for(lock, period, [this] { return done_; })) break;
+      lock.unlock();
+      try {
+        export_snapshot(core_, path_);
+      } catch (const std::exception& e) {
+        std::cerr << "metrics export failed: " << e.what() << "\n";
+      }
+      lock.lock();
+    }
+  }
+
+  const ceal::serve::ServerCore& core_;
+  std::string path_;
+  double interval_s_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
 
 }  // namespace
 
@@ -48,11 +160,17 @@ int main(int argc, char** argv) {
   const bool resume = args.flag("resume");
   const auto trace_path = args.option("trace", "");
   const auto trace_dir = args.option("trace-dir", "");
+  const auto metrics_export = args.option("metrics-export", "");
+  const double metrics_interval = args.real("metrics-interval", 5.0);
   const bool metrics_summary = args.flag("metrics-summary");
   args.finish();
 
   if (resume && checkpoint_dir.empty()) {
     std::cerr << "--resume requires --checkpoint DIR\n";
+    return 2;
+  }
+  if (metrics_interval <= 0.0) {
+    std::cerr << "--metrics-interval must be > 0\n";
     return 2;
   }
 
@@ -73,12 +191,22 @@ int main(int argc, char** argv) {
       std::cerr << "resumed " << resumed << " session(s) from "
                 << checkpoint_dir << "\n";
     }
+    std::optional<MetricsExporter> exporter;
+    if (!metrics_export.empty())
+      exporter.emplace(core, metrics_export, metrics_interval);
     if (!socket_path.empty()) {
+      install_stop_handlers();
       std::cerr << "listening on " << socket_path << "\n";
-      serve::serve_unix_socket(core, socket_path, threads);
+      serve::serve_unix_socket(core, socket_path, threads,
+                               [] { return g_stop != 0; });
+      if (g_stop != 0) std::cerr << "stop signal received, draining\n";
     } else {
       serve::serve_stream(core, std::cin, std::cout, threads);
     }
+    // Graceful drain: flush per-session trace sinks, then (via the
+    // exporter destructor below) write the final metrics snapshot.
+    core.flush_sinks();
+    if (exporter) exporter->stop();
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return 2;

@@ -8,7 +8,12 @@
 //    events' counters, gauges, span counts, and span totals become
 //    "trace.<name>" metrics, summed across all ingested files; derived
 //    metrics (switch iteration, failure rate, fit/predict throughput)
-//    are computed from those sums.
+//    are computed from those sums. Histogram stats ("hist.<name>.<stat>"
+//    fields, core/telemetry.h summary_event) aggregate by stat kind:
+//    .count/.sum add, .max/.p50/.p90/.p99 take the max across files
+//    (a quantile of merged runs is bounded by the worst per-run
+//    quantile's bucket, so the max is the honest loud-side aggregate),
+//    .min takes the min.
 //  * google-benchmark JSON files (`BENCH_*.json` from bench/): each
 //    benchmark's cpu/real time becomes "bench.<name>.cpu_time" /
 //    ".real_time", and every custom numeric counter (state.counters,
@@ -41,14 +46,16 @@ namespace ceal::tools::report {
 using MetricMap = std::map<std::string, double>;
 
 /// Direction of goodness, by naming convention: throughputs
-/// (trace "*_per_s", google-benchmark "*_per_second") and recall
-/// fractions (bench_pool_scale's recall_at_64) improve upward,
+/// (trace "*_per_s", google-benchmark "*_per_second"), recall
+/// fractions (bench_pool_scale's recall_at_64), and per-iteration
+/// success counts (trace.hist.iteration.batch_ok.*) improve upward,
 /// everything else (counts, seconds, bytes, rates) is treated as
 /// lower-better. Pure-count metrics rarely regress meaningfully, but
 /// treating growth as suspect errs on the loud side.
 inline bool higher_is_better(std::string_view name) {
   return name.ends_with("_per_s") || name.ends_with("_per_second") ||
-         name.find("recall") != std::string_view::npos;
+         name.find("recall") != std::string_view::npos ||
+         name.find("batch_ok") != std::string_view::npos;
 }
 
 /// Baselines smaller than this are noise; comparing against them would
@@ -101,17 +108,51 @@ class TraceAccumulator {
   bool empty() const { return sums_.empty() && switch_count_ == 0; }
 
  private:
+  // Histogram summary fields carry order statistics, which must not be
+  // summed across files the way counters are.
+  enum class Aggregate { kSum, kMax, kMin };
+
+  static Aggregate aggregate_kind(std::string_view key) {
+    if (key.find("hist.") == std::string_view::npos) return Aggregate::kSum;
+    if (key.ends_with(".max") || key.ends_with(".p50") ||
+        key.ends_with(".p90") || key.ends_with(".p99"))
+      return Aggregate::kMax;
+    if (key.ends_with(".min")) return Aggregate::kMin;
+    return Aggregate::kSum;  // .count / .sum accumulate
+  }
+
+  void accumulate(const std::string& key, double value) {
+    const std::string metric = "trace." + key;
+    switch (aggregate_kind(key)) {
+      case Aggregate::kSum:
+        sums_[metric] += value;
+        break;
+      case Aggregate::kMax: {
+        const auto it = sums_.find(metric);
+        sums_[metric] = it == sums_.end() ? value
+                                          : std::max(it->second, value);
+        break;
+      }
+      case Aggregate::kMin: {
+        const auto it = sums_.find(metric);
+        sums_[metric] = it == sums_.end() ? value
+                                          : std::min(it->second, value);
+        break;
+      }
+    }
+  }
+
   void add_summary(const json::Value& summary) {
     for (const auto& [key, value] : summary.members()) {
       if (key == "event" || key == "seq") continue;
       if (key == "timing") {
         for (const auto& [tkey, tvalue] : value.members()) {
-          sums_["trace." + tkey] += tvalue.as_double();
+          accumulate(tkey, tvalue.as_double());
         }
         continue;
       }
       if (value.kind() == json::Value::Kind::kNumber) {
-        sums_["trace." + key] += value.as_double();
+        accumulate(key, value.as_double());
       }
     }
   }

@@ -133,6 +133,67 @@ grep -q '"ok":false' "$serve_dir/responses.txt" \
 diff "$trace_dir/uninterrupted.csv" "$serve_dir/served.csv" \
   || { echo "daemon kill+resume changed the tuning result"; exit 1; }
 
+echo "== tier-1: metrics exposition gate =="
+# Observability plane (docs/OBSERVABILITY.md): the same request script
+# through a daemon at --threads 1 and 4 with --metrics-export must
+# produce (a) a Prometheus exposition that passes ceal_top's strict
+# validator and (b) a deterministic metric subset (ceal_top --once
+# --csv --deterministic: no spans, no timing.* histograms, no export
+# timestamp) that is byte-identical across thread counts. Then a live
+# socket daemon is scraped with ceal_top --once (the server.metrics op
+# end to end) and SIGTERM-drained: it must exit 0 and leave a final
+# valid snapshot pair behind.
+metrics_dir="$trace_dir/metrics"
+mkdir -p "$metrics_dir"
+metrics_script() {
+  printf '{"op":"session.create","id":"mg1","workflow":"LV","objective":"exec","budget":20,"algorithm":"CEAL","seed":5,"pool_size":200,"component_samples":80}\n'
+  printf '{"op":"session.create","id":"mg2","workflow":"HS","objective":"comp","budget":12,"algorithm":"RS","seed":9,"pool_size":150,"component_samples":60}\n'
+  printf '{"op":"session.step","id":"mg1","steps":3}\n'
+  printf '{"op":"session.step","id":"mg2","steps":2}\n'
+  printf '{"op":"session.cancel","id":"mg2"}\n'
+  printf '{"op":"session.cancel","id":"mg2"}\n'  # double cancel: a per-op error
+  printf '{"op":"server.metrics"}\n'
+  printf '{"op":"session.step","id":"mg1","steps":100}\n'
+  printf '{"op":"server.stats"}\n'
+}
+for t in 1 4; do
+  metrics_script | ./build/tools/ceal_serve --threads "$t" \
+    --metrics-export "$metrics_dir/t$t.json" --metrics-interval 600 \
+    > "$metrics_dir/t$t.responses" 2>/dev/null
+  ./build/tools/ceal_top --check-prom "$metrics_dir/t$t.json.prom" \
+    > /dev/null
+  ./build/tools/ceal_top --once --csv --deterministic \
+    --file "$metrics_dir/t$t.json" > "$metrics_dir/t$t.det.csv"
+done
+# Response streams stay byte-identical across thread counts except the
+# server.metrics response, which is documented to carry wall clocks
+# (its "spans" member marks it) — the deterministic subset of that one
+# is covered by the ceal_top CSV diff below instead.
+diff <(grep -v '"spans"' "$metrics_dir/t1.responses") \
+     <(grep -v '"spans"' "$metrics_dir/t4.responses") \
+  || { echo "serve responses differ across thread counts"; exit 1; }
+diff "$metrics_dir/t1.det.csv" "$metrics_dir/t4.det.csv" \
+  || { echo "deterministic metric subset differs across thread counts"; exit 1; }
+# The script double-cancels a drained session: exactly those two cancel
+# requests (and nothing else) must answer errors.
+[[ "$(grep -c '"ok":false' "$metrics_dir/t1.responses")" -eq 2 ]] \
+  || { echo "metrics gate script answered unexpected errors"; exit 1; }
+sock="$metrics_dir/live.sock"
+./build/tools/ceal_serve --socket "$sock" \
+  --metrics-export "$metrics_dir/live.json" --metrics-interval 600 \
+  2> "$metrics_dir/live.log" &
+serve_pid=$!
+for _ in $(seq 100); do [[ -S "$sock" ]] && break; sleep 0.05; done
+[[ -S "$sock" ]] || { echo "ceal_serve did not open its socket"; exit 1; }
+./build/tools/ceal_top --socket "$sock" --once > "$metrics_dir/top.txt"
+grep -q "ceal_serve:" "$metrics_dir/top.txt" \
+  || { echo "ceal_top --once rendered no dashboard"; exit 1; }
+kill -TERM "$serve_pid"
+rc=0; wait "$serve_pid" || rc=$?
+[[ "$rc" -eq 0 ]] \
+  || { echo "ceal_serve did not drain cleanly on SIGTERM (rc=$rc)"; exit 1; }
+./build/tools/ceal_top --check-prom "$metrics_dir/live.json.prom" >/dev/null
+
 echo "== tier-1: micro benches + ceal_report regression gate =="
 # Cheap micro benches write BENCH_*.json (with the common metadata
 # header) into .ceal-bench/current alongside the fig5 trace; ceal_report
