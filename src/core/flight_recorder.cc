@@ -1,0 +1,234 @@
+#include "core/flight_recorder.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define CEAL_FLIGHT_POSIX 1
+#endif
+
+namespace ceal::telemetry {
+namespace {
+
+constexpr std::size_t kMaxRegistered = 64;
+constexpr std::size_t kLabelBytes = 80;
+constexpr std::size_t kPathBytes = 512;
+
+// Registry entries are never removed from the array — unregistering
+// clears the pointer so the (lock-free) crash-time walk stays safe
+// against concurrent register/unregister.
+struct RegistryEntry {
+  std::atomic<FlightRecorder*> recorder{nullptr};
+  char label[kLabelBytes] = {};
+};
+
+RegistryEntry g_registry[kMaxRegistered];
+std::mutex g_registry_mutex;  // serialises register/unregister only
+
+char g_dump_path[kPathBytes] = {};
+std::atomic<bool> g_handler_installed{false};
+
+#if defined(CEAL_FLIGHT_POSIX)
+
+// write(2) the whole buffer; ignores errors (nothing useful to do in a
+// signal handler).
+void raw_write(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ::ssize_t w = ::write(fd, data + off, n - off);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+// Async-signal-safe unsigned decimal formatter. Returns chars written.
+std::size_t raw_u64(char* out, std::uint64_t v) {
+  char tmp[20];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) out[i] = tmp[n - 1 - i];
+  return n;
+}
+
+void crash_handler(int sig) {
+  const int fd =
+      ::open(g_dump_path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd >= 0) {
+    for (std::size_t i = 0; i < kMaxRegistered; ++i) {
+      FlightRecorder* rec =
+          g_registry[i].recorder.load(std::memory_order_acquire);
+      if (rec == nullptr) continue;
+      char header[kLabelBytes + 96];
+      std::size_t n = 0;
+      const char* pre = "{\"event\":\"flight.recorder\",\"label\":\"";
+      std::memcpy(header + n, pre, std::strlen(pre));
+      n += std::strlen(pre);
+      const std::size_t label_len =
+          ::strnlen(g_registry[i].label, kLabelBytes - 1);
+      std::memcpy(header + n, g_registry[i].label, label_len);
+      n += label_len;
+      const char* mid = "\",\"signal\":";
+      std::memcpy(header + n, mid, std::strlen(mid));
+      n += std::strlen(mid);
+      n += raw_u64(header + n, static_cast<std::uint64_t>(sig));
+      header[n++] = '}';
+      header[n++] = '\n';
+      raw_write(fd, header, n);
+      rec->dump_to_fd(fd);
+    }
+    ::fsync(fd);
+    ::close(fd);
+  }
+  // SA_RESETHAND restored the default disposition, so re-raising
+  // terminates with the signal's normal exit status (e.g. 139).
+  ::raise(sig);
+}
+
+#endif  // CEAL_FLIGHT_POSIX
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(new Slot[capacity == 0 ? 1 : capacity]) {}
+
+FlightRecorder::~FlightRecorder() { unregister_crash_recorder(this); }
+
+void FlightRecorder::record(std::string_view line) {
+  static constexpr std::string_view kOversize =
+      "{\"event\":\"flight.oversize\"}";
+  if (line.size() >= kSlotBytes) line = kOversize;
+  const std::uint64_t n = recorded_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[n % capacity_];
+  const std::uint64_t v = slot.version.load(std::memory_order_relaxed);
+  slot.version.store(v + 1, std::memory_order_release);  // odd: writing
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.length = static_cast<std::uint32_t>(line.size());
+  std::memcpy(slot.text, line.data(), line.size());
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.version.store(v + 2, std::memory_order_release);  // even: stable
+  recorded_.store(n + 1, std::memory_order_release);
+}
+
+std::vector<std::string> FlightRecorder::snapshot() const {
+  std::vector<std::string> out;
+  const std::uint64_t n = recorded();
+  const std::uint64_t first = n > capacity_ ? n - capacity_ : 0;
+  out.reserve(static_cast<std::size_t>(n - first));
+  for (std::uint64_t i = first; i < n; ++i) {
+    const Slot& slot = slots_[i % capacity_];
+    const std::uint64_t v0 = slot.version.load(std::memory_order_acquire);
+    if (v0 % 2 != 0) continue;
+    std::string line(slot.text, slot.length);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.version.load(std::memory_order_acquire) != v0) continue;
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+void FlightRecorder::dump_to_fd(int fd) const {
+#if defined(CEAL_FLIGHT_POSIX)
+  const std::uint64_t n = recorded();
+  const std::uint64_t first = n > capacity_ ? n - capacity_ : 0;
+  for (std::uint64_t i = first; i < n; ++i) {
+    const Slot& slot = slots_[i % capacity_];
+    const std::uint64_t v0 = slot.version.load(std::memory_order_acquire);
+    if (v0 % 2 != 0) continue;
+    char buf[kSlotBytes + 1];
+    const std::uint32_t len =
+        slot.length < kSlotBytes ? slot.length : kSlotBytes - 1;
+    std::memcpy(buf, slot.text, len);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.version.load(std::memory_order_acquire) != v0) continue;
+    buf[len] = '\n';
+    raw_write(fd, buf, len + 1);
+  }
+#else
+  (void)fd;
+#endif
+}
+
+void register_crash_recorder(FlightRecorder* recorder,
+                             std::string_view label) {
+  if (recorder == nullptr) return;
+  std::lock_guard<std::mutex> lock(g_registry_mutex);
+  RegistryEntry* target = nullptr;
+  for (auto& entry : g_registry) {
+    FlightRecorder* cur = entry.recorder.load(std::memory_order_relaxed);
+    if (cur == recorder) {
+      target = &entry;
+      break;
+    }
+    if (cur == nullptr && target == nullptr) target = &entry;
+  }
+  if (target == nullptr) return;  // registry full: crash dump loses this one
+  std::size_t n = 0;
+  for (char c : label) {
+    if (n >= kLabelBytes - 1) break;
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == ':' || c == '-';
+    target->label[n++] = ok ? c : '_';
+  }
+  target->label[n] = '\0';
+  target->recorder.store(recorder, std::memory_order_release);
+}
+
+void unregister_crash_recorder(FlightRecorder* recorder) {
+  if (recorder == nullptr) return;
+  std::lock_guard<std::mutex> lock(g_registry_mutex);
+  for (auto& entry : g_registry) {
+    if (entry.recorder.load(std::memory_order_relaxed) == recorder) {
+      entry.recorder.store(nullptr, std::memory_order_release);
+      entry.label[0] = '\0';
+    }
+  }
+}
+
+void install_crash_dump_handler(const std::string& path) {
+#if defined(CEAL_FLIGHT_POSIX)
+  std::snprintf(g_dump_path, sizeof(g_dump_path), "%s", path.c_str());
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = crash_handler;
+  sigemptyset(&sa.sa_mask);
+  // SA_RESETHAND: a fault inside the handler terminates instead of
+  // recursing, and the re-raise at the end hits the default action.
+  sa.sa_flags = SA_RESETHAND;
+  ::sigaction(SIGSEGV, &sa, nullptr);
+  ::sigaction(SIGABRT, &sa, nullptr);
+  ::sigaction(SIGBUS, &sa, nullptr);
+  g_handler_installed.store(true, std::memory_order_release);
+#else
+  (void)path;
+#endif
+}
+
+std::string dump_registered_recorders() {
+  std::ostringstream out;
+  std::lock_guard<std::mutex> lock(g_registry_mutex);
+  for (const auto& entry : g_registry) {
+    FlightRecorder* rec = entry.recorder.load(std::memory_order_acquire);
+    if (rec == nullptr) continue;
+    out << "{\"event\":\"flight.recorder\",\"label\":\"" << entry.label
+        << "\",\"events\":" << rec->size() << ",\"dropped\":" << rec->dropped()
+        << "}\n";
+    for (const auto& line : rec->snapshot()) out << line << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ceal::telemetry

@@ -1,0 +1,117 @@
+// Crash-forensics flight recorder: a fixed-size ring of the most recent
+// pre-serialized trace events, dumpable from an async-signal-safe
+// SIGSEGV/SIGABRT/SIGBUS handler.
+//
+// The ring is sharded across Telemetry instances — every Telemetry that
+// opts in (ceal_serve/ceal_tune `--flight-recorder N`) owns one
+// FlightRecorder, so a daemon keeps an independent last-N-events window
+// per session plus one for the server itself. Slots are fixed-size and
+// pre-rendered at record() time (normal context, under the emit lock);
+// the only thing the crash path does is read slots and write(2) them,
+// guarded by a per-slot seqlock so a handler that interrupts record()
+// mid-copy skips the torn slot instead of dumping garbage.
+//
+// Two dump paths:
+//  * graceful (drain, `server.dump` op): snapshot() in normal context,
+//    written through AtomicFile by the caller;
+//  * crash: install_crash_dump_handler() registers a handler that
+//    raw-open(2)s the pre-stored path, walks every recorder in the
+//    process-wide registry via dump_to_fd(), fsyncs, and re-raises the
+//    signal with the default disposition so the exit status still
+//    reports the crash.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ceal::telemetry {
+
+class FlightRecorder {
+ public:
+  /// Largest pre-rendered event line a slot can hold; longer lines are
+  /// replaced at record() time with a short `flight.oversize` stub so
+  /// every dumped line stays parseable JSON.
+  static constexpr std::size_t kSlotBytes = 4096;
+
+  /// Ring of `capacity` slots (>= 1). Memory is capacity * ~4 KiB.
+  explicit FlightRecorder(std::size_t capacity);
+
+  /// Unregisters itself from the crash registry (no-op when never
+  /// registered).
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Stores one pre-serialized event line (no trailing newline).
+  /// Callers serialise record() themselves (Telemetry::emit holds its
+  /// emit lock); the seqlock only protects the crash-time reader.
+  void record(std::string_view line);
+
+  /// Total events ever recorded (monotonic).
+  std::uint64_t recorded() const {
+    return recorded_.load(std::memory_order_acquire);
+  }
+  /// Events overwritten by ring wrap-around (monotonic).
+  std::uint64_t dropped() const {
+    const std::uint64_t n = recorded();
+    return n > capacity_ ? n - capacity_ : 0;
+  }
+  /// Events currently held (min(recorded, capacity)).
+  std::size_t size() const {
+    const std::uint64_t n = recorded();
+    return n > capacity_ ? capacity_ : static_cast<std::size_t>(n);
+  }
+
+  /// The held lines, oldest first. Normal-context only (graceful dumps).
+  std::vector<std::string> snapshot() const;
+
+  /// Writes the held lines (oldest first, one per line) to `fd` using
+  /// only async-signal-safe calls. Slots caught mid-write are skipped.
+  void dump_to_fd(int fd) const;
+
+ private:
+  struct Slot {
+    /// Seqlock: odd while record() is copying into the slot. A reader
+    /// that sees an odd value, or a value that changed across its copy,
+    /// discards the slot.
+    std::atomic<std::uint64_t> version{0};
+    std::uint32_t length = 0;
+    char text[kSlotBytes];
+  };
+
+  std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> recorded_{0};
+};
+
+/// Registers `recorder` with the process-wide crash registry under
+/// `label` (truncated to fit; characters outside [A-Za-z0-9._:-] become
+/// '_' so the crash path can embed it in JSON without escaping). A
+/// recorder registers at most once; re-registering updates the label.
+void register_crash_recorder(FlightRecorder* recorder,
+                             std::string_view label);
+
+/// Removes `recorder` from the registry (idempotent). FlightRecorder's
+/// destructor calls this, so a destroyed recorder can never be walked
+/// by the crash handler.
+void unregister_crash_recorder(FlightRecorder* recorder);
+
+/// Installs SIGSEGV/SIGABRT/SIGBUS handlers that dump every registered
+/// recorder to `path` (raw open/write — AtomicFile is not
+/// signal-safe), then re-raise with the default disposition. The path
+/// is copied into static storage; calling again replaces it.
+void install_crash_dump_handler(const std::string& path);
+
+/// Graceful-path dump: every registered recorder rendered as JSONL —
+/// one `{"event":"flight.recorder","label":...,"events":N,"dropped":N}`
+/// header per recorder followed by its held lines. Normal context only.
+std::string dump_registered_recorders();
+
+}  // namespace ceal::telemetry

@@ -52,7 +52,10 @@ void Table::print(std::ostream& os) const {
 
 void Table::to_csv(std::ostream& os) const {
   const auto escape = [](const std::string& cell) {
-    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    // RFC 4180: quote cells containing separators, quotes, or either
+    // line-break character (a bare \r corrupts the record just as \n
+    // does for consumers that split on CRLF).
+    if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
     std::string out = "\"";
     for (const char c : cell) {
       if (c == '"') out += '"';

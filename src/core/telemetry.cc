@@ -1,13 +1,24 @@
 #include "core/telemetry.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <csignal>
+#include <cstdlib>
 #include <functional>
 #include <ostream>
+#include <sstream>
 
 #include "core/error.h"
+#include "core/flight_recorder.h"
 #include "core/stats.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define CEAL_TELEMETRY_POSIX 1
+#endif
 
 namespace ceal::telemetry {
 
@@ -15,6 +26,43 @@ double monotonic_seconds() {
   const auto now = std::chrono::steady_clock::now().time_since_epoch();
   return std::chrono::duration<double>(now).count();
 }
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::string span_id_hex(std::uint64_t id) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[id & 0xF];
+    id >>= 4;
+  }
+  return out;
+}
+
+namespace {
+
+/// Crash-injection test hook: CEAL_CRASH_SIGSEGV_AFTER=N raises SIGSEGV
+/// on the N-th emitted event, process-wide across all Telemetry
+/// instances. Exercises the flight-recorder crash dump in run_tier1.sh;
+/// unset (the default) costs one predictable branch per emit.
+void maybe_crash_after_emit() {
+  static const long crash_after = [] {
+    const char* env = std::getenv("CEAL_CRASH_SIGSEGV_AFTER");
+    return env == nullptr ? -1L : std::strtol(env, nullptr, 10);
+  }();
+  if (crash_after <= 0) return;
+  static std::atomic<long> emitted{0};
+  if (emitted.fetch_add(1, std::memory_order_relaxed) + 1 == crash_after) {
+    std::raise(SIGSEGV);
+  }
+}
+
+}  // namespace
 
 TraceEvent& TraceEvent::field(std::string key, json::Value v) {
   fields_.emplace_back(std::move(key), std::move(v));
@@ -85,7 +133,8 @@ json::Value TraceEvent::to_json() const {
   return obj;
 }
 
-JsonlTraceSink::JsonlTraceSink(const std::string& path) : file_(path) {
+JsonlTraceSink::JsonlTraceSink(const std::string& path, bool fsync_on_flush)
+    : file_(path), path_(path), fsync_on_flush_(fsync_on_flush) {
   CEAL_EXPECT_MSG(file_.is_open(),
                   "cannot open trace file for writing: " + path);
   os_ = &file_;
@@ -102,6 +151,15 @@ void JsonlTraceSink::write(const TraceEvent& event) {
 void JsonlTraceSink::flush() {
   std::lock_guard lock(mutex_);
   os_->flush();
+#if defined(CEAL_TELEMETRY_POSIX)
+  if (fsync_on_flush_ && !path_.empty()) {
+    const int fd = ::open(path_.c_str(), O_WRONLY | O_CLOEXEC);
+    if (fd >= 0) {
+      ::fsync(fd);
+      ::close(fd);
+    }
+  }
+#endif
 }
 
 MultiTraceSink::MultiTraceSink(std::vector<TraceSink*> sinks)
@@ -194,10 +252,99 @@ const Telemetry::Shard& Telemetry::shard_for(std::string_view name) const {
 }
 
 void Telemetry::emit(TraceEvent event) {
-  if (sink_ == nullptr) return;
+  if (sink_ == nullptr && recorder_ == nullptr) return;
   std::lock_guard lock(emit_mutex_);
   event.seq_ = seq_++;
-  sink_->write(event);
+  if (sink_ != nullptr) sink_->write(event);
+  if (recorder_ != nullptr) {
+    std::ostringstream line;
+    event.to_json().write(line);
+    recorder_->record(line.str());
+  }
+  maybe_crash_after_emit();
+}
+
+void Telemetry::seed_trace(std::uint64_t seed) {
+  std::lock_guard lock(causal_mutex_);
+  seed_trace_locked(seed);
+}
+
+void Telemetry::seed_trace_locked(std::uint64_t seed) {
+  trace_id_ = mix64(seed);
+  if (trace_id_ == 0) trace_id_ = 1;
+  span_base_ = trace_id_;
+  strand_ = 0;
+  next_span_ = 0;
+  adopted_parent_ = 0;
+  span_stack_.clear();
+}
+
+void Telemetry::adopt_trace(const TraceContext& parent,
+                            std::uint64_t strand) {
+  std::lock_guard lock(causal_mutex_);
+  trace_id_ = parent.trace_id == 0 ? 1 : parent.trace_id;
+  // Each strand gets a disjoint id namespace derived from (trace_id,
+  // strand), so ids stay unique and deterministic no matter how sibling
+  // strands interleave in wall time.
+  span_base_ = mix64(trace_id_ ^ (strand + 1) * 0xda942042e4dd58b5ULL);
+  if (span_base_ == 0) span_base_ = 1;
+  strand_ = strand;
+  next_span_ = 0;
+  adopted_parent_ = parent.span_id;
+  span_stack_.clear();
+}
+
+TraceContext Telemetry::current_span() const {
+  std::lock_guard lock(causal_mutex_);
+  TraceContext ctx;
+  ctx.trace_id = trace_id_;
+  ctx.span_id = span_stack_.empty() ? adopted_parent_ : span_stack_.back();
+  return ctx;
+}
+
+TraceContext Telemetry::begin_span(const char* name) {
+  TraceContext ctx;
+  std::uint64_t strand = 0;
+  {
+    std::lock_guard lock(causal_mutex_);
+    if (trace_id_ == 0) seed_trace_locked(0);
+    ctx.trace_id = trace_id_;
+    ctx.parent_span_id =
+        span_stack_.empty() ? adopted_parent_ : span_stack_.back();
+    ctx.span_id = mix64(span_base_ + ++next_span_);
+    span_stack_.push_back(ctx.span_id);
+    strand = strand_;
+  }
+  TraceEvent event("span.begin");
+  event.field("span", name)
+      .field("trace_id", span_id_hex(ctx.trace_id))
+      .field("span_id", span_id_hex(ctx.span_id))
+      .field("parent_span_id", span_id_hex(ctx.parent_span_id))
+      .field("strand", strand)
+      .timing("ts_s", monotonic_seconds());
+  emit(std::move(event));
+  return ctx;
+}
+
+void Telemetry::end_span(const char* name, const TraceContext& ctx,
+                         double elapsed_s) {
+  std::uint64_t strand = 0;
+  {
+    std::lock_guard lock(causal_mutex_);
+    if (!span_stack_.empty() && span_stack_.back() == ctx.span_id) {
+      span_stack_.pop_back();
+    }
+    strand = strand_;
+  }
+  TraceEvent event("span.end");
+  event.field("span", name)
+      .field("trace_id", span_id_hex(ctx.trace_id))
+      .field("span_id", span_id_hex(ctx.span_id))
+      .field("parent_span_id", span_id_hex(ctx.parent_span_id))
+      .field("strand", strand)
+      .timing("ts_s", monotonic_seconds())
+      .timing("dur_s", elapsed_s);
+  emit(std::move(event));
 }
 
 void Telemetry::count(std::string_view name, std::uint64_t delta) {
@@ -401,6 +548,16 @@ Table Telemetry::summary_table() const {
                    Table::num(stats.sum, 6)});
   }
   return table;
+}
+
+double ScopedCausalSpan::stop() {
+  if (telemetry_ != nullptr) {
+    elapsed_ = monotonic_seconds() - start_;
+    telemetry_->add_span(name_, elapsed_);
+    if (traced_) telemetry_->end_span(name_, ctx_, elapsed_);
+    telemetry_ = nullptr;
+  }
+  return elapsed_;
 }
 
 double ScopedSpan::stop() {

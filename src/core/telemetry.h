@@ -51,8 +51,28 @@
 
 namespace ceal::telemetry {
 
+class FlightRecorder;
+
 /// Monotonic (steady_clock) seconds since an arbitrary epoch.
 double monotonic_seconds();
+
+/// Identity of one causal span: which trace it belongs to, which span it
+/// is, and which span caused it. Ids are deterministic functions of the
+/// session seed + an allocation counter (never wall clocks), so the span
+/// tree of a seeded run is byte-identical across thread counts. Id 0
+/// means "none" (an unparented root).
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+};
+
+/// splitmix64 finalizer: the id-derivation mix for trace/span ids.
+std::uint64_t mix64(std::uint64_t x);
+
+/// Ids render as fixed-width lowercase hex in events ("%016x"), which
+/// keeps them byte-stable and avoids double-precision loss in JSON.
+std::string span_id_hex(std::uint64_t id);
 
 /// One structured trace record: a name, deterministic fields, and
 /// wall-clock timing fields kept in a separate sub-object.
@@ -115,7 +135,11 @@ class JsonlTraceSink final : public TraceSink {
  public:
   explicit JsonlTraceSink(std::ostream& os) : os_(&os) {}
   /// Opens (truncates) `path`; throws PreconditionError on failure.
-  explicit JsonlTraceSink(const std::string& path);
+  /// With `fsync_on_flush`, flush() additionally fsyncs the file so a
+  /// SIGKILL after a flush cannot lose acknowledged lines (POSIX only;
+  /// a no-op flag elsewhere). ceal_serve --trace-dir sinks set it.
+  explicit JsonlTraceSink(const std::string& path,
+                          bool fsync_on_flush = false);
   ~JsonlTraceSink() override;
 
   void write(const TraceEvent& event) override;
@@ -125,6 +149,8 @@ class JsonlTraceSink final : public TraceSink {
   std::mutex mutex_;
   std::ofstream file_;
   std::ostream* os_ = nullptr;
+  std::string path_;
+  bool fsync_on_flush_ = false;
 };
 
 /// Fans one event out to several sinks, in order.
@@ -212,11 +238,57 @@ class Telemetry {
   TraceSink* sink() const { return sink_; }
   bool tracing() const { return sink_ != nullptr; }
 
+  /// Attaches a (borrowed, not owned) flight recorder that captures the
+  /// serialized form of every emitted event. Not synchronised with
+  /// concurrent emit(); attach before the instrumented session starts.
+  void set_flight_recorder(FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+  FlightRecorder* flight_recorder() const { return recorder_; }
+
+  /// True when emitted events go anywhere (sink or flight recorder).
+  /// The cheap one-branch check causal spans make before allocating ids.
+  bool observed() const {
+    return sink_ != nullptr || recorder_ != nullptr;
+  }
+
   /// Stamps the event with the next sequence number and forwards it to
-  /// the sink; drops it (cheaply) when no sink is attached. Concurrent
-  /// calls serialise: sequence numbers are unique and the sink never
-  /// sees two writes at once.
+  /// the sink and/or flight recorder; drops it (cheaply) when neither is
+  /// attached. Concurrent calls serialise: sequence numbers are unique
+  /// and the sink never sees two writes at once.
   void emit(TraceEvent event);
+
+  /// --- Causal spans -------------------------------------------------
+  /// Roots this instance's span-id namespace at `seed`: trace_id =
+  /// mix64(seed) (forced nonzero), span ids are mix64(trace_id + n) for
+  /// the n-th begin_span. Resets the span stack. Call once before the
+  /// instrumented session starts; a begin_span on a never-seeded
+  /// instance implicitly seeds with 0.
+  void seed_trace(std::uint64_t seed);
+
+  /// Joins `parent`'s trace from a concurrent strand (replication
+  /// index, session lane): same trace_id, but span ids come from a
+  /// strand-specific namespace — mix64(trace_id ^ (strand+1)·φ₂) — so
+  /// sibling strands never collide, and depth-0 spans of this instance
+  /// parent under `parent.span_id`. Used by the child-Telemetry merge
+  /// pattern to keep parallel span trees deterministic.
+  void adopt_trace(const TraceContext& parent, std::uint64_t strand);
+
+  /// The innermost open span (or the adopted parent when the stack is
+  /// empty; all-zero when tracing was never seeded).
+  TraceContext current_span() const;
+
+  /// Opens a span: allocates the next deterministic span id, parents it
+  /// under the innermost open span, pushes it on the span stack, and
+  /// emits `span.begin` (ids + strand as deterministic fields, start
+  /// time under `timing.ts_s`). ScopedCausalSpan calls this.
+  TraceContext begin_span(const char* name);
+
+  /// Closes a span: emits `span.end` (same identity fields, end time
+  /// under `timing.ts_s`, duration under `timing.dur_s`) and pops the
+  /// stack if `ctx` is its top (tolerates out-of-order stops).
+  void end_span(const char* name, const TraceContext& ctx,
+                double elapsed_s);
 
   void count(std::string_view name, std::uint64_t delta = 1);
   /// 0 for a counter never incremented.
@@ -286,9 +358,22 @@ class Telemetry {
   const Shard& shard_for(std::string_view name) const;
 
   TraceSink* sink_;
+  FlightRecorder* recorder_ = nullptr;  // borrowed; see set_flight_recorder
   std::mutex emit_mutex_;          // guards seq_ and the sink write
   std::uint64_t seq_ = 0;
   std::array<Shard, kShards> shards_;
+
+  // Causal-span state. A separate mutex from emit_mutex_: begin/end
+  // compute ids under this lock, then emit() takes the emit lock — the
+  // two never nest the other way, so no ordering cycle.
+  void seed_trace_locked(std::uint64_t seed);
+  mutable std::mutex causal_mutex_;
+  std::uint64_t trace_id_ = 0;       // 0 = never seeded
+  std::uint64_t span_base_ = 0;      // id-namespace root (strand-mixed)
+  std::uint64_t strand_ = 0;         // emitted on span events
+  std::uint64_t next_span_ = 0;      // allocation counter
+  std::uint64_t adopted_parent_ = 0; // parent for depth-0 spans
+  std::vector<std::uint64_t> span_stack_;
 };
 
 /// RAII wall-clock span: charges `telemetry->add_span(name, elapsed)` on
@@ -310,6 +395,50 @@ class ScopedSpan {
  private:
   Telemetry* telemetry_;
   const char* name_;
+  double start_ = 0.0;
+  double elapsed_ = 0.0;
+};
+
+/// RAII causal span: a ScopedSpan that additionally carries a
+/// TraceContext and emits paired `span.begin`/`span.end` events when the
+/// Telemetry is observed (sink or flight recorder attached). Always
+/// charges the span accumulator like ScopedSpan, so converting a
+/// ScopedSpan site to ScopedCausalSpan changes nothing for metrics
+/// consumers. With a null Telemetry every member is one branch; with
+/// telemetry attached but nothing observing, no events are built.
+class ScopedCausalSpan {
+ public:
+  ScopedCausalSpan(Telemetry* telemetry, const char* name)
+      : telemetry_(telemetry), name_(name) {
+    if (telemetry_ != nullptr) {
+      if (telemetry_->observed()) {
+        ctx_ = telemetry_->begin_span(name_);
+        traced_ = true;
+      }
+      // Clock starts after the begin event is built and emitted (and
+      // stop() measures before emitting span.end), so serialization
+      // cost never lands inside the charged window — microsecond-scale
+      // spans would otherwise double under tracing.
+      start_ = monotonic_seconds();
+    }
+  }
+  ScopedCausalSpan(const ScopedCausalSpan&) = delete;
+  ScopedCausalSpan& operator=(const ScopedCausalSpan&) = delete;
+  ~ScopedCausalSpan() { stop(); }
+
+  /// This span's identity — pass to Telemetry::adopt_trace to parent a
+  /// concurrent child strand under it. All-zero when untraced.
+  const TraceContext& context() const { return ctx_; }
+
+  /// Records the span (accumulator + span.end) once; further calls
+  /// return the first elapsed time. Returns 0 with no telemetry.
+  double stop();
+
+ private:
+  Telemetry* telemetry_;
+  const char* name_;
+  TraceContext ctx_;
+  bool traced_ = false;
   double start_ = 0.0;
   double elapsed_ = 0.0;
 };

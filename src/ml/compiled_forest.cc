@@ -80,7 +80,7 @@ template <typename RowOf>
 std::vector<double> CompiledForest::predict_batch(
     std::size_t n, const RowOf& row_of,
     ceal::telemetry::Telemetry* tel) const {
-  telemetry::ScopedSpan span(tel, "compiled.predict");
+  telemetry::ScopedCausalSpan span(tel, "compiled.predict");
   if (tel != nullptr) {
     tel->count("compiled.predict.batches");
     tel->count("compiled.predict.rows", n);

@@ -79,7 +79,7 @@ void GradientBoostedTrees::fit(const Dataset& data, ceal::Rng& rng) {
   if (params_.tree.method == TreeMethod::kHist) {
     hist_cache.emplace(data, params_.tree.max_bins);
   } else if (params_.tree.method == TreeMethod::kQuantized) {
-    telemetry::ScopedSpan span(telemetry_, "gbt.quantize");
+    telemetry::ScopedCausalSpan span(telemetry_, "gbt.quantize");
     quantized_cache.emplace(data, params_.tree.max_bins);
     quantized_ws.emplace();
   }
@@ -180,7 +180,7 @@ std::vector<double> predict_rows(const GradientBoostedTrees& model,
 std::vector<double> GradientBoostedTrees::predict_all(
     const Dataset& data) const {
   CEAL_EXPECT_MSG(fitted_, "predict_all() before fit()");
-  telemetry::ScopedSpan span(telemetry_, "gbt.predict");
+  telemetry::ScopedCausalSpan span(telemetry_, "gbt.predict");
   telemetry::ScopedHistogramTimer predict_timer(telemetry_,
                                                 "timing.gbt.predict_s");
   if (telemetry_ != nullptr) {
@@ -197,7 +197,7 @@ std::vector<double> GradientBoostedTrees::predict_all(
 std::vector<double> GradientBoostedTrees::predict_matrix(
     const FeatureMatrix& rows) const {
   CEAL_EXPECT_MSG(fitted_, "predict_matrix() before fit()");
-  telemetry::ScopedSpan span(telemetry_, "gbt.predict");
+  telemetry::ScopedCausalSpan span(telemetry_, "gbt.predict");
   telemetry::ScopedHistogramTimer predict_timer(telemetry_,
                                                 "timing.gbt.predict_s");
   if (telemetry_ != nullptr) {

@@ -227,9 +227,15 @@ std::string to_prometheus(const json::Value& metrics) {
     labeled_family("ceal_session_budget_remaining", "budget_remaining",
                    "gauge");
     labeled_family("ceal_session_steps", "steps", "gauge");
+    labeled_family("ceal_session_age_steps_total", "session_age_steps",
+                   "counter");
     labeled_family("ceal_session_best_value", "best_value", "gauge");
     labeled_family("ceal_session_checkpoint_replay_pending",
                    "checkpoint_replay_pending", "gauge");
+    labeled_family("ceal_session_recorder_events", "recorder_events",
+                   "gauge");
+    labeled_family("ceal_session_recorder_dropped_total",
+                   "recorder_dropped", "counter");
   }
 
   // --- Export timestamp (present only in --metrics-export files). ---

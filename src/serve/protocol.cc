@@ -197,6 +197,9 @@ Request parse_request(const std::string& line) {
   } else if (op == "server.metrics") {
     req.op = Op::kMetrics;
     reject_unknown(doc, {"op"}, "request");
+  } else if (op == "server.dump") {
+    req.op = Op::kDump;
+    reject_unknown(doc, {"op"}, "request");
   } else {
     fail("request:op", "unknown op \"" + op + "\"");
   }
@@ -211,6 +214,7 @@ const char* op_name(Op op) {
     case Op::kCancel: return "cancel";
     case Op::kStats: return "stats";
     case Op::kMetrics: return "metrics";
+    case Op::kDump: return "dump";
   }
   return "unknown";
 }

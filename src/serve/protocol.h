@@ -9,6 +9,7 @@
 //   {"op":"session.cancel","id":"s1"}               -> {"ok":true,...}
 //   {"op":"server.stats"}                           -> {"ok":true,...}
 //   {"op":"server.metrics"}                         -> {"ok":true,...}
+//   {"op":"server.dump"}                            -> {"ok":true,...}
 //
 // Validation is strict and reuses src/core/json: unknown fields, wrong
 // types, and out-of-range values are rejected before any session state
@@ -42,6 +43,7 @@ enum class Op {
   kCancel,   ///< session.cancel
   kStats,    ///< server.stats
   kMetrics,  ///< server.metrics
+  kDump,     ///< server.dump (flight-recorder contents)
 };
 
 /// Wire name of the op ("create", "step", ...): the <name> in the

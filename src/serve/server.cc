@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/atomic_file.h"
+#include "core/flight_recorder.h"
 #include "core/thread_pool.h"
 #include "serve/metrics.h"
 
@@ -116,9 +117,9 @@ std::size_t ServerCore::resume_sessions() {
     // session killed before its first durable record starts fresh.
     const std::string journal = journal_path(id);
     const bool resume = file_non_empty(journal);
-    auto session = std::make_shared<ServeSession>(id, std::move(params),
-                                                  journal, resume,
-                                                  trace_path(id));
+    auto session = std::make_shared<ServeSession>(
+        id, std::move(params), journal, resume, trace_path(id),
+        options_.trace_fsync, options_.flight_recorder);
     {
       std::lock_guard lock(mutex_);
       sessions_.emplace(id, std::move(session));
@@ -202,6 +203,9 @@ json::Value ServerCore::handle(const Request& request) {
       case Op::kMetrics: {
         return metrics_json();
       }
+      case Op::kDump: {
+        return dump_json();
+      }
     }
     throw ProtocolError("request:op: unknown op");
   } catch (const std::exception& e) {
@@ -237,7 +241,8 @@ json::Value ServerCore::create_session(const Request& request) {
     // expensive part and concurrent creates of different sessions must
     // overlap. Same-id races are excluded by the caller's strand.
     auto session = std::make_shared<ServeSession>(
-        id, request.create, journal, /*resume=*/false, trace_path(id));
+        id, request.create, journal, /*resume=*/false, trace_path(id),
+        options_.trace_fsync, options_.flight_recorder);
     {
       std::lock_guard lock(mutex_);
       sessions_.emplace(id, session);
@@ -347,6 +352,58 @@ json::Value ServerCore::metrics_json() const {
   return metrics;
 }
 
+json::Value ServerCore::dump_json() const {
+  json::Value dump = json::Value::object();
+  dump.set("ok", json::Value::boolean(true));
+  json::Value recorders = json::Value::array();
+  const auto append = [&recorders](const std::string& label,
+                                   const telemetry::FlightRecorder* rec) {
+    if (rec == nullptr) return;
+    json::Value one = json::Value::object();
+    one.set("label", json::Value::string(label));
+    one.set("capacity", json::Value::number(
+                            static_cast<std::uint64_t>(rec->capacity())));
+    one.set("events", json::Value::number(
+                          static_cast<std::uint64_t>(rec->size())));
+    one.set("dropped", json::Value::number(rec->dropped()));
+    json::Value recent = json::Value::array();
+    for (const std::string& line : rec->snapshot()) {
+      // Lines are our own serialized TraceEvents; a parse failure would
+      // mean a torn slot slipped past the seqlock, so surface it as a
+      // raw-text stub instead of dropping the response.
+      try {
+        recent.push(json::Value::parse(line));
+      } catch (const std::exception&) {
+        json::Value raw = json::Value::object();
+        raw.set("raw", json::Value::string(line));
+        recent.push(std::move(raw));
+      }
+    }
+    one.set("recent", std::move(recent));
+    recorders.push(std::move(one));
+  };
+  if (options_.telemetry != nullptr)
+    append("server", options_.telemetry->flight_recorder());
+  std::vector<std::shared_ptr<ServeSession>> sessions;
+  {
+    std::lock_guard lock(mutex_);
+    sessions.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) sessions.push_back(session);
+  }
+  for (const auto& session : sessions)
+    append("session:" + session->id(), session->flight_recorder());
+  dump.set("recorders", std::move(recorders));
+  return dump;
+}
+
+std::vector<std::string> ServerCore::session_ids() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) ids.push_back(id);
+  return ids;
+}
+
 void ServerCore::flush_sinks() const {
   std::vector<std::shared_ptr<ServeSession>> sessions;
   {
@@ -446,8 +503,9 @@ void serve_stream(ServerCore& core, std::istream& in, std::ostream& out,
       push_ready(core.handle_error(e.what()).dump());
       continue;
     }
-    if (request.op == Op::kStats || request.op == Op::kMetrics) {
-      // Quiescence barrier: stats/metrics answer only after every
+    if (request.op == Op::kStats || request.op == Op::kMetrics ||
+        request.op == Op::kDump) {
+      // Quiescence barrier: stats/metrics/dump answer only after every
       // earlier request finished, so their counts are deterministic
       // under any thread count.
       {

@@ -32,6 +32,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "serve/session.h"
 
@@ -42,6 +43,13 @@ struct ServerOptions {
   std::string checkpoint_dir;
   /// Per-session trace sinks ("<id>.trace.jsonl"); empty disables.
   std::string trace_dir;
+  /// fsync per-session trace sinks on flush, so a SIGKILL after a
+  /// flushed step cannot lose acknowledged trace lines.
+  bool trace_fsync = false;
+  /// Per-session flight-recorder capacity in events (0 disables): every
+  /// session keeps a ring of its most recent serialized events for
+  /// server.dump and crash dumps (core/flight_recorder.h).
+  std::size_t flight_recorder = 0;
   /// Server metrics (serve.* counters, serve.sessions_active gauge,
   /// serve.step span). Not owned; may be null.
   telemetry::Telemetry* telemetry = nullptr;
@@ -84,6 +92,17 @@ class ServerCore {
   /// synchronise internally.
   json::Value metrics_json() const;
 
+  /// The server.dump response: one entry per flight recorder (the
+  /// server telemetry's, then every session's, sorted by id) with its
+  /// occupancy counters and the recent events parsed back into JSON.
+  /// Events carry `timing` members, so like server.metrics this
+  /// response is not byte-stable across thread counts.
+  json::Value dump_json() const;
+
+  /// Ids of all registered sessions, sorted. The drain-time Chrome
+  /// exporter in ceal_serve walks these to find per-session traces.
+  std::vector<std::string> session_ids() const;
+
   /// Flushes every attached trace sink (per-session sinks; the server
   /// telemetry's sink is the caller's — flush it there). Used on
   /// graceful shutdown/SIGTERM drain.
@@ -98,7 +117,7 @@ class ServerCore {
   /// Recomputes the serve.sessions_active gauge after a state change.
   void update_active_gauge();
 
-  static constexpr std::size_t kOpCount = 6;  // matches enum Op
+  static constexpr std::size_t kOpCount = 7;  // matches enum Op
 
   ServerOptions options_;
   mutable std::mutex mutex_;
@@ -114,9 +133,9 @@ class ServerCore {
 /// Serves newline-delimited JSON requests from `in` until EOF, writing
 /// one response per line to `out` in request order. Session work runs
 /// on a `threads`-sized ThreadPool (0 = hardware concurrency), one
-/// strand per session id. A server.stats or server.metrics request is
-/// a barrier: it waits for every earlier request to complete, so its
-/// counts are deterministic too.
+/// strand per session id. A server.stats, server.metrics, or
+/// server.dump request is a barrier: it waits for every earlier request
+/// to complete, so its counts are deterministic too.
 void serve_stream(ServerCore& core, std::istream& in, std::ostream& out,
                   std::size_t threads);
 

@@ -63,7 +63,8 @@ const char* session_state_name(SessionState state) {
 
 ServeSession::ServeSession(std::string id, CreateParams params,
                            const std::string& journal_path, bool resume,
-                           const std::string& trace_path)
+                           const std::string& trace_path, bool trace_fsync,
+                           std::size_t flight_recorder_capacity)
     : id_(std::move(id)),
       params_(std::move(params)),
       workload_(workload_by_name(params_.workflow)),
@@ -74,8 +75,21 @@ ServeSession::ServeSession(std::string id, CreateParams params,
                                        params_.pool_seed + 1)),
       rng_(params_.seed) {
   if (!trace_path.empty()) {
-    trace_sink_ = std::make_unique<telemetry::JsonlTraceSink>(trace_path);
+    trace_sink_ = std::make_unique<telemetry::JsonlTraceSink>(trace_path,
+                                                              trace_fsync);
+  }
+  if (trace_sink_ != nullptr || flight_recorder_capacity > 0) {
     telemetry_ = std::make_unique<telemetry::Telemetry>(trace_sink_.get());
+    // Span ids derive from the session seed, so the trace of a seeded
+    // session is byte-identical (timing stripped) across thread counts
+    // and across restarts.
+    telemetry_->seed_trace(params_.seed);
+    if (flight_recorder_capacity > 0) {
+      recorder_ = std::make_unique<telemetry::FlightRecorder>(
+          flight_recorder_capacity);
+      telemetry_->set_flight_recorder(recorder_.get());
+      telemetry::register_crash_recorder(recorder_.get(), "session:" + id_);
+    }
   }
   if (!journal_path.empty()) {
     checkpoint_ = std::make_unique<tuner::CheckpointSession>(
@@ -103,17 +117,27 @@ ServeSession::ServeSession(std::string id, CreateParams params,
 
 void ServeSession::step(std::size_t n) {
   std::lock_guard lock(mutex_);
-  for (std::size_t k = 0; k < n; ++k) {
-    if (state() != SessionState::kRunning) return;
-    try {
-      if (!stepper_->step())
-        state_.store(SessionState::kDone, std::memory_order_release);
-    } catch (const std::exception& e) {
-      error_ = e.what();
-      state_.store(SessionState::kFailed, std::memory_order_release);
-      return;
+  age_steps_ += n;
+  {
+    // The root span of this request slice: every tuner.step /
+    // collector.measure / surrogate span below parents under it.
+    telemetry::ScopedCausalSpan span(telemetry_.get(), "serve.step");
+    for (std::size_t k = 0; k < n; ++k) {
+      if (state() != SessionState::kRunning) break;
+      try {
+        if (!stepper_->step())
+          state_.store(SessionState::kDone, std::memory_order_release);
+      } catch (const std::exception& e) {
+        error_ = e.what();
+        state_.store(SessionState::kFailed, std::memory_order_release);
+        break;
+      }
     }
   }
+  // Flush after every slice so the on-disk trace always ends at a
+  // complete line — the crash-dump gate matches its tail against the
+  // flight recorder.
+  if (trace_sink_ != nullptr) trace_sink_->flush();
 }
 
 void ServeSession::cancel() {
@@ -188,6 +212,13 @@ json::Value ServeSession::metrics_json() const {
         json::Value::number(static_cast<std::uint64_t>(params_.budget)));
   m.set("steps", json::Value::number(
                      static_cast<std::uint64_t>(stepper_->steps_taken())));
+  m.set("session_age_steps", json::Value::number(age_steps_));
+  if (recorder_ != nullptr) {
+    m.set("recorder_events", json::Value::number(
+                                 static_cast<std::uint64_t>(
+                                     recorder_->size())));
+    m.set("recorder_dropped", json::Value::number(recorder_->dropped()));
+  }
   const tuner::TunerProgress progress = stepper_->progress();
   m.set("budget_used", json::Value::number(static_cast<std::uint64_t>(
                            progress.budget_used)));

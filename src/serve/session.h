@@ -24,6 +24,7 @@
 #include <mutex>
 #include <string>
 
+#include "core/flight_recorder.h"
 #include "core/rng.h"
 #include "core/telemetry.h"
 #include "serve/protocol.h"
@@ -48,12 +49,17 @@ class ServeSession {
   /// included — deliberately identical to ceal_tune's construction
   /// order). `journal_path` empty disables checkpointing; `resume`
   /// selects kResume (replay an existing journal while stepping) over
-  /// kStart. `trace_path` empty disables the per-session trace sink.
+  /// kStart. `trace_path` empty disables the per-session trace sink
+  /// (`trace_fsync` makes its flushes durable). A nonzero
+  /// `flight_recorder_capacity` attaches a per-session FlightRecorder
+  /// (creating session telemetry even without a trace sink) and
+  /// registers it with the process crash registry under "session:<id>".
   /// Throws (CheckpointError, PreconditionError) on invalid
   /// combinations; the server reports the error and drops the session.
   ServeSession(std::string id, CreateParams params,
                const std::string& journal_path, bool resume,
-               const std::string& trace_path);
+               const std::string& trace_path, bool trace_fsync = false,
+               std::size_t flight_recorder_capacity = 0);
 
   ServeSession(const ServeSession&) = delete;
   ServeSession& operator=(const ServeSession&) = delete;
@@ -98,6 +104,12 @@ class ServeSession {
   /// drain). Safe to call concurrently with step().
   void flush_trace();
 
+  /// This session's flight recorder (null unless created with a nonzero
+  /// capacity). The pointer is stable for the session's lifetime.
+  const telemetry::FlightRecorder* flight_recorder() const {
+    return recorder_.get();
+  }
+
  private:
   mutable std::mutex mutex_;  ///< serialises stepper access (see header)
   std::string id_;
@@ -106,6 +118,7 @@ class ServeSession {
   tuner::MeasuredPool pool_;
   std::vector<tuner::ComponentSamples> comps_;
   std::unique_ptr<telemetry::JsonlTraceSink> trace_sink_;
+  std::unique_ptr<telemetry::FlightRecorder> recorder_;
   std::unique_ptr<telemetry::Telemetry> telemetry_;
   std::unique_ptr<tuner::CheckpointSession> checkpoint_;
   std::unique_ptr<tuner::AutoTuner> algorithm_;
@@ -114,6 +127,9 @@ class ServeSession {
   std::unique_ptr<tuner::TunerStepper> stepper_;
   std::atomic<SessionState> state_{SessionState::kRunning};
   std::string error_;
+  /// Monotonic sum of the step counts ever requested of this session
+  /// (over-stepping included) — the session_age_steps metric.
+  std::uint64_t age_steps_ = 0;
 };
 
 }  // namespace ceal::serve

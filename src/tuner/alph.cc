@@ -67,7 +67,7 @@ class AlphStepper final : public TunerStepper {
   double fit() {
     telemetry::Telemetry* tel = problem_.telemetry;
     if (tel != nullptr) tel->count("surrogate.fits");
-    telemetry::ScopedSpan span(tel, "surrogate.fit");
+    telemetry::ScopedCausalSpan span(tel, "surrogate.fit");
     const auto& indices = collector_.ok_indices();
     const auto& values = collector_.ok_values();
     ml::Dataset data(width_);
@@ -80,7 +80,7 @@ class AlphStepper final : public TunerStepper {
   }
 
   std::vector<double> predict_pool(double* elapsed_s = nullptr) {
-    telemetry::ScopedSpan span(problem_.telemetry, "surrogate.predict");
+    telemetry::ScopedCausalSpan span(problem_.telemetry, "surrogate.predict");
     const std::size_t pool_size = problem_.pool->size();
     std::vector<double> scores(pool_size);
     for (std::size_t i = 0; i < pool_size; ++i) {

@@ -1,6 +1,7 @@
 #include "tuner/autotuner.h"
 
 #include "core/error.h"
+#include "core/telemetry.h"
 #include "tuner/checkpoint.h"
 #include "tuner/stepper.h"
 
@@ -9,6 +10,10 @@ namespace ceal::tuner {
 bool TunerStepper::step() {
   if (done_) return false;
   ++steps_taken_;
+  // Every algorithm slice runs inside one causal span, so measure /
+  // surrogate / pool spans emitted below always have a tuner.step
+  // ancestor in the trace tree.
+  telemetry::ScopedCausalSpan span(problem_.telemetry, "tuner.step");
   do_step();
   return !done_;
 }

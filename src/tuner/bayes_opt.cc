@@ -106,7 +106,7 @@ class BayesOptStepper final : public TunerStepper {
   double refit() {
     telemetry::Telemetry* tel = problem_.telemetry;
     if (tel != nullptr) tel->count("surrogate.fits");
-    telemetry::ScopedSpan span(tel, "surrogate.fit");
+    telemetry::ScopedCausalSpan span(tel, "surrogate.fit");
     train_configs_.clear();
     for (const std::size_t i : collector_.ok_indices()) {
       train_configs_.push_back(problem_.pool->configs[i]);
@@ -173,7 +173,7 @@ class BayesOptStepper final : public TunerStepper {
         const double fit_s = refit();
         // LCB acquisition: optimistic lower bound, lower = more
         // attractive.
-        telemetry::ScopedSpan predict_span(tel, "surrogate.predict");
+        telemetry::ScopedCausalSpan predict_span(tel, "surrogate.predict");
         std::vector<double> acquisition(pool_size);
         for (std::size_t i = 0; i < pool_size; ++i) {
           double mu = 0.0, sigma = 0.0;
@@ -195,7 +195,7 @@ class BayesOptStepper final : public TunerStepper {
 
     // Final ranking uses the ensemble mean (no exploration bonus).
     refit();
-    telemetry::ScopedSpan final_span(tel, "surrogate.predict");
+    telemetry::ScopedCausalSpan final_span(tel, "surrogate.predict");
     std::vector<double> scores(pool_size);
     for (std::size_t i = 0; i < pool_size; ++i) {
       double mu = 0.0, sigma = 0.0;

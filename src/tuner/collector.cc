@@ -74,6 +74,8 @@ void Collector::record(std::size_t pool_index,
 MeasureOutcome Collector::try_measure(std::size_t pool_index) {
   const MeasuredPool& pool = *problem_->pool;
   CEAL_EXPECT(pool_index < pool.size());
+  telemetry::ScopedCausalSpan measure_span(problem_->telemetry,
+                                           "collector.measure");
   if (seen_[pool_index]) {
     // Cached repeat — same verdict, no charge. A configuration that
     // failed stays failed; retrying it costs a fresh entry elsewhere.

@@ -54,14 +54,19 @@ EvalSummary evaluate(const TuningProblem& problem, const AutoTuner& algorithm,
              std::llround(0.02 * static_cast<double>(measured.size()))));
   const auto top2 = ml::top_indices(measured, top2_count);
 
-  // Parallel replications with telemetry attached: each replication runs
-  // against its own child Telemetry (backed by a BufferTraceSink when the
-  // parent traces), so concurrent tuners never interleave events. The
-  // children are merged into the parent in replication order afterwards,
-  // which re-stamps sequence numbers and reproduces the exact event
-  // stream of a serial run — stripped traces compare byte-identical
-  // (tests/tuner/test_trace.cc).
-  const bool child_tracing = pool != nullptr && problem.telemetry != nullptr;
+  // Replications with telemetry attached: each replication runs against
+  // its own child Telemetry (backed by a BufferTraceSink when the parent
+  // traces), so concurrent tuners never interleave events. The children
+  // are merged into the parent in replication order afterwards, which
+  // re-stamps sequence numbers and reproduces the exact event stream of
+  // a serial run — stripped traces compare byte-identical
+  // (tests/tuner/test_trace.cc). The serial path uses children too:
+  // every replication's causal spans then draw ids from the same
+  // strand-indexed namespaces (Telemetry::adopt_trace), so the span tree
+  // is byte-identical across --threads 1 vs N, not just event-order
+  // identical.
+  const bool child_tracing = problem.telemetry != nullptr;
+  telemetry::ScopedCausalSpan eval_span(problem.telemetry, "evaluate");
   std::vector<std::unique_ptr<telemetry::BufferTraceSink>> buffers;
   std::vector<std::unique_ptr<telemetry::Telemetry>> children;
   std::vector<TuningProblem> rep_problems;
@@ -74,6 +79,7 @@ EvalSummary evaluate(const TuningProblem& problem, const AutoTuner& algorithm,
       buffers.push_back(std::make_unique<telemetry::BufferTraceSink>());
       children.push_back(std::make_unique<telemetry::Telemetry>(
           tracing ? buffers.back().get() : nullptr));
+      children.back()->adopt_trace(eval_span.context(), rep + 1);
       rep_problems[rep].telemetry = children[rep].get();
     }
   }
@@ -84,7 +90,10 @@ EvalSummary evaluate(const TuningProblem& problem, const AutoTuner& algorithm,
         child_tracing ? rep_problems[rep] : problem;
     telemetry::Telemetry* tel = rep_problem.telemetry;
     if (tel != nullptr) tel->count("evaluate.replications");
-    telemetry::ScopedSpan rep_span(tel, "evaluate.replication");
+    // The unit a ThreadPool would schedule; emitted in serial runs too
+    // so the span tree does not depend on the execution mode.
+    telemetry::ScopedCausalSpan task_span(tel, "pool.task");
+    telemetry::ScopedCausalSpan rep_span(tel, "evaluate.replication");
     ceal::Rng rng(seed * 0x9e3779b97f4a7c15ULL + rep * 0xda942042e4dd58b5ULL +
                   1);
     const TuneResult result = algorithm.tune(rep_problem, budget, rng);

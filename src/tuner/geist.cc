@@ -138,7 +138,7 @@ class GeistStepper final : public TunerStepper {
                                collector_, req_start, ok_start, 0.0, 0.0);
           return;  // one iteration per step
         }
-        telemetry::ScopedSpan propagate_span(tel, "geist.propagate");
+        telemetry::ScopedCausalSpan propagate_span(tel, "geist.propagate");
         const double threshold = ceal::quantile(values, params_.top_quantile);
 
         std::vector<double> belief(pool_size, 0.5);  // unknown prior
@@ -191,7 +191,7 @@ class GeistStepper final : public TunerStepper {
     // the same model family all algorithms use (§7.3).
     Surrogate surrogate(problem_.surrogate_gbt);
     fit_on_measured(surrogate, collector_, *rng_);
-    telemetry::ScopedSpan predict_span(tel, "surrogate.predict");
+    telemetry::ScopedCausalSpan predict_span(tel, "surrogate.predict");
     auto scores = surrogate.predict_many(
         problem_.workload->workflow.joint_space(), problem_.pool->configs);
     predict_span.stop();

@@ -65,6 +65,20 @@ TEST(Table, ToCsvQuotesSpecialCells) {
             "\"with\nnewline\",plain\n");
 }
 
+// RFC 4180: a bare carriage return must be quoted too, or a cell like a
+// hostile session id ("evil\r\nid") splits into two records on readers
+// that accept lone-\r line endings.
+TEST(Table, ToCsvQuotesCarriageReturns) {
+  Table t({"id", "state"});
+  t.add_row({"evil\r\nid", "running"});
+  t.add_row({"bare\rreturn", "done"});
+  std::ostringstream os;
+  t.to_csv(os);
+  EXPECT_EQ(os.str(),
+            "id,state\n\"evil\r\nid\",running\n"
+            "\"bare\rreturn\",done\n");
+}
+
 TEST(Table, ToCsvPadsShortRows) {
   Table t({"a", "b", "c"});
   t.add_row({"x"});

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <limits>
 #include <fstream>
+#include <iterator>
 #include <set>
 #include <sstream>
 #include <string>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "core/error.h"
+#include "core/flight_recorder.h"
 #include "core/json.h"
 
 namespace ceal::telemetry {
@@ -494,6 +496,203 @@ TEST(JsonlTraceSinkTest, FlushMakesLinesVisibleBeforeDestruction) {
   std::string line;
   ASSERT_TRUE(std::getline(in, line));
   EXPECT_NE(line.find("flush.probe"), std::string::npos);
+}
+
+// --- Causal spans ---
+
+json::Value parsed(const std::string& line) {
+  return json::Value::parse(line);
+}
+
+TEST(SpanIdHexTest, Renders16LowercaseHexDigits) {
+  EXPECT_EQ(span_id_hex(0), "0000000000000000");
+  EXPECT_EQ(span_id_hex(0xdeadbeef), "00000000deadbeef");
+  EXPECT_EQ(span_id_hex(~std::uint64_t{0}), "ffffffffffffffff");
+}
+
+TEST(Mix64Test, IsDeterministicAndWellMixed) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+  EXPECT_NE(mix64(0), 0u);  // the finalizer moves even zero
+}
+
+TEST(CausalSpanTest, EmitsPairedBeginEndWithHierarchicalIds) {
+  RecordingSink sink;
+  Telemetry tel(&sink);
+  tel.seed_trace(42);
+  {
+    ScopedCausalSpan outer(&tel, "outer");
+    ScopedCausalSpan inner(&tel, "inner");
+  }
+  ASSERT_EQ(sink.lines.size(), 4u);
+  const json::Value outer_b = parsed(sink.lines[0]);
+  const json::Value inner_b = parsed(sink.lines[1]);
+  const json::Value inner_e = parsed(sink.lines[2]);
+  const json::Value outer_e = parsed(sink.lines[3]);
+  EXPECT_EQ(outer_b.at("event").as_string(), "span.begin");
+  EXPECT_EQ(outer_b.at("span").as_string(), "outer");
+  EXPECT_EQ(inner_e.at("event").as_string(), "span.end");
+  EXPECT_EQ(inner_e.at("span").as_string(), "inner");
+  EXPECT_EQ(outer_e.at("span").as_string(), "outer");
+  // ids are 16-hex-digit strings; the inner span parents on the outer.
+  EXPECT_EQ(outer_b.at("span_id").as_string().size(), 16u);
+  EXPECT_EQ(inner_b.at("parent_span_id").as_string(),
+            outer_b.at("span_id").as_string());
+  EXPECT_EQ(inner_e.at("span_id").as_string(),
+            inner_b.at("span_id").as_string());
+  // All four share the seed-derived trace id, and the end events carry
+  // wall-clock only under `timing`.
+  for (const auto& line : sink.lines) {
+    const json::Value v = parsed(line);
+    EXPECT_EQ(v.at("trace_id").as_string(),
+              span_id_hex(mix64(42)));
+    EXPECT_TRUE(v.contains("timing"));
+  }
+  // Metrics stay compatible with ScopedSpan: both spans accumulated.
+  EXPECT_EQ(tel.span_stats("outer").count, 1u);
+  EXPECT_EQ(tel.span_stats("inner").count, 1u);
+}
+
+TEST(CausalSpanTest, SeededTracesAreByteIdenticalModuloTiming) {
+  const auto run = [] {
+    RecordingSink sink;
+    Telemetry tel(&sink);
+    tel.seed_trace(7);
+    {
+      ScopedCausalSpan a(&tel, "step");
+      { ScopedCausalSpan b(&tel, "fit"); }
+      { ScopedCausalSpan c(&tel, "predict"); }
+    }
+    std::vector<std::string> out;
+    for (const auto& line : sink.lines) {
+      json::Value v = json::Value::parse(line);
+      v.remove_recursive("timing");
+      out.push_back(v.dump());
+    }
+    return out;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(CausalSpanTest, AdoptedStrandsGetDistinctDeterministicIds) {
+  RecordingSink sink;
+  Telemetry parent(&sink);
+  parent.seed_trace(9);
+  TraceContext root;
+  {
+    ScopedCausalSpan span(&parent, "evaluate");
+    root = span.context();
+  }
+  const auto strand_first_id = [&](std::uint64_t strand) {
+    RecordingSink child_sink;
+    Telemetry child(&child_sink);
+    child.adopt_trace(root, strand);
+    { ScopedCausalSpan s(&child, "replication"); }
+    return parsed(child_sink.lines[0]);
+  };
+  const json::Value a = strand_first_id(1);
+  const json::Value b = strand_first_id(2);
+  const json::Value a_again = strand_first_id(1);
+  // Same trace, distinct id namespaces per strand, reproducible.
+  EXPECT_EQ(a.at("trace_id").as_string(), b.at("trace_id").as_string());
+  EXPECT_NE(a.at("span_id").as_string(), b.at("span_id").as_string());
+  EXPECT_EQ(a.at("span_id").as_string(),
+            a_again.at("span_id").as_string());
+  // A strand's root span parents on the adopted context.
+  EXPECT_EQ(a.at("parent_span_id").as_string(),
+            span_id_hex(root.span_id));
+  EXPECT_EQ(a.at("strand").as_int(), 1);
+  EXPECT_EQ(b.at("strand").as_int(), 2);
+}
+
+TEST(CausalSpanTest, UnobservedTelemetryChargesSpanWithoutEvents) {
+  Telemetry tel;  // no sink, no recorder
+  EXPECT_FALSE(tel.observed());
+  { ScopedCausalSpan span(&tel, "quiet"); }
+  EXPECT_EQ(tel.span_stats("quiet").count, 1u);
+  ScopedCausalSpan null_span(nullptr, "ignored");
+  EXPECT_EQ(null_span.stop(), 0.0);
+}
+
+// --- Flight recorder ---
+
+TEST(FlightRecorderTest, RingKeepsTheMostRecentEvents) {
+  FlightRecorder rec(3);
+  for (int i = 0; i < 5; ++i) {
+    rec.record("{\"n\":" + std::to_string(i) + "}");
+  }
+  EXPECT_EQ(rec.recorded(), 5u);
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.dropped(), 2u);
+  const auto lines = rec.snapshot();
+  ASSERT_EQ(lines.size(), 3u);  // oldest-first: 2, 3, 4
+  EXPECT_EQ(lines[0], "{\"n\":2}");
+  EXPECT_EQ(lines[2], "{\"n\":4}");
+}
+
+TEST(FlightRecorderTest, CapturesTelemetryEventsWithoutASink) {
+  FlightRecorder rec(8);
+  Telemetry tel;
+  tel.set_flight_recorder(&rec);
+  EXPECT_TRUE(tel.observed());
+  tel.seed_trace(5);
+  { ScopedCausalSpan span(&tel, "recorded"); }
+  const auto lines = rec.snapshot();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(parsed(lines[0]).at("event").as_string(), "span.begin");
+  EXPECT_EQ(parsed(lines[1]).at("event").as_string(), "span.end");
+}
+
+TEST(FlightRecorderTest, RecorderLinesMatchSinkLinesExactly) {
+  FlightRecorder rec(16);
+  RecordingSink sink;
+  Telemetry tel(&sink);
+  tel.set_flight_recorder(&rec);
+  tel.seed_trace(3);
+  {
+    ScopedCausalSpan a(&tel, "one");
+    ScopedCausalSpan b(&tel, "two");
+  }
+  EXPECT_EQ(rec.snapshot(), sink.lines);
+}
+
+TEST(FlightRecorderTest, OversizeLinesBecomeAStubEvent) {
+  FlightRecorder rec(2);
+  rec.record(std::string(8192, 'x'));
+  const auto lines = rec.snapshot();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("flight.oversize"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, RegistryDumpNamesEveryRecorder) {
+  FlightRecorder rec(4);
+  rec.record("{\"event\":\"probe\"}");
+  register_crash_recorder(&rec, "test session!");  // label is sanitized
+  const std::string dump = dump_registered_recorders();
+  unregister_crash_recorder(&rec);
+  EXPECT_NE(dump.find("\"event\":\"flight.recorder\""), std::string::npos);
+  EXPECT_NE(dump.find("test_session_"), std::string::npos);
+  EXPECT_NE(dump.find("{\"event\":\"probe\"}"), std::string::npos);
+  // After unregistering, the recorder no longer appears.
+  EXPECT_EQ(dump_registered_recorders().find("test_session_"),
+            std::string::npos);
+}
+
+TEST(JsonlTraceSinkTest, FsyncOnFlushKeepsLinesReadable) {
+  const std::string path =
+      testing::TempDir() + "/telemetry_fsync_test.jsonl";
+  JsonlTraceSink sink(path, /*fsync_on_flush=*/true);
+  TraceEvent event("durable.probe");
+  sink.write(event);
+  sink.flush();
+  // The torn-tail contract: after flush the file ends at a complete
+  // line, never mid-record.
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  ASSERT_FALSE(contents.empty());
+  EXPECT_EQ(contents.back(), '\n');
+  EXPECT_NE(contents.find("durable.probe"), std::string::npos);
 }
 
 }  // namespace

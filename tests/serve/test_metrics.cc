@@ -143,6 +143,100 @@ TEST(ServeMetricsTest, ValidatorRejectsMalformedExposition) {
             4u);
 }
 
+// The corpus behind `ceal_top --check-prom`: every malformed exposition
+// must fail with a message naming the offending line, so a failing CI
+// gate points at the defect instead of just "invalid".
+TEST(ServeMetricsTest, ValidatorErrorsCarryLineNumbers) {
+  const auto error_of = [](const std::string& text) {
+    try {
+      validate_prometheus(text);
+    } catch (const ProtocolError& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  // Histogram whose bucket series never reaches +Inf: an end-of-family
+  // defect, reported against the family name.
+  const std::string no_inf = error_of(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 2\n"
+      "h_sum 1\nh_count 2\n");
+  EXPECT_NE(no_inf.find("prometheus:"), std::string::npos) << no_inf;
+  EXPECT_NE(no_inf.find("+Inf"), std::string::npos) << no_inf;
+  // Non-monotone le series: the regression is on line 3.
+  const std::string non_monotone = error_of(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"2\"} 2\n"
+      "h_bucket{le=\"1\"} 3\n"
+      "h_bucket{le=\"+Inf\"} 5\n"
+      "h_sum 4\nh_count 5\n");
+  EXPECT_NE(non_monotone.find("prometheus:line 3:"), std::string::npos)
+      << non_monotone;
+  EXPECT_NE(non_monotone.find("increasing"), std::string::npos)
+      << non_monotone;
+  // Cumulative-count regression, also on line 3.
+  const std::string non_cumulative = error_of(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 5\n"
+      "h_bucket{le=\"2\"} 3\n"
+      "h_bucket{le=\"+Inf\"} 5\n"
+      "h_sum 4\nh_count 5\n");
+  EXPECT_NE(non_cumulative.find("prometheus:line 3:"), std::string::npos)
+      << non_cumulative;
+  // A sample before any TYPE declaration: line 1.
+  const std::string untyped = error_of("orphan 1\n# TYPE g gauge\ng 2\n");
+  EXPECT_NE(untyped.find("prometheus:line 1:"), std::string::npos)
+      << untyped;
+}
+
+TEST(ServeMetricsTest, SessionBlockCarriesAgeAndRecorderOccupancy) {
+  telemetry::Telemetry tel;
+  ServerOptions options;
+  options.telemetry = &tel;
+  options.flight_recorder = 16;
+  ServerCore core(options);
+  expect_ok(core.handle_line(kCreateLine));
+  expect_ok(core.handle_line(
+      "{\"op\":\"session.step\",\"id\":\"m1\",\"steps\":3}"));
+
+  const json::Value metrics =
+      expect_ok(core.handle_line("{\"op\":\"server.metrics\"}"));
+  const json::Value& session = metrics.at("sessions").at(std::size_t{0});
+  // session_age_steps counts requested steps monotonically — stepping a
+  // finished session keeps incrementing it while "steps" freezes.
+  EXPECT_EQ(session.at("session_age_steps").as_int(), 3);
+  // Ring invariant: occupancy never exceeds capacity, and nothing is
+  // reported dropped unless the ring is full.
+  const std::int64_t events = session.at("recorder_events").as_int();
+  const std::int64_t dropped = session.at("recorder_dropped").as_int();
+  EXPECT_GT(events, 0);
+  EXPECT_LE(events, 16);
+  EXPECT_TRUE(dropped == 0 || events == 16);
+
+  expect_ok(core.handle_line(
+      "{\"op\":\"session.cancel\",\"id\":\"m1\"}"));
+  expect_ok(core.handle_line(
+      "{\"op\":\"session.step\",\"id\":\"m1\",\"steps\":4}"));
+  const json::Value after =
+      expect_ok(core.handle_line("{\"op\":\"server.metrics\"}"));
+  EXPECT_EQ(after.at("sessions")
+                .at(std::size_t{0})
+                .at("session_age_steps")
+                .as_int(),
+            7);
+
+  // The same fields surface as labeled Prometheus families and the
+  // rendering still passes the strict validator.
+  const std::string text = to_prometheus(core.metrics_json());
+  validate_prometheus(text);
+  EXPECT_NE(text.find("ceal_session_age_steps_total{id=\"m1\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("ceal_session_recorder_events{id=\"m1\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("ceal_session_recorder_dropped_total{id=\"m1\"}"),
+            std::string::npos);
+}
+
 TEST(ServeMetricsTest, ExpositionQuantilesMatchTheSharedOfflineHelper) {
   // The live exposition computes p50/p90/p99 through the exact same
   // core/stats.h histogram_quantile an offline consumer of the bucket

@@ -180,6 +180,54 @@ TEST(ServeProtocolTest, StatsReportsCountsAndStates) {
   EXPECT_EQ(stats.at("errors").as_int(), 0);
 }
 
+TEST(ServeProtocolTest, ParsesServerDumpAndRejectsExtraFields) {
+  const Request req = parse_request("{\"op\":\"server.dump\"}");
+  EXPECT_EQ(req.op, Op::kDump);
+  EXPECT_NE(error_of("{\"op\":\"server.dump\",\"id\":\"x\"}")
+                .find("request:id: unknown field"),
+            std::string::npos);
+}
+
+TEST(ServeProtocolTest, DumpReturnsPerSessionFlightRecorders) {
+  ServerOptions options;
+  options.flight_recorder = 32;
+  ServerCore core{options};
+  ASSERT_TRUE(
+      json::Value::parse(core.handle_line(kCreateLine)).at("ok").as_bool());
+  ASSERT_TRUE(json::Value::parse(
+                  core.handle_line(
+                      "{\"op\":\"session.step\",\"id\":\"s1\",\"steps\":5}"))
+                  .at("ok")
+                  .as_bool());
+  const json::Value dump =
+      json::Value::parse(core.handle_line("{\"op\":\"server.dump\"}"));
+  ASSERT_TRUE(dump.at("ok").as_bool());
+  const json::Value& recorders = dump.at("recorders");
+  ASSERT_EQ(recorders.size(), 1u);
+  const json::Value& rec = recorders.at(0);
+  EXPECT_EQ(rec.at("label").as_string(), "session:s1");
+  EXPECT_EQ(rec.at("capacity").as_int(), 32);
+  EXPECT_GT(rec.at("events").as_int(), 0);
+  // The recent events parse back as trace events, causal span events
+  // (with ids) among them.
+  const json::Value& recent = rec.at("recent");
+  ASSERT_GT(recent.size(), 0u);
+  bool saw_span = false;
+  for (std::size_t i = 0; i < recent.size(); ++i) {
+    EXPECT_TRUE(recent.at(i).contains("event"));
+    if (recent.at(i).contains("span_id")) saw_span = true;
+  }
+  EXPECT_TRUE(saw_span);
+}
+
+TEST(ServeProtocolTest, DumpWithoutRecordersReportsNone) {
+  ServerCore core{ServerOptions{}};
+  const json::Value dump =
+      json::Value::parse(core.handle_line("{\"op\":\"server.dump\"}"));
+  ASSERT_TRUE(dump.at("ok").as_bool());
+  EXPECT_EQ(dump.at("recorders").size(), 0u);
+}
+
 // Property: a random valid create request round-trips through JSON and
 // parse_request (and through the manifest encoding) unchanged.
 TEST(ServeProtocolTest, RandomCreateRequestsRoundTrip) {

@@ -147,8 +147,23 @@ TEST_F(TraceTest, SwitchEventMatchesPerIterationModelLabels) {
 TEST_F(TraceTest, TuneFinishAgreesWithTheResultLedger) {
   TuneResult result;
   const auto lines = traced_ceal_run(13, &result);
-  const json::Value finish = json::Value::parse(lines.back());
-  ASSERT_EQ(finish.at("event").as_string(), "tune.finish");
+  // The ledger event is no longer last on the wire: the causal span
+  // layer closes its enclosing tuner.step after it, so the trace must
+  // end tune.finish -> span.end... (and nothing else).
+  std::size_t finish_at = lines.size();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (json::Value::parse(lines[i]).at("event").as_string() ==
+        "tune.finish") {
+      finish_at = i;
+    }
+  }
+  ASSERT_LT(finish_at, lines.size());
+  for (std::size_t i = finish_at + 1; i < lines.size(); ++i) {
+    EXPECT_EQ(json::Value::parse(lines[i]).at("event").as_string(),
+              "span.end")
+        << "event " << i << " after tune.finish";
+  }
+  const json::Value finish = json::Value::parse(lines[finish_at]);
   EXPECT_EQ(static_cast<std::size_t>(finish.at("runs_used").as_int()),
             result.runs_used);
   EXPECT_EQ(static_cast<std::size_t>(finish.at("measured").as_int()),

@@ -23,10 +23,13 @@
 #include <thread>
 
 #include "core/atomic_file.h"
+#include "core/flight_recorder.h"
 #include "core/telemetry.h"
 #include "serve/metrics.h"
 #include "serve/server.h"
 #include "tools/args.h"
+#include "tools/chrome_trace.h"
+#include "tools/trace_io.h"
 
 namespace {
 
@@ -49,6 +52,14 @@ constexpr const char* kUsage =
     "observability:\n"
     "  [--trace FILE]           stream server JSONL trace events to FILE\n"
     "  [--trace-dir DIR]        per-session traces in DIR/<id>.trace.jsonl\n"
+    "                           (fsynced per step slice; Chrome trace\n"
+    "                           exports DIR/<id>.chrome.json on drain)\n"
+    "  [--flight-recorder N]    keep the last N trace events per session\n"
+    "                           (and for the server) in an in-memory ring;\n"
+    "                           dumped by server.dump, on drain, and by the\n"
+    "                           SIGSEGV/SIGABRT/SIGBUS crash handler\n"
+    "  [--flight-dump FILE]     crash/drain dump path (default:\n"
+    "                           ceal_serve.flight.jsonl)\n"
     "  [--metrics-export FILE]  atomically write the server.metrics\n"
     "                           snapshot to FILE (JSON) and FILE.prom\n"
     "                           (Prometheus text) every interval and once\n"
@@ -160,6 +171,10 @@ int main(int argc, char** argv) {
   const bool resume = args.flag("resume");
   const auto trace_path = args.option("trace", "");
   const auto trace_dir = args.option("trace-dir", "");
+  const auto flight_capacity =
+      static_cast<std::size_t>(args.integer("flight-recorder", 0));
+  const auto flight_dump = args.option("flight-dump",
+                                       "ceal_serve.flight.jsonl");
   const auto metrics_export = args.option("metrics-export", "");
   const double metrics_interval = args.real("metrics-interval", 5.0);
   const bool metrics_summary = args.flag("metrics-summary");
@@ -179,9 +194,24 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) sink.emplace(trace_path);
   telemetry::Telemetry telemetry(sink ? &*sink : nullptr);
 
+  // Flight recorder for the server's own telemetry, plus the crash
+  // handler that dumps every registered ring (this one and each
+  // session's) on SIGSEGV/SIGABRT/SIGBUS.
+  std::optional<telemetry::FlightRecorder> server_recorder;
+  if (flight_capacity > 0) {
+    server_recorder.emplace(flight_capacity);
+    telemetry.set_flight_recorder(&*server_recorder);
+    telemetry::register_crash_recorder(&*server_recorder, "server");
+    telemetry::install_crash_dump_handler(flight_dump);
+  }
+
   serve::ServerOptions options;
   options.checkpoint_dir = checkpoint_dir;
   options.trace_dir = trace_dir;
+  // Per-slice flushes reach the disk, so a crash dump's ring tail can
+  // be matched against the on-disk trace (tier-1 crash-dump gate).
+  options.trace_fsync = !trace_dir.empty();
+  options.flight_recorder = flight_capacity;
   options.telemetry = &telemetry;
 
   try {
@@ -207,6 +237,34 @@ int main(int argc, char** argv) {
     // exporter destructor below) write the final metrics snapshot.
     core.flush_sinks();
     if (exporter) exporter->stop();
+    // Chrome trace export of every per-session trace, self-validated,
+    // written atomically beside the JSONL.
+    if (!trace_dir.empty()) {
+      for (const std::string& id : core.session_ids()) {
+        const std::string jsonl = trace_dir + "/" + id + ".trace.jsonl";
+        try {
+          const auto events = tools::read_trace_file(jsonl);
+          json::Value doc = tools::export_chrome_trace(events);
+          const std::size_t spans = tools::validate_chrome_trace(doc);
+          AtomicFile file(trace_dir + "/" + id + ".chrome.json");
+          file.stream() << doc.dump() << '\n';
+          file.commit();
+          std::cerr << "exported " << spans << " span(s) to " << trace_dir
+                    << "/" << id << ".chrome.json\n";
+        } catch (const std::exception& e) {
+          std::cerr << "chrome export skipped for session " << id << ": "
+                    << e.what() << "\n";
+        }
+      }
+    }
+    // Drain-time flight-recorder dump — same shape as a crash dump, but
+    // through AtomicFile since we are not in a signal handler.
+    if (flight_capacity > 0) {
+      AtomicFile file(flight_dump);
+      file.stream() << telemetry::dump_registered_recorders();
+      file.commit();
+      std::cerr << "flight recorder dumped to " << flight_dump << "\n";
+    }
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return 2;

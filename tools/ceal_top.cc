@@ -222,16 +222,20 @@ void print_dashboard(const Value& metrics, bool clear_screen,
   }
 
   if (const Value* sessions = metrics.find("sessions")) {
-    ceal::Table table({"id", "state", "algo", "wf", "steps", "used",
-                       "left", "best", "model", "lag"});
+    ceal::Table table({"id", "state", "algo", "wf", "steps", "age", "used",
+                       "left", "best", "model", "lag", "rec", "drop"});
     for (std::size_t i = 0; i < sessions->size(); ++i) {
       const Value& s = sessions->at(i);
       table.add_row({field_text(s, "id"), field_text(s, "state"),
                      field_text(s, "algorithm"), field_text(s, "workflow"),
-                     field_text(s, "steps"), field_text(s, "budget_used"),
+                     field_text(s, "steps"),
+                     field_text(s, "session_age_steps"),
+                     field_text(s, "budget_used"),
                      field_text(s, "budget_remaining"),
                      field_text(s, "best_value"), field_text(s, "model"),
-                     field_text(s, "checkpoint_replay_pending")});
+                     field_text(s, "checkpoint_replay_pending"),
+                     field_text(s, "recorder_events"),
+                     field_text(s, "recorder_dropped")});
     }
     os << "sessions (" << sessions->size() << "):\n" << table << "\n";
   }

@@ -3,20 +3,31 @@
 //   ceal_trace --input trace.jsonl             per-session report
 //   ceal_trace --input trace.jsonl --csv       tables as CSV
 //   ceal_trace --input a.jsonl --check-determinism b.jsonl
+//   ceal_trace --input trace.jsonl --chrome out.json [--strip-ts]
+//   ceal_trace --check-chrome out.json
 //
 // The determinism check parses both traces, strips every `timing`
 // sub-object (the only place wall-clock is allowed, see
 // docs/OBSERVABILITY.md), re-serialises, and compares event by event;
 // any divergence exits 1. Two runs of the same seeded session must pass.
+//
+// --chrome converts the trace's causal span events into the Chrome
+// trace-event format (chrome://tracing, Perfetto) and self-validates
+// the result before reporting; --strip-ts replaces wall-clock
+// timestamps with trace positions so exports of same-seed runs are
+// byte-identical. --check-chrome re-validates an existing export.
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/json.h"
 #include "core/table.h"
 #include "tools/args.h"
+#include "tools/chrome_trace.h"
 #include "tools/trace_io.h"
 
 namespace {
@@ -25,11 +36,16 @@ using ceal::Table;
 using ceal::json::Value;
 
 constexpr const char* kUsage =
-    "--input FILE [--csv | --check-determinism FILE2]\n"
+    "--input FILE [--csv | --check-determinism FILE2 | --chrome OUT]\n"
     "  --input FILE              JSONL trace from `ceal_tune --trace`\n"
     "  [--csv]                   emit report tables as CSV\n"
     "  [--check-determinism F2]  compare two traces modulo `timing`;\n"
-    "                            exits 1 when they diverge";
+    "                            exits 1 when they diverge\n"
+    "  [--chrome OUT]            export causal spans as Chrome trace JSON\n"
+    "  [--strip-ts]              deterministic ts (trace position) in the\n"
+    "                            Chrome export, for byte comparison\n"
+    "  [--check-chrome FILE]     validate an existing Chrome export\n"
+    "                            (standalone; --input not needed)";
 
 /// Strict shared reader (tools/trace_io.h): malformed lines and empty
 /// traces print one line and exit 2.
@@ -72,6 +88,64 @@ int check_determinism(const std::string& a_path, const std::string& b_path) {
   std::cout << "traces match: " << n
             << " events identical after stripping timing\n";
   return 0;
+}
+
+/// Exports the trace's span events as Chrome trace JSON, then runs the
+/// strict validator over the document just produced — an export that
+/// fails its own validation is a bug, not a report.
+int export_chrome(const std::string& input, const std::string& out_path,
+                  bool strip_ts) {
+  const auto events = read_trace(input);
+  Value doc;
+  std::size_t pairs = 0;
+  try {
+    doc = ceal::tools::export_chrome_trace(events, strip_ts);
+    pairs = ceal::tools::validate_chrome_trace(doc);
+  } catch (const ceal::tools::ChromeTraceError& e) {
+    std::cerr << "ceal_trace: " << input << ": " << e.what() << "\n";
+    return 2;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "ceal_trace: cannot open '" << out_path << "' for writing\n";
+    return 2;
+  }
+  doc.write(out);
+  out << "\n";
+  if (!out.flush()) {
+    std::cerr << "ceal_trace: write to '" << out_path << "' failed\n";
+    return 2;
+  }
+  std::cout << out_path << ": " << pairs << " spans ("
+            << doc.at("traceEvents").size() << " trace events"
+            << (strip_ts ? ", ts stripped" : "") << ")\n";
+  return 0;
+}
+
+/// Validates an existing Chrome export; exits 1 on the first violation.
+int check_chrome(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "ceal_trace: cannot open '" << path << "'\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Value doc;
+  try {
+    doc = Value::parse(buffer.str());
+  } catch (const std::exception& e) {
+    std::cout << path << ": invalid JSON: " << e.what() << "\n";
+    return 1;
+  }
+  try {
+    const std::size_t pairs = ceal::tools::validate_chrome_trace(doc);
+    std::cout << path << ": ok (" << pairs << " spans)\n";
+    return 0;
+  } catch (const ceal::tools::ChromeTraceError& e) {
+    std::cout << path << ": " << e.what() << "\n";
+    return 1;
+  }
 }
 
 // --- Field helpers (schema is open; absent fields degrade to blanks). ---
@@ -258,12 +332,20 @@ void report_session(std::size_t index, const Session& session, bool csv) {
 
 int main(int argc, char** argv) {
   ceal::tools::Args args(argc, argv, kUsage);
+  const auto chrome_in = args.option("check-chrome", "");
+  if (!chrome_in.empty()) {
+    args.finish();
+    return check_chrome(chrome_in);
+  }
   const auto input = args.required("input");
   const auto other = args.option("check-determinism", "");
+  const auto chrome_out = args.option("chrome", "");
+  const bool strip_ts = args.flag("strip-ts");
   const bool csv = args.flag("csv");
   args.finish();
 
   if (!other.empty()) return check_determinism(input, other);
+  if (!chrome_out.empty()) return export_chrome(input, chrome_out, strip_ts);
 
   const auto events = read_trace(input);
   std::cout << (csv ? "# " : "") << input << ": " << events.size()

@@ -17,6 +17,7 @@
 
 #include "core/atomic_file.h"
 #include "core/error.h"
+#include "core/flight_recorder.h"
 #include "core/journal.h"
 #include "core/table.h"
 #include "core/telemetry.h"
@@ -60,6 +61,10 @@ constexpr const char* kUsage =
     "\n"
     "observability:\n"
     "  [--trace FILE]           stream JSONL trace events to FILE\n"
+    "  [--flight-recorder N]    keep the last N trace events in memory and\n"
+    "                           dump them on SIGSEGV/SIGABRT/SIGBUS\n"
+    "  [--flight-dump FILE]     crash dump path (default:\n"
+    "                           ceal_tune.flight.jsonl)\n"
     "  [--metrics-summary]      print the telemetry counter/span table\n"
     "  [--quiet]                suppress the session report\n"
     "  [--verbose]              echo trace events to stderr\n"
@@ -116,6 +121,10 @@ int main(int argc, char** argv) {
   const bool resume = args.flag("resume");
   const auto save_result = args.option("save-result", "");
   const auto trace_path = args.option("trace", "");
+  const auto flight_capacity =
+      static_cast<std::size_t>(args.integer("flight-recorder", 0));
+  const auto flight_dump = args.option("flight-dump",
+                                       "ceal_tune.flight.jsonl");
   const bool metrics_summary = args.flag("metrics-summary");
   const bool quiet = args.flag("quiet");
   const bool verbose = args.flag("verbose");
@@ -203,8 +212,18 @@ int main(int argc, char** argv) {
     sink = &*multi_sink;
   }
   std::optional<telemetry::Telemetry> telemetry_store;
-  if (sink != nullptr || metrics_summary) {
+  std::optional<telemetry::FlightRecorder> flight_recorder;
+  if (sink != nullptr || metrics_summary || flight_capacity > 0) {
     telemetry_store.emplace(sink);
+    // Causal span ids derive from the session seed: two runs with the
+    // same seed produce byte-identical traces once timing is stripped.
+    telemetry_store->seed_trace(seed);
+    if (flight_capacity > 0) {
+      flight_recorder.emplace(flight_capacity);
+      telemetry_store->set_flight_recorder(&*flight_recorder);
+      telemetry::register_crash_recorder(&*flight_recorder, "session");
+      telemetry::install_crash_dump_handler(flight_dump);
+    }
     problem.telemetry = &*telemetry_store;
   }
   const auto finish_telemetry = [&] {

@@ -1,0 +1,275 @@
+// Chrome trace-event export of causal span traces, plus a strict
+// validator for the produced documents.
+//
+// `export_chrome_trace` turns the `span.begin`/`span.end` events of a
+// JSONL trace (see docs/OBSERVABILITY.md, "Causal spans") into the
+// Chrome trace-event JSON format that chrome://tracing and Perfetto
+// load directly: one process per trace_id, one thread per strand, `B`
+// and `E` duration events carrying span ids in `args`.
+//
+// Determinism: with `strip_ts` set, the `ts` field is the event's
+// position in the trace instead of wall-clock microseconds, so two
+// exports of byte-identical traces (timing stripped) are byte-identical
+// JSON — the property the tier-1 Chrome-export gate diffs across
+// thread counts. Without `strip_ts`, `ts` comes from `timing.ts_s`,
+// clamped monotone per thread lane (Chrome rejects time travel).
+//
+// `validate_chrome_trace` holds exported documents to the rules the
+// viewers rely on: every event has name/ph/pid/tid, `B`/`E` carry a
+// numeric non-decreasing `ts` per (pid, tid), begin/end pairs nest LIFO
+// with matching names and span ids, span ids are unique, a nested
+// span's parent_span_id is the enclosing span, and every stack is
+// empty at the end. Violations raise ChromeTraceError with a
+// "chrome:event N:" prefix, mirroring validate_prometheus.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/json.h"
+
+namespace ceal::tools {
+
+/// Raised on any malformed Chrome trace document; what() is one
+/// printable "chrome:event N: why" line.
+class ChromeTraceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace chrome_detail {
+
+inline const json::Value* find_string(const json::Value& event,
+                                      std::string_view key) {
+  const json::Value* v = event.find(key);
+  return (v != nullptr && v->kind() == json::Value::Kind::kString) ? v
+                                                                   : nullptr;
+}
+
+inline const json::Value* find_number(const json::Value& event,
+                                      std::string_view key) {
+  const json::Value* v = event.find(key);
+  return (v != nullptr && v->kind() == json::Value::Kind::kNumber) ? v
+                                                                   : nullptr;
+}
+
+}  // namespace chrome_detail
+
+/// Converts the span events of a JSONL trace into a Chrome trace-event
+/// document {"traceEvents": [...], "displayTimeUnit": "ms"}. Non-span
+/// events are ignored. Each distinct trace_id becomes a process (pid in
+/// first-seen order, named by a process_name metadata event); each
+/// strand becomes a thread within it (tid = strand + 1). Span events
+/// missing required fields raise ChromeTraceError against their
+/// 1-based position in `events`.
+inline json::Value export_chrome_trace(const std::vector<json::Value>& events,
+                                       bool strip_ts = false) {
+  using chrome_detail::find_number;
+  using chrome_detail::find_string;
+  json::Value trace_events = json::Value::array();
+  // pid per trace_id, first-seen order; named lanes get one metadata
+  // event each, emitted inline at first sight (deterministic given the
+  // deterministic event order of the input trace).
+  std::map<std::string, std::uint64_t> pids;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> named_threads;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, double> last_ts;
+  std::uint64_t sequence = 0;  // strip_ts lane: position in the trace
+
+  const auto metadata = [&](const char* what, std::uint64_t pid,
+                            std::uint64_t tid, const std::string& name) {
+    json::Value m = json::Value::object();
+    m.set("name", json::Value::string(what));
+    m.set("ph", json::Value::string("M"));
+    m.set("pid", json::Value::number(pid));
+    m.set("tid", json::Value::number(tid));
+    json::Value args = json::Value::object();
+    args.set("name", json::Value::string(name));
+    m.set("args", std::move(args));
+    trace_events.push(std::move(m));
+  };
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const json::Value& event = events[i];
+    const json::Value* kind = find_string(event, "event");
+    if (kind == nullptr) continue;
+    const bool begin = kind->as_string() == "span.begin";
+    const bool end = kind->as_string() == "span.end";
+    if (!begin && !end) continue;
+
+    const auto bad = [&](const std::string& why) {
+      return ChromeTraceError("chrome:event " + std::to_string(i + 1) + ": " +
+                              why);
+    };
+    const json::Value* span = find_string(event, "span");
+    const json::Value* trace_id = find_string(event, "trace_id");
+    const json::Value* span_id = find_string(event, "span_id");
+    const json::Value* parent = find_string(event, "parent_span_id");
+    const json::Value* strand = find_number(event, "strand");
+    if (span == nullptr || trace_id == nullptr || span_id == nullptr ||
+        parent == nullptr || strand == nullptr) {
+      throw bad("span event missing span/trace_id/span_id/parent_span_id/"
+                "strand");
+    }
+
+    const auto [it, fresh] =
+        pids.emplace(trace_id->as_string(), pids.size() + 1);
+    const std::uint64_t pid = it->second;
+    const std::uint64_t tid =
+        static_cast<std::uint64_t>(strand->as_double()) + 1;
+    if (fresh) {
+      metadata("process_name", pid, 0, "trace " + trace_id->as_string());
+    }
+    if (named_threads.insert({pid, tid}).second) {
+      metadata("thread_name", pid, tid,
+               "strand " + std::to_string(tid - 1));
+    }
+
+    double ts;
+    if (strip_ts) {
+      ts = static_cast<double>(sequence++);
+    } else {
+      const json::Value* timing = event.find("timing");
+      const json::Value* ts_s =
+          timing != nullptr ? chrome_detail::find_number(*timing, "ts_s")
+                            : nullptr;
+      ts = ts_s != nullptr ? ts_s->as_double() * 1e6 : 0.0;
+      double& last = last_ts[{pid, tid}];
+      if (ts < last) ts = last;  // clamp: no time travel within a lane
+      last = ts;
+    }
+
+    json::Value out = json::Value::object();
+    out.set("name", json::Value::string(span->as_string()));
+    out.set("ph", json::Value::string(begin ? "B" : "E"));
+    out.set("pid", json::Value::number(pid));
+    out.set("tid", json::Value::number(tid));
+    out.set("ts", strip_ts
+                      ? json::Value::number(static_cast<std::uint64_t>(ts))
+                      : json::Value::number(ts));
+    json::Value args = json::Value::object();
+    args.set("span_id", json::Value::string(span_id->as_string()));
+    if (begin) {
+      args.set("parent_span_id", json::Value::string(parent->as_string()));
+    }
+    out.set("args", std::move(args));
+    trace_events.push(std::move(out));
+  }
+
+  json::Value doc = json::Value::object();
+  doc.set("traceEvents", std::move(trace_events));
+  doc.set("displayTimeUnit", json::Value::string("ms"));
+  return doc;
+}
+
+/// Validates a Chrome trace-event document (see file comment for the
+/// rule set) and returns the number of complete begin/end span pairs.
+/// Throws ChromeTraceError on the first violation.
+inline std::size_t validate_chrome_trace(const json::Value& doc) {
+  using chrome_detail::find_number;
+  using chrome_detail::find_string;
+  if (!doc.is_object()) {
+    throw ChromeTraceError("chrome: document is not a JSON object");
+  }
+  const json::Value* trace_events = doc.find("traceEvents");
+  if (trace_events == nullptr || !trace_events->is_array()) {
+    throw ChromeTraceError("chrome: traceEvents array missing");
+  }
+
+  struct Open {
+    std::string name;
+    std::string span_id;
+  };
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<Open>> stacks;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, double> last_ts;
+  std::set<std::string> seen_span_ids;
+  std::size_t pairs = 0;
+
+  for (std::size_t i = 0; i < trace_events->size(); ++i) {
+    const json::Value& event = trace_events->at(i);
+    const auto bad = [&](const std::string& why) {
+      return ChromeTraceError("chrome:event " + std::to_string(i + 1) + ": " +
+                              why);
+    };
+    if (!event.is_object()) throw bad("event is not a JSON object");
+    const json::Value* name = find_string(event, "name");
+    const json::Value* ph = find_string(event, "ph");
+    const json::Value* pid = find_number(event, "pid");
+    const json::Value* tid = find_number(event, "tid");
+    if (name == nullptr) throw bad("missing string 'name'");
+    if (ph == nullptr) throw bad("missing string 'ph'");
+    if (pid == nullptr) throw bad("missing numeric 'pid'");
+    if (tid == nullptr) throw bad("missing numeric 'tid'");
+    const std::string& phase = ph->as_string();
+    if (phase == "M") continue;
+    if (phase != "B" && phase != "E") {
+      throw bad("unsupported ph '" + phase + "' (expected B, E, or M)");
+    }
+
+    const json::Value* ts = find_number(event, "ts");
+    if (ts == nullptr) throw bad("missing numeric 'ts'");
+    const std::pair<std::uint64_t, std::uint64_t> lane{
+        static_cast<std::uint64_t>(pid->as_double()),
+        static_cast<std::uint64_t>(tid->as_double())};
+    const auto [ts_it, first_ts] = last_ts.emplace(lane, ts->as_double());
+    if (!first_ts) {
+      if (ts->as_double() < ts_it->second) {
+        throw bad("ts " + ts->number_lexeme() +
+                  " goes backwards within pid/tid lane");
+      }
+      ts_it->second = ts->as_double();
+    }
+
+    const json::Value* args = event.find("args");
+    const json::Value* span_id =
+        args != nullptr ? find_string(*args, "span_id") : nullptr;
+    std::vector<Open>& stack = stacks[lane];
+    if (phase == "B") {
+      if (span_id != nullptr) {
+        if (!seen_span_ids.insert(span_id->as_string()).second) {
+          throw bad("duplicate span_id " + span_id->as_string());
+        }
+        const json::Value* parent = find_string(*args, "parent_span_id");
+        if (parent != nullptr && !stack.empty() &&
+            parent->as_string() != stack.back().span_id) {
+          throw bad("parent_span_id " + parent->as_string() +
+                    " does not match enclosing span " + stack.back().span_id);
+        }
+      }
+      stack.push_back({name->as_string(),
+                       span_id != nullptr ? span_id->as_string()
+                                          : std::string()});
+    } else {
+      if (stack.empty()) {
+        throw bad("end event '" + name->as_string() + "' with no open span");
+      }
+      const Open& top = stack.back();
+      if (top.name != name->as_string()) {
+        throw bad("end event '" + name->as_string() +
+                  "' does not match open span '" + top.name + "'");
+      }
+      if (span_id != nullptr && !top.span_id.empty() &&
+          span_id->as_string() != top.span_id) {
+        throw bad("end span_id " + span_id->as_string() +
+                  " does not match begin span_id " + top.span_id);
+      }
+      stack.pop_back();
+      ++pairs;
+    }
+  }
+
+  for (const auto& [lane, stack] : stacks) {
+    if (!stack.empty()) {
+      throw ChromeTraceError(
+          "chrome: unclosed span '" + stack.back().name + "' in pid " +
+          std::to_string(lane.first) + " tid " + std::to_string(lane.second));
+    }
+  }
+  return pairs;
+}
+
+}  // namespace ceal::tools

@@ -194,6 +194,83 @@ rc=0; wait "$serve_pid" || rc=$?
   || { echo "ceal_serve did not drain cleanly on SIGTERM (rc=$rc)"; exit 1; }
 ./build/tools/ceal_top --check-prom "$metrics_dir/live.json.prom" >/dev/null
 
+echo "== tier-1: chrome trace export gate =="
+# Causal spans (docs/OBSERVABILITY.md "Causal spans & the flight
+# recorder"): a seeded two-session daemon run with --trace-dir must
+# (a) leave per-session Chrome timelines on drain that pass the strict
+# ceal_trace --check-chrome validator, (b) produce per-session trace
+# JSONL whose stripped span tree is byte-identical across --threads 1
+# and 4, and (c) produce --strip-ts Chrome exports that are
+# byte-identical across thread counts (ids and tree shape are a pure
+# function of the session seed, never of scheduling).
+chrome_dir="$trace_dir/chrome"
+chrome_script() {
+  printf '{"op":"session.create","id":"cg1","workflow":"LV","objective":"exec","budget":12,"algorithm":"CEAL","seed":11,"pool_size":200,"component_samples":80}\n'
+  printf '{"op":"session.create","id":"cg2","workflow":"HS","objective":"comp","budget":8,"algorithm":"RS","seed":13,"pool_size":150,"component_samples":60}\n'
+  printf '{"op":"session.step","id":"cg1","steps":6}\n'
+  printf '{"op":"session.step","id":"cg2","steps":4}\n'
+  printf '{"op":"session.step","id":"cg1","steps":100}\n'
+  printf '{"op":"session.step","id":"cg2","steps":100}\n'
+  printf '{"op":"server.stats"}\n'
+}
+for t in 1 4; do
+  d="$chrome_dir/t$t"
+  mkdir -p "$d"
+  chrome_script | ./build/tools/ceal_serve --threads "$t" \
+    --trace-dir "$d" > "$d/responses.txt" 2> "$d/drain.log"
+  for id in cg1 cg2; do
+    [[ -s "$d/$id.chrome.json" ]] \
+      || { echo "drain left no chrome export for $id (threads $t)"; exit 1; }
+    ./build/tools/ceal_trace --check-chrome "$d/$id.chrome.json" >/dev/null
+    ./build/tools/ceal_trace --input "$d/$id.trace.jsonl" \
+      --chrome "$d/$id.strip.json" --strip-ts >/dev/null
+  done
+done
+for id in cg1 cg2; do
+  ./build/tools/ceal_trace --input "$chrome_dir/t1/$id.trace.jsonl" \
+    --check-determinism "$chrome_dir/t4/$id.trace.jsonl"
+  diff "$chrome_dir/t1/$id.strip.json" "$chrome_dir/t4/$id.strip.json" \
+    || { echo "strip-ts chrome export differs across thread counts ($id)"; exit 1; }
+done
+
+echo "== tier-1: flight-recorder crash-dump gate =="
+# Crash forensics (docs/SERVING.md "server.dump and the crash-forensics
+# flight recorder"): a daemon with an armed flight recorder that
+# SIGSEGVs mid-step (CEAL_CRASH_SIGSEGV_AFTER raises on the Nth emit)
+# must die with 139 and leave a parseable flight dump whose ring still
+# contains the last event the per-session trace sink flushed to disk.
+crash_dir="$trace_dir/crashdump"
+mkdir -p "$crash_dir"
+crash_script() {
+  printf '{"op":"session.create","id":"fr1","workflow":"LV","objective":"exec","budget":20,"algorithm":"CEAL","seed":17,"pool_size":200,"component_samples":80}\n'
+  for _ in $(seq 12); do
+    printf '{"op":"session.step","id":"fr1","steps":1}\n'
+  done
+}
+rc=0
+crash_script | CEAL_CRASH_SIGSEGV_AFTER=80 ./build/tools/ceal_serve \
+  --trace-dir "$crash_dir" --flight-recorder 512 \
+  --flight-dump "$crash_dir/flight.jsonl" >/dev/null 2>&1 || rc=$?
+if [[ "$rc" -ne 139 ]]; then
+  echo "expected ceal_serve to die with SIGSEGV (139), got $rc"
+  exit 1
+fi
+[[ -s "$crash_dir/flight.jsonl" ]] \
+  || { echo "crash handler left no flight dump"; exit 1; }
+grep -q '"event":"flight.recorder"' "$crash_dir/flight.jsonl" \
+  || { echo "flight dump carries no recorder header"; exit 1; }
+grep -q '"label":"session:fr1"' "$crash_dir/flight.jsonl" \
+  || { echo "flight dump is missing the session ring"; exit 1; }
+# Every line of the dump must be a standalone JSON object (the trace
+# reader doubles as the parser here).
+./build/tools/ceal_trace --input "$crash_dir/flight.jsonl" >/dev/null \
+  || { echo "flight dump is not parseable JSONL"; exit 1; }
+last_flushed="$(tail -n 1 "$crash_dir/fr1.trace.jsonl")"
+[[ -n "$last_flushed" ]] \
+  || { echo "crashed session flushed no trace lines"; exit 1; }
+grep -qF -- "$last_flushed" "$crash_dir/flight.jsonl" \
+  || { echo "flight dump lost the last flushed trace event"; exit 1; }
+
 echo "== tier-1: micro benches + ceal_report regression gate =="
 # Cheap micro benches write BENCH_*.json (with the common metadata
 # header) into .ceal-bench/current alongside the fig5 trace; ceal_report
