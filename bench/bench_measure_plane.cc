@@ -1,0 +1,207 @@
+// Benchmark of the distributed measurement plane (measure/subprocess.h):
+// a SubprocessBackend dispatching batches of pool rows to real
+// ceal_worker processes, swept over worker counts, injected fault
+// rates, and straggler severities. Reports sustained dispatch
+// throughput, the hedge rate, restart counts, and per-run round-trip
+// quantiles as custom counters, which ceal_report extracts as
+// bench.<name>.runs_per_second etc.
+//
+// Wall-clock numbers here measure the *dispatcher*, not the simulated
+// workflow: a pool-row lookup is microseconds, so throughput is
+// dominated by pipe round-trips, process restarts, and deadline
+// machinery — exactly the overhead the plane promises to keep off the
+// tuning session's critical path.
+//
+// Besides the console table, the run writes machine-readable results to
+// BENCH_measure_plane.json in the working directory.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/stats.h"
+#include "measure/subprocess.h"
+#include "sim/workloads.h"
+#include "tuner/measured_pool.h"
+
+namespace {
+
+using namespace ceal;
+
+constexpr std::size_t kPoolSize = 96;
+constexpr std::uint32_t kPoolSeed = 1;
+constexpr std::size_t kRunsPerIteration = 64;
+
+const tuner::MeasuredPool& shared_pool() {
+  static const sim::Workload wl = sim::make_lv();
+  static const tuner::MeasuredPool pool =
+      tuner::measure_pool(wl.workflow, kPoolSize, kPoolSeed);
+  return pool;
+}
+
+measure::SubprocessOptions make_options(std::size_t workers) {
+  measure::SubprocessOptions options;
+  options.workers = workers;
+  options.worker_bin = CEAL_WORKER_BIN;
+  options.worker_args = {"--workflow", "LV",
+                         "--pool-size", std::to_string(kPoolSize),
+                         "--pool-seed", std::to_string(kPoolSeed)};
+  options.seed = 17;
+  return options;
+}
+
+struct PlaneRun {
+  measure::SubprocessStats stats;
+  std::vector<double> rtt_ms;
+  double wall_s = 0.0;
+};
+
+// Drives kRunsPerIteration rows through one backend instance (prefetch
+// then sequential run(), the Collector's exact calling pattern).
+PlaneRun drive(const measure::SubprocessOptions& options) {
+  measure::SubprocessBackend backend(shared_pool(), options);
+  std::vector<std::size_t> batch;
+  for (std::size_t i = 0; i < kRunsPerIteration; ++i) {
+    batch.push_back(i % kPoolSize);
+  }
+  PlaneRun out;
+  const auto wall_start = std::chrono::steady_clock::now();
+  backend.prefetch(batch);
+  for (const std::size_t index : batch) {
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(backend.run(index));
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    out.rtt_ms.push_back(elapsed.count() * 1e3);
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  out.wall_s = wall.count();
+  out.stats = backend.stats();
+  return out;
+}
+
+void report(benchmark::State& state, const PlaneRun& last,
+            std::size_t total_runs, double total_wall_s) {
+  state.counters["runs_per_second"] =
+      total_wall_s > 0.0 ? static_cast<double>(total_runs) / total_wall_s
+                         : 0.0;
+  state.counters["hedge_rate"] =
+      last.stats.dispatched > 0
+          ? static_cast<double>(last.stats.hedges) /
+                static_cast<double>(last.stats.dispatched)
+          : 0.0;
+  state.counters["restarts"] = static_cast<double>(last.stats.restarts);
+  state.counters["retries"] = static_cast<double>(last.stats.retries);
+  state.counters["rtt_p50_ms"] = quantile(last.rtt_ms, 0.50);
+  state.counters["rtt_p99_ms"] = quantile(last.rtt_ms, 0.99);
+}
+
+// Scoped fault-injection hook for the spawned workers.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* key, const std::string& value) : key_(key) {
+    ::setenv(key, value.c_str(), 1);
+  }
+  ~ScopedEnv() { ::unsetenv(key_); }
+
+ private:
+  const char* key_;
+};
+
+// Clean fan-out across worker counts: the scaling axis.
+void BM_MeasurePlaneWorkers(benchmark::State& state) {
+  const std::size_t workers = static_cast<std::size_t>(state.range(0));
+  PlaneRun last;
+  std::size_t total_runs = 0;
+  double total_wall_s = 0.0;
+  for (auto _ : state) {
+    last = drive(make_options(workers));
+    total_runs += kRunsPerIteration;
+    total_wall_s += last.wall_s;
+  }
+  state.counters["workers"] = static_cast<double>(workers);
+  report(state, last, total_runs, total_wall_s);
+}
+BENCHMARK(BM_MeasurePlaneWorkers)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Fault weather: every worker crashes after serving Arg runs, forever
+// (restart + re-queue churn); Arg 0 disables injection as the control.
+void BM_MeasurePlaneCrashes(benchmark::State& state) {
+  const std::size_t crash_after = static_cast<std::size_t>(state.range(0));
+  PlaneRun last;
+  std::size_t total_runs = 0;
+  double total_wall_s = 0.0;
+  for (auto _ : state) {
+    measure::SubprocessOptions options = make_options(4);
+    options.restart_backoff.initial_s = 0.001;
+    options.restart_backoff.max_s = 0.01;
+    if (crash_after > 0) {
+      ScopedEnv crash("CEAL_WORKER_CRASH_AFTER", std::to_string(crash_after));
+      last = drive(options);
+    } else {
+      last = drive(options);
+    }
+    total_runs += kRunsPerIteration;
+    total_wall_s += last.wall_s;
+  }
+  state.counters["crash_after"] = static_cast<double>(crash_after);
+  report(state, last, total_runs, total_wall_s);
+}
+BENCHMARK(BM_MeasurePlaneCrashes)
+    ->Arg(0)
+    ->Arg(16)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Straggler severity: worker 0 hangs after Arg runs; a tight hedge
+// threshold routes its work around it (first result wins). The hedge
+// rate and p99 rtt quantify the cost of one slow/hung peer.
+void BM_MeasurePlaneStragglers(benchmark::State& state) {
+  const std::size_t hang_after = static_cast<std::size_t>(state.range(0));
+  PlaneRun last;
+  std::size_t total_runs = 0;
+  double total_wall_s = 0.0;
+  for (auto _ : state) {
+    measure::SubprocessOptions options = make_options(4);
+    options.hedge_after_s = 0.01;
+    options.hang_after_s = 0.25;
+    options.restart_backoff.initial_s = 0.001;
+    options.restart_backoff.max_s = 0.01;
+    ScopedEnv hang("CEAL_WORKER_HANG_AFTER", "0:" + std::to_string(hang_after));
+    last = drive(options);
+    total_runs += kRunsPerIteration;
+    total_wall_s += last.wall_s;
+  }
+  state.counters["hang_after"] = static_cast<double>(hang_after);
+  report(state, last, total_runs, total_wall_s);
+}
+BENCHMARK(BM_MeasurePlaneStragglers)
+    ->Arg(8)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto bench_args =
+      ceal::bench::make_bench_args(argc, argv, "BENCH_measure_plane.json");
+  benchmark::Initialize(&bench_args.argc, bench_args.argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_args.argc,
+                                             bench_args.argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!bench_args.json_path.empty()) {
+    ceal::bench::annotate_bench_json(bench_args.json_path);
+  }
+  return 0;
+}

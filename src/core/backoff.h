@@ -1,0 +1,95 @@
+// Seeded, deterministic exponential backoff with jitter — the one retry
+// schedule shared by every layer that re-attempts failed work: the
+// Collector's measurement retries (tuner/collector.cc) and the
+// subprocess measurement plane's worker restarts
+// (measure/subprocess.cc).
+//
+// The schedule is a pure function of (policy, seed, call count): delay k
+// is min(initial_s * multiplier^k, max_s) scaled by a jitter factor
+// drawn from a private ceal::Rng seeded at construction. Two Backoff
+// instances with the same policy and seed therefore produce the same
+// delay sequence — replays of a crashed session (or of a chaos test)
+// see identical waits, which is what keeps fault-injected runs exactly
+// reproducible. The jitter still decorrelates *different* seeds (worker
+// 0 and worker 1 never stampede the same instant), which is the usual
+// reason jitter exists.
+//
+// A Backoff never sleeps itself; callers decide whether a delay is a
+// real clock wait (worker restarts) or a simulated one that is merely
+// recorded (Collector retries inside the simulator have no wall clock
+// to wait out).
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.h"
+
+namespace ceal {
+
+struct BackoffPolicy {
+  /// First delay in seconds (before jitter).
+  double initial_s = 0.05;
+  /// Growth factor per retry; must be >= 1.
+  double multiplier = 2.0;
+  /// Ceiling on the un-jittered delay.
+  double max_s = 2.0;
+  /// Jitter fraction in [0, 1]: each delay is scaled by a factor drawn
+  /// uniformly from [1 - jitter, 1 + jitter]. 0 disables jitter (and
+  /// the rng is never consumed, so jitter-free schedules draw nothing).
+  double jitter = 0.25;
+  /// Retries allowed before exhausted() turns true. This bounds the
+  /// *schedule*; callers may additionally bound attempts themselves
+  /// (the Collector's max_attempts does).
+  std::size_t max_retries = 5;
+};
+
+/// One retry schedule. Not thread-safe; give each retrying unit
+/// (measurement request, worker slot) its own instance.
+class Backoff {
+ public:
+  /// `seed` roots the jitter stream; same (policy, seed) => same delays.
+  Backoff(const BackoffPolicy& policy, std::uint64_t seed)
+      : policy_(policy), rng_(Rng(seed).split(0xB0FFULL)) {}
+
+  /// True once max_retries delays have been handed out.
+  bool exhausted() const { return retries_ >= policy_.max_retries; }
+
+  /// Retries scheduled so far.
+  std::size_t retries() const { return retries_; }
+
+  /// Delays handed out so far, summed (seconds).
+  double total_delay_s() const { return total_delay_s_; }
+
+  /// Next delay in seconds: exponential, capped, jittered. Advances the
+  /// schedule. Callers should check exhausted() first; calling past
+  /// exhaustion keeps returning capped delays (the schedule saturates,
+  /// it does not wrap).
+  double next_delay_s() {
+    double delay = policy_.initial_s;
+    for (std::size_t k = 0; k < retries_ && delay < policy_.max_s; ++k) {
+      delay *= policy_.multiplier;
+    }
+    if (delay > policy_.max_s) delay = policy_.max_s;
+    if (policy_.jitter > 0.0 && delay > 0.0) {
+      delay *= rng_.uniform(1.0 - policy_.jitter, 1.0 + policy_.jitter);
+    }
+    ++retries_;
+    total_delay_s_ += delay;
+    return delay;
+  }
+
+  /// Forgets past retries (a success resets the schedule); the jitter
+  /// stream keeps advancing, so reset does not replay old delays.
+  void reset() {
+    retries_ = 0;
+    total_delay_s_ = 0.0;
+  }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  std::size_t retries_ = 0;
+  double total_delay_s_ = 0.0;
+};
+
+}  // namespace ceal

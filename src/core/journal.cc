@@ -111,7 +111,8 @@ std::string frame_journal_record(std::uint64_t seq, std::string_view payload) {
 }
 
 JournalReadResult read_journal_text(std::string_view data,
-                                    const std::string& name) {
+                                    const std::string& name,
+                                    std::uint64_t first_seq) {
   JournalReadResult result;
   std::size_t off = 0;
   while (off < data.size()) {
@@ -122,7 +123,7 @@ JournalReadResult read_journal_text(std::string_view data,
       result.torn_tail = true;
       break;
     }
-    const std::uint64_t rec = result.records.size();
+    const std::uint64_t rec = first_seq + result.records.size();
     const std::string_view line = data.substr(off, nl - off);
     const char* p = line.data();
     const char* end = line.data() + line.size();

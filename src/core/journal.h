@@ -60,8 +60,12 @@ struct JournalReadResult {
 
 /// Parses journal bytes; `name` labels errors. An empty input is a valid
 /// empty journal — whether that is acceptable is the caller's contract.
+/// `first_seq` is the sequence number the first record must carry (0 for
+/// a whole file; a stream consumer that has already validated N records
+/// passes N to keep the in-order check across reads).
 JournalReadResult read_journal_text(std::string_view data,
-                                    const std::string& name);
+                                    const std::string& name,
+                                    std::uint64_t first_seq = 0);
 
 /// Reads and parses the journal at `path`. Throws JournalError when the
 /// file cannot be opened or any complete record is corrupt.

@@ -1,0 +1,75 @@
+// Pluggable measurement execution backends for the Collector (§2.2).
+//
+// A backend supplies the *raw run data* of one workflow execution — the
+// measured wall-clock seconds and core-hours of the pool row — and
+// nothing else. Fault injection, retries, budget charging, checkpoint
+// journaling, and every rng draw stay inside the Collector, in request
+// order. That split is the determinism contract of the measurement
+// plane: because a backend only answers "what did the run at pool row i
+// measure" (a value fixed by the pool seed), any dispatch strategy —
+// in-process, a subprocess fan-out with hedged stragglers, a crashed
+// worker retried on another process — produces bitwise-identical tuning
+// sessions. The SubprocessBackend (measure/subprocess.h) leans on this
+// hard: worker completion order, hedging, restarts, and even full
+// degradation back to in-process execution are invisible in the results.
+//
+// prefetch() is a pure scheduling hint: the Collector forwards the
+// planned batch so a parallel backend can dispatch runs ahead of the
+// strictly sequential run() calls. Backends must tolerate run() for an
+// index that was never prefetched and prefetch() of an index that is
+// never run (a fault top-up can reshape the batch).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "tuner/measured_pool.h"
+
+namespace ceal::measure {
+
+/// The raw data of one workflow run at a pool configuration, before the
+/// Collector applies faults or derives the objective value.
+struct RawRun {
+  double exec_s = 0.0;
+  double comp_ch = 0.0;
+};
+
+class MeasureBackend {
+ public:
+  virtual ~MeasureBackend() = default;
+
+  /// Stable identifier ("inproc", "subprocess") for telemetry and CLIs.
+  virtual const char* name() const = 0;
+
+  /// Scheduling hint: these pool indices are about to be run() in order.
+  /// Must not affect any returned value.
+  virtual void prefetch(std::span<const std::size_t> indices) {
+    (void)indices;
+  }
+
+  /// Blocks until the run at `pool_index` is available and returns its
+  /// raw data. Must return the pool row bitwise — this is what keeps
+  /// every backend's sessions identical.
+  virtual RawRun run(std::size_t pool_index) = 0;
+};
+
+/// Today's exact behaviour: the pool row, read in the caller's thread.
+/// A Collector with a null backend does the same reads inline, so this
+/// class exists for symmetry (CLIs construct it when asked for
+/// `--measure-backend inproc` explicitly) and as the degradation target
+/// of the subprocess plane.
+class InProcessBackend final : public MeasureBackend {
+ public:
+  explicit InProcessBackend(const tuner::MeasuredPool& pool) : pool_(&pool) {}
+
+  const char* name() const override { return "inproc"; }
+
+  RawRun run(std::size_t pool_index) override {
+    return RawRun{pool_->exec_s[pool_index], pool_->comp_ch[pool_index]};
+  }
+
+ private:
+  const tuner::MeasuredPool* pool_;
+};
+
+}  // namespace ceal::measure

@@ -1,0 +1,232 @@
+#include "measure/wire.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/error.h"
+#include "tuner/measured_pool.h"
+
+namespace ceal::measure {
+
+namespace {
+
+// Hex encodings shared with the checkpoint journal: doubles as C99 "%a"
+// strings (exact bitwise round-trip through text), 64-bit words as
+// "0x..." strings (JSON numbers only carry 53 exact bits).
+
+json::Value hex_double(double v) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%a", v);
+  return json::Value::string(buffer);
+}
+
+json::Value hex_u64(std::uint64_t v) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "0x%llx",
+                static_cast<unsigned long long>(v));
+  return json::Value::string(buffer);
+}
+
+const json::Value& member(const json::Value& payload, const char* key) {
+  if (!payload.is_object()) {
+    throw WireError("wire message is not a JSON object");
+  }
+  const json::Value* v = payload.find(key);
+  if (v == nullptr) {
+    throw WireError(std::string("wire message is missing '") + key + "'");
+  }
+  return *v;
+}
+
+double parse_hex_double(const json::Value& payload, const char* key) {
+  const json::Value& v = member(payload, key);
+  try {
+    const std::string& text = v.as_string();
+    char* end = nullptr;
+    const double parsed = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0') {
+      throw WireError(std::string("malformed hex float in wire '") + key +
+                      "': '" + text + "'");
+    }
+    return parsed;
+  } catch (const WireError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw WireError(std::string("wire '") + key + "' is not a string");
+  }
+}
+
+std::uint64_t parse_hex_u64_field(const json::Value& payload,
+                                  const char* key) {
+  const json::Value& v = member(payload, key);
+  std::string text;
+  try {
+    text = v.as_string();
+  } catch (const std::exception&) {
+    throw WireError(std::string("wire '") + key + "' is not a string");
+  }
+  if (text.size() < 3 || text[0] != '0' || text[1] != 'x') {
+    throw WireError(std::string("malformed hex word in wire '") + key +
+                    "': '" + text + "'");
+  }
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 16);
+  if (*end != '\0') {
+    throw WireError(std::string("malformed hex word in wire '") + key +
+                    "': '" + text + "'");
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+std::uint64_t parse_u64(const json::Value& payload, const char* key) {
+  const json::Value& v = member(payload, key);
+  try {
+    const std::int64_t n = v.as_int();
+    if (n < 0) {
+      throw WireError(std::string("wire '") + key + "' is negative");
+    }
+    return static_cast<std::uint64_t>(n);
+  } catch (const WireError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw WireError(std::string("wire '") + key + "' is not an integer");
+  }
+}
+
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (word >> (8 * i)) & 0xff;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a_double(std::uint64_t hash, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  return fnv1a(hash, bits);
+}
+
+}  // namespace
+
+std::uint64_t config_fingerprint(const tuner::MeasuredPool& pool,
+                                 std::size_t index) {
+  CEAL_EXPECT(index < pool.size());
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const int value : pool.configs[index]) {
+    hash = fnv1a(hash, static_cast<std::uint64_t>(
+                           static_cast<std::int64_t>(value)));
+  }
+  hash = fnv1a_double(hash, pool.exec_s[index]);
+  hash = fnv1a_double(hash, pool.comp_ch[index]);
+  return hash;
+}
+
+std::optional<json::Value> FrameReader::next() {
+  const std::size_t nl = buffer_.find('\n');
+  if (nl == std::string::npos) return std::nullopt;
+  // One complete line: validate it with the journal reader end-to-end
+  // (magic, this connection's next sequence number, length, CRC, JSON).
+  const std::string_view line(buffer_.data(), nl + 1);
+  JournalReadResult parsed = read_journal_text(line, name_, next_seq_);
+  // A complete line either validates to exactly one record or throws.
+  CEAL_EXPECT(parsed.records.size() == 1 && !parsed.torn_tail);
+  json::Value payload = std::move(parsed.records.front());
+  buffer_.erase(0, nl + 1);
+  ++next_seq_;
+  return payload;
+}
+
+json::Value hello_message(std::size_t worker, std::int64_t pid,
+                          std::size_t pool_n, std::uint64_t pool_fp) {
+  json::Value msg = json::Value::object();
+  msg.set("op", json::Value::string("hello"));
+  msg.set("worker", json::Value::number(static_cast<std::uint64_t>(worker)));
+  msg.set("pid", json::Value::number(static_cast<std::int64_t>(pid)));
+  msg.set("pool_n", json::Value::number(static_cast<std::uint64_t>(pool_n)));
+  msg.set("pool_fp", hex_u64(pool_fp));
+  return msg;
+}
+
+json::Value run_message(std::uint64_t id, std::size_t index) {
+  json::Value msg = json::Value::object();
+  msg.set("op", json::Value::string("run"));
+  msg.set("id", json::Value::number(id));
+  msg.set("index", json::Value::number(static_cast<std::uint64_t>(index)));
+  return msg;
+}
+
+json::Value result_message(std::uint64_t id, std::size_t index,
+                           std::uint64_t config_fp, double exec_s,
+                           double comp_ch) {
+  json::Value msg = json::Value::object();
+  msg.set("op", json::Value::string("result"));
+  msg.set("id", json::Value::number(id));
+  msg.set("index", json::Value::number(static_cast<std::uint64_t>(index)));
+  msg.set("fp", hex_u64(config_fp));
+  msg.set("exec_s", hex_double(exec_s));
+  msg.set("comp_ch", hex_double(comp_ch));
+  return msg;
+}
+
+json::Value ping_message(std::uint64_t id) {
+  json::Value msg = json::Value::object();
+  msg.set("op", json::Value::string("ping"));
+  msg.set("id", json::Value::number(id));
+  return msg;
+}
+
+json::Value pong_message(std::uint64_t id) {
+  json::Value msg = json::Value::object();
+  msg.set("op", json::Value::string("pong"));
+  msg.set("id", json::Value::number(id));
+  return msg;
+}
+
+json::Value shutdown_message() {
+  json::Value msg = json::Value::object();
+  msg.set("op", json::Value::string("shutdown"));
+  return msg;
+}
+
+const std::string& message_op(const json::Value& payload) {
+  const json::Value& op = member(payload, "op");
+  try {
+    return op.as_string();
+  } catch (const std::exception&) {
+    throw WireError("wire 'op' is not a string");
+  }
+}
+
+HelloMsg parse_hello(const json::Value& payload) {
+  HelloMsg msg;
+  msg.worker = static_cast<std::size_t>(parse_u64(payload, "worker"));
+  msg.pid = static_cast<std::int64_t>(parse_u64(payload, "pid"));
+  msg.pool_n = static_cast<std::size_t>(parse_u64(payload, "pool_n"));
+  msg.pool_fp = parse_hex_u64_field(payload, "pool_fp");
+  return msg;
+}
+
+RunMsg parse_run(const json::Value& payload) {
+  RunMsg msg;
+  msg.id = parse_u64(payload, "id");
+  msg.index = static_cast<std::size_t>(parse_u64(payload, "index"));
+  return msg;
+}
+
+ResultMsg parse_result(const json::Value& payload) {
+  ResultMsg msg;
+  msg.id = parse_u64(payload, "id");
+  msg.index = static_cast<std::size_t>(parse_u64(payload, "index"));
+  msg.config_fp = parse_hex_u64_field(payload, "fp");
+  msg.exec_s = parse_hex_double(payload, "exec_s");
+  msg.comp_ch = parse_hex_double(payload, "comp_ch");
+  return msg;
+}
+
+std::uint64_t parse_ping_id(const json::Value& payload) {
+  return parse_u64(payload, "id");
+}
+
+}  // namespace ceal::measure

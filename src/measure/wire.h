@@ -1,0 +1,150 @@
+// Wire protocol between the SubprocessBackend dispatcher and ceal_worker
+// processes: length-prefixed, CRC-framed JSON records over pipes.
+//
+// The framing *is* the journal record format (core/journal.h) — each
+// direction of a worker connection is an append-only record stream
+//
+//   J1 <seq> <len> <crc32> <payload>\n
+//
+// with its own 0-based sequence numbering, so the wire inherits the
+// journal reader's validation wholesale: magic, in-order sequence, exact
+// declared length, CRC, well-formed JSON object. A worker that emits a
+// torn, reordered, or bit-flipped frame is detected at the first bad
+// byte and treated as a worker fault (kill + restart), never as data.
+//
+// Payloads are compact JSON objects with an "op" member:
+//
+//   hello    worker -> dispatcher  {"op":"hello","worker":I,"pid":P,
+//                                   "pool_n":N,"pool_fp":"0x..."}
+//   run      dispatcher -> worker  {"op":"run","id":R,"index":I}
+//   result   worker -> dispatcher  {"op":"result","id":R,"index":I,
+//                                   "fp":"0x...","exec_s":"<hex float>",
+//                                   "comp_ch":"<hex float>"}
+//   ping     dispatcher -> worker  {"op":"ping","id":R}
+//   pong     worker -> dispatcher  {"op":"pong","id":R}
+//   shutdown dispatcher -> worker  {"op":"shutdown"}
+//
+// Doubles travel as C99 "%a" hex-float strings (bitwise-exact text
+// round-trip, the journal's own policy); 64-bit fingerprints as "0x..."
+// hex words. The hello's pool_fp is tuner::pool_fingerprint over the
+// worker's independently rebuilt pool — a worker that reconstructed a
+// different pool (version or seed skew) is rejected before it serves a
+// single run. Each result carries config_fingerprint of its row, the
+// hedging dedup/consistency check.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "core/journal.h"
+#include "core/json.h"
+
+namespace ceal::tuner {
+struct MeasuredPool;
+}
+
+namespace ceal::measure {
+
+/// Raised on a syntactically valid frame whose payload is not a valid
+/// protocol message; what() is one printable line. (Frame-level damage
+/// raises JournalError from the framing layer instead.) Both are worker
+/// faults to the dispatcher.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Order-sensitive FNV-1a over one pool row: the configuration's
+/// parameter values and the measured exec_s / comp_ch bit patterns.
+/// Carried in every result frame so a hedged duplicate (or a confused
+/// worker) is matched against the exact row the dispatcher asked for.
+std::uint64_t config_fingerprint(const tuner::MeasuredPool& pool,
+                                 std::size_t index);
+
+/// Frames outbound payloads with this connection direction's sequence
+/// numbering.
+class FrameWriter {
+ public:
+  /// The exact bytes to write for `payload` (trailing newline included).
+  std::string frame(const json::Value& payload) {
+    return frame_journal_record(next_seq_++, payload.dump());
+  }
+
+  std::uint64_t frames() const { return next_seq_; }
+
+ private:
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Incremental frame parser over a byte stream. Feed bytes as they
+/// arrive; next() yields each complete validated payload in order.
+/// `name` labels errors ("worker 3 stdout").
+class FrameReader {
+ public:
+  explicit FrameReader(std::string name) : name_(std::move(name)) {}
+
+  void feed(const char* data, std::size_t n) { buffer_.append(data, n); }
+
+  /// The next complete payload, or nullopt when the buffer holds only a
+  /// partial frame. Throws JournalError on any corrupt complete frame
+  /// (including an out-of-order sequence number).
+  std::optional<json::Value> next();
+
+  /// Frames validated so far.
+  std::uint64_t frames() const { return next_seq_; }
+
+  /// Bytes buffered but not yet consumed by a complete frame.
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::string name_;
+  std::string buffer_;
+  std::uint64_t next_seq_ = 0;
+};
+
+// --- Message builders (compact JSON payloads, deterministic bytes). ---
+
+json::Value hello_message(std::size_t worker, std::int64_t pid,
+                          std::size_t pool_n, std::uint64_t pool_fp);
+json::Value run_message(std::uint64_t id, std::size_t index);
+json::Value result_message(std::uint64_t id, std::size_t index,
+                           std::uint64_t config_fp, double exec_s,
+                           double comp_ch);
+json::Value ping_message(std::uint64_t id);
+json::Value pong_message(std::uint64_t id);
+json::Value shutdown_message();
+
+// --- Message parsers. All throw WireError on a missing/mistyped field. -
+
+/// The "op" member of a payload.
+const std::string& message_op(const json::Value& payload);
+
+struct HelloMsg {
+  std::size_t worker = 0;
+  std::int64_t pid = 0;
+  std::size_t pool_n = 0;
+  std::uint64_t pool_fp = 0;
+};
+HelloMsg parse_hello(const json::Value& payload);
+
+struct RunMsg {
+  std::uint64_t id = 0;
+  std::size_t index = 0;
+};
+RunMsg parse_run(const json::Value& payload);
+
+struct ResultMsg {
+  std::uint64_t id = 0;
+  std::size_t index = 0;
+  std::uint64_t config_fp = 0;
+  double exec_s = 0.0;
+  double comp_ch = 0.0;
+};
+ResultMsg parse_result(const json::Value& payload);
+
+/// The "id" member of a ping/pong.
+std::uint64_t parse_ping_id(const json::Value& payload);
+
+}  // namespace ceal::measure

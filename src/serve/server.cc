@@ -119,7 +119,7 @@ std::size_t ServerCore::resume_sessions() {
     const bool resume = file_non_empty(journal);
     auto session = std::make_shared<ServeSession>(
         id, std::move(params), journal, resume, trace_path(id),
-        options_.trace_fsync, options_.flight_recorder);
+        options_.trace_fsync, options_.flight_recorder, options_.measure);
     {
       std::lock_guard lock(mutex_);
       sessions_.emplace(id, std::move(session));
@@ -242,7 +242,7 @@ json::Value ServerCore::create_session(const Request& request) {
     // overlap. Same-id races are excluded by the caller's strand.
     auto session = std::make_shared<ServeSession>(
         id, request.create, journal, /*resume=*/false, trace_path(id),
-        options_.trace_fsync, options_.flight_recorder);
+        options_.trace_fsync, options_.flight_recorder, options_.measure);
     {
       std::lock_guard lock(mutex_);
       sessions_.emplace(id, session);

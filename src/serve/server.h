@@ -53,6 +53,12 @@ struct ServerOptions {
   /// Server metrics (serve.* counters, serve.sessions_active gauge,
   /// serve.step span). Not owned; may be null.
   telemetry::Telemetry* telemetry = nullptr;
+  /// Measurement-plane selection applied to every session this daemon
+  /// creates or resumes (session.h). Daemon configuration, not session
+  /// identity: results and journals are byte-identical under any
+  /// backend, so a journal written under one backend resumes under
+  /// another.
+  MeasureConfig measure;
 };
 
 class ServerCore {

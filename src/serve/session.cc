@@ -1,5 +1,6 @@
 #include "serve/session.h"
 
+#include "measure/subprocess.h"
 #include "tuner/active_learning.h"
 #include "tuner/alph.h"
 #include "tuner/bayes_opt.h"
@@ -64,7 +65,8 @@ const char* session_state_name(SessionState state) {
 ServeSession::ServeSession(std::string id, CreateParams params,
                            const std::string& journal_path, bool resume,
                            const std::string& trace_path, bool trace_fsync,
-                           std::size_t flight_recorder_capacity)
+                           std::size_t flight_recorder_capacity,
+                           const MeasureConfig& measure)
     : id_(std::move(id)),
       params_(std::move(params)),
       workload_(workload_by_name(params_.workflow)),
@@ -91,6 +93,30 @@ ServeSession::ServeSession(std::string id, CreateParams params,
       telemetry::register_crash_recorder(recorder_.get(), "session:" + id_);
     }
   }
+  // Measurement backend (daemon-wide MeasureConfig; cannot change any
+  // result or journal byte — see session.h). Built before the stepper
+  // so problem_.measure is set when the first batch runs; resume works
+  // unchanged because replayed measurements never reach a backend.
+  if (measure.backend == "subprocess") {
+    ceal::measure::SubprocessOptions mopts;
+    mopts.workers = std::max<std::size_t>(1, measure.workers);
+    mopts.worker_bin = measure.worker_bin;
+    mopts.hedge_after_s = measure.hedge_after_s;
+    mopts.hang_after_s = measure.hang_after_s;
+    mopts.degrade_after = std::max<std::size_t>(1, measure.degrade_after);
+    mopts.seed = params_.seed;
+    mopts.worker_args = {"--workflow", params_.workflow,
+                         "--pool-size", std::to_string(params_.pool_size),
+                         "--pool-seed", std::to_string(params_.pool_seed)};
+    measure_backend_ = std::make_unique<ceal::measure::SubprocessBackend>(
+        pool_, std::move(mopts), telemetry_.get());
+  } else if (measure.backend == "inproc") {
+    measure_backend_ = std::make_unique<ceal::measure::InProcessBackend>(
+        pool_);
+  } else if (!measure.backend.empty()) {
+    throw ProtocolError("measure: unknown backend '" + measure.backend +
+                        "' (expected inproc|subprocess)");
+  }
   if (!journal_path.empty()) {
     checkpoint_ = std::make_unique<tuner::CheckpointSession>(
         journal_path, resume ? tuner::CheckpointSession::Mode::kResume
@@ -109,6 +135,7 @@ ServeSession::ServeSession(std::string id, CreateParams params,
   problem_.measurement.max_attempts = params_.max_attempts;
   problem_.measurement.faults.validate();
   problem_.telemetry = telemetry_.get();
+  problem_.measure = measure_backend_.get();
   // Writes (or, on resume, validates) the session header immediately;
   // journaled records then replay as the session is stepped.
   stepper_ = algorithm_->make_stepper(problem_, params_.budget, rng_,

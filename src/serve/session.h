@@ -27,12 +27,30 @@
 #include "core/flight_recorder.h"
 #include "core/rng.h"
 #include "core/telemetry.h"
+#include "measure/backend.h"
 #include "serve/protocol.h"
 #include "tuner/autotuner.h"
 #include "tuner/checkpoint.h"
 #include "tuner/stepper.h"
 
 namespace ceal::serve {
+
+/// Measurement-plane selection for served sessions (the daemon-wide
+/// mirror of ceal_tune's --measure-backend family; docs/RELIABILITY.md
+/// "Distributed measurement plane"). Backends are dispatch strategies,
+/// never data sources, so the choice cannot change any session's result
+/// or journal bytes — it is daemon configuration, not session identity,
+/// and deliberately stays out of CreateParams and the checkpoint header.
+struct MeasureConfig {
+  /// "" (inline pool reads, the default), "inproc", or "subprocess".
+  std::string backend;
+  std::size_t workers = 4;
+  /// Empty resolves to the sibling ceal_worker binary.
+  std::string worker_bin;
+  double hedge_after_s = 0.25;
+  double hang_after_s = 10.0;
+  std::size_t degrade_after = 3;
+};
 
 enum class SessionState {
   kRunning,    ///< stepper has work left
@@ -59,7 +77,8 @@ class ServeSession {
   ServeSession(std::string id, CreateParams params,
                const std::string& journal_path, bool resume,
                const std::string& trace_path, bool trace_fsync = false,
-               std::size_t flight_recorder_capacity = 0);
+               std::size_t flight_recorder_capacity = 0,
+               const MeasureConfig& measure = {});
 
   ServeSession(const ServeSession&) = delete;
   ServeSession& operator=(const ServeSession&) = delete;
@@ -120,6 +139,9 @@ class ServeSession {
   std::unique_ptr<telemetry::JsonlTraceSink> trace_sink_;
   std::unique_ptr<telemetry::FlightRecorder> recorder_;
   std::unique_ptr<telemetry::Telemetry> telemetry_;
+  /// Declared after pool_ and telemetry_ (both of which it borrows), so
+  /// it is destroyed — workers reaped — before either.
+  std::unique_ptr<measure::MeasureBackend> measure_backend_;
   std::unique_ptr<tuner::CheckpointSession> checkpoint_;
   std::unique_ptr<tuner::AutoTuner> algorithm_;
   tuner::TuningProblem problem_;

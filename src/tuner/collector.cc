@@ -4,8 +4,10 @@
 #include <limits>
 #include <span>
 
+#include "core/backoff.h"
 #include "core/error.h"
 #include "core/telemetry.h"
+#include "measure/backend.h"
 #include "tuner/checkpoint.h"
 
 namespace ceal::tuner {
@@ -14,6 +16,12 @@ namespace {
 
 /// Stream tag for the fault-injection generator split off the tuner rng.
 constexpr std::uint64_t kFaultStream = 0xFA171A7EULL;
+
+/// Seed root of the per-request retry-backoff streams (xor'd with the
+/// pool index, so the virtual delay schedule of a request is a function
+/// of the request alone — independent of request order and of the fault
+/// stream).
+constexpr std::uint64_t kBackoffSeed = 0xBACC0FFULL;
 
 }  // namespace
 
@@ -87,14 +95,11 @@ MeasureOutcome Collector::try_measure(std::size_t pool_index) {
     return cached;
   }
 
-  const double value = pool.measured(problem_->objective)[pool_index];
-  const double exec = pool.exec_s[pool_index];
-  const double comp = pool.comp_ch[pool_index];
-
   CheckpointSession* checkpoint = problem_->checkpoint;
   MeasureOutcome out;
   const std::size_t used_before = runs_used_;
   const double exec_before = cost_exec_s_;
+  const double backoff_before = backoff_total_s_;
   MeasureRecord journaled;
   bool replayed = false;
   if (checkpoint != nullptr &&
@@ -117,6 +122,19 @@ MeasureOutcome Collector::try_measure(std::size_t pool_index) {
     if (faults_enabled_) fault_rng_.set_state(journaled.fault_rng_state);
   } else {
     charge(1);  // the first attempt always costs one unit (throws when dry)
+    // Raw run data: the problem's backend when one is attached (which
+    // must return the pool row bitwise — measure/backend.h), else the
+    // pool row read inline. Executed only on the live path: a replayed
+    // measurement's machine time was spent before the crash.
+    double exec = pool.exec_s[pool_index];
+    double comp = pool.comp_ch[pool_index];
+    if (measure::MeasureBackend* backend = problem_->measure) {
+      const measure::RawRun raw = backend->run(pool_index);
+      exec = raw.exec_s;
+      comp = raw.comp_ch;
+    }
+    const double value =
+        problem_->objective == Objective::kExecTime ? exec : comp;
     out.attempts = 1;
     if (!faults_enabled_) {
       out.status = sim::RunStatus::kOk;
@@ -125,6 +143,12 @@ MeasureOutcome Collector::try_measure(std::size_t pool_index) {
       cost_comp_ch_ += comp;
     } else {
       const MeasurementPolicy& policy = problem_->measurement;
+      // Virtual delay schedule between retries: deterministic per
+      // request (seed is a function of the pool index alone), accounted
+      // but never slept. Retrying is bounded by max_attempts and the
+      // budget exactly as before — the schedule never decides whether
+      // an attempt runs.
+      Backoff backoff(policy.retry_backoff, kBackoffSeed ^ pool_index);
       for (;;) {
         const sim::FaultOutcome fo =
             sim::apply_faults(policy.faults, exec, fault_rng_);
@@ -145,6 +169,7 @@ MeasureOutcome Collector::try_measure(std::size_t pool_index) {
           if (remaining() == 0) break;
           charge(1);
         }
+        backoff_total_s_ += backoff.next_delay_s();
         ++out.attempts;
       }
     }
@@ -176,6 +201,13 @@ MeasureOutcome Collector::try_measure(std::size_t pool_index) {
     tel->observe("measure.attempts", static_cast<double>(out.attempts));
     tel->observe("measure.charged_units",
                  static_cast<double>(runs_used_ - used_before));
+    if (!replayed && out.attempts > 1) {
+      // timing.* namespace: replayed sessions never re-run retries, so
+      // this histogram is not part of the byte-stability contract (the
+      // determinism gates strip `timing`).
+      tel->observe("timing.measure.backoff_s",
+                   backoff_total_s_ - backoff_before);
+    }
     telemetry::TraceEvent event("measure");
     event.field("pool_index", pool_index)
         .field("status", sim::run_status_name(out.status))
@@ -201,6 +233,23 @@ double Collector::measure(std::size_t pool_index) {
 bool Collector::is_measured(std::size_t pool_index) const {
   CEAL_EXPECT(pool_index < seen_.size());
   return seen_[pool_index];
+}
+
+void Collector::prefetch(std::span<const std::size_t> indices) {
+  measure::MeasureBackend* backend = problem_->measure;
+  if (backend == nullptr) return;
+  // During journal replay the measurements are served from the record —
+  // the backend never sees them, so it must not start runs for them.
+  if (problem_->checkpoint != nullptr && problem_->checkpoint->replaying()) {
+    return;
+  }
+  std::vector<std::size_t> fresh;
+  fresh.reserve(indices.size());
+  for (const std::size_t index : indices) {
+    CEAL_EXPECT(index < seen_.size());
+    if (!seen_[index]) fresh.push_back(index);
+  }
+  if (!fresh.empty()) backend->prefetch(fresh);
 }
 
 const std::vector<std::vector<std::size_t>>&

@@ -15,8 +15,16 @@
 // units on the same configuration. Every recorded entry carries an
 // explicit RunStatus — consumers that need clean training data read the
 // ok_indices()/ok_values() views.
+//
+// Measurement *execution* is pluggable (measure/backend.h): when the
+// problem carries a MeasureBackend the collector asks it for the raw run
+// data of each pool row and keeps everything that defines the session —
+// fault injection, retries, rng draws, budget charging, checkpoint
+// journaling — in here, in request order. Backends are therefore pure
+// dispatch strategies; any backend yields bitwise-identical sessions.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/rng.h"
@@ -63,6 +71,14 @@ class Collector {
   /// repeat request. Throws PreconditionError only when a *new* request
   /// arrives with zero remaining budget.
   MeasureOutcome try_measure(std::size_t pool_index);
+
+  /// Scheduling hint for a parallel measurement backend: these pool
+  /// indices are about to be requested in order (tuner batches call this
+  /// once per batch). Forwards the not-yet-measured subset to the
+  /// problem's backend; a no-op with no backend, and during checkpoint
+  /// replay (replayed measurements never reach the backend). Never
+  /// affects any result.
+  void prefetch(std::span<const std::size_t> indices);
 
   bool is_measured(std::size_t pool_index) const;
 
@@ -129,6 +145,13 @@ class Collector {
   /// Accumulated collection cost in core-hours.
   double cost_comp_ch() const { return cost_comp_ch_; }
 
+  /// Total *virtual* retry-backoff delay accounted so far (seconds):
+  /// the sum of the policy's seeded backoff draws across all retry
+  /// attempts. Pure accounting — the collector never sleeps, and the
+  /// value feeds only the `timing.measure.backoff_s` histogram and
+  /// tests. Zero while faults are disabled or no retry has happened.
+  double backoff_total_s() const { return backoff_total_s_; }
+
  private:
   void charge(std::size_t units);
   void record(std::size_t pool_index, const MeasureOutcome& outcome);
@@ -138,6 +161,7 @@ class Collector {
   std::size_t runs_used_ = 0;
   double cost_exec_s_ = 0.0;
   double cost_comp_ch_ = 0.0;
+  double backoff_total_s_ = 0.0;
 
   bool faults_enabled_ = false;
   ceal::Rng fault_rng_{0};

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "config/config_space.h"
+#include "core/backoff.h"
 #include "ml/gbt.h"
 #include "sim/fault_model.h"
 #include "sim/workflow.h"
@@ -20,6 +21,10 @@
 
 namespace ceal::telemetry {
 class Telemetry;
+}
+
+namespace ceal::measure {
+class MeasureBackend;
 }
 
 namespace ceal::tuner {
@@ -90,6 +95,14 @@ struct MeasurementPolicy {
   /// cannot cover a re-charge, retrying stops and the entry keeps its
   /// failure status.
   bool charge_retries = true;
+  /// Delay schedule between retry attempts (core/backoff.h). Delays are
+  /// *virtual*: the collector draws them from a deterministic
+  /// per-request stream and accounts them under the
+  /// `timing.measure.backoff_s` histogram without sleeping — the
+  /// simulated facility requeues the job, the tuning session does not
+  /// wait. Never changes which attempts run, what they cost, or any
+  /// result byte.
+  BackoffPolicy retry_backoff;
 };
 
 /// Everything one tuning experiment needs, bundled.
@@ -125,6 +138,15 @@ struct TuningProblem {
   /// session. Normally set through AutoTuner's resumable tune overload
   /// rather than by hand.
   CheckpointSession* checkpoint = nullptr;
+  /// Optional measurement execution backend (measure/backend.h): where
+  /// the raw run data of each measurement comes from. Null (the
+  /// default) reads the pool rows inline — the paper's collector.
+  /// A backend must return the pool rows bitwise (backends are dispatch
+  /// strategies, not data sources), so sessions are identical under any
+  /// backend; the subprocess fan-out plane (measure/subprocess.h) adds
+  /// fault tolerance and parallelism behind this pointer. Not owned;
+  /// must outlive the session.
+  measure::MeasureBackend* measure = nullptr;
   /// Boosted-tree parameters for every surrogate the tuners train (the
   /// high-fidelity model and the per-component models). The default is
   /// the exact trainer the reproduction results are pinned to; large

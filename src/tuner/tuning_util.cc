@@ -97,6 +97,9 @@ std::size_t measure_batch(Collector& collector,
                 json::Value::number(static_cast<std::uint64_t>(want_ok)));
     checkpoint->decision(std::move(payload));
   }
+  // Hand the whole batch to a parallel measurement backend up front so
+  // it can dispatch runs while the loop below consumes them in order.
+  collector.prefetch(batch);
   std::size_t ok = 0;
   for (const std::size_t idx : batch) {
     if (collector.remaining() == 0) break;

@@ -1,0 +1,118 @@
+// The shared retry schedule (core/backoff.h): deterministic per
+// (policy, seed), exponential with a cap, jitter bounded, saturating
+// past exhaustion. Both the Collector's virtual retry delays and the
+// subprocess plane's worker-restart waits ride on these properties.
+#include "core/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ceal {
+namespace {
+
+std::vector<double> draw(Backoff& b, std::size_t n) {
+  std::vector<double> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(b.next_delay_s());
+  return out;
+}
+
+TEST(MeasureBackoff, SameSeedSameSchedule) {
+  const BackoffPolicy policy;
+  Backoff a(policy, 42), b(policy, 42);
+  EXPECT_EQ(draw(a, 8), draw(b, 8));
+}
+
+TEST(MeasureBackoff, DifferentSeedsDecorrelate) {
+  const BackoffPolicy policy;
+  Backoff a(policy, 1), b(policy, 2);
+  EXPECT_NE(draw(a, 8), draw(b, 8));
+}
+
+TEST(MeasureBackoff, ExponentialGrowthCappedWithoutJitter) {
+  BackoffPolicy policy;
+  policy.initial_s = 0.1;
+  policy.multiplier = 2.0;
+  policy.max_s = 0.5;
+  policy.jitter = 0.0;
+  Backoff b(policy, 7);
+  EXPECT_DOUBLE_EQ(b.next_delay_s(), 0.1);
+  EXPECT_DOUBLE_EQ(b.next_delay_s(), 0.2);
+  EXPECT_DOUBLE_EQ(b.next_delay_s(), 0.4);
+  EXPECT_DOUBLE_EQ(b.next_delay_s(), 0.5);  // capped
+  EXPECT_DOUBLE_EQ(b.next_delay_s(), 0.5);  // saturates, never wraps
+}
+
+TEST(MeasureBackoff, JitterStaysWithinBounds) {
+  BackoffPolicy policy;
+  policy.initial_s = 0.05;
+  policy.multiplier = 2.0;
+  policy.max_s = 2.0;
+  policy.jitter = 0.25;
+  policy.max_retries = 64;
+  Backoff b(policy, 99);
+  double base = policy.initial_s;
+  for (std::size_t k = 0; k < 32; ++k) {
+    const double expected = std::min(base, policy.max_s);
+    const double d = b.next_delay_s();
+    EXPECT_GE(d, expected * (1.0 - policy.jitter));
+    EXPECT_LE(d, expected * (1.0 + policy.jitter));
+    base *= policy.multiplier;
+  }
+}
+
+TEST(MeasureBackoff, ExhaustionAfterMaxRetries) {
+  BackoffPolicy policy;
+  policy.max_retries = 3;
+  Backoff b(policy, 5);
+  EXPECT_FALSE(b.exhausted());
+  b.next_delay_s();
+  b.next_delay_s();
+  EXPECT_FALSE(b.exhausted());
+  b.next_delay_s();
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_EQ(b.retries(), 3u);
+  // Calling past exhaustion still hands out (capped) delays.
+  EXPECT_GT(b.next_delay_s(), 0.0);
+}
+
+TEST(MeasureBackoff, TotalAccumulatesAndResetClears) {
+  BackoffPolicy policy;
+  policy.jitter = 0.0;
+  policy.initial_s = 0.1;
+  policy.multiplier = 2.0;
+  policy.max_s = 10.0;
+  Backoff b(policy, 11);
+  b.next_delay_s();
+  b.next_delay_s();
+  EXPECT_DOUBLE_EQ(b.total_delay_s(), 0.1 + 0.2);
+  b.reset();
+  EXPECT_EQ(b.retries(), 0u);
+  EXPECT_DOUBLE_EQ(b.total_delay_s(), 0.0);
+  EXPECT_FALSE(b.exhausted());
+  // After a reset the schedule starts over at the initial delay.
+  EXPECT_DOUBLE_EQ(b.next_delay_s(), 0.1);
+}
+
+TEST(MeasureBackoff, ResetAdvancesJitterStream) {
+  // Jittered delays after a reset must not replay the pre-reset draws —
+  // a success between two fault bursts decorrelates the bursts.
+  BackoffPolicy policy;  // default jitter 0.25
+  Backoff a(policy, 123);
+  const std::vector<double> first = draw(a, 3);
+  a.reset();
+  const std::vector<double> second = draw(a, 3);
+  EXPECT_NE(first, second);
+}
+
+TEST(MeasureBackoff, ZeroInitialYieldsZeroDelays) {
+  BackoffPolicy policy;
+  policy.initial_s = 0.0;
+  Backoff b(policy, 3);
+  EXPECT_DOUBLE_EQ(b.next_delay_s(), 0.0);
+  EXPECT_DOUBLE_EQ(b.next_delay_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace ceal

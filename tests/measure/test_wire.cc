@@ -1,0 +1,291 @@
+// Wire-protocol hardening tests for the measurement plane
+// (src/measure/wire.h): builder/parser round-trips, a corpus of
+// malformed / truncated / bit-flipped frames, and a randomized
+// round-trip property test. The contract under test: a damaged frame
+// is *always* surfaced as an exception (worker fault) or held as an
+// incomplete buffer — never silently delivered as data.
+#include "measure/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/journal.h"
+#include "core/rng.h"
+#include "sim/workloads.h"
+#include "tuner/measured_pool.h"
+
+namespace ceal::measure {
+namespace {
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+double double_from_bits(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+// Frames `payload` and parses it back through a fresh reader pair.
+json::Value round_trip(const json::Value& payload) {
+  FrameWriter writer;
+  FrameReader reader("test");
+  const std::string bytes = writer.frame(payload);
+  reader.feed(bytes.data(), bytes.size());
+  auto parsed = reader.next();
+  EXPECT_TRUE(parsed.has_value());
+  return std::move(*parsed);
+}
+
+TEST(MeasureWire, HelloRoundTrip) {
+  const HelloMsg msg = parse_hello(
+      round_trip(hello_message(3, 12345, 2000, 0xdeadbeefcafef00dULL)));
+  EXPECT_EQ(msg.worker, 3u);
+  EXPECT_EQ(msg.pid, 12345);
+  EXPECT_EQ(msg.pool_n, 2000u);
+  EXPECT_EQ(msg.pool_fp, 0xdeadbeefcafef00dULL);
+}
+
+TEST(MeasureWire, RunRoundTrip) {
+  const json::Value payload = round_trip(run_message(77, 1999));
+  EXPECT_EQ(message_op(payload), "run");
+  const RunMsg msg = parse_run(payload);
+  EXPECT_EQ(msg.id, 77u);
+  EXPECT_EQ(msg.index, 1999u);
+}
+
+TEST(MeasureWire, ResultRoundTripIsBitwise) {
+  // Awkward doubles: negative zero, denormal, largest finite, 1/3.
+  const double awkward[] = {-0.0, std::numeric_limits<double>::denorm_min(),
+                            std::numeric_limits<double>::max(), 1.0 / 3.0,
+                            -6.02214076e23};
+  for (const double exec_s : awkward) {
+    for (const double comp_ch : awkward) {
+      const ResultMsg msg = parse_result(round_trip(
+          result_message(9, 4, 0xfeedULL, exec_s, comp_ch)));
+      EXPECT_EQ(msg.id, 9u);
+      EXPECT_EQ(msg.index, 4u);
+      EXPECT_EQ(msg.config_fp, 0xfeedULL);
+      EXPECT_TRUE(bits_equal(msg.exec_s, exec_s));
+      EXPECT_TRUE(bits_equal(msg.comp_ch, comp_ch));
+    }
+  }
+}
+
+TEST(MeasureWire, PingPongShutdownRoundTrip) {
+  EXPECT_EQ(parse_ping_id(round_trip(ping_message(42))), 42u);
+  EXPECT_EQ(parse_ping_id(round_trip(pong_message(43))), 43u);
+  EXPECT_EQ(message_op(round_trip(shutdown_message())), "shutdown");
+}
+
+TEST(MeasureWire, ReaderHandlesBytewiseFeed) {
+  FrameWriter writer;
+  FrameReader reader("test");
+  const std::string bytes = writer.frame(ping_message(7));
+  // A partial frame is never delivered; the full frame is, exactly once.
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    reader.feed(&bytes[i], 1);
+    EXPECT_FALSE(reader.next().has_value());
+  }
+  reader.feed(&bytes[bytes.size() - 1], 1);
+  auto payload = reader.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(parse_ping_id(*payload), 7u);
+  EXPECT_EQ(reader.buffered(), 0u);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(MeasureWire, ReaderEnforcesSequenceContinuity) {
+  FrameWriter writer;
+  const std::string first = writer.frame(ping_message(1));
+  const std::string second = writer.frame(ping_message(2));
+
+  // In order: both frames validate.
+  {
+    FrameReader reader("test");
+    reader.feed(first.data(), first.size());
+    reader.feed(second.data(), second.size());
+    EXPECT_TRUE(reader.next().has_value());
+    EXPECT_TRUE(reader.next().has_value());
+    EXPECT_EQ(reader.frames(), 2u);
+  }
+  // A dropped frame (reader sees seq 1 while expecting 0) is detected.
+  {
+    FrameReader reader("test");
+    reader.feed(second.data(), second.size());
+    EXPECT_THROW(reader.next(), JournalError);
+  }
+  // A replayed frame (seq 0 again after 0) is detected too.
+  {
+    FrameReader reader("test");
+    reader.feed(first.data(), first.size());
+    EXPECT_TRUE(reader.next().has_value());
+    reader.feed(first.data(), first.size());
+    EXPECT_THROW(reader.next(), JournalError);
+  }
+}
+
+TEST(MeasureWire, MalformedFrameCorpus) {
+  const std::string good =
+      frame_journal_record(0, ping_message(5).dump());
+  const std::vector<std::string> corpus = {
+      "garbage with no framing at all\n",
+      "J2 0 10 00000000 {\"op\":\"x\"}\n",       // wrong magic
+      "J1 0\n",                                   // truncated header
+      "J1 0 999999 00000000 {\"op\":\"x\"}\n",    // length overshoots
+      "J1 0 2 00000000 {\"op\":\"ping\"}\n",      // length undershoots
+      "J1 0 10 zzzzzzzz {\"op\":\"x\"}\n",        // non-hex CRC
+      good.substr(0, good.size() / 2) + "\n",     // torn mid-frame
+      std::string("J1 0 4 ") + "00000000" + " not{\n",  // CRC mismatch
+  };
+  for (const std::string& bytes : corpus) {
+    FrameReader reader("corpus");
+    reader.feed(bytes.data(), bytes.size());
+    EXPECT_THROW(reader.next(), std::exception) << "corpus entry: " << bytes;
+  }
+}
+
+TEST(MeasureWire, BitFlipSweepNeverDeliversCorruptPayload) {
+  // Flip every bit of a complete frame. CRC32 catches any single-bit
+  // flip in the covered region; header damage trips magic/seq/length
+  // checks; flipping the newline just leaves an incomplete buffer. In
+  // no case may a payload come back that differs from the original.
+  FrameWriter writer;
+  const std::string original_bytes = writer.frame(
+      result_message(12, 345, 0xabcdef0123456789ULL, 1.5e-3, -2.25));
+  const std::string original_dump =
+      result_message(12, 345, 0xabcdef0123456789ULL, 1.5e-3, -2.25).dump();
+  for (std::size_t byte = 0; byte < original_bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = original_bytes;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      FrameReader reader("flip");
+      reader.feed(corrupt.data(), corrupt.size());
+      try {
+        const auto payload = reader.next();
+        if (payload.has_value()) {
+          // Only reachable if the flip left the frame fully valid —
+          // then the payload must still be the original bytes.
+          EXPECT_EQ(payload->dump(), original_dump)
+              << "byte " << byte << " bit " << bit;
+        }
+      } catch (const std::exception&) {
+        // Detected — the dispatcher treats this as a worker fault.
+      }
+    }
+  }
+}
+
+TEST(MeasureWire, ParserRejectsMissingAndMistypedFields) {
+  // Missing field.
+  {
+    json::Value no_index = json::Value::object();
+    no_index.set("op", json::Value::string("run"));
+    no_index.set("id", json::Value::number(std::uint64_t{1}));
+    EXPECT_THROW(parse_run(no_index), WireError);
+  }
+  // Mistyped numeric field.
+  {
+    json::Value msg = json::Value::object();
+    msg.set("op", json::Value::string("ping"));
+    msg.set("id", json::Value::string("not a number"));
+    EXPECT_THROW(parse_ping_id(msg), WireError);
+  }
+  // Negative id.
+  {
+    json::Value msg = json::Value::object();
+    msg.set("op", json::Value::string("ping"));
+    msg.set("id", json::Value::number(std::int64_t{-5}));
+    EXPECT_THROW(parse_ping_id(msg), WireError);
+  }
+  // Malformed hex word.
+  {
+    json::Value msg = result_message(1, 2, 3, 0.5, 0.25);
+    msg.set("fp", json::Value::string("12ab"));  // missing 0x prefix
+    EXPECT_THROW(parse_result(msg), WireError);
+    msg.set("fp", json::Value::string("0xNOPE"));
+    EXPECT_THROW(parse_result(msg), WireError);
+  }
+  // Malformed hex float.
+  {
+    json::Value msg = result_message(1, 2, 3, 0.5, 0.25);
+    msg.set("exec_s", json::Value::string("one point five"));
+    EXPECT_THROW(parse_result(msg), WireError);
+    msg.set("exec_s", json::Value::number(1.5));  // number, not string
+    EXPECT_THROW(parse_result(msg), WireError);
+  }
+  // Non-object payload.
+  EXPECT_THROW(message_op(json::Value::string("hi")), WireError);
+  // Missing op.
+  EXPECT_THROW(message_op(json::Value::object()), WireError);
+}
+
+TEST(MeasureWire, RandomizedRoundTripProperty) {
+  // 500 random result messages with arbitrary finite bit patterns must
+  // survive frame -> parse bitwise, through one continuous connection
+  // (exercising the running sequence numbers on both sides).
+  Rng gen(0x511ce0f517eULL);
+  FrameWriter writer;
+  FrameReader reader("prop");
+  for (int iter = 0; iter < 500; ++iter) {
+    // Ids are JSON numbers (53 exact bits); fingerprints travel as hex
+    // words and cover the full 64-bit range.
+    const std::uint64_t id = gen.uniform_u64(1ULL << 53);
+    const std::size_t index = static_cast<std::size_t>(gen.uniform_u64(4096));
+    const std::uint64_t fp = gen();
+    double exec_s = double_from_bits(gen());
+    double comp_ch = double_from_bits(gen());
+    // NaNs are excluded: "%a" prints them as "nan", which loses payload
+    // bits — the protocol never carries NaN measurements.
+    if (std::isnan(exec_s)) exec_s = 0.125 * static_cast<double>(iter);
+    if (std::isnan(comp_ch)) comp_ch = -0.5 * static_cast<double>(iter);
+    const std::string bytes =
+        writer.frame(result_message(id, index, fp, exec_s, comp_ch));
+    // Split the feed at a random point to exercise buffering.
+    const std::size_t cut =
+        static_cast<std::size_t>(gen.uniform_u64(bytes.size() + 1));
+    reader.feed(bytes.data(), cut);
+    if (cut < bytes.size()) {
+      reader.feed(bytes.data() + cut, bytes.size() - cut);
+    }
+    auto payload = reader.next();
+    ASSERT_TRUE(payload.has_value());
+    const ResultMsg msg = parse_result(*payload);
+    EXPECT_EQ(msg.id, id);
+    EXPECT_EQ(msg.index, index);
+    EXPECT_EQ(msg.config_fp, fp);
+    EXPECT_TRUE(bits_equal(msg.exec_s, exec_s));
+    EXPECT_TRUE(bits_equal(msg.comp_ch, comp_ch));
+  }
+  EXPECT_EQ(writer.frames(), 500u);
+  EXPECT_EQ(reader.frames(), 500u);
+}
+
+TEST(MeasureWire, ConfigFingerprintDistinguishesRows) {
+  const sim::Workload wl = sim::make_lv();
+  const tuner::MeasuredPool pool = tuner::measure_pool(wl.workflow, 64, 1);
+  std::vector<std::uint64_t> fps;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    fps.push_back(config_fingerprint(pool, i));
+    // Stable across calls.
+    EXPECT_EQ(fps.back(), config_fingerprint(pool, i));
+  }
+  // No collisions across this pool (a collision would let a hedged
+  // duplicate be confused with a different row).
+  std::size_t distinct = 0;
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    bool seen = false;
+    for (std::size_t j = 0; j < i; ++j) seen = seen || (fps[j] == fps[i]);
+    if (!seen) ++distinct;
+  }
+  EXPECT_EQ(distinct, fps.size());
+}
+
+}  // namespace
+}  // namespace ceal::measure

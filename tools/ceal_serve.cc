@@ -49,6 +49,18 @@ constexpr const char* kUsage =
     "                           the client steps it (bitwise-identical\n"
     "                           results after a SIGKILL)\n"
     "\n"
+    "measurement plane (docs/RELIABILITY.md):\n"
+    "  [--measure-backend inproc|subprocess]  where session measurements\n"
+    "                           execute (default: inline pool reads;\n"
+    "                           results are identical under any backend)\n"
+    "  [--measure-workers N]    subprocess workers per session (default 4)\n"
+    "  [--worker-bin PATH]      worker binary (default: sibling\n"
+    "                           ceal_worker)\n"
+    "  [--hedge-after-s S]      straggler hedging threshold (default 0.25)\n"
+    "  [--hang-after-s S]       worker hang deadline (default 10)\n"
+    "  [--degrade-after K]      consecutive faults before a session falls\n"
+    "                           back in-process (default 3)\n"
+    "\n"
     "observability:\n"
     "  [--trace FILE]           stream server JSONL trace events to FILE\n"
     "  [--trace-dir DIR]        per-session traces in DIR/<id>.trace.jsonl\n"
@@ -178,7 +190,22 @@ int main(int argc, char** argv) {
   const auto metrics_export = args.option("metrics-export", "");
   const double metrics_interval = args.real("metrics-interval", 5.0);
   const bool metrics_summary = args.flag("metrics-summary");
+  const auto measure_backend = args.option("measure-backend", "");
+  const auto measure_workers =
+      static_cast<std::size_t>(args.integer("measure-workers", 4));
+  const auto worker_bin = args.option("worker-bin", "");
+  const double hedge_after_s = args.real("hedge-after-s", 0.25);
+  const double hang_after_s = args.real("hang-after-s", 10.0);
+  const auto degrade_after =
+      static_cast<std::size_t>(args.integer("degrade-after", 3));
   args.finish();
+
+  if (!measure_backend.empty() && measure_backend != "inproc" &&
+      measure_backend != "subprocess") {
+    std::cerr << "unknown --measure-backend: " << measure_backend
+              << " (expected inproc|subprocess)\n";
+    return 2;
+  }
 
   if (resume && checkpoint_dir.empty()) {
     std::cerr << "--resume requires --checkpoint DIR\n";
@@ -213,6 +240,12 @@ int main(int argc, char** argv) {
   options.trace_fsync = !trace_dir.empty();
   options.flight_recorder = flight_capacity;
   options.telemetry = &telemetry;
+  options.measure.backend = measure_backend;
+  options.measure.workers = measure_workers;
+  options.measure.worker_bin = worker_bin;
+  options.measure.hedge_after_s = hedge_after_s;
+  options.measure.hang_after_s = hang_after_s;
+  options.measure.degrade_after = degrade_after;
 
   try {
     serve::ServerCore core(options);

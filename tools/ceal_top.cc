@@ -14,7 +14,9 @@
 // timing.* histograms, the export-timestamp "timing" object), leaving a
 // subset that is byte-identical across daemon thread counts for the
 // same request stream — the tier-1 gate diffs it at --threads 1 vs 4.
+#include <cerrno>
 #include <chrono>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -70,18 +72,32 @@ std::string read_file(const std::string& path) {
 std::string query_socket(const std::string& path) {
 #ifdef CEAL_TOP_HAS_SOCKETS
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) throw std::runtime_error("socket() failed");
+  if (fd < 0) {
+    throw std::runtime_error(std::string("socket() failed: ") +
+                             std::strerror(errno));
+  }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (path.size() >= sizeof(addr.sun_path)) {
     ::close(fd);
-    throw std::runtime_error("socket path too long: " + path);
+    throw std::runtime_error("socket path too long (" +
+                             std::to_string(path.size()) + " > " +
+                             std::to_string(sizeof(addr.sun_path) - 1) +
+                             " bytes): " + path);
   }
   path.copy(addr.sun_path, path.size());
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
+    // The single most common failure: the daemon is not there. One
+    // actionable line — the path and the precise errno ("No such file
+    // or directory" = never started / wrong path, "Connection refused"
+    // = stale socket file left by a dead daemon.)
+    const int err = errno;
     ::close(fd);
-    throw std::runtime_error("cannot connect to " + path);
+    throw std::runtime_error("cannot connect to " + path + ": " +
+                             std::strerror(err) +
+                             " (is ceal_serve running with --socket " +
+                             path + "?)");
   }
   const std::string request = "{\"op\":\"server.metrics\"}\n";
   std::size_t written = 0;
@@ -89,8 +105,11 @@ std::string query_socket(const std::string& path) {
     const ssize_t n =
         ::write(fd, request.data() + written, request.size() - written);
     if (n <= 0) {
+      const int err = errno;
       ::close(fd);
-      throw std::runtime_error("write to " + path + " failed");
+      throw std::runtime_error("write to " + path + " failed: " +
+                               (n < 0 ? std::strerror(err)
+                                      : "connection closed"));
     }
     written += static_cast<std::size_t>(n);
   }
@@ -100,8 +119,10 @@ std::string query_socket(const std::string& path) {
   for (;;) {
     const ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n < 0) {
+      const int err = errno;
       ::close(fd);
-      throw std::runtime_error("read from " + path + " failed");
+      throw std::runtime_error("read from " + path + " failed: " +
+                               std::strerror(err));
     }
     if (n == 0) break;
     response.append(chunk, static_cast<std::size_t>(n));
@@ -109,8 +130,12 @@ std::string query_socket(const std::string& path) {
   }
   ::close(fd);
   const std::size_t eol = response.find('\n');
-  if (eol == std::string::npos)
-    throw std::runtime_error("no response from " + path);
+  if (eol == std::string::npos) {
+    throw std::runtime_error(
+        "no response from " + path + ": connection closed after " +
+        std::to_string(response.size()) +
+        " byte(s) without a complete line (daemon draining?)");
+  }
   return response.substr(0, eol);
 #else
   (void)path;
@@ -306,7 +331,7 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::duration<double>(interval));
     }
   } catch (const std::exception& e) {
-    std::cerr << e.what() << "\n";
+    std::cerr << "ceal_top: " << e.what() << "\n";
     return 2;
   }
   return 0;

@@ -21,6 +21,8 @@
 #include "core/journal.h"
 #include "core/table.h"
 #include "core/telemetry.h"
+#include "measure/backend.h"
+#include "measure/subprocess.h"
 #include "ml/gbt.h"
 #include "ml/serialize.h"
 #include "tools/args.h"
@@ -53,6 +55,18 @@ constexpr const char* kUsage =
     "  [--outlier-rate P]       heavy-tail outlier probability (default 0)\n"
     "  [--deadline S]           censor runs longer than S seconds\n"
     "  [--max-attempts N]       measurement retries per config (default 1)\n"
+    "\n"
+    "measurement plane (docs/RELIABILITY.md):\n"
+    "  [--measure-backend inproc|subprocess]  where runs execute\n"
+    "                           (default inproc; results are identical)\n"
+    "  [--workers N]            subprocess worker count (default 4)\n"
+    "  [--worker-bin PATH]      worker binary (default: sibling\n"
+    "                           ceal_worker)\n"
+    "  [--hedge-after-s S]      straggler hedging threshold (default\n"
+    "                           0.25)\n"
+    "  [--hang-after-s S]       worker hang deadline (default 10)\n"
+    "  [--degrade-after K]      consecutive faults before falling back\n"
+    "                           in-process (default 3)\n"
     "\n"
     "checkpoint:\n"
     "  [--checkpoint DIR]       journal the session to DIR/journal.cealj\n"
@@ -133,6 +147,17 @@ int main(int argc, char** argv) {
   const bool compiled_predictor = args.flag("compiled-predictor");
   const auto pool_chunk =
       static_cast<std::size_t>(args.integer("pool-chunk", 0));
+  // Empty means "not given": the default path keeps problem.measure
+  // null (the paper's inline collector); an explicit `inproc` installs
+  // the InProcessBackend to exercise the backend seam.
+  const auto measure_backend = args.option("measure-backend", "");
+  const auto measure_workers =
+      static_cast<std::size_t>(args.integer("workers", 4));
+  const auto worker_bin = args.option("worker-bin", "");
+  const double hedge_after_s = args.real("hedge-after-s", 0.25);
+  const double hang_after_s = args.real("hang-after-s", 10.0);
+  const auto degrade_after =
+      static_cast<std::size_t>(args.integer("degrade-after", 3));
   args.finish();
 
   if (budget == 0) {
@@ -232,6 +257,46 @@ int main(int argc, char** argv) {
     if (telemetry_store->sink() != nullptr) telemetry_store->sink()->flush();
     if (metrics_summary) std::cout << telemetry_store->summary_table();
   };
+
+  // Measurement backend (docs/RELIABILITY.md "Distributed measurement
+  // plane"). Backends are dispatch strategies, never data sources, so
+  // every choice here produces byte-identical sessions; subprocess adds
+  // multi-process fan-out with hedging and graceful degradation.
+  std::unique_ptr<measure::MeasureBackend> backend_store;
+  if (measure_backend == "subprocess") {
+    if (replications > 1) {
+      std::cerr << "--measure-backend subprocess covers a single session; "
+                   "it cannot be combined with --replications\n";
+      return 2;
+    }
+    measure::SubprocessOptions mopts;
+    mopts.workers = std::max<std::size_t>(1, measure_workers);
+    mopts.worker_bin = worker_bin;
+    mopts.hedge_after_s = hedge_after_s;
+    mopts.hang_after_s = hang_after_s;
+    mopts.degrade_after = std::max<std::size_t>(1, degrade_after);
+    mopts.seed = seed;
+    mopts.worker_args = {"--workflow", wl_name};
+    if (load_pool.empty()) {
+      mopts.worker_args.insert(
+          mopts.worker_args.end(),
+          {"--pool-size", std::to_string(pool_size), "--pool-seed",
+           std::to_string(pool_seed)});
+    } else {
+      mopts.worker_args.insert(mopts.worker_args.end(),
+                               {"--pool-file", load_pool});
+    }
+    backend_store = std::make_unique<measure::SubprocessBackend>(
+        pool, std::move(mopts),
+        telemetry_store ? &*telemetry_store : nullptr);
+  } else if (measure_backend == "inproc") {
+    backend_store = std::make_unique<measure::InProcessBackend>(pool);
+  } else if (!measure_backend.empty()) {
+    std::cerr << "unknown --measure-backend: " << measure_backend
+              << " (expected inproc|subprocess)\n";
+    return 2;
+  }
+  problem.measure = backend_store.get();
 
   if (replications > 1) {
     // Replications run on a pool when --threads is given; trace output is

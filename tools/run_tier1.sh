@@ -102,6 +102,32 @@ truncate -s "$((full_size - 7))" "$journal"
 diff "$trace_dir/uninterrupted.csv" "$trace_dir/torn.csv" \
   || { echo "torn-tail resume changed the tuning result"; exit 1; }
 
+echo "== tier-1: worker-chaos measurement-plane gate =="
+# Distributed measurement plane (docs/RELIABILITY.md "Distributed
+# measurement plane"): the same faulty session as above dispatched to
+# subprocess workers — with one worker SIGKILLing itself every 2 runs
+# and another hanging (forcing hedges and hang kills) — must print
+# byte-identical stdout and write a byte-identical result CSV to the
+# uninterrupted in-process run. A third run with an unspawnable worker
+# binary must degrade gracefully to in-process execution, again with
+# identical bytes.
+CEAL_WORKER_CRASH_AFTER="0:2" CEAL_WORKER_HANG_AFTER="1:3" \
+  ./build/tools/ceal_tune "${kill_args[@]}" \
+    --measure-backend subprocess --workers 3 \
+    --hedge-after-s 0.05 --hang-after-s 0.5 \
+    --save-result "$trace_dir/chaos.csv" > "$trace_dir/chaos.txt"
+diff "$trace_dir/uninterrupted.txt" "$trace_dir/chaos.txt" \
+  || { echo "worker chaos changed ceal_tune stdout"; exit 1; }
+diff "$trace_dir/uninterrupted.csv" "$trace_dir/chaos.csv" \
+  || { echo "worker chaos changed the tuning result"; exit 1; }
+./build/tools/ceal_tune "${kill_args[@]}" \
+  --measure-backend subprocess --worker-bin /bin/false --degrade-after 2 \
+  --save-result "$trace_dir/degraded.csv" > "$trace_dir/degraded.txt"
+diff "$trace_dir/uninterrupted.txt" "$trace_dir/degraded.txt" \
+  || { echo "degraded measurement plane changed ceal_tune stdout"; exit 1; }
+diff "$trace_dir/uninterrupted.csv" "$trace_dir/degraded.csv" \
+  || { echo "degraded measurement plane changed the tuning result"; exit 1; }
+
 echo "== tier-1: serve kill-resume determinism gate =="
 # The daemon version of the same contract (docs/SERVING.md): a
 # ceal_serve session journaling to --checkpoint, SIGKILLed after the
@@ -300,7 +326,10 @@ export CEAL_TELEMETRY_OVERHEAD_TOL="${CEAL_TELEMETRY_OVERHEAD_TOL:-0.15}"
        > bench_pool_scale.log \
   && ../../build/bench/bench_serve_load --benchmark_min_time=0.05 \
        --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
-       > bench_serve_load.log)
+       > bench_serve_load.log \
+  && ../../build/bench/bench_measure_plane --benchmark_min_time=0.02 \
+       --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+       > bench_measure_plane.log)
 cp "$trace_dir/a.jsonl" "$bench_dir/current/fig5_trace.jsonl"
 if [[ -d "$bench_dir/baseline" ]]; then
   ./build/tools/ceal_report --current "$bench_dir/current" \
@@ -334,8 +363,8 @@ for san in address undefined; do
   dir="build-${san}"
   cmake -B "$dir" -S . -DCEAL_SANITIZE="$san" >/dev/null
   cmake --build "$dir" -j "$jobs" --target unit_tests system_tests \
-    serve_tests quickstart component_models miniapp_demo custom_workflow \
-    md_insitu
+    serve_tests measure_tests ceal_worker quickstart component_models \
+    miniapp_demo custom_workflow md_insitu
   ctest --test-dir "$dir" --output-on-failure -j "$jobs" -L tier1
 done
 
@@ -344,9 +373,9 @@ if [[ "$with_tsan" == 1 ]]; then
   dir="build-thread"
   cmake -B "$dir" -S . -DCEAL_SANITIZE=thread >/dev/null
   cmake --build "$dir" -j "$jobs" --target unit_tests system_tests \
-    serve_tests
+    serve_tests measure_tests ceal_worker
   ctest --test-dir "$dir" --output-on-failure -j "$jobs" -L tier1 \
-    -R 'Telemetry|ThreadPool|Trace|Parallel|Quantized|Compiled|PoolScorer|Serve'
+    -R 'Telemetry|ThreadPool|Trace|Parallel|Quantized|Compiled|PoolScorer|Serve|Measure'
 fi
 
 echo "tier-1 OK (plain + asan + ubsan$([[ "$with_tsan" == 1 ]] && echo ' + tsan'))"
